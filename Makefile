@@ -1,0 +1,42 @@
+# triadtime — build / test / reproduce
+
+GO ?= go
+
+.PHONY: all build test vet bench figures check examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the wall-clock-bound live-UDP tests.
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every paper figure/table as benchmark output.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full figure regeneration with CSV + gnuplot scripts under results/.
+figures:
+	$(GO) run ./cmd/triad-sim -fig all -seed 1 -out results
+
+# 16-assertion reproduction audit (non-zero exit on any mismatch).
+check:
+	$(GO) run ./cmd/triad-sim -fig check -seed 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/attack-demo
+	$(GO) run ./examples/resilient-demo
+	$(GO) run ./examples/lease-manager
+	$(GO) run ./examples/gossip-demo
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

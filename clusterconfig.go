@@ -1,0 +1,134 @@
+package triadtime
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ClusterFile is the on-disk deployment description shared by
+// cmd/triad-node and cmd/timeauthority: one JSON file describes the
+// whole cluster, and each process picks its own entry by id.
+//
+//	{
+//	  "keyHex": "<64 hex chars>",
+//	  "authority": {"id": 100, "addr": "ta.example:7100"},
+//	  "nodes": [
+//	    {"id": 1, "addr": "a.example:7101"},
+//	    {"id": 2, "addr": "b.example:7101"}
+//	  ],
+//	  "hardened": true,
+//	  "aexPeriodMillis": 500
+//	}
+type ClusterFile struct {
+	// KeyHex is the cluster's pre-shared AES-256 key, hex-encoded.
+	KeyHex string `json:"keyHex"`
+	// Authority is the Time Authority endpoint.
+	Authority Endpoint `json:"authority"`
+	// Nodes lists every Triad node.
+	Nodes []Endpoint `json:"nodes"`
+	// Hardened selects the Section V protocol for all nodes.
+	Hardened bool `json:"hardened,omitempty"`
+	// AEXPeriodMillis configures the synthetic interrupt generator
+	// (0 disables it).
+	AEXPeriodMillis int `json:"aexPeriodMillis,omitempty"`
+}
+
+// Endpoint names one participant.
+type Endpoint struct {
+	ID   NodeID `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// LoadClusterFile reads and validates a cluster description.
+func LoadClusterFile(path string) (*ClusterFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: read cluster file: %w", err)
+	}
+	var cf ClusterFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("triadtime: parse cluster file: %w", err)
+	}
+	if err := cf.Validate(); err != nil {
+		return nil, err
+	}
+	return &cf, nil
+}
+
+// Validate checks the description's internal consistency.
+func (cf *ClusterFile) Validate() error {
+	key, err := cf.Key()
+	if err != nil {
+		return err
+	}
+	if len(key) != KeySize {
+		return fmt.Errorf("triadtime: cluster key must be %d bytes, got %d", KeySize, len(key))
+	}
+	if cf.Authority.Addr == "" {
+		return fmt.Errorf("triadtime: cluster file missing authority address")
+	}
+	if len(cf.Nodes) == 0 {
+		return fmt.Errorf("triadtime: cluster file lists no nodes")
+	}
+	seen := map[NodeID]bool{cf.Authority.ID: true}
+	for _, n := range cf.Nodes {
+		if n.Addr == "" {
+			return fmt.Errorf("triadtime: node %d has no address", n.ID)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("triadtime: duplicate participant id %d", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	return nil
+}
+
+// Key decodes the cluster key.
+func (cf *ClusterFile) Key() ([]byte, error) {
+	key, err := hex.DecodeString(cf.KeyHex)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: decode cluster key: %w", err)
+	}
+	return key, nil
+}
+
+// NodeConfig builds the LiveConfig for the participant with the given
+// id, listening on listen (which may differ from the advertised
+// address when behind NAT or binding 0.0.0.0).
+func (cf *ClusterFile) NodeConfig(id NodeID, listen string) (LiveConfig, error) {
+	key, err := cf.Key()
+	if err != nil {
+		return LiveConfig{}, err
+	}
+	var self *Endpoint
+	directory := map[NodeID]string{cf.Authority.ID: cf.Authority.Addr}
+	var peers []NodeID
+	for i := range cf.Nodes {
+		n := cf.Nodes[i]
+		directory[n.ID] = n.Addr
+		if n.ID == id {
+			self = &cf.Nodes[i]
+			continue
+		}
+		peers = append(peers, n.ID)
+	}
+	if self == nil {
+		return LiveConfig{}, fmt.Errorf("triadtime: id %d not in cluster file", id)
+	}
+	if listen == "" {
+		listen = self.Addr
+	}
+	return LiveConfig{
+		Key:       key,
+		ID:        id,
+		Listen:    listen,
+		Directory: directory,
+		Peers:     peers,
+		Authority: cf.Authority.ID,
+		AEXPeriod: time.Duration(cf.AEXPeriodMillis) * time.Millisecond,
+		Hardened:  cf.Hardened,
+	}, nil
+}

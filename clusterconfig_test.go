@@ -1,0 +1,141 @@
+package triadtime
+
+import (
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validClusterJSON() string {
+	return `{
+	  "keyHex": "` + strings.Repeat("ab", 32) + `",
+	  "authority": {"id": 100, "addr": "ta.example:7100"},
+	  "nodes": [
+	    {"id": 1, "addr": "a.example:7101"},
+	    {"id": 2, "addr": "b.example:7101"},
+	    {"id": 3, "addr": "c.example:7101"}
+	  ],
+	  "hardened": true,
+	  "aexPeriodMillis": 500
+	}`
+}
+
+func writeClusterFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadClusterFile(t *testing.T) {
+	cf, err := LoadClusterFile(writeClusterFile(t, validClusterJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cf.Key()
+	if err != nil || len(key) != KeySize || key[0] != 0xab {
+		t.Errorf("key = %s, %v", hex.EncodeToString(key), err)
+	}
+	cfg, err := cf.NodeConfig(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != "b.example:7101" {
+		t.Errorf("Listen = %q (should default to the advertised address)", cfg.Listen)
+	}
+	if cfg.Authority != 100 || len(cfg.Peers) != 2 || !cfg.Hardened {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.AEXPeriod != 500*time.Millisecond {
+		t.Errorf("AEXPeriod = %v", cfg.AEXPeriod)
+	}
+	if cfg.Directory[3] != "c.example:7101" || cfg.Directory[100] != "ta.example:7100" {
+		t.Errorf("directory = %v", cfg.Directory)
+	}
+	// Listen override for NAT / wildcard binds.
+	cfg, _ = cf.NodeConfig(2, "0.0.0.0:7101")
+	if cfg.Listen != "0.0.0.0:7101" {
+		t.Errorf("Listen override = %q", cfg.Listen)
+	}
+}
+
+func TestLoadClusterFileErrors(t *testing.T) {
+	if _, err := LoadClusterFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := []string{
+		`{not json`,
+		`{"keyHex": "zz", "authority": {"id":100,"addr":"x:1"}, "nodes":[{"id":1,"addr":"y:1"}]}`,
+		`{"keyHex": "abcd", "authority": {"id":100,"addr":"x:1"}, "nodes":[{"id":1,"addr":"y:1"}]}`,
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `", "authority": {"id":100,"addr":""}, "nodes":[{"id":1,"addr":"y:1"}]}`,
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `", "authority": {"id":100,"addr":"x:1"}, "nodes":[]}`,
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `", "authority": {"id":100,"addr":"x:1"}, "nodes":[{"id":1,"addr":"y:1"},{"id":1,"addr":"z:1"}]}`,
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `", "authority": {"id":100,"addr":"x:1"}, "nodes":[{"id":1,"addr":""}]}`,
+	}
+	for i, content := range bad {
+		if _, err := LoadClusterFile(writeClusterFile(t, content)); err == nil {
+			t.Errorf("bad cluster file %d accepted", i)
+		}
+	}
+}
+
+func TestNodeConfigUnknownID(t *testing.T) {
+	cf, err := LoadClusterFile(writeClusterFile(t, validClusterJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.NodeConfig(42, ""); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestClusterFileLiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	// A cluster file driving a real (single-node) deployment.
+	ta, err := NewAuthorityServer("127.0.0.1:0", mustKey(t), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	content := `{
+	  "keyHex": "` + strings.Repeat("ab", 32) + `",
+	  "authority": {"id": 100, "addr": "` + ta.LocalAddr().String() + `"},
+	  "nodes": [{"id": 1, "addr": "127.0.0.1:0"}]
+	}`
+	cf, err := LoadClusterFile(writeClusterFile(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cf.NodeConfig(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewLiveNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for node.State() != StateOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("node from cluster file never calibrated (state %v)", node.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func mustKey(t *testing.T) []byte {
+	t.Helper()
+	key, err := hex.DecodeString(strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}

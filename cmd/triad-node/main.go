@@ -1,0 +1,165 @@
+// Command triad-node runs a live Triad trusted-time node over UDP.
+//
+// Usage (a 3-node cluster plus authority on one machine):
+//
+//	timeauthority -listen :7100 -id 100 -key $KEY
+//	triad-node -listen :7101 -id 1 -key $KEY -authority 100=localhost:7100 \
+//	    -peer 2=localhost:7102 -peer 3=localhost:7103
+//	triad-node -listen :7102 -id 2 ... (and so on)
+//
+// The node prints its trusted time once per second. -hardened selects
+// the Section V resilient protocol; -aex injects synthetic AEXs at the
+// given period (standing in for the OS interrupts real enclaves see).
+package main
+
+import (
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"triadtime"
+	"triadtime/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "triad-node:", err)
+		os.Exit(1)
+	}
+}
+
+// endpointList collects repeated "id=host:port" flags.
+type endpointList map[triadtime.NodeID]string
+
+func (e endpointList) String() string {
+	var parts []string
+	for id, addr := range e {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, addr))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (e endpointList) Set(v string) error {
+	id, addr, err := parseEndpoint(v)
+	if err != nil {
+		return err
+	}
+	e[id] = addr
+	return nil
+}
+
+// parseEndpoint splits "id=host:port".
+func parseEndpoint(v string) (triadtime.NodeID, string, error) {
+	idStr, addr, ok := strings.Cut(v, "=")
+	if !ok || addr == "" {
+		return 0, "", fmt.Errorf("endpoint %q: want id=host:port", v)
+	}
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("endpoint %q: bad id: %w", v, err)
+	}
+	return triadtime.NodeID(id), addr, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("triad-node", flag.ContinueOnError)
+	listen := fs.String("listen", "0.0.0.0:7101", "UDP address to bind")
+	id := fs.Uint("id", 1, "this node's wire identity")
+	keyHex := fs.String("key", "", "cluster pre-shared key, 64 hex characters")
+	peers := endpointList{}
+	fs.Var(peers, "peer", "peer endpoint id=host:port (repeatable)")
+	authorityFlag := fs.String("authority", "", "time authority endpoint id=host:port")
+	aexPeriod := fs.Duration("aex", 500*time.Millisecond, "synthetic AEX period (0 disables)")
+	hardened := fs.Bool("hardened", false, "run the Section V hardened protocol")
+	printEvery := fs.Duration("print", time.Second, "how often to print the trusted time")
+	configPath := fs.String("config", "", "cluster description file (JSON); replaces -key/-peer/-authority")
+	statusAddr := fs.String("status", "", "serve /status and /metrics over HTTP at this address (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg triadtime.LiveConfig
+	if *configPath != "" {
+		cf, err := triadtime.LoadClusterFile(*configPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = cf.NodeConfig(triadtime.NodeID(*id), *listen)
+		if err != nil {
+			return err
+		}
+		if *hardened {
+			cfg.Hardened = true
+		}
+	} else {
+		key, err := hex.DecodeString(*keyHex)
+		if err != nil || len(key) != wire.KeySize {
+			return fmt.Errorf("-key must be %d hex characters", 2*wire.KeySize)
+		}
+		if *authorityFlag == "" {
+			return errors.New("-authority is required")
+		}
+		taID, taAddr, err := parseEndpoint(*authorityFlag)
+		if err != nil {
+			return err
+		}
+		directory := map[triadtime.NodeID]string{taID: taAddr}
+		var peerIDs []triadtime.NodeID
+		for pid, addr := range peers {
+			directory[pid] = addr
+			peerIDs = append(peerIDs, pid)
+		}
+		cfg = triadtime.LiveConfig{
+			Key:       key,
+			ID:        triadtime.NodeID(*id),
+			Listen:    *listen,
+			Directory: directory,
+			Peers:     peerIDs,
+			Authority: taID,
+			AEXPeriod: *aexPeriod,
+			Hardened:  *hardened,
+		}
+	}
+
+	node, err := triadtime.NewLiveNode(cfg)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if *statusAddr != "" {
+		addr, err := node.ServeStatus(*statusAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status endpoint on http://%s/status\n", addr)
+	}
+	fmt.Printf("triad node %d on %s (hardened=%v, %d peers)\n",
+		*id, node.LocalAddr(), cfg.Hardened, len(cfg.Peers))
+
+	ticker := time.NewTicker(*printEvery)
+	defer ticker.Stop()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			ts, err := node.TrustedNow()
+			if err != nil {
+				fmt.Printf("state=%-10s trusted time unavailable\n", node.State())
+				continue
+			}
+			fmt.Printf("state=%-10s trusted=%s offset_vs_local=%v\n",
+				node.State(), ts.Time().Format(time.RFC3339Nano),
+				time.Duration(ts.Nanos-time.Now().UnixNano()))
+		case s := <-sigc:
+			fmt.Printf("signal %v: shutting down\n", s)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEndpoint(t *testing.T) {
+	id, addr, err := parseEndpoint("3=localhost:7103")
+	if err != nil || id != 3 || addr != "localhost:7103" {
+		t.Errorf("parseEndpoint = %v %q %v", id, addr, err)
+	}
+	for _, bad := range []string{"", "3", "=addr", "x=addr", "3="} {
+		if _, _, err := parseEndpoint(bad); err == nil {
+			t.Errorf("parseEndpoint(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEndpointListFlag(t *testing.T) {
+	e := endpointList{}
+	if err := e.Set("1=host:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("2=host:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set("broken"); err == nil {
+		t.Error("broken endpoint accepted")
+	}
+	s := e.String()
+	if !strings.Contains(s, "1=host:1") || !strings.Contains(s, "2=host:2") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-key", "nothex"}); err == nil {
+		t.Error("bad key accepted")
+	}
+	if err := run([]string{"-key", strings.Repeat("ab", 32)}); err == nil {
+		t.Error("missing authority accepted")
+	}
+	if err := run([]string{"-key", strings.Repeat("ab", 32), "-authority", "broken"}); err == nil {
+		t.Error("bad authority endpoint accepted")
+	}
+}

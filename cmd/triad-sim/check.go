@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"triadtime/internal/attack"
+	"triadtime/internal/experiment"
+	"triadtime/internal/simtime"
+)
+
+// checkRow is one reproduction assertion: a named quantity, its
+// measured value, and the range the paper's shape admits.
+type checkRow struct {
+	name     string
+	measured float64
+	lo, hi   float64
+}
+
+func (r checkRow) ok() bool { return r.measured >= r.lo && r.measured <= r.hi }
+
+// check runs a fast subset of every experiment and validates the
+// headline quantities against the paper's shapes — a one-command
+// reproduction audit. It returns an error (non-zero exit) if any
+// quantity falls outside its admitted range.
+func (r runner) check() error {
+	fmt.Fprintln(r.out, "reproduction self-check (fast subset, seed", r.seed, ")")
+	var rows []checkRow
+	add := func(name string, measured, lo, hi float64) {
+		rows = append(rows, checkRow{name: name, measured: measured, lo: lo, hi: hi})
+	}
+
+	// §IV-A.1: INC statistics.
+	inc, err := experiment.RunINCTable(r.seed, 3000)
+	if err != nil {
+		return err
+	}
+	add("inc_clean_mean", inc.Clean.Mean, 632170, 632195)
+	add("inc_clean_stddev", inc.Clean.Stddev, 1, 5)
+
+	// Figure 2 shape (short run).
+	fig2, err := experiment.RunFig2(r.seed, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		add(fmt.Sprintf("fig2_avail_node%d", i+1), fig2.Availability[i], 0.97, 1)
+		add(fmt.Sprintf("fig2_fcalib_ppm_node%d", i+1),
+			math.Abs(fig2.FCalib[i]-simtime.NominalTSCHz)/simtime.NominalTSCHz*1e6, 0, 1000)
+	}
+
+	// Figure 4 shape: F+ rate inflation ~1.1x.
+	fig4, err := experiment.RunFig4(r.seed, 4*time.Minute)
+	if err != nil {
+		return err
+	}
+	add("fig4_fplus_ratio", fig4.FCalib[2]/simtime.NominalTSCHz, 1.09, 1.11)
+	if ppm, ok := fig4.SegmentDriftPPM(2); ok {
+		// ~91ms/s of drift between TA resets (paper: -91ms/s).
+		add("fig4_drift_ppm_node3", ppm, 85000, 95000)
+	}
+
+	// Figure 6 shape: F- deflation ~0.9x and propagation.
+	fig6, err := experiment.RunFig6(r.seed, 4*time.Minute)
+	if err != nil {
+		return err
+	}
+	add("fig6_fminus_ratio", fig6.FCalib[2]/simtime.NominalTSCHz, 0.89, 0.91)
+	infected := 0.0
+	for _, p := range fig6.Drift[0].Available() {
+		if p.DriftSeconds > 1 {
+			infected = 1
+			break
+		}
+	}
+	add("fig6_honest_infected", infected, 1, 1)
+
+	// Section V: hardened safety under the same attack.
+	hardened, err := experiment.RunExtensionVariant(r.seed, experiment.VariantHardened, attack.ModeFMinus, 4*time.Minute)
+	if err != nil {
+		return err
+	}
+	add("ext_hardened_honest_drift_s", hardened.HonestMaxDrift, 0, 0.1)
+	infectedHardened := 0.0
+	if hardened.HonestInfected {
+		infectedHardened = 1
+	}
+	add("ext_hardened_infected", infectedHardened, 0, 0)
+
+	// DVFS masking: dual monitor restores the clock, INC-only does not.
+	dvfs, err := experiment.RunDualMonitorAblation(r.seed)
+	if err != nil {
+		return err
+	}
+	add("dvfs_inconly_rate", dvfs[0].FinalClockRate, 0.79, 0.81)
+	add("dvfs_dual_rate", dvfs[1].FinalClockRate, 0.99, 1.01)
+
+	failures := 0
+	for _, row := range rows {
+		verdict := "ok"
+		if !row.ok() {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(r.out, "  %-28s %14.4f  in [%g, %g]  %s\n",
+			row.name, row.measured, row.lo, row.hi, verdict)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d reproduction checks failed", failures, len(rows))
+	}
+	fmt.Fprintf(r.out, "all %d reproduction checks passed\n", len(rows))
+	return nil
+}

@@ -1,0 +1,389 @@
+// Command triad-sim regenerates the paper's figures and tables from the
+// deterministic simulation. Each experiment prints a paper-vs-measured
+// summary and, with -out, writes the figure's data series as CSV.
+//
+// Usage:
+//
+//	triad-sim -fig all -seed 1 -out results/
+//	triad-sim -fig 6 -dur 7m
+//
+// Figure ids: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"triadtime/internal/experiment"
+	"triadtime/internal/metrics"
+	"triadtime/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "triad-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("triad-sim", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, all")
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same run)")
+	outDir := fs.String("out", "", "directory for CSV data series (optional)")
+	dur := fs.Duration("dur", 0, "override the experiment's simulated duration")
+	traceFile := fs.String("trace", "", "write structured protocol events (JSONL) for traced figures (currently: 6)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	r := runner{seed: *seed, outDir: *outDir, dur: *dur, out: out, traceFile: *traceFile}
+
+	known := map[string]func() error{
+		"1a":      r.fig1a,
+		"1b":      r.fig1b,
+		"inc":     r.incTable,
+		"2":       r.fig2,
+		"3":       r.fig3,
+		"4":       r.fig4,
+		"5":       r.fig5,
+		"6":       r.fig6,
+		"avail":   r.availability,
+		"ext":     r.extension,
+		"ntp":     r.driftQuality,
+		"t3e":     r.t3e,
+		"loss":    r.loss,
+		"outage":  r.outage,
+		"dvfs":    r.dualMonitor,
+		"scale":   r.scale,
+		"gossip":  r.gossip,
+		"calib":   r.calibTime,
+		"latency": r.latency,
+		"check":   r.check,
+	}
+	if *fig == "all" {
+		for _, id := range []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "dvfs", "scale", "gossip", "calib", "latency"} {
+			if err := known[id](); err != nil {
+				return fmt.Errorf("fig %s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	f, ok := known[*fig]
+	if !ok {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return f()
+}
+
+type runner struct {
+	seed      uint64
+	outDir    string
+	dur       time.Duration
+	out       io.Writer
+	traceFile string
+}
+
+func (r runner) duration(def time.Duration) time.Duration {
+	if r.dur != 0 {
+		return r.dur
+	}
+	return def
+}
+
+func (r runner) writeCSV(name string, write func(io.Writer) error) error {
+	if r.outDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(r.outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out, "  wrote %s\n", filepath.Join(r.outDir, name))
+	return nil
+}
+
+func (r runner) cdf(name string, res *experiment.CDFResult) error {
+	fmt.Fprintln(r.out, res.Summary())
+	if err := r.writeCSV(name, func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "gap_seconds,cdf"); err != nil {
+			return err
+		}
+		for _, p := range res.Points {
+			if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", p.X, p.P); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(name, ".csv")
+	return r.writeCSV(base+"_plot.gp", func(w io.Writer) error {
+		return writeCDFPlot(w, base)
+	})
+}
+
+func (r runner) figure(base string, res *experiment.FigureResult) error {
+	fmt.Fprint(r.out, res.Summary())
+	if err := r.writeCSV(base+"_drift.csv", func(w io.Writer) error {
+		return metrics.WriteDriftCSV(w, res.Drift)
+	}); err != nil {
+		return err
+	}
+	if err := r.writeCSV(base+"_ta_refs.csv", func(w io.Writer) error {
+		return metrics.WriteCountCSV(w, res.TACounts)
+	}); err != nil {
+		return err
+	}
+	if err := r.writeCSV(base+"_aex.csv", func(w io.Writer) error {
+		return metrics.WriteCountCSV(w, res.AEXCounts)
+	}); err != nil {
+		return err
+	}
+	if err := r.writeCSV(base+"_states.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "node,ref_seconds,state"); err != nil {
+			return err
+		}
+		for i, tl := range res.Timelines {
+			for _, ch := range tl.Changes() {
+				if _, err := fmt.Fprintf(w, "node%d,%.3f,%s\n", i+1, ch.At.Seconds(), ch.State); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	nodes := len(res.Drift)
+	if err := r.writeCSV(base+"_plot.gp", func(w io.Writer) error {
+		return writeDriftPlot(w, base, nodes)
+	}); err != nil {
+		return err
+	}
+	if err := r.writeCSV(base+"_ta_refs_plot.gp", func(w io.Writer) error {
+		return writeCountPlot(w, base, "ta_refs", "TA references received", nodes)
+	}); err != nil {
+		return err
+	}
+	return r.writeCSV(base+"_aex_plot.gp", func(w io.Writer) error {
+		return writeCountPlot(w, base, "aex", "AEX count", nodes)
+	})
+}
+
+func (r runner) fig1a() error {
+	res, err := experiment.RunFig1a(r.seed, r.duration(2*time.Hour))
+	if err != nil {
+		return err
+	}
+	return r.cdf("fig1a_cdf.csv", res)
+}
+
+func (r runner) fig1b() error {
+	res, err := experiment.RunFig1b(r.seed, r.duration(24*time.Hour))
+	if err != nil {
+		return err
+	}
+	return r.cdf("fig1b_cdf.csv", res)
+}
+
+func (r runner) incTable() error {
+	res, err := experiment.RunINCTable(r.seed, 10000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, res.Summary())
+	return nil
+}
+
+func (r runner) fig2() error {
+	res, err := experiment.RunFig2(r.seed, r.duration(30*time.Minute))
+	if err != nil {
+		return err
+	}
+	return r.figure("fig2", res)
+}
+
+func (r runner) fig3() error {
+	res, err := experiment.RunFig3(r.seed, r.duration(8*time.Hour))
+	if err != nil {
+		return err
+	}
+	return r.figure("fig3", res)
+}
+
+func (r runner) fig4() error {
+	res, err := experiment.RunFig4(r.seed, r.duration(10*time.Minute))
+	if err != nil {
+		return err
+	}
+	return r.figure("fig4", res)
+}
+
+func (r runner) fig5() error {
+	res, err := experiment.RunFig5(r.seed, r.duration(10*time.Minute))
+	if err != nil {
+		return err
+	}
+	return r.figure("fig5", res)
+}
+
+func (r runner) fig6() error {
+	var rec *trace.Recorder
+	if r.traceFile != "" {
+		f, err := os.Create(r.traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = trace.NewRecorder(nil, f)
+	}
+	res, err := experiment.RunFig6Traced(r.seed, r.duration(7*time.Minute), rec)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		fmt.Fprintf(r.out, "  wrote %d trace events to %s\n", rec.Count(""), r.traceFile)
+	}
+	return r.figure("fig6", res)
+}
+
+func (r runner) availability() error {
+	rows, err := experiment.RunAvailabilityTable(r.seed, r.duration(30*time.Minute), 8*time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Availability (§IV-A.2):")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) extension() error {
+	results, err := experiment.RunExtensionComparison(r.seed, r.duration(7*time.Minute))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Section V extension: protocol variants under the Figure 6 F- scenario")
+	fmt.Fprint(r.out, experiment.ComparisonSummary(results))
+	return nil
+}
+
+func (r runner) driftQuality() error {
+	rows, err := experiment.RunDriftQuality(r.seed, r.duration(2*time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Drift quality vs NTP-style discipline (§IV-A.2 / §V):")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) t3e() error {
+	sweep, err := experiment.RunT3ETradeoff(r.seed, 2000, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	drift, err := experiment.RunT3EOwnerDrift(r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(r.out, experiment.BaselineSummary(sweep, drift))
+	return nil
+}
+
+func (r runner) loss() error {
+	rows, err := experiment.RunLossResilience(r.seed, r.duration(10*time.Minute), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Packet-loss resilience:")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) dualMonitor() error {
+	rows, err := experiment.RunDualMonitorAblation(r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "DVFS-masked TSC scaling vs monitoring configuration (§IV-A.1):")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) scale() error {
+	rows, err := experiment.RunClusterScale(r.seed, nil, r.duration(5*time.Minute))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Cluster-size sweep under F- (one compromised node):")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) calibTime() error {
+	rows, err := experiment.RunCalibrationTime(r.seed*50+300, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Time to first trusted timestamp:")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) latency() error {
+	res, err := experiment.RunServingLatency(r.seed, r.duration(10*time.Minute), 50*time.Millisecond, time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Client-visible serving latency:")
+	fmt.Fprintln(r.out, " ", res.Summary())
+	return nil
+}
+
+func (r runner) gossip() error {
+	rows, err := experiment.RunGossipComparison(r.seed, r.duration(10*time.Minute))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "True-chimer gossip under 35% loss (5 hardened nodes, §V):")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	return nil
+}
+
+func (r runner) outage() error {
+	res, err := experiment.RunTAOutage(r.seed, r.duration(15*time.Minute), 5*time.Minute, 8*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, res.Summary())
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "99"}, &b); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunFig2WritesSummaryAndCSVs(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "2", "-dur", "2m", "-out", dir, "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig2") || !strings.Contains(out, "F_calib=") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	for _, name := range []string{"fig2_drift.csv", "fig2_ta_refs.csv", "fig2_aex.csv", "fig2_states.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(strings.Split(string(data), "\n")) < 3 {
+			t.Errorf("%s suspiciously short", name)
+		}
+	}
+}
+
+func TestRunFig1aCDF(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "1a", "-dur", "5m", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1a_cdf.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "gap_seconds,cdf") {
+		t.Error("CDF CSV header missing")
+	}
+}
+
+func TestRunINC(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "inc"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "632182") && !strings.Contains(b.String(), "63218") {
+		t.Errorf("INC summary off:\n%s", b.String())
+	}
+}
+
+func TestRunExtension(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "ext", "-dur", "3m"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "original") || !strings.Contains(out, "hardened") {
+		t.Errorf("extension table malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "INFECTED") || !strings.Contains(out, "SAFE") {
+		t.Errorf("extension verdicts missing:\n%s", out)
+	}
+}
+
+func TestRunSelfCheck(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "check", "-seed", "3"}, &b); err != nil {
+		t.Fatalf("self-check failed:\n%s\n%v", b.String(), err)
+	}
+	if !strings.Contains(b.String(), "reproduction checks passed") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestReproductionChecksAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []string{"11", "23"} {
+		var b strings.Builder
+		if err := run([]string{"-fig", "check", "-seed", seed}, &b); err != nil {
+			t.Errorf("seed %s: %v\n%s", seed, err, b.String())
+		}
+	}
+}
+
+func TestRunAllFigureRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covers every runner at reduced durations")
+	}
+	// Cheap passes over every runner the -fig flag accepts (durations
+	// shrunk where the flag allows).
+	cases := [][]string{
+		{"-fig", "1b", "-dur", "1h"},
+		{"-fig", "3", "-dur", "10m"},
+		{"-fig", "4", "-dur", "3m"},
+		{"-fig", "5", "-dur", "3m"},
+		{"-fig", "6", "-dur", "3m"},
+		{"-fig", "avail", "-dur", "5m"},
+		{"-fig", "ntp", "-dur", "30m"},
+		{"-fig", "t3e"},
+		{"-fig", "loss", "-dur", "3m"},
+		{"-fig", "outage", "-dur", "10m"},
+		{"-fig", "dvfs"},
+		{"-fig", "scale", "-dur", "3m"},
+		{"-fig", "gossip", "-dur", "3m"},
+		{"-fig", "calib"},
+		{"-fig", "latency", "-dur", "3m"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Errorf("%v: %v\n%s", args, err, b.String())
+		}
+		if b.Len() == 0 {
+			t.Errorf("%v produced no output", args)
+		}
+	}
+}

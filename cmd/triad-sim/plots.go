@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// Gnuplot scripts regenerate the paper's visual layout from the CSVs:
+// `gnuplot fig6_plot.gp` renders fig6.png next to the data. Node colors
+// follow the paper's convention (Nodes 1, 2, 3 = blue, orange, black).
+
+// paperColors matches the paper's consistent figure legend.
+var paperColors = []string{"blue", "orange", "black"}
+
+// writeDriftPlot emits a gnuplot script for a <base>_drift.csv series.
+func writeDriftPlot(w io.Writer, base string, nodes int) error {
+	if _, err := fmt.Fprintf(w, `# gnuplot script — renders %[1]s.png from %[1]s_drift.csv
+set datafile separator ','
+set terminal pngcairo size 900,420
+set output '%[1]s.png'
+set xlabel 'Reference time (s)'
+set ylabel 'Clock drift (s)'
+set key top left
+set grid
+plot \
+`, base); err != nil {
+		return err
+	}
+	for i := 0; i < nodes; i++ {
+		sep := ", \\\n"
+		if i == nodes-1 {
+			sep = "\n"
+		}
+		color := paperColors[i%len(paperColors)]
+		if _, err := fmt.Fprintf(w, "  '%s_drift.csv' using 1:%d with points pt 7 ps 0.3 lc rgb '%s' title 'Node %d'%s",
+			base, i+2, color, i+1, sep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCountPlot emits a gnuplot script for a cumulative-count CSV
+// (TA references, AEX counts).
+func writeCountPlot(w io.Writer, base, csvSuffix, ylabel string, nodes int) error {
+	if _, err := fmt.Fprintf(w, `# gnuplot script — renders %[1]s_%[2]s.png from %[1]s_%[2]s.csv
+set datafile separator ','
+set terminal pngcairo size 900,420
+set output '%[1]s_%[2]s.png'
+set xlabel 'Reference time (s)'
+set ylabel '%[3]s'
+set key top left
+set grid
+plot \
+`, base, csvSuffix, ylabel); err != nil {
+		return err
+	}
+	for i := 0; i < nodes; i++ {
+		sep := ", \\\n"
+		if i == nodes-1 {
+			sep = "\n"
+		}
+		color := paperColors[i%len(paperColors)]
+		if _, err := fmt.Fprintf(w, "  '%s_%s.csv' using 1:%d with steps lc rgb '%s' title 'Node %d'%s",
+			base, csvSuffix, i+2, color, i+1, sep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCDFPlot emits a gnuplot script for a Figure 1 CDF CSV.
+func writeCDFPlot(w io.Writer, base string) error {
+	_, err := fmt.Fprintf(w, `# gnuplot script — renders %[1]s.png from %[1]s.csv
+set datafile separator ','
+set terminal pngcairo size 600,420
+set output '%[1]s.png'
+set xlabel 'Delay between AEXs (s)'
+set ylabel 'CDF'
+set logscale x
+set yrange [0:1]
+set grid
+plot '%[1]s.csv' using 1:2 with steps lc rgb 'blue' notitle
+`, base)
+	return err
+}

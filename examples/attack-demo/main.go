@@ -1,0 +1,71 @@
+// Attack demo: reproduce the paper's headline result (Figure 6) in a
+// few milliseconds of wall time.
+//
+// Node 3's operating system mounts an F- delay attack on its own
+// calibration: the OS delays the Time Authority's immediate responses
+// by 100ms, so the regression underestimates the TSC rate and Node 3's
+// perceived clock runs ~11% fast. Nodes 1 and 2 are honest — yet as
+// soon as they experience AEXs and ask peers for timestamps, Triad's
+// adopt-the-higher-timestamp policy drags them onto the compromised
+// timeline: they skip forward "arbitrarily far in the future".
+//
+//	go run ./examples/attack-demo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"triadtime"
+)
+
+func main() {
+	lab, err := triadtime.NewLab(triadtime.LabConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Honest nodes start on quiet, isolated cores; the compromised node
+	// endures the usual interrupt storm (it does not care).
+	lab.UseIsolatedCore(0)
+	lab.UseIsolatedCore(1)
+	lab.UseTriadLikeAEXs(2)
+	// Node 3's "OS" attacks its own calibration.
+	lab.AttackCalibration(2, triadtime.FMinus)
+	lab.Start()
+
+	show := func(label string) {
+		fmt.Printf("--- %s ---\n", label)
+		for i := 0; i < 3; i++ {
+			ts, err := lab.TrustedNow(i)
+			if err != nil {
+				fmt.Printf("node %d: unavailable (%v)\n", i+1, lab.Nodes[i].State())
+				continue
+			}
+			drift := time.Duration(ts.Nanos - lab.ReferenceNow())
+			verdict := "honest"
+			if drift > time.Second {
+				verdict = "INFECTED: skipped into the future"
+			}
+			fmt.Printf("node %d: drift %+14v  (%s)\n", i+1, drift.Round(time.Microsecond), verdict)
+		}
+		fmt.Println()
+	}
+
+	lab.Run(100 * time.Second)
+	show("t=100s: honest nodes quiet, Node 3 already running ~11% fast")
+
+	// The dashed red line of Figure 6: at t=104s the honest nodes start
+	// experiencing AEXs and must ask their peers for timestamps.
+	lab.UseTriadLikeAEXs(0)
+	lab.UseTriadLikeAEXs(1)
+	lab.Run(60 * time.Second)
+	show("t=160s: honest nodes now taint and untaint from peers")
+
+	lab.Run(120 * time.Second)
+	show("t=280s: the infection persists and grows")
+
+	fmt.Println("Compromised node 3 calibrated F =",
+		fmt.Sprintf("%.3fMHz", lab.Nodes[2].FCalib()/1e6),
+		"(true rate 2899.999MHz — the F- attack deflated it ~10%)")
+}

@@ -1,0 +1,82 @@
+// Lease manager: trusted-time resource leasing with the lease toolkit
+// (in the spirit of T-Lease, one of the paper's motivating use-cases).
+// A lease grants a holder exclusive access to a resource until an
+// expiry timestamp; the safety property is that two holders never
+// believe they own the same resource at once. That property collapses
+// if the lease arbiter's clock can be manipulated — exactly what the
+// F- attack achieves against original Triad.
+//
+// This example runs the scenario twice in the deterministic lab: an
+// honest cluster, then a cluster where the arbiter node is under an F-
+// attack, showing leases expiring early against real time (the
+// attacker can then re-acquire a resource while the honest holder
+// still uses it).
+//
+//	go run ./examples/lease-manager
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"triadtime"
+	"triadtime/lease"
+)
+
+// scenario grants a 60s lease and reports how much real (reference)
+// time passed before a rival could steal the resource.
+func scenario(attacked bool) time.Duration {
+	lab, err := triadtime.NewLab(triadtime.LabConfig{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		lab.UseTriadLikeAEXs(i)
+	}
+	const arbiterNode = 2
+	if attacked {
+		// The arbiter's own OS quickens its perceived time: leases
+		// "expire" while the honest holder still relies on them.
+		lab.AttackCalibration(arbiterNode, triadtime.FMinus)
+	}
+	lab.Start()
+	lab.Run(30 * time.Second) // calibration
+
+	arbiter, err := lease.NewManager(lab.NodeClock(arbiterNode), 10*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := arbiter.Acquire("gpu-0", "alice", 60*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	grantedAt := lab.ReferenceNow()
+
+	// Mallory retries every second of reference time.
+	for {
+		lab.Run(time.Second)
+		if _, err := arbiter.Acquire("gpu-0", "mallory", 60*time.Second); err == nil {
+			return time.Duration(lab.ReferenceNow() - grantedAt)
+		}
+		if lab.ReferenceNow()-grantedAt > int64(10*time.Minute) {
+			return -1
+		}
+	}
+}
+
+func main() {
+	honest := scenario(false)
+	fmt.Printf("honest cluster:   alice's 60s lease could be re-acquired after %v of real time\n",
+		honest.Round(time.Second))
+
+	attacked := scenario(true)
+	fmt.Printf("F- attacked arbiter: alice's 60s lease was stolen after only %v of real time\n",
+		attacked.Round(time.Second))
+	fmt.Println()
+	fmt.Println("The arbiter's clock runs ~11% fast, so every lease silently expires")
+	fmt.Println("~10% early — mutual exclusion breaks while the honest holder still")
+	fmt.Println("relies on the lease. And the damage compounds: once honest nodes")
+	fmt.Println("adopt the fast clock through peer untainting (examples/attack-demo),")
+	fmt.Println("the skew grows without bound. Lease systems need the hardened")
+	fmt.Println("protocol (see examples/resilient-demo).")
+}

@@ -1,0 +1,3 @@
+module triadtime
+
+go 1.24

@@ -1,0 +1,163 @@
+package aex
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"triadtime/internal/sim"
+	"triadtime/internal/simtime"
+)
+
+func TestTriadLikeDistribution(t *testing.T) {
+	s := NewTriadLike(sim.NewRNG(1))
+	counts := map[time.Duration]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		g := s.NextGap()
+		counts[g]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("saw %d distinct gaps, want exactly the 3 paper values", len(counts))
+	}
+	for _, want := range TriadLikeGaps {
+		frac := float64(counts[want]) / n
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("P(%v) = %.3f, want ~1/3", want, frac)
+		}
+	}
+}
+
+func TestTriadLikeJittered(t *testing.T) {
+	s := NewTriadLikeJittered(sim.NewRNG(2), 0.05)
+	for i := 0; i < 1000; i++ {
+		g := s.NextGap()
+		ok := false
+		for _, base := range TriadLikeGaps {
+			lo := time.Duration(0.95 * float64(base))
+			hi := time.Duration(1.05 * float64(base))
+			if g >= lo && g <= hi {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("jittered gap %v outside ±5%% of any base value", g)
+		}
+	}
+}
+
+func TestIsolatedCoreMostGapsNearMode(t *testing.T) {
+	s := NewIsolatedCore(sim.NewRNG(3))
+	nearMode, total := 0, 5000
+	for i := 0; i < total; i++ {
+		g := s.NextGap()
+		if g <= 0 {
+			t.Fatal("gap must be positive")
+		}
+		if g > IsolatedCoreModeGap-time.Minute && g < IsolatedCoreModeGap+time.Minute {
+			nearMode++
+		}
+	}
+	frac := float64(nearMode) / float64(total)
+	if frac < 0.85 {
+		t.Errorf("only %.2f of gaps near the 5.4min mode, want most", frac)
+	}
+}
+
+func TestFixedSampler(t *testing.T) {
+	s := Fixed{Gap: time.Second}
+	for i := 0; i < 3; i++ {
+		if s.NextGap() != time.Second {
+			t.Fatal("Fixed must return its gap")
+		}
+	}
+}
+
+func TestExponentialSampler(t *testing.T) {
+	s := NewExponential(sim.NewRNG(4), time.Second)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := s.NextGap()
+		if g < time.Microsecond {
+			t.Fatal("gap below floor")
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-float64(time.Second)) > 0.05*float64(time.Second) {
+		t.Errorf("mean = %v, want ~1s", time.Duration(mean))
+	}
+}
+
+func TestInjectorDeliversToAllTargets(t *testing.T) {
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, Fixed{Gap: time.Second})
+	var a, b int
+	in.Attach(func() { a++ })
+	in.Attach(func() { b++ })
+	in.Start()
+	sched.RunUntil(simtime.FromDuration(5500 * time.Millisecond))
+	if a != 5 || b != 5 {
+		t.Errorf("targets got %d/%d AEXs, want 5/5", a, b)
+	}
+	if in.Fired() != 5 {
+		t.Errorf("Fired = %d, want 5", in.Fired())
+	}
+}
+
+func TestInjectorStopStart(t *testing.T) {
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, Fixed{Gap: time.Second})
+	hits := 0
+	in.Attach(func() { hits++ })
+	in.Start()
+	in.Start() // double start is a no-op
+	if !in.Running() {
+		t.Fatal("injector should be running")
+	}
+	sched.RunUntil(simtime.FromDuration(2500 * time.Millisecond))
+	in.Stop()
+	in.Stop() // double stop is a no-op
+	sched.RunUntil(simtime.FromDuration(10 * time.Second))
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (stopped after 2.5s)", hits)
+	}
+	// Restart resumes with a fresh gap.
+	in.Start()
+	sched.RunUntil(simtime.FromDuration(12500 * time.Millisecond))
+	if hits != 4 {
+		t.Errorf("hits = %d, want 4 after restart", hits)
+	}
+}
+
+func TestInjectorDelayedStartModelsFig6(t *testing.T) {
+	// Figure 6: honest nodes' AEX counts stay ~0 until t=104s, then grow.
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, Fixed{Gap: 500 * time.Millisecond})
+	hits := 0
+	in.Attach(func() { hits++ })
+	sched.At(simtime.FromSeconds(104), in.Start)
+	sched.RunUntil(simtime.FromSeconds(104))
+	if hits != 0 {
+		t.Fatalf("AEXs before the scheduled start: %d", hits)
+	}
+	sched.RunUntil(simtime.FromSeconds(109))
+	if hits != 10 {
+		t.Errorf("hits = %d, want 10 in the 5s after start", hits)
+	}
+}
+
+func TestInjectorSetSampler(t *testing.T) {
+	sched := sim.NewScheduler()
+	in := NewInjector(sched, Fixed{Gap: time.Hour})
+	hits := 0
+	in.Attach(func() { hits++ })
+	in.Start()
+	// Swap to a fast process; pending hour-long gap still fires first.
+	in.SetSampler(Fixed{Gap: time.Second})
+	sched.RunUntil(simtime.FromDuration(time.Hour + 3*time.Second + time.Millisecond))
+	if hits != 4 {
+		t.Errorf("hits = %d, want 4 (1 slow + 3 fast)", hits)
+	}
+}

@@ -1,0 +1,77 @@
+package aex
+
+import (
+	"triadtime/internal/sim"
+	"triadtime/internal/simtime"
+)
+
+// Injector drives an interrupt process on the simulation scheduler and
+// delivers AEXs to every attached core. A per-node injector models the
+// paper's rdmsr-based AEX injection on one monitoring core; an injector
+// with all cores attached models the machine-wide residual OS interrupts
+// that hit every core simultaneously.
+type Injector struct {
+	sched   *sim.Scheduler
+	sampler GapSampler
+	targets []func()
+	next    *sim.Event
+	fired   int
+	running bool
+}
+
+// NewInjector creates an injector on the scheduler using the sampler's
+// interrupt process. Attach targets and call Start to begin injecting.
+func NewInjector(sched *sim.Scheduler, sampler GapSampler) *Injector {
+	return &Injector{sched: sched, sampler: sampler}
+}
+
+// Attach registers a core's AEX delivery callback. All attached targets
+// receive every AEX of this process (simultaneously, in attach order).
+func (in *Injector) Attach(fire func()) {
+	in.targets = append(in.targets, fire)
+}
+
+// SetSampler swaps the interrupt process. It takes effect when the next
+// gap is drawn; an already-scheduled AEX still fires at its time.
+func (in *Injector) SetSampler(s GapSampler) { in.sampler = s }
+
+// Start begins injecting AEXs. The first AEX fires one gap from now.
+// Starting an already-running injector is a no-op.
+func (in *Injector) Start() {
+	if in.running {
+		return
+	}
+	in.running = true
+	in.scheduleNext()
+}
+
+// Stop cancels the pending AEX and pauses the process. A later Start
+// resumes with a freshly drawn gap.
+func (in *Injector) Stop() {
+	if !in.running {
+		return
+	}
+	in.running = false
+	in.sched.Cancel(in.next)
+	in.next = nil
+}
+
+// Running reports whether the process is active.
+func (in *Injector) Running() bool { return in.running }
+
+// Fired reports how many AEXs this injector has delivered (counting one
+// per firing, regardless of how many cores are attached).
+func (in *Injector) Fired() int { return in.fired }
+
+func (in *Injector) scheduleNext() {
+	gap := in.sampler.NextGap()
+	in.next = in.sched.After(simtime.FromDuration(gap), func() {
+		in.fired++
+		for _, fire := range in.targets {
+			fire()
+		}
+		if in.running {
+			in.scheduleNext()
+		}
+	})
+}

@@ -1,0 +1,132 @@
+// Package aex models Asynchronous Enclave Exit (AEX) interrupt processes.
+//
+// The paper evaluates Triad under two environments (Figure 1): a
+// "Triad-like" simulated interrupt distribution with inter-AEX gaps of
+// 10ms, 532ms and 1.59s each with probability 1/3, injected per-core; and
+// an isolated monitoring core where only residual machine-wide OS
+// interrupts remain, arriving roughly every 5.4 minutes and hitting all
+// cores of the machine simultaneously (which is what correlates the
+// nodes' taint events and produces Figure 2a's sawtooth).
+package aex
+
+import (
+	"time"
+
+	"triadtime/internal/sim"
+)
+
+// GapSampler draws successive inter-AEX gaps for an interrupt process.
+type GapSampler interface {
+	// NextGap returns the delay until the next AEX. It must be positive.
+	NextGap() time.Duration
+}
+
+// TriadLikeGaps are the paper's simulated inter-AEX delays, each drawn
+// with probability 1/3 (Figure 1a).
+var TriadLikeGaps = []time.Duration{
+	10 * time.Millisecond,
+	532 * time.Millisecond,
+	1590 * time.Millisecond,
+}
+
+// IsolatedCoreModeGap is the dominant inter-AEX delay on the paper's
+// isolated monitoring core: most AEXs occur every 5.4 minutes (Fig. 1b).
+const IsolatedCoreModeGap = 324 * time.Second
+
+// TriadLike samples gaps iid from TriadLikeGaps, matching the paper's
+// assumption that successive delays are independent:
+// P(D_{i+1}=d) = P(D_{i+1}=d | D_i) for all D_i.
+type TriadLike struct {
+	rng *sim.RNG
+	// JitterFrac optionally spreads each gap by a uniform ±fraction, to
+	// model scheduling noise of the injection mechanism. Zero keeps the
+	// exact three-step CDF.
+	jitterFrac float64
+}
+
+var _ GapSampler = (*TriadLike)(nil)
+
+// NewTriadLike returns the paper's Triad-like interrupt process.
+func NewTriadLike(rng *sim.RNG) *TriadLike {
+	return &TriadLike{rng: rng}
+}
+
+// NewTriadLikeJittered returns a Triad-like process whose gaps are spread
+// by a uniform ±jitterFrac.
+func NewTriadLikeJittered(rng *sim.RNG, jitterFrac float64) *TriadLike {
+	return &TriadLike{rng: rng, jitterFrac: jitterFrac}
+}
+
+// NextGap draws the next inter-AEX delay.
+func (s *TriadLike) NextGap() time.Duration {
+	g := sim.Choice(s.rng, TriadLikeGaps)
+	if s.jitterFrac > 0 {
+		g = s.rng.Jitter(g, s.jitterFrac)
+	}
+	return g
+}
+
+// IsolatedCore samples the residual machine-wide interrupt process of an
+// isolated core: most gaps cluster around 5.4 minutes with a small spread,
+// and a minority of shorter gaps model sporadic OS activity.
+type IsolatedCore struct {
+	rng *sim.RNG
+	// shortFrac is the probability of a short sporadic gap.
+	shortFrac float64
+}
+
+var _ GapSampler = (*IsolatedCore)(nil)
+
+// NewIsolatedCore returns the low-AEX interrupt process of Figure 1b.
+func NewIsolatedCore(rng *sim.RNG) *IsolatedCore {
+	return &IsolatedCore{rng: rng, shortFrac: 0.08}
+}
+
+// NextGap draws the next inter-AEX delay.
+func (s *IsolatedCore) NextGap() time.Duration {
+	if s.rng.Float64() < s.shortFrac {
+		// Sporadic shorter interrupt: uniform in [5s, 120s).
+		return 5*time.Second + time.Duration(s.rng.Float64()*float64(115*time.Second))
+	}
+	g := s.rng.Gaussian(float64(IsolatedCoreModeGap), float64(8*time.Second))
+	if g < float64(time.Second) {
+		g = float64(time.Second)
+	}
+	return time.Duration(g)
+}
+
+// Fixed samples a constant gap; useful in tests and for deterministic
+// stress scenarios.
+type Fixed struct {
+	Gap time.Duration
+}
+
+var _ GapSampler = Fixed{}
+
+// NextGap returns the fixed gap.
+func (s Fixed) NextGap() time.Duration { return s.Gap }
+
+// Exponential samples gaps from an exponential (Poisson-process)
+// distribution with the given mean.
+type Exponential struct {
+	rng  *sim.RNG
+	mean time.Duration
+}
+
+var _ GapSampler = (*Exponential)(nil)
+
+// NewExponential returns a Poisson interrupt process with the given mean
+// inter-AEX gap.
+func NewExponential(rng *sim.RNG, mean time.Duration) *Exponential {
+	return &Exponential{rng: rng, mean: mean}
+}
+
+// NextGap draws the next inter-AEX delay (at least 1µs so the process
+// always advances).
+func (s *Exponential) NextGap() time.Duration {
+	g := s.rng.Exponential(s.mean)
+	if g < time.Microsecond {
+		g = time.Microsecond
+	}
+	return g
+}

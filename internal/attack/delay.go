@@ -1,0 +1,142 @@
+// Package attack implements the paper's attacks on Triad.
+//
+// The F+ and F- attacks (paper §III-C) target the calibration protocol
+// from the network: the attacker controls the compromised machine's OS,
+// so it can delay datagrams between its local TEE and the Time
+// Authority. Messages are encrypted, so the attacker cannot read the
+// requested sleep s — but it can measure how long the TA held each
+// response and classify requests as "high-s" or "low-s" from timing
+// alone:
+//
+//   - F+ delays high-s responses, steepening the regression so the node
+//     overestimates its TSC rate (F_calib > F_TSC) and its perceived
+//     clock runs slow;
+//   - F- delays low-s responses, flattening the regression
+//     (F_calib < F_TSC) so the perceived clock runs fast — the variant
+//     that propagates to honest peers.
+package attack
+
+import (
+	"time"
+
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+)
+
+// Mode selects which calibration samples a delay attack skews.
+type Mode int
+
+// Attack modes.
+const (
+	// ModeFPlus delays high-sleep responses: F_calib inflated, clock
+	// slowed (paper Figures 4 and 5).
+	ModeFPlus Mode = iota + 1
+	// ModeFMinus delays low-sleep responses: F_calib deflated, clock
+	// quickened, drift propagates to peers (paper Figure 6).
+	ModeFMinus
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case ModeFPlus:
+		return "F+"
+	case ModeFMinus:
+		return "F-"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// DelayConfig parameterizes a calibration delay attack.
+type DelayConfig struct {
+	// Victim is the compromised node whose TA traffic the attacker
+	// controls.
+	Victim simnet.Addr
+	// Authority is the Time Authority's address.
+	Authority simnet.Addr
+	// Mode selects F+ or F-.
+	Mode Mode
+	// Extra is the delay added to targeted responses. The paper uses
+	// 100ms. Default: 100ms.
+	Extra time.Duration
+	// Threshold splits "low-s" from "high-s" by observed TA hold time.
+	// With the paper's 0s/1s calibration sleeps, anything around 500ms
+	// works. Default: 500ms.
+	Threshold time.Duration
+}
+
+// Delay is the attacking middlebox. It watches the victim's TA traffic,
+// estimates each response's hold time from request/response timing (the
+// only side channel the encryption leaves open), and delays the
+// responses its mode targets.
+type Delay struct {
+	cfg DelayConfig
+
+	// Outstanding victim->TA request send times, oldest first. The node
+	// issues calibration requests one at a time, so this queue is
+	// effectively depth one; the queue handles retries gracefully.
+	outstanding []simtime.Instant
+
+	delayed int
+	passed  int
+}
+
+var _ simnet.Middlebox = (*Delay)(nil)
+
+// NewDelay creates the attack middlebox. Attach it to the network with
+// AttachMiddlebox.
+func NewDelay(cfg DelayConfig) *Delay {
+	if cfg.Extra == 0 {
+		cfg.Extra = 100 * time.Millisecond
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 500 * time.Millisecond
+	}
+	return &Delay{cfg: cfg}
+}
+
+// Delayed reports how many responses the attack has delayed.
+func (d *Delay) Delayed() int { return d.delayed }
+
+// Passed reports how many victim-TA responses passed undelayed.
+func (d *Delay) Passed() int { return d.passed }
+
+// Process implements simnet.Middlebox.
+func (d *Delay) Process(now simtime.Instant, pkt simnet.Packet) simnet.Verdict {
+	switch {
+	case pkt.From == d.cfg.Victim && pkt.To == d.cfg.Authority:
+		// Request leaving the compromised machine: remember when.
+		d.outstanding = append(d.outstanding, now)
+		return simnet.Verdict{}
+	case pkt.From == d.cfg.Authority && pkt.To == d.cfg.Victim:
+		hold := d.estimateHold(now)
+		target := hold >= d.cfg.Threshold
+		if d.cfg.Mode == ModeFMinus {
+			target = !target
+		}
+		if target {
+			d.delayed++
+			return simnet.Verdict{ExtraDelay: d.cfg.Extra}
+		}
+		d.passed++
+		return simnet.Verdict{}
+	default:
+		return simnet.Verdict{}
+	}
+}
+
+// estimateHold matches this response to the oldest outstanding request
+// and returns the TA-side hold estimate (request-to-response gap minus
+// nothing: the attacker knows its LAN RTT is negligible against the
+// 0s/1s split).
+func (d *Delay) estimateHold(now simtime.Instant) time.Duration {
+	if len(d.outstanding) == 0 {
+		// Response with no observed request (e.g. attacker attached
+		// mid-exchange): treat as low hold.
+		return 0
+	}
+	sent := d.outstanding[0]
+	d.outstanding = d.outstanding[1:]
+	return now.Sub(sent)
+}

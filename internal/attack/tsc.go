@@ -1,0 +1,32 @@
+package attack
+
+import (
+	"triadtime/internal/sim"
+	"triadtime/internal/simtime"
+)
+
+// TSCAttack scripts hypervisor-level TSC manipulations against one
+// node's guest TSC: rate scaling and value jumps at chosen times. These
+// are the manipulations Triad's INC monitoring is designed to catch
+// (paper §III-B); the experiment harness uses this to exercise the
+// detection path.
+type TSCAttack struct {
+	sched *sim.Scheduler
+	tsc   *simtime.TSC
+}
+
+// NewTSCAttack targets the given TSC on the scheduler.
+func NewTSCAttack(sched *sim.Scheduler, tsc *simtime.TSC) *TSCAttack {
+	return &TSCAttack{sched: sched, tsc: tsc}
+}
+
+// ScaleAt schedules a guest-TSC rate scaling at reference time at.
+func (a *TSCAttack) ScaleAt(at simtime.Instant, scale float64) {
+	a.sched.At(at, func() { a.tsc.SetScale(scale, at) })
+}
+
+// JumpAt schedules a guest-TSC value jump of delta ticks at reference
+// time at (negative = back in time).
+func (a *TSCAttack) JumpAt(at simtime.Instant, delta int64) {
+	a.sched.At(at, func() { a.tsc.Jump(delta, at) })
+}

@@ -1,0 +1,47 @@
+package authority
+
+import (
+	"triadtime/internal/sim"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+)
+
+// SimBinding runs an Authority on the discrete-event simulation: it
+// registers the TA's address on the simulated network, observes the
+// requested sleeps by scheduling delayed replies, and reads the
+// simulation's reference clock.
+type SimBinding struct {
+	auth  *Authority
+	sched *sim.Scheduler
+	net   *simnet.Network
+	addr  simnet.Addr
+}
+
+// NewSimBinding creates a simulated Time Authority at addr. The
+// authority's clock is the simulation's reference time; its wire sender
+// ID is the address.
+func NewSimBinding(sched *sim.Scheduler, net *simnet.Network, key []byte, addr simnet.Addr) (*SimBinding, error) {
+	auth, err := New(key, uint32(addr), func() int64 { return int64(sched.Now()) })
+	if err != nil {
+		return nil, err
+	}
+	b := &SimBinding{auth: auth, sched: sched, net: net, addr: addr}
+	net.Register(addr, b.handle)
+	return b, nil
+}
+
+// Addr reports the TA's network address.
+func (b *SimBinding) Addr() simnet.Addr { return b.addr }
+
+// Authority exposes the underlying TA (for served-count metrics).
+func (b *SimBinding) Authority() *Authority { return b.auth }
+
+func (b *SimBinding) handle(pkt simnet.Packet) {
+	sleep, reply, ok := b.auth.Process(pkt.Payload)
+	if !ok {
+		return
+	}
+	b.sched.After(simtime.FromDuration(sleep), func() {
+		b.net.Send(b.addr, pkt.From, reply())
+	})
+}

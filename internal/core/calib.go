@@ -1,0 +1,205 @@
+package core
+
+import (
+	"time"
+
+	"triadtime/internal/enclave"
+	"triadtime/internal/stats"
+	"triadtime/internal/wire"
+)
+
+// maxOWDNanos caps the one-way-delay estimate extracted from the
+// calibration intercept; larger values are treated as noise.
+const maxOWDNanos = 10 * int64(time.Millisecond)
+
+// calibRun tracks one full calibration: repeated TA roundtrips with
+// requested sleeps, each bounded by uninterrupted execution (no AEX
+// between request send and response receipt), then a regression of TSC
+// increments on requested sleeps whose slope is F_calib.
+type calibRun struct {
+	samples  []stats.Sample
+	perSleep map[time.Duration]int
+
+	pendingSeq   uint64
+	pendingSleep time.Duration
+	sentTSC      uint64
+	sentEpoch    uint64
+	timer        enclave.CancelFunc
+
+	// lastResponse / lastRecvTSC anchor the time reference once the
+	// regression completes.
+	lastResponse wire.Message
+	lastRecvTSC  uint64
+}
+
+// abandonPending drops the in-flight sample (timer included) so a fresh
+// request can be issued. The stale response, if it ever arrives, is
+// ignored by sequence-number mismatch.
+func (c *calibRun) abandonPending() {
+	if c.timer != nil {
+		c.timer()
+		c.timer = nil
+	}
+	c.pendingSeq = 0
+}
+
+// startFullCalibration begins (or restarts) a full speed + reference
+// calibration with the Time Authority.
+func (n *Node) startFullCalibration() {
+	n.cancelRecoveryTimers()
+	n.calib = &calibRun{perSleep: make(map[time.Duration]int, len(n.cfg.CalibSleeps))}
+	n.sendNextCalibSample()
+}
+
+// nextCalibSleep picks the sleep value with the fewest collected
+// samples, so collection interleaves sleeps and finishes them together.
+func (n *Node) nextCalibSleep() (time.Duration, bool) {
+	var best time.Duration
+	bestCount := n.cfg.CalibSamplesPerSleep
+	found := false
+	for _, s := range n.cfg.CalibSleeps {
+		if c := n.calib.perSleep[s]; c < bestCount {
+			bestCount = c
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// sendNextCalibSample issues the next calibration roundtrip.
+func (n *Node) sendNextCalibSample() {
+	sleep, ok := n.nextCalibSleep()
+	if !ok {
+		n.finishCalibration()
+		return
+	}
+	c := n.calib
+	c.pendingSleep = sleep
+	c.pendingSeq = n.nextSeq()
+	c.sentTSC = n.platform.ReadTSC()
+	c.sentEpoch = n.aexEpoch
+	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+		Kind:  wire.KindTimeRequest,
+		Seq:   c.pendingSeq,
+		Sleep: sleep,
+	}))
+	timeout := sleep + n.cfg.TATimeout
+	c.timer = n.platform.AfterTicks(n.ticksFor(timeout), func() {
+		// Response lost or over-delayed: retry with a fresh request.
+		c.timer = nil
+		c.pendingSeq = 0
+		n.sendNextCalibSample()
+	})
+}
+
+// onCalibSample handles the TA response to the pending calibration
+// request. Samples whose window was severed by an AEX are discarded:
+// the attacker could have manipulated the TSC during the exit.
+func (n *Node) onCalibSample(msg wire.Message) {
+	c := n.calib
+	recvTSC := n.platform.ReadTSC()
+	if c.timer != nil {
+		c.timer()
+		c.timer = nil
+	}
+	c.pendingSeq = 0
+	if n.aexEpoch != c.sentEpoch {
+		n.sendNextCalibSample()
+		return
+	}
+	c.samples = append(c.samples, stats.Sample{
+		X: c.pendingSleep.Seconds(),
+		Y: float64(recvTSC - c.sentTSC),
+	})
+	c.perSleep[c.pendingSleep]++
+	c.lastResponse = msg
+	c.lastRecvTSC = recvTSC
+	n.sendNextCalibSample()
+}
+
+// finishCalibration regresses the collected samples and installs the new
+// clock: F_calib from the slope, the one-way-delay estimate from the
+// intercept, and the time reference from the most recent TA response.
+func (n *Node) finishCalibration() {
+	c := n.calib
+	var fit stats.Fit
+	var err error
+	switch n.cfg.Regression {
+	case RegressionTheilSen:
+		fit, err = stats.TheilSen(c.samples)
+	default:
+		fit, err = stats.OLS(c.samples)
+	}
+	if err != nil || fit.Slope <= 0 {
+		// Degenerate measurements (e.g. all roundtrips interrupted in
+		// pathological schedules): start over.
+		n.startFullCalibration()
+		return
+	}
+	n.fCalib = fit.Slope
+	owd := int64(fit.Intercept / fit.Slope / 2 * 1e9)
+	if owd < 0 {
+		owd = 0
+	}
+	if owd > maxOWDNanos {
+		owd = maxOWDNanos
+	}
+	n.owdNanos = owd
+
+	// Anchor the reference on the last TA response: the TA read its
+	// clock when sending, one network traversal before our receive.
+	n.refNanos = c.lastResponse.TimeNanos + n.owdNanos
+	n.refTSC = c.lastRecvTSC
+	n.calib = nil
+	n.taRefs++
+	n.events.taReference()
+	n.events.calibrated(n.fCalib)
+	n.setState(StateOK)
+}
+
+// startRefCalib re-acquires only the time reference from the TA (the
+// peer untaint path failed). Retries on timeout until a response lands.
+func (n *Node) startRefCalib() {
+	n.setState(StateRefCalib)
+	n.refSeq = n.nextSeq()
+	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+		Kind: wire.KindTimeRequest,
+		Seq:  n.refSeq,
+		// Sleep 0: immediate response, minimal offset error.
+	}))
+	n.refTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout), func() {
+		n.refTimer = nil
+		n.refSeq = 0
+		n.startRefCalib()
+	})
+}
+
+// onRefCalibResponse installs the TA's reference time.
+func (n *Node) onRefCalibResponse(msg wire.Message) {
+	if n.refTimer != nil {
+		n.refTimer()
+		n.refTimer = nil
+	}
+	n.refSeq = 0
+	n.refNanos = msg.TimeNanos + n.owdNanos
+	n.refTSC = n.platform.ReadTSC()
+	n.taRefs++
+	n.events.taReference()
+	n.setState(StateOK)
+}
+
+// cancelRecoveryTimers clears any pending peer-untaint or ref-calib
+// exchange (used when escalating to a full calibration).
+func (n *Node) cancelRecoveryTimers() {
+	if n.peerTimer != nil {
+		n.peerTimer()
+		n.peerTimer = nil
+	}
+	n.peerSeq = 0
+	if n.refTimer != nil {
+		n.refTimer()
+		n.refTimer = nil
+	}
+	n.refSeq = 0
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// RegressionKind selects the calibration regression estimator.
+type RegressionKind int
+
+// Estimators.
+const (
+	// RegressionOLS is ordinary least squares, the original protocol's
+	// estimator (vulnerable to the F+/F- delay attacks).
+	RegressionOLS RegressionKind = iota + 1
+	// RegressionTheilSen is the robust median-of-slopes estimator used
+	// by the hardened protocol variant.
+	RegressionTheilSen
+)
+
+// Config parameterizes a Triad node.
+type Config struct {
+	// Key is the cluster's 32-byte pre-shared AES-256 key.
+	Key []byte
+	// Addr is this node's network address and wire sender identity.
+	Addr simnet.Addr
+	// Peers are the other Triad nodes in the cluster.
+	Peers []simnet.Addr
+	// Authority is the Time Authority's address.
+	Authority simnet.Addr
+
+	// CalibSleeps are the sleep durations requested from the TA during
+	// speed calibration. Default: {0, 1s}, as in the paper's
+	// implementation ("regression over roundtrips of messages with
+	// 0s-sleep and 1s-sleep").
+	CalibSleeps []time.Duration
+	// CalibSamplesPerSleep is how many uninterrupted samples to collect
+	// per sleep value before regressing. Default: 4.
+	CalibSamplesPerSleep int
+	// Regression selects the slope estimator. Default: RegressionOLS.
+	Regression RegressionKind
+
+	// PeerTimeout bounds the wait for peer untainting responses before
+	// falling back to the Time Authority. Default: 20ms.
+	PeerTimeout time.Duration
+	// TATimeout bounds the wait for a TA response beyond the requested
+	// sleep before retrying. Default: 250ms.
+	TATimeout time.Duration
+
+	// MonitorTicks is the guest-TSC window of one INC monitoring
+	// measurement. Default: 15e6 ticks (~5ms), the paper's window.
+	MonitorTicks uint64
+	// MonitorTolerance is the relative INC deviation from the baseline
+	// that is flagged as a TSC discrepancy. Default: 0.005 (0.5%) —
+	// generous against the σ≈2.9/632182 ≈ 5ppm measurement noise while
+	// far below any useful attack scaling.
+	MonitorTolerance float64
+	// DisableMonitor turns off INC monitoring (some experiments isolate
+	// calibration behaviour).
+	DisableMonitor bool
+	// EnableMemMonitor additionally runs the frequency-independent
+	// memory-access monitor, closing the TSC-scaling-masked-by-DVFS
+	// attack (§IV-A.1's RQ A.1 answer).
+	EnableMemMonitor bool
+	// MemTolerance is the memory monitor's relative deviation flag
+	// threshold. Default: 0.05, above its ~1% measurement noise.
+	MemTolerance float64
+
+	// Events are optional observation hooks.
+	Events Events
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultCalibSamplesPerSleep = 4
+	DefaultPeerTimeout          = 20 * time.Millisecond
+	DefaultTATimeout            = 250 * time.Millisecond
+	DefaultMonitorTicks         = 15_000_000
+	DefaultMonitorTolerance     = 0.005
+)
+
+// DefaultCalibSleeps returns the paper's calibration sleeps: an
+// immediate response and a 1s-sleep response.
+func DefaultCalibSleeps() []time.Duration {
+	return []time.Duration{0, time.Second}
+}
+
+// withDefaults returns a copy of the config with zero fields defaulted
+// and validates the result.
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Key) != wire.KeySize {
+		return c, fmt.Errorf("core: key must be %d bytes, got %d", wire.KeySize, len(c.Key))
+	}
+	if c.Authority == c.Addr {
+		return c, errors.New("core: node address equals authority address")
+	}
+	for _, p := range c.Peers {
+		if p == c.Addr {
+			return c, errors.New("core: node lists itself as a peer")
+		}
+	}
+	if len(c.CalibSleeps) == 0 {
+		c.CalibSleeps = DefaultCalibSleeps()
+	}
+	if len(c.CalibSleeps) < 2 {
+		return c, errors.New("core: calibration needs at least two sleep values for a regression")
+	}
+	if c.CalibSamplesPerSleep <= 0 {
+		c.CalibSamplesPerSleep = DefaultCalibSamplesPerSleep
+	}
+	if c.Regression == 0 {
+		c.Regression = RegressionOLS
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = DefaultPeerTimeout
+	}
+	if c.TATimeout <= 0 {
+		c.TATimeout = DefaultTATimeout
+	}
+	if c.MonitorTicks == 0 {
+		c.MonitorTicks = DefaultMonitorTicks
+	}
+	if c.MonitorTolerance <= 0 {
+		c.MonitorTolerance = DefaultMonitorTolerance
+	}
+	return c, nil
+}

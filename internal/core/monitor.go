@@ -1,0 +1,43 @@
+package core
+
+import "triadtime/internal/enclave"
+
+// The TSC-monitoring thread: a dedicated enclave thread cross-checks
+// the guest TSC against the core's instruction rate (INC counting,
+// §IV-A.1: σ≈2.9 on ~632182 at fixed frequency) and — when
+// EnableMemMonitor is set — against the frequency-independent
+// memory-access rate, which closes the masking attack where the OS
+// changes the core's DVFS point in proportion to a TSC scaling. Any
+// concluded TSC manipulation triggers a full recalibration.
+
+// startMonitor builds and starts the node's rate monitor.
+func (n *Node) startMonitor() {
+	n.monitor = enclave.NewRateMonitor(n.platform, enclave.MonitorConfig{
+		INCTicks:      n.cfg.MonitorTicks,
+		INCTol:        n.cfg.MonitorTolerance,
+		EnableMem:     n.cfg.EnableMemMonitor,
+		MemTol:        n.cfg.MemTolerance,
+		OnDiscrepancy: n.onDiscrepancy,
+		OnFreqChange: func(rel float64) {
+			// A core-frequency change is legal OS behaviour; the INC
+			// baseline re-learns. Surface it for observability only.
+			n.events.freqChange(rel)
+		},
+	})
+	n.monitor.Start()
+}
+
+// onDiscrepancy reacts to detected TSC tampering: the calibrated clock
+// can no longer be trusted, so the node re-learns both rate and
+// reference from the Time Authority, and the monitor re-baselines
+// against the (possibly still manipulated) new TSC relationship.
+func (n *Node) onDiscrepancy(rel float64) {
+	n.events.discrepancy(rel)
+	n.monitor.Reset()
+	if n.state == StateFullCalib {
+		return // already recalibrating
+	}
+	n.cancelRecoveryTimers()
+	n.setState(StateFullCalib)
+	n.startFullCalibration()
+}

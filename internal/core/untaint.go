@@ -1,0 +1,66 @@
+package core
+
+import "triadtime/internal/wire"
+
+// becomeTainted marks the timestamp tainted after an AEX and starts the
+// recovery ladder: peers first, the Time Authority only if no peer
+// answers (paper §III-B).
+func (n *Node) becomeTainted() {
+	n.setState(StateTainted)
+	n.startPeerUntaint()
+}
+
+// startPeerUntaint broadcasts a timestamp request to all peers and arms
+// the fallback timer.
+func (n *Node) startPeerUntaint() {
+	if len(n.cfg.Peers) == 0 {
+		n.startRefCalib()
+		return
+	}
+	n.peerSeq = n.nextSeq()
+	for _, p := range n.cfg.Peers {
+		// Each peer gets its own sealed copy: GCM nonces are single-use.
+		n.platform.Send(p, n.sealer.Seal(wire.Message{
+			Kind: wire.KindPeerTimeRequest,
+			Seq:  n.peerSeq,
+		}))
+	}
+	n.peerTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.PeerTimeout), func() {
+		// No peer had an untainted timestamp for us: fall back to the
+		// Time Authority.
+		n.peerTimer = nil
+		n.peerSeq = 0
+		n.startRefCalib()
+	})
+}
+
+// onPeerTimeResponse applies the original Triad peer-timestamp policy:
+// adopt the incoming timestamp if it is higher than the local one,
+// otherwise keep the local timestamp bumped by the smallest possible
+// increment. Either way the node is untainted. This "fastest clock
+// wins" rule is exactly what lets a compromised fast node drag honest
+// peers forward (paper §III-D, Figure 6).
+func (n *Node) onPeerTimeResponse(from uint32, msg wire.Message) {
+	if n.state != StateTainted || msg.Seq != n.peerSeq {
+		return // stale response, or we already recovered
+	}
+	if n.peerTimer != nil {
+		n.peerTimer()
+		n.peerTimer = nil
+	}
+	n.peerSeq = 0
+
+	local := n.clockNow()
+	var jump int64
+	if msg.TimeNanos > local {
+		jump = msg.TimeNanos - local
+		n.refNanos = msg.TimeNanos
+	} else {
+		n.refNanos = local + 1
+	}
+	n.refTSC = n.platform.ReadTSC()
+	n.peerUntaints++
+	n.timeJumps = append(n.timeJumps, jump)
+	n.events.peerUntaint(from, jump)
+	n.setState(StateOK)
+}

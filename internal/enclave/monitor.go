@@ -1,0 +1,216 @@
+package enclave
+
+import "math"
+
+// RateMonitor is the TSC-monitoring thread's logic, shared by the
+// original and hardened protocol nodes: it continuously measures the
+// INC-instruction count per fixed guest-TSC window and (optionally)
+// the frequency-independent memory-access count over the same kind of
+// window, comparing each against a learned baseline.
+//
+// Detection logic per §IV-A.1:
+//
+//   - a hypervisor scaling or jumping the guest TSC shifts BOTH counts
+//     → either monitor flags it;
+//   - an attacker masking a TSC scaling with a proportional core DVFS
+//     change keeps the INC count steady but cannot move the memory
+//     subsystem's rate → only the memory monitor flags it;
+//   - an honest DVFS change shifts only the INC count; the combination
+//     (INC moved, memory steady) identifies it, and the monitor
+//     re-baselines INC rather than crying wolf — frequency settings
+//     are discrete and legal for the OS to change.
+type RateMonitor struct {
+	platform Platform
+
+	incTicks uint64
+	incTol   float64
+	incState baselineState
+
+	memEnabled bool
+	memTicks   uint64
+	memTol     float64
+	memState   baselineState
+
+	// OnDiscrepancy fires when TSC tampering is concluded; rel is the
+	// relative deviation observed.
+	onDiscrepancy func(rel float64)
+	// onFreqChange fires when an (honest or masking-failed) core
+	// frequency change is identified: INC moved, memory steady.
+	onFreqChange func(rel float64)
+
+	started bool
+}
+
+// baselineLearnWindows is how many post-warm-up windows are averaged
+// into a baseline, diluting per-window measurement noise.
+const baselineLearnWindows = 4
+
+// baselineState tracks one counter's learned baseline; the first
+// measurement is discarded as warm-up (the paper's first-run outlier,
+// and — after a reset — the window that straddled the transition), and
+// the next few are averaged into the baseline.
+type baselineState struct {
+	measured int
+	learnSum float64
+	baseline float64
+	strikes  int
+}
+
+// observe returns the relative deviation and whether a baseline exists.
+func (s *baselineState) observe(count float64) (rel float64, ok bool) {
+	s.measured++
+	switch {
+	case s.measured == 1:
+		return 0, false // warm-up
+	case s.baseline == 0:
+		s.learnSum += count
+		if s.measured-1 >= baselineLearnWindows {
+			s.baseline = s.learnSum / baselineLearnWindows
+			s.learnSum = 0
+		}
+		return 0, false
+	default:
+		return math.Abs(count-s.baseline) / s.baseline, true
+	}
+}
+
+// strike debounces detections: one deviating window may merely straddle
+// a transition (a manipulation or a legal frequency change lands mid
+// window); two consecutive deviations cannot.
+func (s *baselineState) strike(deviant bool) (conclude bool) {
+	if !deviant {
+		s.strikes = 0
+		return false
+	}
+	s.strikes++
+	return s.strikes >= 2
+}
+
+// reset forgets the baseline entirely: the next window is discarded as
+// warm-up (it may straddle whatever transition caused the reset) and
+// the following windows are re-learned into a new baseline.
+func (s *baselineState) reset() {
+	s.baseline = 0
+	s.learnSum = 0
+	s.measured = 0
+	s.strikes = 0
+}
+
+// MonitorConfig configures a RateMonitor.
+type MonitorConfig struct {
+	// INCTicks is the INC window (guest ticks); INCTol the relative
+	// deviation flagged.
+	INCTicks uint64
+	INCTol   float64
+	// EnableMem turns on the frequency-independent memory monitor.
+	EnableMem bool
+	// MemTicks/MemTol configure it (MemTol must clear the memory
+	// counter's ~1% noise by a wide margin while staying far below any
+	// discrete DVFS step ratio; default 0.08).
+	MemTicks uint64
+	MemTol   float64
+	// OnDiscrepancy is required: called on concluded TSC tampering.
+	OnDiscrepancy func(rel float64)
+	// OnFreqChange is optional: called when a core frequency change is
+	// identified instead.
+	OnFreqChange func(rel float64)
+}
+
+// NewRateMonitor creates the monitor. Call Start once.
+func NewRateMonitor(platform Platform, cfg MonitorConfig) *RateMonitor {
+	memTicks := cfg.MemTicks
+	if memTicks == 0 {
+		memTicks = cfg.INCTicks
+	}
+	memTol := cfg.MemTol
+	if memTol <= 0 {
+		memTol = 0.08
+	}
+	return &RateMonitor{
+		platform:      platform,
+		incTicks:      cfg.INCTicks,
+		incTol:        cfg.INCTol,
+		memEnabled:    cfg.EnableMem,
+		memTicks:      memTicks,
+		memTol:        memTol,
+		onDiscrepancy: cfg.OnDiscrepancy,
+		onFreqChange:  cfg.OnFreqChange,
+	}
+}
+
+// Start launches the measurement loops. Idempotent.
+func (m *RateMonitor) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.nextINC()
+	if m.memEnabled {
+		m.nextMem()
+	}
+}
+
+// Reset re-baselines both counters — call after a deliberate
+// recalibration, when the TSC relationship legitimately changed.
+func (m *RateMonitor) Reset() {
+	m.incState.reset()
+	m.memState.reset()
+}
+
+func (m *RateMonitor) nextINC() {
+	m.platform.StartINCCheck(m.incTicks, func(count float64, interrupted bool) {
+		if !interrupted {
+			m.onINC(count)
+		}
+		m.nextINC()
+	})
+}
+
+func (m *RateMonitor) nextMem() {
+	m.platform.StartMemCheck(m.memTicks, func(count float64, interrupted bool) {
+		if !interrupted {
+			m.onMem(count)
+		}
+		m.nextMem()
+	})
+}
+
+func (m *RateMonitor) onINC(count float64) {
+	rel, ok := m.incState.observe(count)
+	if !ok {
+		return
+	}
+	if !m.incState.strike(rel > m.incTol) {
+		return
+	}
+	if !m.memEnabled {
+		// INC-only mode (original Triad single-monitor configuration):
+		// a sustained deviation is treated as TSC tampering.
+		m.incState.reset()
+		m.onDiscrepancy(rel)
+		return
+	}
+	// Dual mode: a sustained INC shift alone is ambiguous — TSC scaling
+	// or DVFS. Re-baseline INC and report a frequency change; if the
+	// cause was actually TSC tampering, the frequency-independent
+	// memory monitor flags it within its own windows.
+	m.incState.reset()
+	if m.onFreqChange != nil {
+		m.onFreqChange(rel)
+	}
+}
+
+func (m *RateMonitor) onMem(count float64) {
+	rel, ok := m.memState.observe(count)
+	if !ok {
+		return
+	}
+	if !m.memState.strike(rel > m.memTol) {
+		return
+	}
+	// The memory rate is DVFS-independent: a sustained deviation here
+	// is TSC manipulation, full stop.
+	m.memState.reset()
+	m.incState.reset()
+	m.onDiscrepancy(rel)
+}

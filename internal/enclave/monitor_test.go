@@ -1,0 +1,192 @@
+package enclave
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"triadtime/internal/sim"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+)
+
+func monitorRig(t *testing.T) (*sim.Scheduler, *SimPlatform) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(71)
+	net := simnet.New(sched, rng.Fork(0), simnet.Link{Base: time.Millisecond})
+	p := NewSimPlatform(sched, rng, net, SimConfig{
+		Addr: 1,
+		TSC:  simtime.NewTSC(simtime.NominalTSCHz, 0),
+	})
+	return sched, p
+}
+
+func TestMemCheckBasics(t *testing.T) {
+	sched, p := monitorRig(t)
+	var count float64
+	p.StartMemCheck(15e6, func(c float64, interrupted bool) {
+		if interrupted {
+			t.Error("unexpected interruption")
+		}
+		count = c
+	})
+	sched.RunUntilIdle()
+	ideal := PaperMemModel().IdealMem(15e6, simtime.NominalTSCHz)
+	if math.Abs(count-ideal)/ideal > 0.05 {
+		t.Errorf("mem count = %v, want ~%v", count, ideal)
+	}
+}
+
+func TestMemCheckFrequencyIndependent(t *testing.T) {
+	// Halving the core frequency shifts INC counts but leaves memory
+	// counts untouched — the disambiguator of §IV-A.1.
+	sched, p := monitorRig(t)
+	var incBefore, incAfter, memBefore, memAfter float64
+	p.StartINCCheck(15e6, func(c float64, _ bool) {}) // discard warm-up
+	sched.RunUntilIdle()
+	p.StartINCCheck(15e6, func(c float64, _ bool) { incBefore = c })
+	p.StartMemCheck(15e6, func(c float64, _ bool) { memBefore = c })
+	sched.RunUntilIdle()
+	p.SetCoreFreqHz(simtime.PaperCoreHz / 2)
+	if p.CoreFreqHz() != simtime.PaperCoreHz/2 {
+		t.Fatal("SetCoreFreqHz did not apply")
+	}
+	p.StartINCCheck(15e6, func(c float64, _ bool) { incAfter = c })
+	p.StartMemCheck(15e6, func(c float64, _ bool) { memAfter = c })
+	sched.RunUntilIdle()
+	if r := incAfter / incBefore; math.Abs(r-0.5) > 0.01 {
+		t.Errorf("INC ratio after halving freq = %v, want ~0.5", r)
+	}
+	if r := memAfter / memBefore; math.Abs(r-1) > 0.05 {
+		t.Errorf("mem ratio after halving freq = %v, want ~1", r)
+	}
+}
+
+func TestMemCheckDetectsTSCScaling(t *testing.T) {
+	sched, p := monitorRig(t)
+	var before, after float64
+	p.StartMemCheck(15e6, func(c float64, _ bool) { before = c })
+	sched.RunUntilIdle()
+	p.TSC().SetScale(1.25, sched.Now())
+	p.StartMemCheck(15e6, func(c float64, _ bool) { after = c })
+	sched.RunUntilIdle()
+	if r := after / before; math.Abs(r-1/1.25) > 0.05 {
+		t.Errorf("mem ratio under 1.25x TSC scale = %v, want ~0.8", r)
+	}
+}
+
+func TestMemCheckInterruptedAndOverlap(t *testing.T) {
+	sched, p := monitorRig(t)
+	interrupted := false
+	p.StartMemCheck(15e6, func(_ float64, i bool) { interrupted = i })
+	sched.At(simtime.FromDuration(time.Millisecond), p.FireAEX)
+	sched.RunUntilIdle()
+	if !interrupted {
+		t.Error("AEX should interrupt the memory measurement")
+	}
+	p.StartMemCheck(1000, func(float64, bool) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping mem measurements should panic")
+		}
+	}()
+	p.StartMemCheck(1000, func(float64, bool) {})
+}
+
+func TestSetCoreFreqValidation(t *testing.T) {
+	_, p := monitorRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive frequency should panic")
+		}
+	}()
+	p.SetCoreFreqHz(0)
+}
+
+func runMonitor(t *testing.T, enableMem bool, manipulate func(*sim.Scheduler, *SimPlatform)) (discrepancies, freqChanges int) {
+	t.Helper()
+	sched, p := monitorRig(t)
+	m := NewRateMonitor(p, MonitorConfig{
+		INCTicks:      15e6,
+		INCTol:        0.005,
+		EnableMem:     enableMem,
+		OnDiscrepancy: func(rel float64) { discrepancies++ },
+		OnFreqChange:  func(rel float64) { freqChanges++ },
+	})
+	m.Start()
+	m.Start() // idempotent
+	sched.RunUntil(simtime.FromSeconds(1))
+	manipulate(sched, p)
+	sched.RunUntil(sched.Now().Add(2 * time.Second))
+	return discrepancies, freqChanges
+}
+
+func TestRateMonitorCleanRunIsQuiet(t *testing.T) {
+	d, f := runMonitor(t, true, func(*sim.Scheduler, *SimPlatform) {})
+	if d != 0 || f != 0 {
+		t.Errorf("clean run produced %d discrepancies, %d freq changes", d, f)
+	}
+}
+
+func TestRateMonitorINCOnlyCatchesScaling(t *testing.T) {
+	d, _ := runMonitor(t, false, func(sched *sim.Scheduler, p *SimPlatform) {
+		p.TSC().SetScale(1.1, sched.Now())
+	})
+	if d == 0 {
+		t.Error("INC-only monitor missed a bare 10% TSC scaling")
+	}
+}
+
+func TestRateMonitorINCOnlyMissesDVFSMaskedScaling(t *testing.T) {
+	// The masking attack: scale the guest TSC by 0.8 AND drop the core
+	// from 3500MHz to the discrete 2800MHz point (also 0.8x). The INC
+	// count is unchanged; without the memory monitor nothing fires.
+	d, _ := runMonitor(t, false, func(sched *sim.Scheduler, p *SimPlatform) {
+		p.TSC().SetScale(0.8, sched.Now())
+		p.SetCoreFreqHz(2800e6)
+	})
+	if d != 0 {
+		t.Errorf("INC-only monitor fired %d times; the masked attack should slip through (that is the vulnerability)", d)
+	}
+}
+
+func TestRateMonitorDualCatchesDVFSMaskedScaling(t *testing.T) {
+	d, _ := runMonitor(t, true, func(sched *sim.Scheduler, p *SimPlatform) {
+		p.TSC().SetScale(0.8, sched.Now())
+		p.SetCoreFreqHz(2800e6)
+	})
+	if d == 0 {
+		t.Error("dual monitor missed the DVFS-masked TSC scaling")
+	}
+}
+
+func TestRateMonitorHonestDVFSIsFreqChangeNotTampering(t *testing.T) {
+	d, f := runMonitor(t, true, func(sched *sim.Scheduler, p *SimPlatform) {
+		p.SetCoreFreqHz(2800e6) // legal governor change, TSC untouched
+	})
+	if d != 0 {
+		t.Errorf("honest DVFS flagged as tampering %d times", d)
+	}
+	if f == 0 {
+		t.Error("honest DVFS not surfaced as a frequency change")
+	}
+}
+
+func TestRateMonitorResetRelearnsBaseline(t *testing.T) {
+	sched, p := monitorRig(t)
+	discrepancies := 0
+	m := NewRateMonitor(p, MonitorConfig{
+		INCTicks:      15e6,
+		INCTol:        0.005,
+		OnDiscrepancy: func(rel float64) { discrepancies++ },
+	})
+	m.Start()
+	sched.RunUntil(simtime.FromSeconds(1))
+	p.TSC().SetScale(1.1, sched.Now())
+	m.Reset() // a recalibration just happened: accept the new relation
+	sched.RunUntil(sched.Now().Add(time.Second))
+	if discrepancies != 0 {
+		t.Errorf("monitor fired %d times after an authorized Reset", discrepancies)
+	}
+}

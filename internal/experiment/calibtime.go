@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"triadtime/internal/core"
+	"triadtime/internal/stats"
+)
+
+// CalibTimeRow reports the time-to-first-service distribution for one
+// protocol under one interrupt environment: how long a freshly started
+// node needs before TrustedNow works. Calibration requires
+// uninterrupted measurement windows, so AEX pressure stretches it —
+// differently for the original (needs 1s-sleep roundtrips) and the
+// hardened protocol (adaptive windows).
+type CalibTimeRow struct {
+	Protocol string
+	Env      string
+	// P50 and P95 of time-to-first-OK across trials.
+	P50, P95 time.Duration
+	Trials   int
+}
+
+// Summary renders the row.
+func (r CalibTimeRow) Summary() string {
+	return fmt.Sprintf("%-9s %-11s p50 %8v   p95 %8v   (n=%d)",
+		r.Protocol, r.Env, r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.Trials)
+}
+
+// RunCalibrationTime measures startup time across seeds for both
+// protocols in both interrupt environments.
+func RunCalibrationTime(baseSeed uint64, trials int) ([]CalibTimeRow, error) {
+	if trials <= 0 {
+		trials = 10
+	}
+	var rows []CalibTimeRow
+	for _, hardened := range []bool{false, true} {
+		for _, env := range []Env{EnvNone, EnvTriadLike} {
+			var samples []float64
+			for trial := 0; trial < trials; trial++ {
+				d, err := timeToFirstOK(baseSeed+uint64(trial), hardened, env)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, d.Seconds())
+			}
+			cdf := stats.NewCDF(samples)
+			name := "original"
+			if hardened {
+				name = "hardened"
+			}
+			envName := "low-AEX"
+			if env == EnvTriadLike {
+				envName = "Triad-like"
+			}
+			rows = append(rows, CalibTimeRow{
+				Protocol: name,
+				Env:      envName,
+				P50:      time.Duration(cdf.Quantile(0.5) * float64(time.Second)),
+				P95:      time.Duration(cdf.Quantile(0.95) * float64(time.Second)),
+				Trials:   trials,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// timeToFirstOK runs a single node until it first reaches StateOK.
+func timeToFirstOK(seed uint64, hardened bool, env Env) (time.Duration, error) {
+	var firstOK time.Duration = -1
+	cfg := ClusterConfig{
+		Seed:     seed,
+		Nodes:    1,
+		Hardened: hardened,
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return 0, err
+	}
+	c.SetEnv(0, env)
+	c.Start()
+	deadline := 10 * time.Minute
+	step := 50 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < deadline; elapsed += step {
+		c.RunFor(step)
+		if c.Nodes[0].State() == core.StateOK {
+			firstOK = elapsed + step
+			break
+		}
+	}
+	if firstOK < 0 {
+		return 0, fmt.Errorf("seed %d: node never calibrated within %v", seed, deadline)
+	}
+	return firstOK, nil
+}

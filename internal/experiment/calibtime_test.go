@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCalibrationTimeDistribution(t *testing.T) {
+	rows, err := RunCalibrationTime(300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(proto, env string) CalibTimeRow {
+		for _, r := range rows {
+			if r.Protocol == proto && r.Env == env {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", proto, env)
+		return CalibTimeRow{}
+	}
+	// The original protocol needs 1s-sleep roundtrips: a quiet core
+	// calibrates in ~2-3s; Triad-like AEX pressure stretches it (each
+	// 1s window succeeds only inside 1.59s gaps).
+	orig := get("original", "low-AEX")
+	origStorm := get("original", "Triad-like")
+	if orig.P50 > 5*time.Second {
+		t.Errorf("original low-AEX p50 = %v", orig.P50)
+	}
+	if origStorm.P50 <= orig.P50 {
+		t.Errorf("AEX pressure should slow calibration: %v vs %v", origStorm.P50, orig.P50)
+	}
+	// The hardened protocol's 8s window dominates its quiet startup and
+	// adaptive halving keeps the storm case bounded.
+	hard := get("hardened", "low-AEX")
+	if hard.P50 < 5*time.Second || hard.P50 > 12*time.Second {
+		t.Errorf("hardened low-AEX p50 = %v, want ~8s window", hard.P50)
+	}
+	hardStorm := get("hardened", "Triad-like")
+	if hardStorm.P95 > 2*time.Minute {
+		t.Errorf("hardened Triad-like p95 = %v, adaptive halving failed?", hardStorm.P95)
+	}
+	if !strings.Contains(rows[0].Summary(), "p50") {
+		t.Error("summary malformed")
+	}
+}

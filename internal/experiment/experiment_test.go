@@ -1,0 +1,316 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"triadtime/internal/core"
+	"triadtime/internal/simtime"
+)
+
+func TestFig1aTriadLikeCDF(t *testing.T) {
+	res, err := RunFig1a(1, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gaps) < 3000 {
+		t.Fatalf("only %d gaps in an hour of Triad-like AEXs", len(res.Gaps))
+	}
+	// The CDF steps at the three paper values, each carrying ~1/3 mass.
+	xs := make([]float64, len(res.Gaps))
+	for i, g := range res.Gaps {
+		xs[i] = g.Seconds()
+	}
+	cdf := newCDF(xs)
+	steps := []struct {
+		at   float64
+		want float64
+	}{
+		{0.011, 1.0 / 3}, {0.533, 2.0 / 3}, {1.591, 1.0},
+	}
+	for _, s := range steps {
+		if got := cdf(s.at); math.Abs(got-s.want) > 0.03 {
+			t.Errorf("CDF(%vs) = %.3f, want ~%.3f", s.at, got, s.want)
+		}
+	}
+	if !strings.Contains(res.Summary(), "Fig1a") {
+		t.Error("summary should name the figure")
+	}
+}
+
+// newCDF is a tiny local empirical CDF for assertions.
+func newCDF(xs []float64) func(float64) float64 {
+	return func(at float64) float64 {
+		n := 0
+		for _, x := range xs {
+			if x <= at {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+}
+
+func TestFig1bIsolatedCoreCDF(t *testing.T) {
+	res, err := RunFig1b(2, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gaps) < 50 {
+		t.Fatalf("only %d gaps", len(res.Gaps))
+	}
+	// Most AEXs occur every ~5.4 minutes (324s).
+	med := res.Quantile(0.5)
+	if med < 250 || med > 400 {
+		t.Errorf("median gap = %vs, want ~324s", med)
+	}
+}
+
+func TestINCTable(t *testing.T) {
+	res, err := RunINCTable(3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw.N != 2000 {
+		t.Fatalf("raw N = %d", res.Raw.N)
+	}
+	// The warm-up outlier inflates the raw stddev...
+	if res.Raw.Stddev < 50 {
+		t.Errorf("raw stddev = %v, expected the warm-up outlier to inflate it", res.Raw.Stddev)
+	}
+	// ...and outlier removal recovers the paper's tight steady state:
+	// mean ~632182, σ ~2.9.
+	if math.Abs(res.Clean.Mean-632182) > 2 {
+		t.Errorf("clean mean = %v, want ~632182", res.Clean.Mean)
+	}
+	if res.Clean.Stddev < 1 || res.Clean.Stddev > 5 {
+		t.Errorf("clean stddev = %v, want ~2.9", res.Clean.Stddev)
+	}
+	if len(res.Outliers) < 1 {
+		t.Error("expected at least the warm-up outlier")
+	}
+	if !strings.Contains(res.Summary(), "outliers removed") {
+		t.Error("summary should mention outlier removal")
+	}
+}
+
+func TestFig2NoAttack(t *testing.T) {
+	res, err := RunFig2(4, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		// Calibrated close to the true rate: O(100ppm) errors.
+		ppm := math.Abs(res.FCalib[i]-simtime.NominalTSCHz) / simtime.NominalTSCHz * 1e6
+		if ppm > 1000 {
+			t.Errorf("node%d F_calib %.0fppm off, want O(100ppm)", i+1, ppm)
+		}
+		// High availability including initial calibration (paper: >=98%).
+		if res.Availability[i] < 0.97 {
+			t.Errorf("node%d availability = %.4f, want >= 0.97", i+1, res.Availability[i])
+		}
+		// Drift bounded: correlated machine AEXs force TA resets.
+		for _, p := range res.Drift[i].Available() {
+			if math.Abs(p.DriftSeconds) > 0.25 {
+				t.Errorf("node%d drift reached %vs without attack", i+1, p.DriftSeconds)
+				break
+			}
+		}
+		// The sawtooth requires at least one TA reference beyond the
+		// initial calibration within 10 minutes... only when a machine
+		// AEX fired; with mode 324s it fires with overwhelming odds.
+		if res.TACounts[i].Final() < 2 {
+			t.Errorf("node%d TA refs = %d, want >= 2 (sawtooth resets)", i+1, res.TACounts[i].Final())
+		}
+	}
+}
+
+func TestFig3LowAEX(t *testing.T) {
+	res, err := RunFig3(5, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		// Low-AEX: availability rises towards 99.9%.
+		if res.Availability[i] < 0.99 {
+			t.Errorf("node%d availability = %.4f, want >= 0.99", i+1, res.Availability[i])
+		}
+	}
+	// A single FullCalib at the start (paper Figure 3b): count FullCalib
+	// segments in each node's timeline.
+	for i := 0; i < 3; i++ {
+		full := 0
+		for _, seg := range res.Timelines[i].Segments(simtime.Epoch, simtime.FromDuration(2*time.Hour)) {
+			if seg.State == core.StateFullCalib {
+				full++
+			}
+		}
+		if full != 1 {
+			t.Errorf("node%d FullCalib segments = %d, want 1", i+1, full)
+		}
+	}
+}
+
+func TestFig4FPlusLowAEX(t *testing.T) {
+	res, err := RunFig4(6, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3's calibrated rate inflated ~10%: 2900 -> ~3190MHz.
+	ratio := res.FCalib[2] / simtime.NominalTSCHz
+	if math.Abs(ratio-1.1) > 0.005 {
+		t.Errorf("node3 F_calib ratio = %v, want ~1.1 (paper: 3191MHz)", ratio)
+	}
+	// Node 3 in the low-AEX environment drifts at ~-91ms/s between
+	// resets; fit over a window that avoids the ~324s machine AEX.
+	rate, ok := res.DriftRate(2, 60, 300)
+	if !ok {
+		t.Fatal("no drift samples for node 3")
+	}
+	if math.Abs(rate-(-0.091)) > 0.01 {
+		t.Errorf("node3 drift rate = %+.4f s/s, want ~-0.091", rate)
+	}
+	// Honest nodes stay calibrated near the true rate.
+	for i := 0; i < 2; i++ {
+		ppm := math.Abs(res.FCalib[i]-simtime.NominalTSCHz) / simtime.NominalTSCHz * 1e6
+		if ppm > 1000 {
+			t.Errorf("node%d F_calib %.0fppm off", i+1, ppm)
+		}
+	}
+}
+
+func TestFig5FPlusTriadLike(t *testing.T) {
+	res, err := RunFig5(7, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.FCalib[2] / simtime.NominalTSCHz
+	if math.Abs(ratio-1.1) > 0.005 {
+		t.Errorf("node3 F_calib ratio = %v, want ~1.1", ratio)
+	}
+	// Honest nodes keep their natural O(100ppm) drift envelope...
+	honestMax := 0.0
+	for i := 0; i < 2; i++ {
+		for _, p := range res.Drift[i].Available() {
+			honestMax = math.Max(honestMax, math.Abs(p.DriftSeconds))
+		}
+	}
+	if honestMax > 0.15 {
+		t.Errorf("honest drift envelope = %vs under F+ (should stay at natural calibration error)", honestMax)
+	}
+	// ...while Node 3 oscillates between that envelope (after peer
+	// untaints) and ~-150ms when running on its own slow clock between
+	// AEXs (1.59s * 91ms/s ≈ 145ms below the envelope).
+	var minDrift, maxDrift float64
+	pts := res.Drift[2].Available()
+	if len(pts) == 0 {
+		t.Fatal("no node3 samples")
+	}
+	for _, p := range pts {
+		if p.RefSeconds < 60 {
+			continue // skip calibration transient
+		}
+		minDrift = math.Min(minDrift, p.DriftSeconds)
+		maxDrift = math.Max(maxDrift, p.DriftSeconds)
+	}
+	if minDrift > -0.08 || minDrift < -0.35 {
+		t.Errorf("node3 min drift = %vs, want ~-0.15s below the honest envelope", minDrift)
+	}
+	if maxDrift > honestMax+0.02 {
+		t.Errorf("node3 max drift = %vs, want within peers' envelope (%vs)", maxDrift, honestMax)
+	}
+}
+
+func TestFig6FMinusPropagation(t *testing.T) {
+	res, err := RunFig6(8, 7*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3's rate deflated ~10%: 2900 -> ~2610MHz, clock +111ms/s.
+	ratio := res.FCalib[2] / simtime.NominalTSCHz
+	if math.Abs(ratio-0.9) > 0.005 {
+		t.Errorf("node3 F_calib ratio = %v, want ~0.9 (paper: 2610MHz)", ratio)
+	}
+	switchSec := FMinusSwitch.Seconds()
+	for i := 0; i < 2; i++ {
+		var beforeMax, afterMax float64
+		for _, p := range res.Drift[i].Available() {
+			a := math.Abs(p.DriftSeconds)
+			if p.RefSeconds < switchSec {
+				beforeMax = math.Max(beforeMax, a)
+			} else {
+				afterMax = math.Max(afterMax, a)
+			}
+		}
+		// Honest and unbothered before the switch...
+		if beforeMax > 0.05 {
+			t.Errorf("node%d drift %vs before AEXs started", i+1, beforeMax)
+		}
+		// ...then dragged onto the compromised timeline: forward skips
+		// far beyond any honest drift ("arbitrarily far in the future").
+		if afterMax < 1 {
+			t.Errorf("node%d max drift after switch = %vs, want >1s (infection)", i+1, afterMax)
+		}
+	}
+	// Infection direction is forward-only.
+	for i := 0; i < 2; i++ {
+		for _, p := range res.Drift[i].Available() {
+			if p.RefSeconds > switchSec+30 && p.DriftSeconds < -0.05 {
+				t.Errorf("node%d drifted backwards under F-", i+1)
+				break
+			}
+		}
+	}
+}
+
+func TestAvailabilityTable(t *testing.T) {
+	rows, err := RunAvailabilityTable(9, 10*time.Minute, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, a := range rows[0].Availability {
+		if a < 0.97 {
+			t.Errorf("Triad-like availability = %v, want >= 0.97", a)
+		}
+	}
+	for _, a := range rows[1].Availability {
+		if a < 0.99 {
+			t.Errorf("low-AEX availability = %v, want >= 0.99", a)
+		}
+	}
+	if !strings.Contains(rows[0].Summary(), "node1=") {
+		t.Error("row summary malformed")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() string {
+		res, err := RunFig2(42, 3*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	if run() != run() {
+		t.Error("same seed should reproduce the identical run")
+	}
+}
+
+func TestClusterSeedSensitivity(t *testing.T) {
+	a, err := RunFig2(1, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig2(2, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FCalib[0] == b.FCalib[0] {
+		t.Error("different seeds produced identical calibrations (suspicious)")
+	}
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLossResilienceSweep(t *testing.T) {
+	rows, err := RunLossResilience(31, 5*time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Calibrated {
+			t.Errorf("loss %.2f: cluster failed to calibrate", r.LossProb)
+		}
+		if r.WorstDriftPPM > 2000 {
+			t.Errorf("loss %.2f: F_calib err %.0fppm (loss must cost retries, not accuracy)", r.LossProb, r.WorstDriftPPM)
+		}
+	}
+	// Clean network is at least as available as 20% loss.
+	if rows[0].MinAvailability < rows[3].MinAvailability-0.001 {
+		t.Errorf("availability ordering broken: clean %.4f < lossy %.4f",
+			rows[0].MinAvailability, rows[3].MinAvailability)
+	}
+	if !strings.Contains(rows[0].Summary(), "loss") {
+		t.Error("summary malformed")
+	}
+}
+
+func TestTAOutageRecovery(t *testing.T) {
+	res, err := RunTAOutage(32, 10*time.Minute, 3*time.Minute, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Error("cluster never recovered after the outage")
+	}
+	// Peer untainting keeps some service alive even with the TA dark,
+	// but correlated taints can pin nodes in RefCalib retries: anything
+	// clearly above zero is the expected shape.
+	if res.AvailabilityDuring <= 0 {
+		t.Errorf("availability during outage = %v", res.AvailabilityDuring)
+	}
+	if !strings.Contains(res.Summary(), "recovered=true") {
+		t.Errorf("summary = %q", res.Summary())
+	}
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"triadtime/internal/simtime"
+	"triadtime/internal/stats"
+)
+
+// LatencyResult is the client's view of a Triad node's availability:
+// instead of the time-based availability of §IV-A.2, it measures what
+// an application experiences — how long a TrustedNow call effectively
+// takes when unavailability forces retries.
+type LatencyResult struct {
+	Node string
+	// FirstTry is the fraction of requests served without retrying.
+	FirstTry float64
+	// P50, P99, Max are retry-until-success latencies. A request that
+	// succeeds immediately counts as zero latency (the simulation does
+	// not model in-process call cost).
+	P50, P99, Max time.Duration
+	// Requests is the number of client requests issued.
+	Requests int
+}
+
+// Summary renders the row.
+func (r LatencyResult) Summary() string {
+	return fmt.Sprintf("%s: first-try %6.2f%%  retry latency p50=%v p99=%v max=%v (n=%d)",
+		r.Node, r.FirstTry*100, r.P50, r.P99, r.Max, r.Requests)
+}
+
+// RunServingLatency drives a client workload against node 1 of a
+// fault-free Triad-like cluster: one request per period, retrying
+// every retryEvery until served.
+func RunServingLatency(seed uint64, duration, period, retryEvery time.Duration) (*LatencyResult, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.Nodes {
+		c.SetEnv(i, EnvTriadLike)
+	}
+
+	res := &LatencyResult{Node: "node1"}
+	var latencies []float64
+	node := c.Nodes[0]
+
+	var issue func()
+	issue = func() {
+		start := c.Sched.Now()
+		res.Requests++
+		var attempt func()
+		attempt = func() {
+			if _, err := node.TrustedNow(); err == nil {
+				waited := c.Sched.Now().Sub(start)
+				latencies = append(latencies, float64(waited))
+				if waited == 0 {
+					res.FirstTry++
+				}
+				return
+			}
+			c.Sched.After(simtime.FromDuration(retryEvery), attempt)
+		}
+		attempt()
+		c.Sched.After(simtime.FromDuration(period), issue)
+	}
+	// Start the workload after the cluster has had a chance to
+	// calibrate once; initial-calibration latency is reported by the
+	// availability table instead.
+	c.Sched.At(simtime.FromDuration(10*time.Second), issue)
+	c.Start()
+	c.RunFor(duration)
+
+	if res.Requests > 0 {
+		res.FirstTry /= float64(res.Requests)
+	}
+	cdf := stats.NewCDF(latencies)
+	res.P50 = time.Duration(cdf.Quantile(0.5))
+	res.P99 = time.Duration(cdf.Quantile(0.99))
+	res.Max = time.Duration(cdf.Quantile(1))
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServingLatency(t *testing.T) {
+	res, err := RunServingLatency(71, 10*time.Minute, 50*time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 10000 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// Taints are short (peer untainting ~ RTT): nearly every request
+	// succeeds first try and the tail stays in the tens of milliseconds.
+	if res.FirstTry < 0.98 {
+		t.Errorf("first-try fraction = %v, want >= 0.98", res.FirstTry)
+	}
+	if res.P50 != 0 {
+		t.Errorf("p50 = %v, want 0 (immediate service)", res.P50)
+	}
+	if res.Max > 5*time.Second {
+		t.Errorf("max retry latency = %v, suspiciously long without attacks", res.Max)
+	}
+	if !strings.Contains(res.Summary(), "first-try") {
+		t.Error("summary malformed")
+	}
+}

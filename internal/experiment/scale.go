@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"triadtime/internal/attack"
+)
+
+// ScaleRow reports one cluster size's behaviour under the F-
+// propagation scenario (all nodes under Triad-like AEXs, one
+// compromised). Larger clusters give a tainted node more honest donors
+// — but the adopt-the-highest policy means a single fast clock still
+// wins every race it answers first, so infection persists at scale.
+type ScaleRow struct {
+	Nodes int
+	// InfectedHonest counts honest nodes that skipped > 1s forward.
+	InfectedHonest int
+	// FirstInfection is when the first honest node skipped (0 if none).
+	FirstInfection time.Duration
+	// MinAvailability is the worst availability across honest nodes.
+	MinAvailability float64
+	// TARefsPerNode is the mean TA reference count across honest nodes
+	// (peer redundancy should keep it low at every size).
+	TARefsPerNode float64
+}
+
+// Summary renders the row.
+func (r ScaleRow) Summary() string {
+	first := "-"
+	if r.FirstInfection > 0 {
+		first = r.FirstInfection.Round(time.Second).String()
+	}
+	return fmt.Sprintf("n=%2d  infected honest %2d/%2d  first infection %-6s  min honest avail %6.2f%%  TA refs/node %.1f",
+		r.Nodes, r.InfectedHonest, r.Nodes-1, first, r.MinAvailability*100, r.TARefsPerNode)
+}
+
+// RunClusterScale sweeps cluster sizes through the F- scenario with
+// node N compromised and everyone under Triad-like AEXs from the start.
+func RunClusterScale(seed uint64, sizes []int, duration time.Duration) ([]ScaleRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{3, 5, 7, 9}
+	}
+	rows := make([]ScaleRow, 0, len(sizes))
+	for _, n := range sizes {
+		c, err := NewCluster(ClusterConfig{Seed: seed, Nodes: n})
+		if err != nil {
+			return nil, err
+		}
+		for i := range c.Nodes {
+			c.SetEnv(i, EnvTriadLike)
+		}
+		compromised := n - 1
+		c.Net.AttachMiddlebox(attack.NewDelay(attack.DelayConfig{
+			Victim:    c.Nodes[compromised].Addr(),
+			Authority: TAAddr,
+			Mode:      attack.ModeFMinus,
+		}))
+		c.Start()
+		c.RunFor(duration)
+
+		row := ScaleRow{Nodes: n, MinAvailability: 1}
+		var taSum float64
+		for i := 0; i < n-1; i++ {
+			infected := false
+			for _, p := range c.Drift[i].Available() {
+				if p.DriftSeconds > 1 {
+					infected = true
+					at := time.Duration(p.RefSeconds * float64(time.Second))
+					if row.FirstInfection == 0 || at < row.FirstInfection {
+						row.FirstInfection = at
+					}
+					break
+				}
+			}
+			if infected {
+				row.InfectedHonest++
+			}
+			row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
+			taSum += float64(c.Nodes[i].TAReferences())
+		}
+		row.TARefsPerNode = taSum / float64(n-1)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

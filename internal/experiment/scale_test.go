@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClusterScaleInfectionPersists(t *testing.T) {
+	rows, err := RunClusterScale(41, []int{3, 5, 7}, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The single fast clock drags most of the cluster at any size:
+		// the adopt-the-highest policy has no majority dampening.
+		if r.InfectedHonest == 0 {
+			t.Errorf("n=%d: no honest node infected — propagation should persist at scale", r.Nodes)
+		}
+		if r.MinAvailability < 0.95 {
+			t.Errorf("n=%d: min availability %v", r.Nodes, r.MinAvailability)
+		}
+		if !strings.Contains(r.Summary(), "infected honest") {
+			t.Error("summary malformed")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeedSweepStability(t *testing.T) {
+	res, err := RunSeedSweep(100, 4, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 4 {
+		t.Fatalf("seeds = %d", res.Seeds)
+	}
+	// The paper's qualitative claims hold for every seed: the minimum
+	// is the load-bearing statistic.
+	if res.Availability.Min < 0.97 {
+		t.Errorf("worst-seed availability = %v", res.Availability.Min)
+	}
+	if res.FCalibErrPPM.Max > 1000 {
+		t.Errorf("worst-seed F_calib error = %vppm", res.FCalibErrPPM.Max)
+	}
+	if !strings.Contains(res.Summary(), "seed sweep") {
+		t.Error("summary malformed")
+	}
+}
+
+func TestAttackLatencyContrast(t *testing.T) {
+	rows, err := RunAttackLatency(9, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	orig, hard := rows[0], rows[1]
+	// The original protocol's compromised node keeps "serving"
+	// (corrupted) time at high availability...
+	if orig.CompromisedFirstTry < 0.9 {
+		t.Errorf("original compromised first-try = %v, want high (silent corruption)", orig.CompromisedFirstTry)
+	}
+	// ...the hardened one's attack surface turns into visible
+	// unavailability instead.
+	if hard.CompromisedFirstTry > 0.5 {
+		t.Errorf("hardened compromised first-try = %v, want low (visible DoS)", hard.CompromisedFirstTry)
+	}
+	// Honest nodes serve well under both.
+	if orig.HonestFirstTry < 0.9 || hard.HonestFirstTry < 0.9 {
+		t.Errorf("honest first-try = %v / %v", orig.HonestFirstTry, hard.HonestFirstTry)
+	}
+}

@@ -1,0 +1,110 @@
+// Package marzullo implements Marzullo's interval-intersection
+// algorithm (Marzullo & Owicki, 1983), the classic building block of
+// clock-selection in NTP-style synchronization.
+//
+// Given per-clock confidence intervals t_i ± e_i, the algorithm finds
+// the interval covered by the largest number of clocks. Clocks whose
+// intervals contain that intersection are "true-chimers"; the rest are
+// "false-tickers". The paper's Section V proposes exactly this to stop
+// a compromised fast clock from dragging honest Triad nodes: a peer
+// timestamp is only trusted if it is consistent with a majority clique
+// of clocks.
+package marzullo
+
+import "sort"
+
+// Interval is one clock's confidence interval [Lo, Hi] (inclusive), in
+// nanoseconds of reference time.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Valid reports whether the interval is non-empty.
+func (iv Interval) Valid() bool { return iv.Lo <= iv.Hi }
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t int64) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// Overlaps reports whether two intervals share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Midpoint returns the interval's midpoint (the consensus timestamp a
+// caller typically adopts).
+func (iv Interval) Midpoint() int64 {
+	// Average without overflow.
+	return iv.Lo + (iv.Hi-iv.Lo)/2
+}
+
+// Intersect finds the interval covered by the maximum number of input
+// intervals and that count. Invalid (empty) intervals are ignored. With
+// no valid inputs it returns count 0.
+//
+// Ties are resolved toward the earliest such interval, matching the
+// original algorithm's sweep order.
+func Intersect(intervals []Interval) (Interval, int) {
+	type edge struct {
+		at    int64
+		delta int // +1 = interval opens, -1 = interval closes (after at)
+	}
+	edges := make([]edge, 0, 2*len(intervals))
+	for _, iv := range intervals {
+		if !iv.Valid() {
+			continue
+		}
+		edges = append(edges, edge{at: iv.Lo, delta: +1}, edge{at: iv.Hi, delta: -1})
+	}
+	if len(edges) == 0 {
+		return Interval{}, 0
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Opens before closes at the same point: intervals are closed,
+		// so touching endpoints count as overlap.
+		return edges[i].delta > edges[j].delta
+	})
+	best, bestCount := Interval{}, 0
+	count := 0
+	for i, e := range edges {
+		count += e.delta
+		if count > bestCount {
+			bestCount = count
+			best.Lo = e.at
+			// The region of this coverage extends to the next edge.
+			if i+1 < len(edges) {
+				best.Hi = edges[i+1].at
+			} else {
+				best.Hi = e.at
+			}
+		}
+	}
+	return best, bestCount
+}
+
+// TrueChimers returns the indices of the intervals consistent with the
+// best intersection (those that overlap it). With no valid inputs it
+// returns nil.
+func TrueChimers(intervals []Interval) []int {
+	best, count := Intersect(intervals)
+	if count == 0 {
+		return nil
+	}
+	var out []int
+	for i, iv := range intervals {
+		if iv.Valid() && iv.Overlaps(best) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MajorityAgrees reports whether the best intersection is supported by
+// a strict majority of the n clocks submitted (the honest-majority
+// assumption of Section V).
+func MajorityAgrees(intervals []Interval, n int) (Interval, bool) {
+	best, count := Intersect(intervals)
+	return best, count*2 > n
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"triadtime/internal/core"
+	"triadtime/internal/simtime"
+)
+
+func TestDriftSeriesAvailableFiltersStates(t *testing.T) {
+	var s DriftSeries
+	s.Add(DriftPoint{RefSeconds: 1, DriftSeconds: 0.1, State: core.StateOK})
+	s.Add(DriftPoint{RefSeconds: 2, DriftSeconds: 0.2, State: core.StateTainted})
+	s.Add(DriftPoint{RefSeconds: 3, DriftSeconds: 0.3, State: core.StateOK})
+	got := s.Available()
+	if len(got) != 2 || got[0].RefSeconds != 1 || got[1].RefSeconds != 3 {
+		t.Errorf("Available() = %v", got)
+	}
+}
+
+func TestDriftRatePerSecond(t *testing.T) {
+	var s DriftSeries
+	// Drift growing at -91ms/s (the paper's F+ rate).
+	for i := 0; i <= 10; i++ {
+		s.Add(DriftPoint{
+			RefSeconds:   float64(i),
+			DriftSeconds: -0.091 * float64(i),
+			State:        core.StateOK,
+		})
+	}
+	rate, ok := s.DriftRatePerSecond(0, 10)
+	if !ok || math.Abs(rate+0.091) > 1e-9 {
+		t.Errorf("rate = %v ok=%v, want -0.091", rate, ok)
+	}
+	// Range with < 2 samples.
+	if _, ok := s.DriftRatePerSecond(100, 200); ok {
+		t.Error("empty range should report !ok")
+	}
+}
+
+func TestDriftRateIgnoresUnavailableSamples(t *testing.T) {
+	var s DriftSeries
+	for i := 0; i <= 10; i++ {
+		st := core.StateOK
+		drift := 0.001 * float64(i)
+		if i%2 == 1 {
+			st = core.StateTainted
+			drift = 99 // garbage while tainted
+		}
+		s.Add(DriftPoint{RefSeconds: float64(i), DriftSeconds: drift, State: st})
+	}
+	rate, ok := s.DriftRatePerSecond(0, 10)
+	if !ok || math.Abs(rate-0.001) > 1e-9 {
+		t.Errorf("rate = %v, want 0.001 (tainted samples excluded)", rate)
+	}
+}
+
+func at(d time.Duration) simtime.Instant { return simtime.FromDuration(d) }
+
+func TestTimelineSegmentsAndAvailability(t *testing.T) {
+	var tl StateTimeline
+	tl.Record(at(0), core.StateFullCalib)
+	tl.Record(at(10*time.Second), core.StateOK)
+	tl.Record(at(60*time.Second), core.StateTainted)
+	tl.Record(at(61*time.Second), core.StateOK)
+
+	segs := tl.Segments(at(0), at(100*time.Second))
+	want := []Segment{
+		{at(0), at(10 * time.Second), core.StateFullCalib},
+		{at(10 * time.Second), at(60 * time.Second), core.StateOK},
+		{at(60 * time.Second), at(61 * time.Second), core.StateTainted},
+		{at(61 * time.Second), at(100 * time.Second), core.StateOK},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %+v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	avail := tl.Availability(at(0), at(100*time.Second))
+	if math.Abs(avail-0.89) > 1e-9 {
+		t.Errorf("availability = %v, want 0.89", avail)
+	}
+}
+
+func TestTimelineMidWindow(t *testing.T) {
+	var tl StateTimeline
+	tl.Record(at(0), core.StateOK)
+	tl.Record(at(50*time.Second), core.StateTainted)
+	// Window starting inside the OK period.
+	avail := tl.Availability(at(40*time.Second), at(60*time.Second))
+	if math.Abs(avail-0.5) > 1e-9 {
+		t.Errorf("availability = %v, want 0.5", avail)
+	}
+	// Degenerate windows.
+	if tl.Availability(at(5*time.Second), at(5*time.Second)) != 0 {
+		t.Error("zero-length window should report 0")
+	}
+}
+
+func TestTimelineBeforeFirstChangeIsInit(t *testing.T) {
+	var tl StateTimeline
+	tl.Record(at(10*time.Second), core.StateOK)
+	segs := tl.Segments(at(0), at(20*time.Second))
+	if len(segs) != 2 || segs[0].State != core.StateInit || segs[1].State != core.StateOK {
+		t.Errorf("segments = %+v", segs)
+	}
+}
+
+func TestTimelineOutOfOrderPanics(t *testing.T) {
+	var tl StateTimeline
+	tl.Record(at(10*time.Second), core.StateOK)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Record should panic")
+		}
+	}()
+	tl.Record(at(5*time.Second), core.StateTainted)
+}
+
+func TestTimelineChangesCopy(t *testing.T) {
+	var tl StateTimeline
+	tl.Record(at(1*time.Second), core.StateOK)
+	ch := tl.Changes()
+	ch[0].State = core.StateTainted
+	if tl.Changes()[0].State != core.StateOK {
+		t.Error("Changes() exposed internal storage")
+	}
+}
+
+func TestCountSeriesFinal(t *testing.T) {
+	var s CountSeries
+	if s.Final() != 0 {
+		t.Error("empty Final should be 0")
+	}
+	s.Add(CountPoint{RefSeconds: 1, Count: 2})
+	s.Add(CountPoint{RefSeconds: 2, Count: 5})
+	if s.Final() != 5 {
+		t.Errorf("Final = %d", s.Final())
+	}
+}
+
+func TestWriteDriftCSV(t *testing.T) {
+	s1 := &DriftSeries{Node: "node1"}
+	s1.Add(DriftPoint{RefSeconds: 1, DriftSeconds: 0.001, State: core.StateOK})
+	s1.Add(DriftPoint{RefSeconds: 2, DriftSeconds: 0.002, State: core.StateTainted})
+	s2 := &DriftSeries{Node: "node2"}
+	s2.Add(DriftPoint{RefSeconds: 1, DriftSeconds: -0.001, State: core.StateOK})
+	var b strings.Builder
+	if err := WriteDriftCSV(&b, []*DriftSeries{s1, s2}); err != nil {
+		t.Fatalf("WriteDriftCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "ref_seconds,drift_s_node1,drift_s_node2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[1] != "1.000,0.001000,-0.001000" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Tainted sample -> empty cell; node2 has no sample at t=2.
+	if lines[2] != "2.000,," {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCountCSV(t *testing.T) {
+	s1 := &CountSeries{Node: "node1"}
+	s1.Add(CountPoint{RefSeconds: 1, Count: 1})
+	s1.Add(CountPoint{RefSeconds: 2, Count: 2})
+	s2 := &CountSeries{Node: "node2"}
+	s2.Add(CountPoint{RefSeconds: 1, Count: 0})
+	var b strings.Builder
+	if err := WriteCountCSV(&b, []*CountSeries{s1, s2}); err != nil {
+		t.Fatalf("WriteCountCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "ref_seconds,count_node1,count_node2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1.000,1,0" || lines[2] != "2.000,2," {
+		t.Errorf("rows = %q", lines[1:])
+	}
+}

@@ -1,0 +1,340 @@
+// Package ntpdisc implements an NTP-style clock discipline loop: the
+// "mature synchronization protocol" the paper's Section V recommends
+// over Triad's short-window calibration, and the yardstick its §IV-A.2
+// drift discussion quotes (standard allowed drift-rate 15ppm, drift
+// measured over long 2^τ-second windows, τ ∈ [4,17], versus Triad's
+// effective ~110ppm from ≤1s measurement windows).
+//
+// The client polls the Time Authority periodically, pushes each
+// (offset, delay) sample through an NTP-like clock filter (an 8-stage
+// shift register selecting the minimum-delay sample, which suppresses
+// delay spikes — including attacker-injected ones), and disciplines a
+// local clock in frequency and phase with NTP's clamps: ±500ppm
+// frequency envelope, 128ms step threshold.
+package ntpdisc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"triadtime/internal/enclave"
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// NTP-standard constants the discipline respects.
+const (
+	// MaxFreqPPM is NTP's maximum tolerated frequency error (±500ppm).
+	MaxFreqPPM = 500
+	// StepThreshold is the offset beyond which the clock steps instead
+	// of slewing (NTP: 128ms).
+	StepThreshold = 128 * time.Millisecond
+	// StandardDriftPPM is the standard allowed residual drift-rate the
+	// paper quotes: 15ppm (1.3s/day).
+	StandardDriftPPM = 15
+	// filterDepth is the clock-filter shift register size.
+	filterDepth = 8
+)
+
+// Config parameterizes the discipline.
+type Config struct {
+	// Key is the cluster's pre-shared AES-256 key.
+	Key []byte
+	// Addr is this client's wire identity.
+	Addr simnet.Addr
+	// Authority is the Time Authority's address.
+	Authority simnet.Addr
+	// MinPoll and MaxPoll bound the adaptive poll interval
+	// (NTP: 2^4=16s up to 2^17≈36h). Defaults: 16s and 1024s.
+	MinPoll time.Duration
+	MaxPoll time.Duration
+	// PhaseGain is the fraction of the filtered offset corrected per
+	// poll. Default: 0.5.
+	PhaseGain float64
+	// FreqGain scales frequency corrections. Default: 0.3.
+	FreqGain float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Key) != wire.KeySize {
+		return c, fmt.Errorf("ntpdisc: key must be %d bytes", wire.KeySize)
+	}
+	if c.Addr == c.Authority {
+		return c, fmt.Errorf("ntpdisc: client address equals authority address")
+	}
+	if c.MinPoll <= 0 {
+		c.MinPoll = 16 * time.Second
+	}
+	if c.MaxPoll < c.MinPoll {
+		c.MaxPoll = 1024 * time.Second
+	}
+	if c.PhaseGain <= 0 || c.PhaseGain > 1 {
+		c.PhaseGain = 0.5
+	}
+	if c.FreqGain <= 0 || c.FreqGain > 1 {
+		c.FreqGain = 0.3
+	}
+	return c, nil
+}
+
+// sample is one poll's measurement.
+type sample struct {
+	offset time.Duration // authority time minus local time at receive
+	delay  time.Duration // roundtrip
+	seq    uint64
+}
+
+// Client is the disciplined clock.
+type Client struct {
+	cfg      Config
+	platform enclave.Platform
+	sealer   *wire.Sealer
+	opener   *wire.Opener
+
+	// Disciplined clock: now = refNanos + (tsc-refTSC)/rate * 1e9.
+	refNanos int64
+	refTSC   uint64
+	rate     float64 // ticks per second, bootHz adjusted by corrPPM
+	corrPPM  float64
+	synced   bool
+
+	poll       time.Duration
+	stableRuns int
+
+	filter []sample
+
+	pendingSeq uint64
+	sentTSC    uint64
+	timer      enclave.CancelFunc
+
+	polls, steps, slews, spikes int
+	lastOffset                  time.Duration
+	started                     bool
+}
+
+// NewClient creates a discipline client on the platform. Call Start.
+// The client installs itself as the platform's message handler; it is
+// a standalone time client, not a Triad cluster member.
+func NewClient(platform enclave.Platform, cfg Config) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sealer, err := wire.NewSealer(cfg.Key, uint32(cfg.Addr))
+	if err != nil {
+		return nil, fmt.Errorf("ntpdisc: %w", err)
+	}
+	opener, err := wire.NewOpener(cfg.Key)
+	if err != nil {
+		return nil, fmt.Errorf("ntpdisc: %w", err)
+	}
+	c := &Client{
+		cfg:      cfg,
+		platform: platform,
+		sealer:   sealer,
+		opener:   opener,
+		rate:     platform.BootTSCHz(),
+		poll:     cfg.MinPoll,
+	}
+	platform.SetMessageHandler(c.onDatagram)
+	return c, nil
+}
+
+// Start begins polling. Idempotent.
+func (c *Client) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.sendPoll()
+}
+
+// Synced reports whether the clock has been set at least once.
+func (c *Client) Synced() bool { return c.synced }
+
+// Now reads the disciplined clock (authority timeline). ok is false
+// before the first synchronization.
+func (c *Client) Now() (int64, bool) {
+	if !c.synced {
+		return 0, false
+	}
+	return c.now(), true
+}
+
+func (c *Client) now() int64 {
+	tsc := c.platform.ReadTSC()
+	if tsc < c.refTSC {
+		return c.refNanos
+	}
+	return c.refNanos + int64(float64(tsc-c.refTSC)/c.rate*1e9)
+}
+
+// FreqCorrectionPPM reports the accumulated frequency correction.
+func (c *Client) FreqCorrectionPPM() float64 { return c.corrPPM }
+
+// PollInterval reports the current (adaptive) poll interval.
+func (c *Client) PollInterval() time.Duration { return c.poll }
+
+// Stats reports poll/step/slew/spike counters.
+func (c *Client) Stats() (polls, steps, slews, spikes int) {
+	return c.polls, c.steps, c.slews, c.spikes
+}
+
+// LastOffset reports the most recent filtered offset applied.
+func (c *Client) LastOffset() time.Duration { return c.lastOffset }
+
+func (c *Client) ticksFor(d time.Duration) uint64 {
+	return uint64(d.Seconds() * c.platform.BootTSCHz())
+}
+
+// sendPoll issues one authority exchange and schedules the retry/next.
+func (c *Client) sendPoll() {
+	c.polls++
+	c.pendingSeq = uint64(c.polls)
+	c.sentTSC = c.platform.ReadTSC()
+	c.platform.Send(c.cfg.Authority, c.sealer.Seal(wire.Message{
+		Kind: wire.KindTimeRequest,
+		Seq:  c.pendingSeq,
+	}))
+	// If the response never arrives, poll again after the interval.
+	c.timer = c.platform.AfterTicks(c.ticksFor(c.poll), func() {
+		c.timer = nil
+		c.pendingSeq = 0
+		c.sendPoll()
+	})
+}
+
+func (c *Client) onDatagram(_ simnet.Addr, payload []byte) {
+	msg, sender, err := c.opener.Open(payload)
+	if err != nil || msg.Kind != wire.KindTimeResponse {
+		return
+	}
+	if simnet.Addr(sender) != c.cfg.Authority || msg.Seq != c.pendingSeq {
+		return
+	}
+	if c.timer != nil {
+		c.timer()
+		c.timer = nil
+	}
+	c.pendingSeq = 0
+	recvTSC := c.platform.ReadTSC()
+	rttNanos := float64(recvTSC-c.sentTSC) / c.rate * 1e9
+	delay := time.Duration(rttNanos)
+	var offset time.Duration
+	if c.synced {
+		local := c.now()
+		offset = time.Duration(msg.TimeNanos + int64(rttNanos/2) - local)
+	}
+	if !c.synced {
+		// First exchange: step directly onto the authority timeline.
+		c.refNanos = msg.TimeNanos + int64(rttNanos/2)
+		c.refTSC = recvTSC
+		c.synced = true
+		c.steps++
+	} else {
+		c.applySample(sample{offset: offset, delay: delay, seq: uint64(c.polls)})
+	}
+	// Next poll after the (possibly adapted) interval.
+	c.timer = c.platform.AfterTicks(c.ticksFor(c.poll), func() {
+		c.timer = nil
+		c.sendPoll()
+	})
+}
+
+// applySample pushes the measurement through the clock filter and, if
+// it survives, disciplines the clock.
+func (c *Client) applySample(s sample) {
+	c.filter = append(c.filter, s)
+	if len(c.filter) > filterDepth {
+		c.filter = c.filter[1:]
+	}
+	// NTP clock filter: only act when the newest sample is the
+	// minimum-delay sample of the register — a delayed (possibly
+	// attacker-held) response never disciplines the clock.
+	best := c.filter[0]
+	for _, f := range c.filter[1:] {
+		if f.delay < best.delay {
+			best = f
+		}
+	}
+	if best.seq != s.seq {
+		c.spikes++
+		c.adaptPoll(s.offset)
+		return
+	}
+	offset := s.offset
+	if offset > StepThreshold || offset < -StepThreshold {
+		// Step: re-anchor and restart the filter.
+		c.refNanos = c.now() + int64(offset)
+		c.refTSC = c.platform.ReadTSC()
+		c.filter = nil
+		c.steps++
+		c.adaptPoll(offset)
+		c.lastOffset = offset
+		return
+	}
+	// Slew. Frequency: the residual offset accumulated over one poll
+	// interval estimates the rate error; correct a fraction of it.
+	offPPM := offset.Seconds() / c.poll.Seconds() * 1e6
+	c.corrPPM += c.cfg.FreqGain * offPPM
+	if c.corrPPM > MaxFreqPPM {
+		c.corrPPM = MaxFreqPPM
+	}
+	if c.corrPPM < -MaxFreqPPM {
+		c.corrPPM = -MaxFreqPPM
+	}
+	// Phase: correct a fraction of the offset now. Rebase so the rate
+	// change does not retroactively bend history.
+	nowNanos := c.now()
+	c.refNanos = nowNanos + int64(c.cfg.PhaseGain*float64(offset))
+	c.refTSC = c.platform.ReadTSC()
+	// A positive offset means the authority is ahead: our clock runs
+	// slow, so its effective rate (ticks per authority second) is
+	// lower than we thought.
+	c.rate = c.platform.BootTSCHz() * (1 - c.corrPPM*1e-6)
+	c.slews++
+	c.lastOffset = offset
+	c.adaptPoll(offset)
+}
+
+// adaptPoll widens the poll interval while the clock is stable and
+// narrows it when offsets grow — NTP's 2^τ adaptation in miniature.
+func (c *Client) adaptPoll(offset time.Duration) {
+	abs := offset
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs < time.Millisecond:
+		c.stableRuns++
+		if c.stableRuns >= 3 && c.poll < c.cfg.MaxPoll {
+			c.poll *= 2
+			if c.poll > c.cfg.MaxPoll {
+				c.poll = c.cfg.MaxPoll
+			}
+			c.stableRuns = 0
+		}
+	case abs > 10*time.Millisecond:
+		c.stableRuns = 0
+		if c.poll > c.cfg.MinPoll {
+			c.poll /= 2
+			if c.poll < c.cfg.MinPoll {
+				c.poll = c.cfg.MinPoll
+			}
+		}
+	default:
+		c.stableRuns = 0
+	}
+}
+
+// DriftRatePPM estimates the clock's current residual drift rate from
+// the frequency correction trajectory — a convenience for experiments.
+func (c *Client) DriftRatePPM(trueRateHz float64) float64 {
+	if !c.synced {
+		return math.NaN()
+	}
+	// rate is ticks per authority-second the client assumes; the true
+	// rate is what the hardware does. Residual drift is the mismatch.
+	return (trueRateHz - c.rate) / trueRateHz * 1e6
+}

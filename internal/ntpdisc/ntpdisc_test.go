@@ -1,0 +1,224 @@
+package ntpdisc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"triadtime/internal/authority"
+	"triadtime/internal/enclave"
+	"triadtime/internal/sim"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+	"triadtime/internal/wire"
+)
+
+const taAddr simnet.Addr = 100
+
+func testKey() []byte {
+	key := make([]byte, wire.KeySize)
+	for i := range key {
+		key[i] = byte(i + 5)
+	}
+	return key
+}
+
+// rig builds a scheduler + network + TA + one discipline client whose
+// hardware TSC runs at trueHz while the boot hint claims hintHz.
+func rig(t *testing.T, trueHz, hintHz float64, link simnet.Link, tweak func(*Config)) (*sim.Scheduler, *Client) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(321)
+	network := simnet.New(sched, rng.Fork(0), link)
+	if _, err := authority.NewSimBinding(sched, network, testKey(), taAddr); err != nil {
+		t.Fatal(err)
+	}
+	platform := enclave.NewSimPlatform(sched, rng.Fork(1), network, enclave.SimConfig{
+		Addr:      1,
+		TSC:       simtime.NewTSC(trueHz, 0),
+		BootTSCHz: hintHz,
+	})
+	cfg := Config{Key: testKey(), Addr: 1, Authority: taAddr}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	client, err := NewClient(platform, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Start()
+	client.Start() // idempotent
+	return sched, client
+}
+
+func TestConfigValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	network := simnet.New(sched, sim.NewRNG(1), simnet.Link{})
+	p := enclave.NewSimPlatform(sched, sim.NewRNG(2), network, enclave.SimConfig{
+		Addr: 1, TSC: simtime.NewTSC(1e9, 0),
+	})
+	if _, err := NewClient(p, Config{Key: []byte("x"), Addr: 1, Authority: 2}); err == nil {
+		t.Error("bad key accepted")
+	}
+	if _, err := NewClient(p, Config{Key: testKey(), Addr: 2, Authority: 2}); err == nil {
+		t.Error("self authority accepted")
+	}
+}
+
+func TestFirstExchangeSteps(t *testing.T) {
+	sched, c := rig(t, simtime.NominalTSCHz, simtime.NominalTSCHz, simnet.Link{Base: 100 * time.Microsecond}, nil)
+	if _, ok := c.Now(); ok {
+		t.Error("clock readable before first sync")
+	}
+	sched.RunUntil(simtime.FromSeconds(1))
+	now, ok := c.Now()
+	if !ok || !c.Synced() {
+		t.Fatal("client never synced")
+	}
+	if off := time.Duration(now - int64(sched.Now())); off < -time.Millisecond || off > time.Millisecond {
+		t.Errorf("clock off by %v right after first sync", off)
+	}
+	if _, steps, _, _ := c.Stats(); steps != 1 {
+		t.Errorf("steps = %d, want 1", steps)
+	}
+}
+
+func TestDisciplineConvergesBelowStandardDrift(t *testing.T) {
+	// Hardware runs 100ppm fast relative to the boot hint (a typical
+	// crystal error and the order of Triad's calibration error). The
+	// discipline must pull residual drift under NTP's 15ppm standard.
+	trueHz := simtime.NominalTSCHz * (1 + 100e-6)
+	sched, c := rig(t, trueHz, simtime.NominalTSCHz, simnet.DefaultLink(), nil)
+	sched.RunUntil(simtime.FromDuration(2 * time.Hour))
+
+	if got := math.Abs(c.DriftRatePPM(trueHz)); got > StandardDriftPPM {
+		t.Errorf("residual drift = %.1fppm, want < %dppm", got, StandardDriftPPM)
+	}
+	now, _ := c.Now()
+	if off := time.Duration(now - int64(sched.Now())); off < -5*time.Millisecond || off > 5*time.Millisecond {
+		t.Errorf("steady-state offset = %v", off)
+	}
+	// Frequency correction should have learned ~+100ppm (clock slow in
+	// tick terms -> fewer ticks per authority second than hinted).
+	if corr := c.FreqCorrectionPPM(); math.Abs(corr-(-100)) > 20 && math.Abs(corr-100) > 20 {
+		t.Errorf("freq correction = %.1fppm, want magnitude ~100ppm", corr)
+	}
+}
+
+func TestPollIntervalWidensWhenStable(t *testing.T) {
+	sched, c := rig(t, simtime.NominalTSCHz, simtime.NominalTSCHz,
+		simnet.Link{Base: 100 * time.Microsecond}, nil)
+	if c.PollInterval() != 16*time.Second {
+		t.Fatalf("initial poll = %v", c.PollInterval())
+	}
+	sched.RunUntil(simtime.FromDuration(time.Hour))
+	if c.PollInterval() <= 16*time.Second {
+		t.Errorf("poll interval never widened: %v", c.PollInterval())
+	}
+}
+
+func TestClockFilterSuppressesDelaySpikes(t *testing.T) {
+	// A middlebox delays every 4th authority response by 50ms. The
+	// min-delay clock filter must keep those samples from disciplining
+	// the clock (they would otherwise inject -25ms offsets).
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(11)
+	network := simnet.New(sched, rng.Fork(0), simnet.Link{Base: 100 * time.Microsecond})
+	if _, err := authority.NewSimBinding(sched, network, testKey(), taAddr); err != nil {
+		t.Fatal(err)
+	}
+	spiker := &everyNth{n: 4, extra: 50 * time.Millisecond, from: taAddr, to: 1}
+	network.AttachMiddlebox(spiker)
+	platform := enclave.NewSimPlatform(sched, rng.Fork(1), network, enclave.SimConfig{
+		Addr: 1, TSC: simtime.NewTSC(simtime.NominalTSCHz, 0),
+	})
+	c, err := NewClient(platform, Config{Key: testKey(), Addr: 1, Authority: taAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	sched.RunUntil(simtime.FromDuration(time.Hour))
+	now, ok := c.Now()
+	if !ok {
+		t.Fatal("never synced")
+	}
+	if off := time.Duration(now - int64(sched.Now())); off < -3*time.Millisecond || off > 3*time.Millisecond {
+		t.Errorf("offset = %v under periodic 50ms spikes (filter failed)", off)
+	}
+	if _, _, _, spikes := c.Stats(); spikes == 0 {
+		t.Error("filter reported no suppressed spikes")
+	}
+}
+
+// everyNth delays every nth matching packet.
+type everyNth struct {
+	n     int
+	extra time.Duration
+	from  simnet.Addr
+	to    simnet.Addr
+	count int
+}
+
+func (m *everyNth) Process(_ simtime.Instant, p simnet.Packet) simnet.Verdict {
+	if p.From != m.from || p.To != m.to {
+		return simnet.Verdict{}
+	}
+	m.count++
+	if m.count%m.n == 0 {
+		return simnet.Verdict{ExtraDelay: m.extra}
+	}
+	return simnet.Verdict{}
+}
+
+func TestLargeOffsetSteps(t *testing.T) {
+	sched, c := rig(t, simtime.NominalTSCHz, simtime.NominalTSCHz,
+		simnet.Link{Base: 100 * time.Microsecond}, nil)
+	sched.RunUntil(simtime.FromDuration(time.Minute))
+	// Yank the local clock a full second off; the next polls must step
+	// it back rather than slew for hours.
+	c.refNanos -= int64(time.Second)
+	sched.RunUntil(sched.Now().Add(5 * time.Minute))
+	now, _ := c.Now()
+	if off := time.Duration(now - int64(sched.Now())); off < -5*time.Millisecond || off > 5*time.Millisecond {
+		t.Errorf("offset = %v after step recovery", off)
+	}
+	if _, steps, _, _ := c.Stats(); steps < 2 {
+		t.Errorf("steps = %d, want >= 2 (initial + recovery)", steps)
+	}
+}
+
+func TestFreqClamp(t *testing.T) {
+	// Hardware 5000ppm off (way outside NTP's envelope): the correction
+	// must clamp at ±500ppm rather than chase it.
+	trueHz := simtime.NominalTSCHz * (1 + 5000e-6)
+	sched, c := rig(t, trueHz, simtime.NominalTSCHz, simnet.Link{Base: 100 * time.Microsecond}, nil)
+	sched.RunUntil(simtime.FromDuration(30 * time.Minute))
+	if corr := math.Abs(c.FreqCorrectionPPM()); corr > MaxFreqPPM+1e-9 {
+		t.Errorf("freq correction %v exceeds the ±%dppm clamp", corr, MaxFreqPPM)
+	}
+}
+
+func TestLostResponsesRetried(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(13)
+	network := simnet.New(sched, rng.Fork(0), simnet.Link{Base: 100 * time.Microsecond, LossProb: 0.5})
+	if _, err := authority.NewSimBinding(sched, network, testKey(), taAddr); err != nil {
+		t.Fatal(err)
+	}
+	platform := enclave.NewSimPlatform(sched, rng.Fork(1), network, enclave.SimConfig{
+		Addr: 1, TSC: simtime.NewTSC(simtime.NominalTSCHz, 0),
+	})
+	c, err := NewClient(platform, Config{Key: testKey(), Addr: 1, Authority: taAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	sched.RunUntil(simtime.FromDuration(time.Hour))
+	if !c.Synced() {
+		t.Fatal("never synced under 50% loss")
+	}
+	now, _ := c.Now()
+	if off := time.Duration(now - int64(sched.Now())); off < -10*time.Millisecond || off > 10*time.Millisecond {
+		t.Errorf("offset = %v under loss", off)
+	}
+}

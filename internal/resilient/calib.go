@@ -1,0 +1,187 @@
+package resilient
+
+import (
+	"triadtime/internal/core"
+	"triadtime/internal/enclave"
+	"triadtime/internal/wire"
+)
+
+// calibState tracks one windowed rate calibration: exchange A, a long
+// TSC wait, exchange B. Rate = elapsed ticks / elapsed TA time. All
+// exchanges are sleep-free and roundtrip-bounded, leaving no timing
+// class for an F+/F- attacker to target and at most 2*RTTBound/window
+// of rate influence.
+type calibState struct {
+	windowSec float64 // current (possibly halved) window
+
+	pendingSeq uint64
+	sentTSC    uint64
+	sentEpoch  uint64
+	timer      enclave.CancelFunc
+
+	// First exchange's anchor, once taken.
+	haveFirst bool
+	t1        int64
+	tsc1      float64
+	waitTimer enclave.CancelFunc
+}
+
+// abort cancels everything in flight, halves the window (AEXs are
+// arriving faster than the window) and restarts from exchange A.
+func (c *calibState) abort(n *Node) {
+	if c.timer != nil {
+		c.timer()
+		c.timer = nil
+	}
+	if c.waitTimer != nil {
+		c.waitTimer()
+		c.waitTimer = nil
+	}
+	c.pendingSeq = 0
+	c.haveFirst = false
+	c.windowSec /= 2
+	if min := n.cfg.MinCalibWindow.Seconds(); c.windowSec < min {
+		c.windowSec = min
+	}
+	n.sendCalibExchange()
+}
+
+// startFullCalibration begins a windowed rate + reference calibration.
+func (n *Node) startFullCalibration() {
+	n.cancelRecovery()
+	n.calib = &calibState{windowSec: n.cfg.CalibWindow.Seconds()}
+	n.sendCalibExchange()
+}
+
+// sendCalibExchange issues one sleep-free TA exchange (A or B according
+// to calib.haveFirst).
+func (n *Node) sendCalibExchange() {
+	c := n.calib
+	c.pendingSeq = n.nextSeq()
+	c.sentTSC = n.platform.ReadTSC()
+	c.sentEpoch = n.aexEpoch
+	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+		Kind: wire.KindTimeRequest,
+		Seq:  c.pendingSeq,
+	}))
+	c.timer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout.Seconds()), func() {
+		c.timer = nil
+		c.pendingSeq = 0
+		n.sendCalibExchange()
+	})
+}
+
+// onCalibResponse validates one exchange and advances the window state
+// machine.
+func (n *Node) onCalibResponse(msg wire.Message) {
+	c := n.calib
+	recvTSC := n.platform.ReadTSC()
+	if c.timer != nil {
+		c.timer()
+		c.timer = nil
+	}
+	c.pendingSeq = 0
+
+	rttTicks := float64(recvTSC - c.sentTSC)
+	boundTicks := n.cfg.RTTBound.Seconds() * n.platform.BootTSCHz()
+	interrupted := n.aexEpoch != c.sentEpoch
+	if interrupted || rttTicks > boundTicks {
+		if rttTicks > boundTicks {
+			n.rttRejections++
+		}
+		// Retry this exchange; a severed window is handled by onAEX.
+		n.sendCalibExchange()
+		return
+	}
+	// The TA read its clock one one-way before our receive: anchor the
+	// reading at the roundtrip midpoint.
+	tscMid := float64(c.sentTSC) + rttTicks/2
+	if !c.haveFirst {
+		c.haveFirst = true
+		c.t1 = msg.TimeNanos
+		c.tsc1 = tscMid
+		c.waitTimer = n.platform.AfterTicks(n.ticksFor(c.windowSec), func() {
+			c.waitTimer = nil
+			n.sendCalibExchange()
+		})
+		return
+	}
+	dt := float64(msg.TimeNanos-c.t1) / 1e9
+	dticks := tscMid - c.tsc1
+	if dt <= 0 || dticks <= 0 {
+		// TA clock anomaly or TSC went backwards: restart outright.
+		n.startFullCalibration()
+		return
+	}
+	n.fCalib = dticks / dt
+	n.adoptReference(msg.TimeNanos, uint64(tscMid))
+	n.calib = nil
+	n.taRefs++
+	if n.events.TAReference != nil {
+		n.events.TAReference()
+	}
+	if n.events.Calibrated != nil {
+		n.events.Calibrated(n.fCalib)
+	}
+	n.setState(core.StateOK)
+}
+
+// startRefCalib re-anchors the reference from a single bounded TA
+// exchange.
+func (n *Node) startRefCalib() {
+	n.setState(core.StateRefCalib)
+	n.sendRefExchange()
+}
+
+func (n *Node) sendRefExchange() {
+	n.refSeq = n.nextSeq()
+	n.refSentTSC = n.platform.ReadTSC()
+	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+		Kind: wire.KindTimeRequest,
+		Seq:  n.refSeq,
+	}))
+	n.refTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout.Seconds()), func() {
+		n.refTimer = nil
+		n.refSeq = 0
+		n.sendRefExchange()
+	})
+}
+
+func (n *Node) onRefCalibResponse(msg wire.Message) {
+	recvTSC := n.platform.ReadTSC()
+	if n.refTimer != nil {
+		n.refTimer()
+		n.refTimer = nil
+	}
+	n.refSeq = 0
+	rttTicks := float64(recvTSC - n.refSentTSC)
+	if rttTicks > n.cfg.RTTBound.Seconds()*n.platform.BootTSCHz() {
+		// Over-delayed (possibly attacker-held): visible retry instead
+		// of silent offset error.
+		n.rttRejections++
+		n.sendRefExchange()
+		return
+	}
+	tscMid := float64(n.refSentTSC) + rttTicks/2
+	n.adoptReference(msg.TimeNanos, uint64(tscMid))
+	n.taRefs++
+	if n.events.TAReference != nil {
+		n.events.TAReference()
+	}
+	n.setState(core.StateOK)
+}
+
+// cancelRecovery clears pending gather/refcalib machinery.
+func (n *Node) cancelRecovery() {
+	if n.gather != nil {
+		if n.gather.timer != nil {
+			n.gather.timer()
+		}
+		n.gather = nil
+	}
+	if n.refTimer != nil {
+		n.refTimer()
+		n.refTimer = nil
+	}
+	n.refSeq = 0
+}

@@ -1,0 +1,158 @@
+// Package resilient implements the hardened Triad variant sketched in
+// the paper's Section V discussion. It differs from the original
+// protocol (internal/core) in four ways, each closing one vulnerability
+// demonstrated in Section IV:
+//
+//  1. Windowed, sleep-free rate calibration. Instead of regressing TSC
+//     increments on requested TA sleeps (the surface the F+/F- timing
+//     side channel attacks), the node takes two immediate-response TA
+//     exchanges separated by a long TSC window and divides elapsed
+//     ticks by elapsed TA time. Every exchange's roundtrip is bounded:
+//     a response slower than RTTBound is discarded, so an attacker can
+//     skew the rate by at most 2*RTTBound/window — O(100ppm) for
+//     multi-second windows instead of the paper's 10%.
+//
+//  2. Round-trip bounding of reference calibration, with the same
+//     effect on offset manipulation: delaying a TA response beyond the
+//     bound turns the attack into visible unavailability, not silent
+//     clock error.
+//
+//  3. True-chimer peer untainting (Marzullo). A tainted node gathers
+//     all peer timestamps, forms consistency intervals, and adopts the
+//     midpoint of the majority intersection — never the maximum. A
+//     single fast compromised clock is disjoint from the honest
+//     majority and gets ignored; without a majority the node falls
+//     back to the Time Authority. This severs the F- propagation of
+//     Figure 6.
+//
+//  4. An in-TCB refresh deadline. The original protocol refreshes only
+//     on attacker-controlled AEXs; the hardened node additionally
+//     self-checks every DeadlineTicks of its own TSC, so a
+//     miscalibrated clock cannot run unchecked arbitrarily long in a
+//     low-AEX environment (the amplifier behind Figure 4).
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triadtime/internal/core"
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// Config parameterizes a hardened node.
+type Config struct {
+	// Key is the cluster's 32-byte pre-shared AES-256 key.
+	Key []byte
+	// Addr is this node's network address and wire sender identity.
+	Addr simnet.Addr
+	// Peers are the other nodes in the cluster.
+	Peers []simnet.Addr
+	// Authority is the Time Authority's address.
+	Authority simnet.Addr
+
+	// CalibWindow is the target TSC window between the two calibration
+	// exchanges, expressed as wall time via the boot hint. Longer
+	// windows dilute attacker-induced delay. An AEX inside the window
+	// aborts it; the node halves the window down to MinCalibWindow and
+	// retries, so calibration completes even under Triad-like AEX
+	// storms. Default: 8s.
+	CalibWindow time.Duration
+	// MinCalibWindow floors the adaptive halving. Default: 500ms.
+	MinCalibWindow time.Duration
+	// RTTBound rejects any TA exchange whose roundtrip exceeds it.
+	// Default: 5ms.
+	RTTBound time.Duration
+	// PeerTimeout is how long a tainted node gathers peer responses
+	// before deciding. Default: 20ms.
+	PeerTimeout time.Duration
+	// TATimeout bounds the wait for a TA response. Default: 250ms.
+	TATimeout time.Duration
+
+	// ErrBudget is the half-width of the consistency interval assigned
+	// to each clock reading when intersecting (own drift since last
+	// sync + peer drift + network). Default: 50ms.
+	ErrBudget time.Duration
+	// DeadlineTicks is the in-TCB self-check period in guest TSC ticks.
+	// Zero defaults to ~2s of ticks via the boot hint at node creation.
+	// Set to a negative sentinel via DisableDeadline instead of zero.
+	DeadlineTicks uint64
+	// DisableDeadline turns off the in-TCB refresh deadline (ablation).
+	DisableDeadline bool
+	// DisableChimerFilter makes peer untainting behave like the
+	// original protocol (adopt-if-higher, first response) — for
+	// ablation benchmarks.
+	DisableChimerFilter bool
+	// EnableGossip turns on true-chimer report gossip (§V): peers
+	// accredited by a majority of published views can untaint a node
+	// single-handedly, reducing Time Authority reliance. Node
+	// identities must be <= 64 for the report bitmask.
+	EnableGossip bool
+
+	// MonitorTicks / MonitorTolerance / DisableMonitor mirror the
+	// original node's INC monitoring configuration. The hardened node
+	// runs the frequency-independent memory monitor by default;
+	// DisableMemMonitor turns it off (ablation).
+	MonitorTicks      uint64
+	MonitorTolerance  float64
+	DisableMonitor    bool
+	DisableMemMonitor bool
+
+	// Events are optional observation hooks (shared with core).
+	Events core.Events
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultCalibWindow    = 8 * time.Second
+	DefaultMinCalibWindow = 500 * time.Millisecond
+	DefaultRTTBound       = 5 * time.Millisecond
+	DefaultPeerTimeout    = 20 * time.Millisecond
+	DefaultTATimeout      = 250 * time.Millisecond
+	DefaultErrBudget      = 50 * time.Millisecond
+	DefaultDeadline       = 2 * time.Second
+)
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Key) != wire.KeySize {
+		return c, fmt.Errorf("resilient: key must be %d bytes, got %d", wire.KeySize, len(c.Key))
+	}
+	if c.Authority == c.Addr {
+		return c, errors.New("resilient: node address equals authority address")
+	}
+	for _, p := range c.Peers {
+		if p == c.Addr {
+			return c, errors.New("resilient: node lists itself as a peer")
+		}
+	}
+	if c.CalibWindow <= 0 {
+		c.CalibWindow = DefaultCalibWindow
+	}
+	if c.MinCalibWindow <= 0 {
+		c.MinCalibWindow = DefaultMinCalibWindow
+	}
+	if c.MinCalibWindow > c.CalibWindow {
+		c.MinCalibWindow = c.CalibWindow
+	}
+	if c.RTTBound <= 0 {
+		c.RTTBound = DefaultRTTBound
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = DefaultPeerTimeout
+	}
+	if c.TATimeout <= 0 {
+		c.TATimeout = DefaultTATimeout
+	}
+	if c.ErrBudget <= 0 {
+		c.ErrBudget = DefaultErrBudget
+	}
+	if c.MonitorTicks == 0 {
+		c.MonitorTicks = core.DefaultMonitorTicks
+	}
+	if c.MonitorTolerance <= 0 {
+		c.MonitorTolerance = core.DefaultMonitorTolerance
+	}
+	return c, nil
+}

@@ -1,0 +1,119 @@
+package resilient
+
+import (
+	"time"
+
+	"triadtime/internal/wire"
+)
+
+// True-chimer gossip (paper §V): each hardened node publishes which
+// cluster members it currently considers true-chimers, learned from
+// interval-consistency evidence during untainting and probes. A peer
+// accredited by a strict majority of reporters may untaint a node on
+// its own — peers' consistency testimony substitutes for a same-moment
+// majority — so the cluster relies on the Time Authority less often,
+// without ever accrediting a lone fast clock (honest observers mark it
+// a false-ticker, and its self-serving report is one vote).
+
+// maxGossipID is the highest node identity representable in the
+// report's 64-bit chimer bitmask.
+const maxGossipID = 64
+
+// gossipState is the node's chimer bookkeeping.
+type gossipState struct {
+	// own is this node's view: bit id-1 set = node id seen consistent.
+	own uint64
+	// views holds the latest report bitmask per reporter identity.
+	views map[uint32]uint64
+	// lastTA is the freshest TA-anchored timestamp per reporter (the
+	// §V credibility signal; currently informational).
+	lastTA map[uint32]int64
+
+	sent, received, adoptions int
+}
+
+func bitFor(id uint32) uint64 {
+	if id == 0 || id > maxGossipID {
+		return 0
+	}
+	return 1 << (id - 1)
+}
+
+// markChimer records consistency evidence about a peer.
+func (n *Node) markChimer(id uint32, consistent bool) {
+	if !n.cfg.EnableGossip {
+		return
+	}
+	bit := bitFor(id)
+	if bit == 0 {
+		return
+	}
+	if consistent {
+		n.gossip.own |= bit
+	} else {
+		n.gossip.own &^= bit
+	}
+}
+
+// broadcastChimerReport publishes the current view to all peers. It
+// rides the in-TCB deadline, so views refresh at probe cadence.
+func (n *Node) broadcastChimerReport() {
+	if !n.cfg.EnableGossip || len(n.cfg.Peers) == 0 {
+		return
+	}
+	n.gossip.sent++
+	for _, p := range n.cfg.Peers {
+		n.platform.Send(p, n.sealer.Seal(wire.Message{
+			Kind:      wire.KindChimerReport,
+			Seq:       uint64(n.gossip.sent),
+			Sleep:     time.Duration(n.refNanos), // latest TA-anchored time
+			TimeNanos: int64(n.gossip.own),
+		}))
+	}
+}
+
+// onChimerReport ingests a peer's published view.
+func (n *Node) onChimerReport(from uint32, msg wire.Message) {
+	if !n.cfg.EnableGossip {
+		return
+	}
+	if n.gossip.views == nil {
+		n.gossip.views = make(map[uint32]uint64)
+		n.gossip.lastTA = make(map[uint32]int64)
+	}
+	n.gossip.views[from] = uint64(msg.TimeNanos)
+	n.gossip.lastTA[from] = int64(msg.Sleep)
+	n.gossip.received++
+}
+
+// accredited reports whether a strict majority of the cluster's
+// reporters (this node plus every peer view received) currently marks
+// id as a true-chimer.
+func (n *Node) accredited(id uint32) bool {
+	if !n.cfg.EnableGossip {
+		return false
+	}
+	bit := bitFor(id)
+	if bit == 0 {
+		return false
+	}
+	clusterSize := len(n.cfg.Peers) + 1
+	votes := 0
+	if n.gossip.own&bit != 0 {
+		votes++
+	}
+	for reporter, view := range n.gossip.views {
+		if reporter == id {
+			continue // no self-accreditation: the §V credibility rule
+		}
+		if view&bit != 0 {
+			votes++
+		}
+	}
+	return votes*2 > clusterSize
+}
+
+// GossipStats reports (reportsSent, reportsReceived, untaintsViaGossip).
+func (n *Node) GossipStats() (sent, received, adoptions int) {
+	return n.gossip.sent, n.gossip.received, n.gossip.adoptions
+}

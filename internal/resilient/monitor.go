@@ -1,0 +1,36 @@
+package resilient
+
+import (
+	"triadtime/internal/core"
+	"triadtime/internal/enclave"
+)
+
+// Rate monitoring is shared with the original protocol (the enclave's
+// RateMonitor): INC counting cross-checks the TSC at fixed core
+// frequency, and the hardened node enables the frequency-independent
+// memory monitor by default, so a DVFS-masked TSC scaling is caught
+// too.
+
+func (n *Node) startMonitor() {
+	n.monitor = enclave.NewRateMonitor(n.platform, enclave.MonitorConfig{
+		INCTicks:      n.cfg.MonitorTicks,
+		INCTol:        n.cfg.MonitorTolerance,
+		EnableMem:     !n.cfg.DisableMemMonitor,
+		OnDiscrepancy: n.onTSCDiscrepancy,
+	})
+	n.monitor.Start()
+}
+
+func (n *Node) onTSCDiscrepancy(rel float64) {
+	if n.events.Discrepancy != nil {
+		n.events.Discrepancy(rel)
+	}
+	n.monitor.Reset()
+	if n.state == core.StateFullCalib {
+		return
+	}
+	n.cancelProbe()
+	n.cancelRecovery()
+	n.setState(core.StateFullCalib)
+	n.startFullCalibration()
+}

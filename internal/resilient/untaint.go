@@ -1,0 +1,351 @@
+package resilient
+
+import (
+	"triadtime/internal/core"
+	"triadtime/internal/enclave"
+	"triadtime/internal/marzullo"
+	"triadtime/internal/wire"
+)
+
+// peerSample is one peer's timestamp gathered during recovery or a
+// self-check probe. The arrival TSC lets the decision point age-adjust
+// the timestamp: gathering waits out the full PeerTimeout, and
+// adopting a stale reading as "now" would skew the clock into the past
+// (and compound across adoption chains).
+type peerSample struct {
+	from       uint32
+	ts         int64
+	arrivalTSC uint64
+}
+
+// freshTS returns the sample's timestamp advanced by the time elapsed
+// since its arrival (measured in local ticks via the boot hint — the
+// spans are milliseconds, so hint error is negligible).
+func (n *Node) freshTS(s peerSample) int64 {
+	nowTSC := n.platform.ReadTSC()
+	if nowTSC <= s.arrivalTSC {
+		return s.ts
+	}
+	age := float64(nowTSC-s.arrivalTSC) / n.platform.BootTSCHz() * 1e9
+	return s.ts + int64(age)
+}
+
+// gatherState collects peer timestamps for the duration of PeerTimeout
+// before deciding — unlike the original protocol's first-response-wins,
+// which is what lets a fast compromised clock win races.
+type gatherState struct {
+	seq       uint64
+	responses []peerSample
+	timer     enclave.CancelFunc
+}
+
+// becomeTainted starts recovery after an AEX.
+func (n *Node) becomeTainted() {
+	n.setState(core.StateTainted)
+	if len(n.cfg.Peers) == 0 {
+		n.startRefCalib()
+		return
+	}
+	g := &gatherState{seq: n.nextSeq()}
+	n.gather = g
+	for _, p := range n.cfg.Peers {
+		n.platform.Send(p, n.sealer.Seal(wire.Message{
+			Kind: wire.KindPeerTimeRequest,
+			Seq:  g.seq,
+		}))
+	}
+	g.timer = n.platform.AfterTicks(n.ticksFor(n.cfg.PeerTimeout.Seconds()), func() {
+		g.timer = nil
+		n.decideUntaint()
+	})
+}
+
+// onPeerTimeResponse collects (or, in ablation mode, immediately
+// applies) a peer timestamp.
+func (n *Node) onPeerTimeResponse(from uint32, msg wire.Message) {
+	sample := peerSample{from: from, ts: msg.TimeNanos, arrivalTSC: n.platform.ReadTSC()}
+	switch {
+	case n.gather != nil && msg.Seq == n.gather.seq:
+		n.gather.responses = append(n.gather.responses, sample)
+		if n.cfg.DisableChimerFilter {
+			// Original-protocol ablation: first response decides.
+			if n.gather.timer != nil {
+				n.gather.timer()
+			}
+			n.decideUntaint()
+		}
+	case n.probe != nil && msg.Seq == n.probe.seq:
+		n.probe.responses = append(n.probe.responses, sample)
+	}
+}
+
+// decideUntaint closes the gather window and applies the chimer policy.
+func (n *Node) decideUntaint() {
+	g := n.gather
+	n.gather = nil
+	if g == nil || n.state != core.StateTainted {
+		return
+	}
+	if len(g.responses) == 0 {
+		n.startRefCalib()
+		return
+	}
+	if n.cfg.DisableChimerFilter {
+		n.untaintOriginalPolicy(g.responses[0])
+		return
+	}
+
+	intervals := make([]marzullo.Interval, len(g.responses))
+	for i, r := range g.responses {
+		intervals[i] = n.intervalFor(n.freshTS(r))
+	}
+	best, ok := marzullo.MajorityAgrees(intervals, len(n.cfg.Peers))
+	if !ok {
+		// No same-moment majority among the answers. Gossip-accredited
+		// responders may stand in for one: a strict majority of the
+		// cluster's published views vouches for their consistency.
+		if adopted, from, found := n.gossipAdoption(g.responses); found {
+			local := n.clockNow()
+			n.adoptReference(adopted, n.platform.ReadTSC())
+			n.peerUntaints++
+			n.gossip.adoptions++
+			if n.events.PeerUntaint != nil {
+				jump := adopted - local
+				if jump < 0 {
+					jump = 0
+				}
+				n.events.PeerUntaint(from, jump)
+			}
+			n.setState(core.StateOK)
+			return
+		}
+		// A lone unaccredited clock cannot be told from a lone honest
+		// one, so fall back to the root of trust.
+		n.rejectedPeers += len(g.responses)
+		n.startRefCalib()
+		return
+	}
+	for i, iv := range intervals {
+		consistent := iv.Overlaps(best)
+		n.markChimer(g.responses[i].from, consistent)
+		if !consistent {
+			n.rejectedPeers++
+		}
+	}
+	adopted := best.Midpoint()
+	local := n.clockNow()
+	n.adoptReference(adopted, n.platform.ReadTSC())
+	n.peerUntaints++
+	if n.events.PeerUntaint != nil {
+		jump := adopted - local
+		if jump < 0 {
+			jump = 0
+		}
+		n.events.PeerUntaint(uint32(g.responses[0].from), jump)
+	}
+	n.setState(core.StateOK)
+}
+
+// untaintOriginalPolicy reproduces internal/core's adopt-if-higher rule
+// for the ablation benchmark.
+func (n *Node) untaintOriginalPolicy(r peerSample) {
+	local := n.clockNow()
+	if r.ts > local {
+		n.adoptReference(r.ts, n.platform.ReadTSC())
+	} else {
+		n.adoptReference(local+1, n.platform.ReadTSC())
+	}
+	n.peerUntaints++
+	if n.events.PeerUntaint != nil {
+		jump := r.ts - local
+		if jump < 0 {
+			jump = 0
+		}
+		n.events.PeerUntaint(r.from, jump)
+	}
+	n.setState(core.StateOK)
+}
+
+// gossipAdoption looks for an accredited responder whose timestamp can
+// untaint us without a same-moment majority. With several accredited
+// answers, their interval intersection midpoint is used.
+func (n *Node) gossipAdoption(responses []peerSample) (nanos int64, from uint32, ok bool) {
+	var ivs []marzullo.Interval
+	for _, r := range responses {
+		if n.accredited(r.from) {
+			ivs = append(ivs, n.intervalFor(n.freshTS(r)))
+			from = r.from
+		}
+	}
+	if len(ivs) == 0 {
+		return 0, 0, false
+	}
+	best, count := marzullo.Intersect(ivs)
+	if count != len(ivs) {
+		// Accredited clocks disagreeing among themselves: evidence is
+		// stale, do not trust it.
+		return 0, 0, false
+	}
+	return best.Midpoint(), from, true
+}
+
+// probeState is one in-TCB deadline self-check: gather peer timestamps
+// (and if needed a TA reading) and verify the local clock is a
+// true-chimer.
+type probeState struct {
+	seq       uint64
+	responses []peerSample
+	timer     enclave.CancelFunc
+	taSeq     uint64
+	taSentTSC uint64
+	taTimer   enclave.CancelFunc
+}
+
+// armDeadline schedules the next in-TCB self-check.
+func (n *Node) armDeadline() {
+	n.deadlineCancel = n.platform.AfterTicks(n.cfg.DeadlineTicks, func() {
+		n.deadlineCancel = nil
+		n.onDeadline()
+		if !n.cfg.DisableDeadline {
+			n.armDeadline()
+		}
+	})
+}
+
+// onDeadline fires the self-check if the node is serving; otherwise the
+// protocol is already refreshing via another path.
+func (n *Node) onDeadline() {
+	if n.state != core.StateOK || n.probe != nil {
+		return
+	}
+	n.probes++
+	n.broadcastChimerReport()
+	p := &probeState{seq: n.nextSeq()}
+	n.probe = p
+	if len(n.cfg.Peers) == 0 {
+		n.probeTACheck()
+		return
+	}
+	for _, peer := range n.cfg.Peers {
+		n.platform.Send(peer, n.sealer.Seal(wire.Message{
+			Kind: wire.KindPeerTimeRequest,
+			Seq:  p.seq,
+		}))
+	}
+	p.timer = n.platform.AfterTicks(n.ticksFor(n.cfg.PeerTimeout.Seconds()), func() {
+		p.timer = nil
+		n.decideProbe()
+	})
+}
+
+// decideProbe evaluates the gathered peer view of our clock.
+func (n *Node) decideProbe() {
+	p := n.probe
+	if p == nil || n.state != core.StateOK {
+		n.cancelProbe()
+		return
+	}
+	if len(p.responses) == 0 {
+		// Nobody answered: check against the root of trust instead.
+		n.probeTACheck()
+		return
+	}
+	intervals := make([]marzullo.Interval, 0, len(p.responses)+1)
+	for _, r := range p.responses {
+		intervals = append(intervals, n.intervalFor(n.freshTS(r)))
+	}
+	best, ok := marzullo.MajorityAgrees(intervals, len(n.cfg.Peers))
+	if ok {
+		// Record consistency evidence for the gossip layer.
+		for i, iv := range intervals {
+			n.markChimer(p.responses[i].from, iv.Overlaps(best))
+		}
+	}
+	if ok && n.intervalFor(n.clockNow()).Overlaps(best) {
+		// Consistent with the majority: clock quality confirmed.
+		n.probe = nil
+		return
+	}
+	// Inconsistent or inconclusive: ask the Time Authority.
+	n.probeTACheck()
+}
+
+// probeTACheck verifies the local clock directly against the TA.
+func (n *Node) probeTACheck() {
+	p := n.probe
+	if p == nil {
+		return
+	}
+	p.taSeq = n.nextSeq()
+	p.taSentTSC = n.platform.ReadTSC()
+	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+		Kind: wire.KindTimeRequest,
+		Seq:  p.taSeq,
+	}))
+	p.taTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout.Seconds()), func() {
+		p.taTimer = nil
+		// TA unreachable right now; give up on this probe, the next
+		// deadline retries.
+		n.probe = nil
+	})
+}
+
+// onProbeTAResponse compares the local clock against the TA reading.
+func (n *Node) onProbeTAResponse(msg wire.Message) {
+	p := n.probe
+	recvTSC := n.platform.ReadTSC()
+	if p.taTimer != nil {
+		p.taTimer()
+		p.taTimer = nil
+	}
+	n.probe = nil
+	if n.state != core.StateOK {
+		return
+	}
+	rttTicks := float64(recvTSC - p.taSentTSC)
+	if rttTicks > n.cfg.RTTBound.Seconds()*n.platform.BootTSCHz() {
+		n.rttRejections++
+		return // unusable reading; next deadline retries
+	}
+	taNow := msg.TimeNanos // one-way stale, well inside ErrBudget
+	diff := n.clockNow() - taNow
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff <= int64(n.cfg.ErrBudget) {
+		// Clock quality confirmed by the root of trust. The probe's
+		// peer answers can now be judged against our confirmed clock —
+		// the evidence path that matters in small clusters, where one
+		// honest and one false answer never form a majority.
+		own := n.intervalFor(n.clockNow())
+		for _, r := range p.responses {
+			n.markChimer(r.from, n.intervalFor(n.freshTS(r)).Overlaps(own))
+		}
+		return
+	}
+	// The local clock ran away from reference inside one deadline
+	// period: the calibrated rate itself must be bad (this is exactly
+	// the miscalibrated-arbitrarily-long hole of the original protocol,
+	// paper §V ¶1). Re-learn everything.
+	n.probeFailures++
+	if n.events.Discrepancy != nil {
+		n.events.Discrepancy(float64(diff) / 1e9)
+	}
+	n.setState(core.StateFullCalib)
+	n.startFullCalibration()
+}
+
+// cancelProbe abandons a probe in flight (e.g. the node got tainted).
+func (n *Node) cancelProbe() {
+	p := n.probe
+	if p == nil {
+		return
+	}
+	if p.timer != nil {
+		p.timer()
+	}
+	if p.taTimer != nil {
+		p.taTimer()
+	}
+	n.probe = nil
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"triadtime/internal/simtime"
+)
+
+func after(d time.Duration) simtime.Instant { return simtime.FromDuration(d) }
+
+func TestSchedulerFiresInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(after(3*time.Second), func() { order = append(order, 3) })
+	s.At(after(1*time.Second), func() { order = append(order, 1) })
+	s.At(after(2*time.Second), func() { order = append(order, 2) })
+	s.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if got := s.Now(); got != after(3*time.Second) {
+		t.Errorf("Now() = %v, want t+3s", got)
+	}
+}
+
+func TestSchedulerStableTieBreaking(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	at := after(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(after(time.Second), func() {})
+	s.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	s.At(after(time.Millisecond), func() {})
+}
+
+func TestSchedulerAfterNegativeClamps(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-5, func() { fired = true })
+	s.RunUntilIdle()
+	if !fired {
+		t.Error("After with negative delay should fire immediately")
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(after(time.Second), func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+	s.RunUntilIdle()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestSchedulerCancelAmongMany(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	events := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		events[i] = s.At(after(time.Duration(i+1)*time.Second), func() { got = append(got, i) })
+	}
+	s.Cancel(events[1])
+	s.Cancel(events[3])
+	s.RunUntilIdle()
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	s.At(after(1*time.Second), func() { fired = append(fired, 1) })
+	s.At(after(2*time.Second), func() { fired = append(fired, 2) })
+	s.At(after(3*time.Second), func() { fired = append(fired, 3) })
+	s.RunUntil(after(2 * time.Second))
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want events at 1s and 2s (deadline inclusive)", fired)
+	}
+	if s.Now() != after(2*time.Second) {
+		t.Errorf("Now() = %v, want t+2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// Clock advances to the deadline even with no events in range.
+	s2 := NewScheduler()
+	s2.RunUntil(after(time.Minute))
+	if s2.Now() != after(time.Minute) {
+		t.Errorf("idle RunUntil: Now() = %v, want t+1m", s2.Now())
+	}
+}
+
+func TestSchedulerEventsScheduledDuringRun(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(after(time.Second), func() {
+		order = append(order, "first")
+		s.After(simtime.FromDuration(time.Second), func() {
+			order = append(order, "second")
+		})
+	})
+	s.RunUntilIdle()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != after(2*time.Second) {
+		t.Errorf("Now() = %v, want t+2s", s.Now())
+	}
+}
+
+func TestSchedulerHalt(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(after(time.Duration(i)*time.Second), func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.RunUntilIdle()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (halted)", count)
+	}
+	// Run can resume after a halt.
+	s.RunUntilIdle()
+	if count != 10 {
+		t.Errorf("count = %d, want 10 after resume", count)
+	}
+}
+
+func TestSchedulerDeterministicOrderProperty(t *testing.T) {
+	// Property: two schedulers fed identical schedules fire identically.
+	f := func(delaysMs []uint16) bool {
+		run := func() []int {
+			s := NewScheduler()
+			var order []int
+			for i, d := range delaysMs {
+				i := i
+				s.At(after(time.Duration(d)*time.Millisecond), func() {
+					order = append(order, i)
+				})
+			}
+			s.RunUntilIdle()
+			return order
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(after(5*time.Second), func() {})
+	if e.At() != after(5*time.Second) {
+		t.Errorf("At() = %v", e.At())
+	}
+}
+
+func BenchmarkSchedulerEventThroughput(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(simtime.FromDuration(time.Microsecond), func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkSchedulerDeepQueue(b *testing.B) {
+	// Sustained 1k-event queue: push one, pop one.
+	s := NewScheduler()
+	for i := 0; i < 1000; i++ {
+		s.After(simtime.FromDuration(time.Duration(i)*time.Microsecond), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(simtime.FromDuration(time.Millisecond), func() {})
+		s.Step()
+	}
+}

@@ -1,0 +1,189 @@
+// Package simnet simulates the UDP network connecting Triad nodes and
+// the Time Authority. Links have configurable base delay, jitter and
+// loss; middleboxes can observe ciphertext datagrams and add delay or
+// drop them, which is exactly the attacker position of the paper's
+// threat model (control of the OS / network path, no access to message
+// contents).
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"triadtime/internal/sim"
+	"triadtime/internal/simtime"
+)
+
+// Addr identifies an endpoint. It doubles as the wire-layer sender ID.
+type Addr uint32
+
+// Packet is one datagram in flight. Payload is ciphertext: middleboxes
+// may inspect its length and endpoints, never plaintext.
+type Packet struct {
+	From, To Addr
+	Payload  []byte
+	SentAt   simtime.Instant
+}
+
+// Handler consumes datagrams delivered to a registered endpoint.
+type Handler func(pkt Packet)
+
+// Verdict is a middlebox's decision about one packet.
+type Verdict struct {
+	// ExtraDelay is added on top of the link's natural delay.
+	ExtraDelay time.Duration
+	// Drop discards the packet entirely.
+	Drop bool
+	// Duplicate delivers a second copy of the packet after an
+	// additional resample of the link delay (replay/duplication
+	// attacks; the wire layer's anti-replay window must absorb it).
+	Duplicate bool
+}
+
+// Middlebox observes packets traversing the network and may delay or
+// drop them. Boxes run in attach order; their extra delays accumulate.
+type Middlebox interface {
+	// Process inspects a packet at the moment it is sent. now is the
+	// current reference time (the attacker runs outside the TCB and has
+	// an accurate clock of its own).
+	Process(now simtime.Instant, pkt Packet) Verdict
+}
+
+// Link is the delay/loss model of one directed endpoint pair.
+type Link struct {
+	// Base is the minimum one-way delay.
+	Base time.Duration
+	// JitterSigma is the sigma of a lognormal jitter term added to Base;
+	// its scale is JitterScale. Zero sigma disables jitter.
+	JitterSigma float64
+	// JitterScale is the magnitude of the jitter term: the added delay is
+	// JitterScale * LogNormal(0, JitterSigma). Defaults to 20µs if zero
+	// while JitterSigma is set.
+	JitterScale time.Duration
+	// LossProb is the probability a packet is dropped in transit.
+	LossProb float64
+}
+
+// DefaultLink is the LAN-like link model used by the experiments: 100µs
+// base one-way delay with a lognormal jitter tail. Over Triad's ≤1s
+// calibration windows this jitter alone produces the paper's O(100ppm)
+// calibration errors.
+func DefaultLink() Link {
+	return Link{
+		Base:        100 * time.Microsecond,
+		JitterSigma: 1.0,
+		JitterScale: 20 * time.Microsecond,
+	}
+}
+
+// Network is the simulated datagram fabric.
+type Network struct {
+	sched       *sim.Scheduler
+	rng         *sim.RNG
+	handlers    map[Addr]Handler
+	defaultLink Link
+	links       map[[2]Addr]Link
+	boxes       []Middlebox
+
+	sent      int
+	delivered int
+	dropped   int
+}
+
+// New creates a network on the scheduler with the given default link
+// model applied to every endpoint pair that has no specific override.
+func New(sched *sim.Scheduler, rng *sim.RNG, defaultLink Link) *Network {
+	return &Network{
+		sched:       sched,
+		rng:         rng,
+		handlers:    make(map[Addr]Handler),
+		defaultLink: defaultLink,
+		links:       make(map[[2]Addr]Link),
+	}
+}
+
+// Register installs the delivery handler for an address. Registering an
+// address twice is a configuration bug and panics.
+func (n *Network) Register(a Addr, h Handler) {
+	if _, dup := n.handlers[a]; dup {
+		panic(fmt.Sprintf("simnet: address %d registered twice", a))
+	}
+	n.handlers[a] = h
+}
+
+// SetLink overrides the link model for the directed pair from -> to.
+func (n *Network) SetLink(from, to Addr, l Link) {
+	n.links[[2]Addr{from, to}] = l
+}
+
+// AttachMiddlebox adds a middlebox. Boxes see every packet on the
+// network in attach order; a box interested in one node's traffic
+// filters by Packet endpoints.
+func (n *Network) AttachMiddlebox(b Middlebox) {
+	n.boxes = append(n.boxes, b)
+}
+
+// Send injects a datagram. Semantics are UDP-like: no delivery
+// guarantee, no error to the sender on loss or unknown destination.
+// The payload is not copied; callers must not reuse the buffer.
+func (n *Network) Send(from, to Addr, payload []byte) {
+	n.sent++
+	now := n.sched.Now()
+	pkt := Packet{From: from, To: to, Payload: payload, SentAt: now}
+
+	link, ok := n.links[[2]Addr{from, to}]
+	if !ok {
+		link = n.defaultLink
+	}
+	if link.LossProb > 0 && n.rng.Float64() < link.LossProb {
+		n.dropped++
+		return
+	}
+	delay := n.sampleDelay(link)
+	duplicate := false
+	for _, b := range n.boxes {
+		v := b.Process(now, pkt)
+		if v.Drop {
+			n.dropped++
+			return
+		}
+		if v.ExtraDelay > 0 {
+			delay += v.ExtraDelay
+		}
+		duplicate = duplicate || v.Duplicate
+	}
+	n.deliver(pkt, delay)
+	if duplicate {
+		n.deliver(pkt, delay+n.sampleDelay(link))
+	}
+}
+
+// sampleDelay draws one traversal delay from the link model.
+func (n *Network) sampleDelay(link Link) time.Duration {
+	delay := link.Base
+	if link.JitterSigma > 0 {
+		scale := link.JitterScale
+		if scale == 0 {
+			scale = 20 * time.Microsecond
+		}
+		delay += time.Duration(float64(scale) * n.rng.LogNormal(0, link.JitterSigma))
+	}
+	return delay
+}
+
+func (n *Network) deliver(pkt Packet, delay time.Duration) {
+	n.sched.After(simtime.FromDuration(delay), func() {
+		h, ok := n.handlers[pkt.To]
+		if !ok {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		h(pkt)
+	})
+}
+
+// Stats reports cumulative sent/delivered/dropped packet counts.
+func (n *Network) Stats() (sent, delivered, dropped int) {
+	return n.sent, n.delivered, n.dropped
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function over a set of
+// observations. The paper's Figure 1 plots CDFs of inter-AEX delays; the
+// experiment harness reproduces them with this type.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the observations. The input is
+// copied and may be reused by the caller.
+func NewCDF(xs []float64) *CDF {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return &CDF{sorted: cp}
+}
+
+// N reports the number of observations.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of observations at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// scan forward over ties so we count every observation <= x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using nearest-rank
+// interpolation. Quantile(0) is the minimum and Quantile(1) the maximum.
+func (c *CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Point is one (x, P(X<=x)) coordinate of a rendered CDF curve.
+type Point struct {
+	X float64
+	P float64
+}
+
+// Points renders the CDF as a step curve with one point per distinct
+// observation, suitable for plotting or for printing a figure's series.
+func (c *CDF) Points() []Point {
+	pts := make([]Point, 0, len(c.sorted))
+	n := float64(len(c.sorted))
+	for i := 0; i < len(c.sorted); i++ {
+		// Collapse ties: emit one point per distinct value with the
+		// cumulative probability after the last tie.
+		if i+1 < len(c.sorted) && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		pts = append(pts, Point{X: c.sorted[i], P: float64(i+1) / n})
+	}
+	return pts
+}
+
+// Histogram counts observations into uniform-width bins over [lo, hi).
+// Observations outside the range are clamped into the edge bins so no
+// sample is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi).
+// bins must be >= 1 and hi > lo; otherwise a single-bin histogram over the
+// degenerate range is returned.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total reports the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}

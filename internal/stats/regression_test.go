@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSExactLine(t *testing.T) {
+	samples := []Sample{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	fit, err := OLS(samples)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Eval(10); math.Abs(got-21) > 1e-12 {
+		t.Errorf("Eval(10) = %v, want 21", got)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("OLS(nil) err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := OLS([]Sample{{1, 1}}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("OLS(1 sample) err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := OLS([]Sample{{1, 1}, {1, 2}}); !errors.Is(err, ErrDegenerateX) {
+		t.Errorf("OLS(same x) err = %v, want ErrDegenerateX", err)
+	}
+}
+
+// TestOLSCalibrationShape exercises the exact setting of Triad's
+// calibration: samples at s=0 and s=1 second, y in TSC ticks, with a
+// constant network delay folded into every measurement. The slope must
+// recover the true TSC rate and the intercept the delay, demonstrating
+// why the paper's regression cancels the roundtrip offset.
+func TestOLSCalibrationShape(t *testing.T) {
+	const (
+		ftsc  = 2.9e9 // ticks per second
+		delay = 200e-6
+	)
+	var samples []Sample
+	for i := 0; i < 8; i++ {
+		samples = append(samples,
+			Sample{X: 0, Y: ftsc * delay},
+			Sample{X: 1, Y: ftsc * (1 + delay)},
+		)
+	}
+	fit, err := OLS(samples)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(fit.Slope-ftsc) > 1 {
+		t.Errorf("slope = %v, want %v", fit.Slope, ftsc)
+	}
+	if math.Abs(fit.Intercept-ftsc*delay) > 1 {
+		t.Errorf("intercept = %v, want %v", fit.Intercept, ftsc*delay)
+	}
+}
+
+// TestOLSFPlusAttackShape verifies the analytical core of the paper's F+
+// attack: adding 100ms of delay only to the s=1 responses inflates the
+// estimated rate by ~10%, i.e. 2900MHz -> ~3190MHz.
+func TestOLSFPlusAttackShape(t *testing.T) {
+	const ftsc = 2.9e9
+	samples := []Sample{
+		{X: 0, Y: ftsc * 100e-6},
+		{X: 1, Y: ftsc * (1 + 100e-6 + 0.100)}, // attacker adds 100ms
+	}
+	fit, err := OLS(samples)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	want := ftsc * 1.1
+	if math.Abs(fit.Slope-want)/want > 1e-6 {
+		t.Errorf("slope under F+ = %v, want ~%v", fit.Slope, want)
+	}
+}
+
+func TestOLSRecoversRandomLines(t *testing.T) {
+	// Property: OLS recovers slope/intercept of noise-free random lines.
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(rawSlope, rawIntercept int16) bool {
+		slope := float64(rawSlope)
+		intercept := float64(rawIntercept)
+		samples := make([]Sample, 0, 10)
+		for i := 0; i < 10; i++ {
+			x := rng.Float64() * 10
+			samples = append(samples, Sample{X: x, Y: slope*x + intercept})
+		}
+		fit, err := OLS(samples)
+		if err != nil {
+			return errors.Is(err, ErrDegenerateX)
+		}
+		return math.Abs(fit.Slope-slope) < 1e-6*(1+math.Abs(slope)) &&
+			math.Abs(fit.Intercept-intercept) < 1e-5*(1+math.Abs(intercept))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheilSenRobustToOutlier(t *testing.T) {
+	// Nine honest samples on y=2x+1, one wildly delayed response. OLS is
+	// dragged away from the true slope; Theil-Sen stays on it.
+	samples := []Sample{
+		{0, 1}, {1, 3}, {2, 5}, {3, 7}, {4, 9},
+		{5, 11}, {6, 13}, {7, 15}, {8, 17},
+		{9, 1000}, // attacker-delayed measurement
+	}
+	robust, err := TheilSen(samples)
+	if err != nil {
+		t.Fatalf("TheilSen: %v", err)
+	}
+	if math.Abs(robust.Slope-2) > 0.2 {
+		t.Errorf("TheilSen slope = %v, want ~2", robust.Slope)
+	}
+	ols, err := OLS(samples)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(ols.Slope-2) < 1 {
+		t.Errorf("OLS slope = %v; expected it to be visibly corrupted by the outlier", ols.Slope)
+	}
+}
+
+func TestTheilSenErrors(t *testing.T) {
+	if _, err := TheilSen([]Sample{{1, 1}}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := TheilSen([]Sample{{1, 1}, {1, 5}}); !errors.Is(err, ErrDegenerateX) {
+		t.Errorf("err = %v, want ErrDegenerateX", err)
+	}
+}
+
+func TestTheilSenMatchesOLSOnPerfectLine(t *testing.T) {
+	samples := []Sample{{0, -1}, {1, 1}, {2, 3}, {3, 5}}
+	ts, err := TheilSen(samples)
+	if err != nil {
+		t.Fatalf("TheilSen: %v", err)
+	}
+	if math.Abs(ts.Slope-2) > 1e-12 || math.Abs(ts.Intercept+1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept -1", ts)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{7}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.xs); got != tt.want {
+				t.Errorf("Median(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestPPM(t *testing.T) {
+	if got := PPM(2900.11e6, 2900e6); math.Abs(got-37.93) > 0.01 {
+		t.Errorf("PPM = %v, want ~37.93", got)
+	}
+	if got := PPM(1, 1); got != 0 {
+		t.Errorf("PPM(1,1) = %v, want 0", got)
+	}
+	if !math.IsNaN(PPM(1, 0)) {
+		t.Error("PPM with zero reference should be NaN")
+	}
+}
+
+func TestFormatHz(t *testing.T) {
+	if got := FormatHz(2900.089e6); got != "2900.089MHz" {
+		t.Errorf("FormatHz = %q", got)
+	}
+}
+
+func BenchmarkOLS(b *testing.B) {
+	samples := make([]Sample, 16)
+	for i := range samples {
+		samples[i] = Sample{X: float64(i % 2), Y: 2.9e9 * float64(i%2+1)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OLS(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTheilSen(b *testing.B) {
+	samples := make([]Sample, 16)
+	for i := range samples {
+		samples[i] = Sample{X: float64(i), Y: 2*float64(i) + 1}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TheilSen(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package stats provides the numerical building blocks used across the
+// Triad reproduction: running moments, quantiles, empirical CDFs,
+// histograms, and the least-squares / robust regressions that back the
+// protocol's TSC-rate calibration.
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in a single numerically stable
+// pass (Welford's online algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddAll folds a batch of observations into the accumulator.
+func (w *Welford) AddAll(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// N reports the number of observations seen so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the running mean, or 0 if no observations were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the unbiased sample variance (n-1 denominator).
+// It returns 0 for fewer than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev reports the unbiased sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min reports the smallest observation, or 0 if none were added.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max reports the largest observation, or 0 if none were added.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Range reports max-min, the spread of the observations.
+func (w *Welford) Range() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max - w.min
+}
+
+// Summary is a value snapshot of a Welford accumulator, convenient for
+// reporting experiment results.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Snapshot captures the accumulator's current state.
+func (w *Welford) Snapshot() Summary {
+	return Summary{
+		N:      w.n,
+		Mean:   w.Mean(),
+		Stddev: w.Stddev(),
+		Min:    w.Min(),
+		Max:    w.Max(),
+	}
+}
+
+// Summarize computes a Summary over a slice in one call.
+func Summarize(xs []float64) Summary {
+	var w Welford
+	w.AddAll(xs)
+	return w.Snapshot()
+}

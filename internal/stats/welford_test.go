@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 {
+		t.Errorf("N() = %d, want 0", w.N())
+	}
+	if w.Mean() != 0 || w.Variance() != 0 || w.Stddev() != 0 {
+		t.Errorf("zero-value accumulator must report zero moments")
+	}
+	if w.Min() != 0 || w.Max() != 0 || w.Range() != 0 {
+		t.Errorf("zero-value accumulator must report zero extremes")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if got := w.Mean(); got != 42 {
+		t.Errorf("Mean() = %v, want 42", got)
+	}
+	if got := w.Variance(); got != 0 {
+		t.Errorf("Variance() of single sample = %v, want 0", got)
+	}
+	if w.Min() != 42 || w.Max() != 42 {
+		t.Errorf("Min/Max = %v/%v, want 42/42", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	tests := []struct {
+		name       string
+		xs         []float64
+		mean       float64
+		variance   float64
+		spread     float64
+		minV, maxV float64
+	}{
+		{"two points", []float64{1, 3}, 2, 2, 2, 1, 3},
+		{"constant", []float64{5, 5, 5, 5}, 5, 0, 0, 5, 5},
+		{"mixed signs", []float64{-2, 0, 2}, 0, 4, 4, -2, 2},
+		{"paper-like INC counts", []float64{632180, 632182, 632184}, 632182, 4, 4, 632180, 632184},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var w Welford
+			w.AddAll(tt.xs)
+			if got := w.Mean(); math.Abs(got-tt.mean) > 1e-9 {
+				t.Errorf("Mean() = %v, want %v", got, tt.mean)
+			}
+			if got := w.Variance(); math.Abs(got-tt.variance) > 1e-9 {
+				t.Errorf("Variance() = %v, want %v", got, tt.variance)
+			}
+			if got := w.Range(); math.Abs(got-tt.spread) > 1e-9 {
+				t.Errorf("Range() = %v, want %v", got, tt.spread)
+			}
+			if w.Min() != tt.minV || w.Max() != tt.maxV {
+				t.Errorf("Min/Max = %v/%v, want %v/%v", w.Min(), w.Max(), tt.minV, tt.maxV)
+			}
+		})
+	}
+}
+
+func TestWelfordMatchesNaiveComputation(t *testing.T) {
+	// Property: the online algorithm agrees with the two-pass formula.
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		w.AddAll(clean)
+		var sum float64
+		for _, x := range clean {
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(mean))
+		if math.Abs(w.Mean()-mean) > 1e-6*scale {
+			return false
+		}
+		vscale := math.Max(1, variance)
+		return math.Abs(w.Variance()-variance) < 1e-6*vscale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	want := math.Sqrt(5.0 / 3.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, want)
+	}
+}

@@ -1,0 +1,177 @@
+// Package t3e models T3E (Hamidy, Philippaerts, Joosen — NSS 2023), the
+// TPM-based trusted-time system the paper's related work (§II-A)
+// compares Triad against. It exists so the repository can reproduce the
+// paper's qualitative comparison quantitatively:
+//
+//   - T3E reads time from a TPM colocated with the TEE and bounds
+//     message-delay attacks by limiting how many times one TPM
+//     timestamp may be used; when uses are depleted the TEE stalls,
+//     so delaying the TPM turns into a visible throughput drop.
+//   - Choosing the use quota is genuinely hard ("code-, workload- and
+//     hardware-dependent"): too low and honest bursts stall, too high
+//     and the attacker gets delay room. The experiment sweep
+//     (internal/experiment.RunT3ETradeoff) maps that trade-off.
+//   - The TPM itself is a weaker root of trust: its owner may configure
+//     it to drift up to ±32.5% from real time (TPM 2.0 library spec
+//     tolerance quoted by the paper), an attack Triad's Time-Authority
+//     anchoring is immune to.
+//
+// The model runs on the discrete-event scheduler directly: the TPM is a
+// local device, so no network stack is involved.
+package t3e
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triadtime/internal/sim"
+	"triadtime/internal/simtime"
+)
+
+// MaxTPMDriftFrac is the TPM 2.0 specification's allowed drift-rate
+// envelope the paper quotes: ±32.5% relative to real time.
+const MaxTPMDriftFrac = 0.325
+
+// ErrStalled is returned when the current TPM timestamp's uses are
+// depleted and no fresh one has arrived: T3E's defence against message
+// delaying is to stop serving.
+var ErrStalled = errors.New("t3e: stalled awaiting fresh TPM timestamp")
+
+// TPM models the trusted platform module: a local clock with an
+// owner-configurable rate error and an attacker-controllable response
+// delay (the TPM-to-TEE channel crosses the untrusted OS).
+type TPM struct {
+	sched *sim.Scheduler
+	rng   *sim.RNG
+
+	// RateFrac skews the TPM clock: served time advances at
+	// (1+RateFrac) of real time. The spec tolerates |RateFrac| up to
+	// MaxTPMDriftFrac, and an owner can exploit the full envelope.
+	RateFrac float64
+	// BaseDelay is the honest TPM command latency (TPMs are slow
+	// devices; a few ms is typical).
+	BaseDelay time.Duration
+	// ExtraDelay is attacker-added latency on TPM responses.
+	ExtraDelay time.Duration
+}
+
+// NewTPM creates a TPM with the given honest command latency.
+func NewTPM(sched *sim.Scheduler, rng *sim.RNG, baseDelay time.Duration) *TPM {
+	return &TPM{sched: sched, rng: rng, BaseDelay: baseDelay}
+}
+
+// now is the TPM's (possibly skewed) clock reading.
+func (t *TPM) now() int64 {
+	real := int64(t.sched.Now())
+	return real + int64(float64(real)*t.RateFrac)
+}
+
+// Fetch requests a timestamp; done receives it after the (honest +
+// attacker) delay. The timestamp is read when the response is sent,
+// so delay makes it stale, not wrong.
+func (t *TPM) Fetch(done func(ts int64)) {
+	delay := t.BaseDelay + t.ExtraDelay
+	if t.rng != nil {
+		delay = t.rng.Jitter(delay, 0.1)
+	}
+	if delay < time.Microsecond {
+		delay = time.Microsecond // TPM commands are never instantaneous
+	}
+	t.sched.After(simtime.FromDuration(delay), func() {
+		done(t.now())
+	})
+}
+
+// Config parameterizes a T3E node.
+type Config struct {
+	// UseQuota is how many times one TPM timestamp may be served before
+	// the TEE stalls awaiting a fresh one. The paper's §II-A discussion
+	// is about how hard this number is to pick.
+	UseQuota int
+	// Granularity is the smallest increment between served timestamps
+	// derived from one TPM reading (T3E serves base + k·granularity).
+	Granularity time.Duration
+}
+
+// Node is a T3E TEE node: it serves trusted timestamps derived from
+// TPM readings under the use-quota policy.
+type Node struct {
+	cfg   Config
+	sched *sim.Scheduler
+	tpm   *TPM
+
+	current    int64 // latest TPM timestamp
+	usesLeft   int
+	fetching   bool
+	haveStamp  bool
+	lastServed int64
+
+	served  int
+	stalled int
+	fetches int
+}
+
+// NewNode creates a T3E node bound to its local TPM.
+func NewNode(sched *sim.Scheduler, tpm *TPM, cfg Config) (*Node, error) {
+	if cfg.UseQuota <= 0 {
+		return nil, fmt.Errorf("t3e: UseQuota must be positive, got %d", cfg.UseQuota)
+	}
+	if cfg.Granularity <= 0 {
+		cfg.Granularity = time.Microsecond
+	}
+	n := &Node{cfg: cfg, sched: sched, tpm: tpm}
+	n.fetchLoop()
+	return n, nil
+}
+
+// fetchLoop polls the TPM continuously: as soon as one command
+// completes, the next is issued (TPM command latency paces the loop).
+// The use quota therefore only binds when responses are delayed — the
+// delay-attack defence T3E is built around.
+func (n *Node) fetchLoop() {
+	n.fetching = true
+	n.fetches++
+	n.tpm.Fetch(func(ts int64) {
+		n.fetching = false
+		if ts > n.current {
+			n.current = ts
+			n.usesLeft = n.cfg.UseQuota
+			n.haveStamp = true
+		}
+		n.fetchLoop()
+	})
+}
+
+// TrustedNow serves one trusted timestamp or stalls. Each service
+// consumes one use of the current TPM reading; when the quota empties
+// before a fresh reading lands, the node refuses to serve.
+func (n *Node) TrustedNow() (int64, error) {
+	if !n.haveStamp || n.usesLeft <= 0 {
+		n.stalled++
+		return 0, ErrStalled
+	}
+	n.usesLeft--
+	ts := n.current + int64(n.cfg.Granularity)*int64(n.cfg.UseQuota-n.usesLeft)
+	if ts <= n.lastServed {
+		ts = n.lastServed + 1
+	}
+	n.lastServed = ts
+	n.served++
+	return ts, nil
+}
+
+// Served reports successful services; Stalled reports requests refused
+// for quota exhaustion; Fetches reports TPM commands issued.
+func (n *Node) Served() int  { return n.served }
+func (n *Node) Stalled() int { return n.stalled }
+func (n *Node) Fetches() int { return n.fetches }
+
+// ServedError reports how far the last served timestamp was from real
+// time (positive = ahead), the staleness/drift metric of the sweep.
+func (n *Node) ServedError() time.Duration {
+	if n.served == 0 {
+		return 0
+	}
+	return time.Duration(n.lastServed - int64(n.sched.Now()))
+}

@@ -1,0 +1,155 @@
+package t3e
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"triadtime/internal/sim"
+	"triadtime/internal/simtime"
+)
+
+func newNode(t *testing.T, quota int, tweakTPM func(*TPM)) (*sim.Scheduler, *TPM, *Node) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	tpm := NewTPM(sched, sim.NewRNG(1), 5*time.Millisecond)
+	if tweakTPM != nil {
+		tweakTPM(tpm)
+	}
+	n, err := NewNode(sched, tpm, Config{UseQuota: quota})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, tpm, n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	tpm := NewTPM(sched, sim.NewRNG(1), time.Millisecond)
+	if _, err := NewNode(sched, tpm, Config{UseQuota: 0}); err == nil {
+		t.Error("zero quota accepted")
+	}
+}
+
+func TestServesAfterFirstFetch(t *testing.T) {
+	sched, _, n := newNode(t, 10, nil)
+	// Before the first TPM response: stalled.
+	if _, err := n.TrustedNow(); !errors.Is(err, ErrStalled) {
+		t.Errorf("err = %v, want ErrStalled", err)
+	}
+	sched.RunUntil(simtime.FromDuration(20 * time.Millisecond))
+	ts, err := n.TrustedNow()
+	if err != nil {
+		t.Fatalf("TrustedNow: %v", err)
+	}
+	// Timestamp is the TPM reading at response-send time: ~5ms stale.
+	if got := time.Duration(int64(sched.Now()) - ts); got < 0 || got > 20*time.Millisecond {
+		t.Errorf("staleness = %v", got)
+	}
+	if n.Served() != 1 || n.Stalled() != 1 {
+		t.Errorf("served/stalled = %d/%d", n.Served(), n.Stalled())
+	}
+}
+
+func TestQuotaExhaustionStalls(t *testing.T) {
+	sched, tpm, n := newNode(t, 3, nil)
+	sched.RunUntil(simtime.FromDuration(20 * time.Millisecond))
+	// Attacker now delays the TPM heavily: the three remaining uses
+	// serve, then the node stalls instead of serving stale time.
+	tpm.ExtraDelay = 10 * time.Second
+	for i := 0; i < 3; i++ {
+		if _, err := n.TrustedNow(); err != nil {
+			t.Fatalf("use %d: %v", i, err)
+		}
+	}
+	if _, err := n.TrustedNow(); !errors.Is(err, ErrStalled) {
+		t.Error("quota exhaustion should stall")
+	}
+	// Once the delayed response lands, service resumes.
+	sched.RunUntil(sched.Now().Add(11 * time.Second))
+	if _, err := n.TrustedNow(); err != nil {
+		t.Errorf("after refresh: %v", err)
+	}
+}
+
+func TestServedMonotonic(t *testing.T) {
+	sched, _, n := newNode(t, 1000, nil)
+	sched.RunUntil(simtime.FromDuration(20 * time.Millisecond))
+	var last int64
+	for i := 0; i < 500; i++ {
+		sched.RunUntil(sched.Now().Add(time.Millisecond))
+		ts, err := n.TrustedNow()
+		if errors.Is(err, ErrStalled) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= last {
+			t.Fatalf("ts %d <= last %d", ts, last)
+		}
+		last = ts
+	}
+}
+
+func TestTPMOwnerDriftAttack(t *testing.T) {
+	// The TPM's owner configures the full +32.5% spec envelope: T3E's
+	// served time drifts with it, with nothing to detect it against.
+	sched, _, n := newNode(t, 1_000_000, func(tpm *TPM) {
+		tpm.RateFrac = MaxTPMDriftFrac
+	})
+	sched.RunUntil(simtime.FromDuration(100 * time.Second))
+	ts, err := n.TrustedNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := float64(ts-int64(sched.Now())) / float64(sched.Now())
+	if math.Abs(drift-MaxTPMDriftFrac) > 0.01 {
+		t.Errorf("served drift frac = %v, want ~%v", drift, MaxTPMDriftFrac)
+	}
+}
+
+func TestDelayAttackBoundedByQuota(t *testing.T) {
+	// With quota K, the attacker can at most keep K uses pointing at a
+	// stale timestamp: staleness is bounded by the delay it adds, and
+	// throughput collapses — the visible-failure design.
+	sched, tpm, n := newNode(t, 5, nil)
+	sched.RunUntil(simtime.FromDuration(20 * time.Millisecond))
+	tpm.ExtraDelay = 2 * time.Second
+
+	served, stalled := 0, 0
+	worstStaleness := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		sched.RunUntil(sched.Now().Add(10 * time.Millisecond))
+		ts, err := n.TrustedNow()
+		if err != nil {
+			stalled++
+			continue
+		}
+		served++
+		if s := time.Duration(int64(sched.Now()) - ts); s > worstStaleness {
+			worstStaleness = s
+		}
+	}
+	if stalled < served {
+		t.Errorf("served/stalled = %d/%d: a 2s TPM delay should mostly stall a quota-5 node polled every 10ms", served, stalled)
+	}
+	// Staleness never exceeds the attack delay plus base latency.
+	if worstStaleness > 3*time.Second {
+		t.Errorf("worst staleness %v exceeds the delay bound", worstStaleness)
+	}
+}
+
+func TestFetchLoopPacedByTPMLatency(t *testing.T) {
+	sched, _, n := newNode(t, 1, nil)
+	// Stalls do not issue extra TPM commands; the loop is paced by the
+	// ~5ms command latency alone.
+	n.TrustedNow()
+	n.TrustedNow()
+	sched.RunUntil(simtime.FromDuration(time.Second))
+	// ~200 commands in one second at ~5ms (±10% jitter) per command.
+	if n.Fetches() < 150 || n.Fetches() > 250 {
+		t.Errorf("fetches = %d over 1s, want ~200", n.Fetches())
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records structured scenario events (state changes,
+// calibrations, attacks, detections) as JSON lines, giving experiments
+// an audit trail that can be diffed across runs or fed to external
+// plotting. The simulation is deterministic, so two runs of the same
+// seed produce byte-identical traces — which makes traces a regression
+// oracle too.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"triadtime/internal/simtime"
+)
+
+// Event is one trace record.
+type Event struct {
+	// RefSeconds is the reference time of the event.
+	RefSeconds float64 `json:"t"`
+	// Node names the subject ("node1", "ta", "attacker").
+	Node string `json:"node"`
+	// Kind classifies the event ("state", "calibrated", "ta_ref",
+	// "peer_untaint", "discrepancy", "attack", ...).
+	Kind string `json:"kind"`
+	// Detail is a human-readable payload.
+	Detail string `json:"detail,omitempty"`
+	// Value carries the event's numeric payload, if any (drift, rate,
+	// jump nanos, ...).
+	Value float64 `json:"value,omitempty"`
+}
+
+// Recorder accumulates events and optionally streams them as JSONL.
+// It is safe for single-threaded simulation use; the live runtime
+// wraps calls in its dispatch goroutine, so a small mutex suffices.
+type Recorder struct {
+	mu     sync.Mutex
+	now    func() simtime.Instant
+	events []Event
+	sink   io.Writer
+	enc    *json.Encoder
+}
+
+// NewRecorder creates a recorder that stamps events with now(). A nil
+// sink keeps events in memory only. A nil now stamps zero until SetNow
+// installs a clock (the experiment cluster does this on construction).
+func NewRecorder(now func() simtime.Instant, sink io.Writer) *Recorder {
+	r := &Recorder{now: now, sink: sink}
+	if sink != nil {
+		r.enc = json.NewEncoder(sink)
+	}
+	return r
+}
+
+// SetNow installs (or replaces) the clock used to stamp events.
+func (r *Recorder) SetNow(now func() simtime.Instant) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Record appends one event.
+func (r *Recorder) Record(node, kind, detail string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var at float64
+	if r.now != nil {
+		at = r.now().Seconds()
+	}
+	e := Event{
+		RefSeconds: at,
+		Node:       node,
+		Kind:       kind,
+		Detail:     detail,
+		Value:      value,
+	}
+	r.events = append(r.events, e)
+	if r.enc != nil {
+		// Encoding errors (e.g. closed sink) must not break the
+		// experiment; the in-memory copy remains authoritative.
+		_ = r.enc.Encode(e)
+	}
+}
+
+// Events returns a copy of everything recorded.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make([]Event, len(r.events))
+	copy(cp, r.events)
+	return cp
+}
+
+// Count reports how many events of the given kind were recorded
+// ("" counts everything).
+func (r *Recorder) Count(kind string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind == "" {
+		return len(r.events)
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeEvents wraps core.Events-shaped hooks for one node, so wiring a
+// recorder into a cluster is one call per node. It returns the hook
+// functions rather than depending on the core package (avoiding an
+// import cycle and keeping trace reusable for resilient nodes).
+type NodeEvents struct {
+	StateChanged func(oldName, newName string)
+	Calibrated   func(fCalib float64)
+	TAReference  func()
+	PeerUntaint  func(from uint32, jumpNanos int64)
+	Discrepancy  func(rel float64)
+}
+
+// ForNode builds standard hooks recording under the given node name.
+func (r *Recorder) ForNode(name string) NodeEvents {
+	return NodeEvents{
+		StateChanged: func(oldName, newName string) {
+			r.Record(name, "state", fmt.Sprintf("%s->%s", oldName, newName), 0)
+		},
+		Calibrated: func(fCalib float64) {
+			r.Record(name, "calibrated", "", fCalib)
+		},
+		TAReference: func() {
+			r.Record(name, "ta_ref", "", 0)
+		},
+		PeerUntaint: func(from uint32, jumpNanos int64) {
+			r.Record(name, "peer_untaint", fmt.Sprintf("from=%d", from), float64(jumpNanos))
+		},
+		Discrepancy: func(rel float64) {
+			r.Record(name, "discrepancy", "", rel)
+		},
+	}
+}

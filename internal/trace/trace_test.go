@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"triadtime/internal/simtime"
+)
+
+func fixedNow(d time.Duration) func() simtime.Instant {
+	return func() simtime.Instant { return simtime.FromDuration(d) }
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	r := NewRecorder(fixedNow(3*time.Second), nil)
+	r.Record("node1", "state", "Init->FullCalib", 0)
+	r.Record("node1", "calibrated", "", 2.9e9)
+	r.Record("node2", "state", "Init->FullCalib", 0)
+
+	if r.Count("") != 3 || r.Count("state") != 2 || r.Count("calibrated") != 1 {
+		t.Errorf("counts = %d/%d/%d", r.Count(""), r.Count("state"), r.Count("calibrated"))
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].RefSeconds != 3 || evs[1].Value != 2.9e9 {
+		t.Errorf("events = %+v", evs)
+	}
+	// Events() is a copy.
+	evs[0].Node = "mutated"
+	if r.Events()[0].Node != "node1" {
+		t.Error("Events exposed internal storage")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var b strings.Builder
+	r := NewRecorder(fixedNow(time.Second), &b)
+	r.Record("node1", "ta_ref", "", 0)
+	r.Record("attacker", "attack", "F- engaged", 0)
+
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Node != "attacker" || e.Kind != "attack" || e.Detail != "F- engaged" || e.RefSeconds != 1 {
+		t.Errorf("decoded = %+v", e)
+	}
+}
+
+func TestForNodeHooks(t *testing.T) {
+	r := NewRecorder(fixedNow(0), nil)
+	hooks := r.ForNode("node3")
+	hooks.StateChanged("OK", "Tainted")
+	hooks.Calibrated(3.19e9)
+	hooks.TAReference()
+	hooks.PeerUntaint(2, 50_000_000)
+	hooks.Discrepancy(0.09)
+
+	if r.Count("") != 5 {
+		t.Fatalf("count = %d", r.Count(""))
+	}
+	evs := r.Events()
+	if evs[0].Detail != "OK->Tainted" {
+		t.Errorf("state detail = %q", evs[0].Detail)
+	}
+	if evs[3].Kind != "peer_untaint" || evs[3].Value != 50_000_000 || evs[3].Detail != "from=2" {
+		t.Errorf("untaint event = %+v", evs[3])
+	}
+	for _, e := range evs {
+		if e.Node != "node3" {
+			t.Errorf("event attributed to %q", e.Node)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package transport is the live implementation of enclave.Platform: a
+// Triad node running as an ordinary process, speaking encrypted UDP.
+//
+// Without SGX hardware in this environment (the reproduction gap the
+// paper's artifact fills with real enclaves), the live platform makes
+// the closest Gramine-style substitution: the guest TSC is the Go
+// runtime's monotonic clock scaled to tick units, AEXs are delivered by
+// an optional synthetic interrupt generator or injected externally, and
+// INC measurements return the modelled iteration count for the elapsed
+// window. The protocol logic above this layer is identical to what the
+// simulation runs, so live deployments exercise the same code paths.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"triadtime/internal/enclave"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+)
+
+// Config parameterizes a live platform.
+type Config struct {
+	// Conn is the node's packet endpoint. The platform takes ownership
+	// and closes it on Close.
+	Conn net.PacketConn
+	// Directory maps wire identities to UDP addresses for every remote
+	// this node talks to (peers and the Time Authority).
+	Directory map[simnet.Addr]string
+	// TSCHz is the virtual guest-TSC rate mapped onto the monotonic
+	// clock. Default: the paper machine's 2899.999 MHz.
+	TSCHz float64
+	// AEXPeriod, if positive, delivers synthetic AEXs at this period —
+	// a stand-in for OS interrupts when demonstrating the protocol
+	// live. Zero disables the generator (use InjectAEX).
+	AEXPeriod time.Duration
+}
+
+// Platform is the live enclave.Platform. All handler callbacks and all
+// functions passed to Do run on one internal goroutine, satisfying the
+// Platform serialization contract.
+type Platform struct {
+	cfg   Config
+	tscHz float64
+	start time.Time
+
+	conn  net.PacketConn
+	dirMu sync.RWMutex
+	dir   map[simnet.Addr]*net.UDPAddr
+
+	work     chan func()
+	done     chan struct{}
+	readDone chan struct{}
+	stopOnce sync.Once
+
+	// Accessed only on the loop goroutine.
+	aexHandler func()
+	msgHandler func(from simnet.Addr, payload []byte)
+	aexEpoch   uint64
+	aexCount   int
+	core       simtime.Core
+	incIndex   int
+}
+
+var _ enclave.Platform = (*Platform)(nil)
+
+// New creates and starts a live platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Conn == nil {
+		return nil, errors.New("transport: Conn is required")
+	}
+	tscHz := cfg.TSCHz
+	if tscHz == 0 {
+		tscHz = simtime.NominalTSCHz
+	}
+	dir := make(map[simnet.Addr]*net.UDPAddr, len(cfg.Directory))
+	for id, addr := range cfg.Directory {
+		udp, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolve %d=%q: %w", id, addr, err)
+		}
+		dir[id] = udp
+	}
+	p := &Platform{
+		cfg:      cfg,
+		tscHz:    tscHz,
+		start:    time.Now(),
+		conn:     cfg.Conn,
+		dir:      dir,
+		work:     make(chan func(), 256),
+		done:     make(chan struct{}),
+		readDone: make(chan struct{}),
+		core:     simtime.PaperCore(),
+	}
+	go p.loop()
+	go p.readLoop()
+	if cfg.AEXPeriod > 0 {
+		go p.aexLoop(cfg.AEXPeriod)
+	}
+	return p, nil
+}
+
+// loop serializes every callback the node sees.
+func (p *Platform) loop() {
+	for {
+		select {
+		case fn := <-p.work:
+			fn()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *Platform) readLoop() {
+	defer close(p.readDone)
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := p.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		sender := p.identify(from)
+		p.post(func() {
+			if p.msgHandler != nil {
+				p.msgHandler(sender, payload)
+			}
+		})
+	}
+}
+
+// identify maps a UDP source to a directory identity (0 if unknown —
+// the wire layer's authenticated sender ID is what actually matters).
+func (p *Platform) identify(from net.Addr) simnet.Addr {
+	p.dirMu.RLock()
+	defer p.dirMu.RUnlock()
+	for id, addr := range p.dir {
+		if addr.String() == from.String() {
+			return id
+		}
+	}
+	return 0
+}
+
+func (p *Platform) aexLoop(period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.InjectAEX()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// post enqueues fn onto the loop unless the platform is closed.
+func (p *Platform) post(fn func()) {
+	select {
+	case p.work <- fn:
+	case <-p.done:
+	}
+}
+
+// Do runs fn on the platform's dispatch goroutine and waits for it —
+// the safe way for application code to call into the node (e.g.
+// TrustedNow). Returns false if the platform is closed.
+func (p *Platform) Do(fn func()) bool {
+	done := make(chan struct{})
+	select {
+	case p.work <- func() { fn(); close(done) }:
+	case <-p.done:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// ReadTSC maps the monotonic clock to guest ticks.
+func (p *Platform) ReadTSC() uint64 {
+	return uint64(time.Since(p.start).Seconds() * p.tscHz)
+}
+
+// BootTSCHz reports the configured guest tick rate.
+func (p *Platform) BootTSCHz() float64 { return p.tscHz }
+
+// Send transmits a datagram to a directory identity. Unknown targets
+// are dropped silently (UDP semantics).
+func (p *Platform) Send(to simnet.Addr, payload []byte) {
+	p.dirMu.RLock()
+	addr := p.dir[to]
+	p.dirMu.RUnlock()
+	if addr == nil {
+		return
+	}
+	// Write errors are indistinguishable from loss for the protocol.
+	_, _ = p.conn.WriteTo(payload, addr)
+}
+
+// AfterTicks schedules fn after the guest TSC advances by ticks.
+func (p *Platform) AfterTicks(ticks uint64, fn func()) enclave.CancelFunc {
+	d := time.Duration(float64(ticks) / p.tscHz * float64(time.Second))
+	t := time.AfterFunc(d, func() { p.post(fn) })
+	return func() { t.Stop() }
+}
+
+// SetAEXHandler registers the AEX-Notify callback.
+func (p *Platform) SetAEXHandler(fn func()) {
+	p.post(func() { p.aexHandler = fn })
+}
+
+// SetMessageHandler registers the datagram callback.
+func (p *Platform) SetMessageHandler(fn func(from simnet.Addr, payload []byte)) {
+	p.post(func() { p.msgHandler = fn })
+}
+
+// StartINCCheck models one monitoring-loop measurement: it completes
+// after the wall time the tick window spans, reporting the modelled
+// iteration count, or interrupted if an AEX landed inside the window.
+func (p *Platform) StartINCCheck(ticks uint64, done func(count float64, interrupted bool)) {
+	p.post(func() {
+		epoch := p.aexEpoch
+		d := time.Duration(float64(ticks) / p.tscHz * float64(time.Second))
+		time.AfterFunc(d, func() {
+			p.post(func() {
+				if p.aexEpoch != epoch {
+					done(0, true)
+					return
+				}
+				count := enclave.IdealINC(p.core, float64(ticks), p.tscHz)
+				if p.incIndex == 0 {
+					count += enclave.PaperINCModel().WarmupOffset
+				}
+				p.incIndex++
+				done(count, false)
+			})
+		})
+	})
+}
+
+// StartMemCheck models one memory-access monitoring measurement,
+// mirroring StartINCCheck with the frequency-independent counter.
+func (p *Platform) StartMemCheck(ticks uint64, done func(count float64, interrupted bool)) {
+	p.post(func() {
+		epoch := p.aexEpoch
+		d := time.Duration(float64(ticks) / p.tscHz * float64(time.Second))
+		time.AfterFunc(d, func() {
+			p.post(func() {
+				if p.aexEpoch != epoch {
+					done(0, true)
+					return
+				}
+				done(enclave.PaperMemModel().IdealMem(float64(ticks), p.tscHz), false)
+			})
+		})
+	})
+}
+
+// InjectAEX delivers one AEX to the node (severing time continuity),
+// as the synthetic generator or an external test harness would.
+func (p *Platform) InjectAEX() {
+	p.post(func() {
+		p.aexEpoch++
+		p.aexCount++
+		if p.aexHandler != nil {
+			p.aexHandler()
+		}
+	})
+}
+
+// AEXCount reports delivered AEXs.
+func (p *Platform) AEXCount() int {
+	n := 0
+	if !p.Do(func() { n = p.aexCount }) {
+		return 0
+	}
+	return n
+}
+
+// LocalAddr reports the bound UDP address.
+func (p *Platform) LocalAddr() net.Addr { return p.conn.LocalAddr() }
+
+// Close shuts the platform down: the socket closes, the loops exit.
+// Safe to call multiple times.
+func (p *Platform) Close() error {
+	var err error
+	p.stopOnce.Do(func() {
+		err = p.conn.Close()
+		close(p.done)
+		<-p.readDone
+	})
+	return err
+}

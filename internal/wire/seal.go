@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the AES-256 key size in bytes.
+const KeySize = 32
+
+// nonceSize is the AES-GCM nonce size: 4-byte sender ID + 8-byte counter.
+const nonceSize = 12
+
+// Errors returned by Open.
+var (
+	// ErrAuthFailed is returned when a datagram fails AEAD
+	// authentication (tampered, truncated, or wrong key).
+	ErrAuthFailed = errors.New("wire: authentication failed")
+	// ErrReplay is returned when a datagram's nonce counter was already
+	// accepted from that sender.
+	ErrReplay = errors.New("wire: replayed message")
+)
+
+// Sealer encrypts outgoing datagrams for one sender identity. Each seal
+// consumes one nonce counter value; a Sealer must not be shared across
+// concurrent goroutines without external synchronization (the simulation
+// is single-threaded; the live transport wraps it in a mutex).
+type Sealer struct {
+	aead     cipher.AEAD
+	senderID uint32
+	counter  uint64
+}
+
+// NewSealer creates a sealer for the given 32-byte pre-shared cluster key
+// and unique sender identity. Two senders must never share an identity:
+// nonce reuse under the same key would void all confidentiality.
+func NewSealer(key []byte, senderID uint32) (*Sealer, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{aead: aead, senderID: senderID}, nil
+}
+
+// SenderID reports the sealer's sender identity.
+func (s *Sealer) SenderID() uint32 { return s.senderID }
+
+// Seal encrypts and authenticates a message. The output is
+// nonce || ciphertext || tag, self-contained for datagram transport.
+func (s *Sealer) Seal(m Message) []byte {
+	s.counter++
+	nonce := make([]byte, nonceSize)
+	binary.BigEndian.PutUint32(nonce[:4], s.senderID)
+	binary.BigEndian.PutUint64(nonce[4:], s.counter)
+	plain := m.Marshal()
+	out := make([]byte, 0, nonceSize+len(plain)+s.aead.Overhead())
+	out = append(out, nonce...)
+	return s.aead.Seal(out, nonce, plain, nil)
+}
+
+// Opener decrypts incoming datagrams and rejects replays. One Opener
+// guards one receiving endpoint; it tracks a sliding replay window per
+// sender.
+type Opener struct {
+	aead    cipher.AEAD
+	windows map[uint32]*replayWindow
+}
+
+// NewOpener creates an opener for the given 32-byte pre-shared key.
+func NewOpener(key []byte) (*Opener, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Opener{aead: aead, windows: make(map[uint32]*replayWindow)}, nil
+}
+
+// Open authenticates and decrypts a datagram produced by Seal, returning
+// the message and the claimed (and authenticated) sender identity.
+func (o *Opener) Open(b []byte) (Message, uint32, error) {
+	if len(b) < nonceSize+o.aead.Overhead() {
+		return Message{}, 0, ErrAuthFailed
+	}
+	nonce := b[:nonceSize]
+	sender := binary.BigEndian.Uint32(nonce[:4])
+	counter := binary.BigEndian.Uint64(nonce[4:])
+	plain, err := o.aead.Open(nil, nonce, b[nonceSize:], nil)
+	if err != nil {
+		return Message{}, 0, ErrAuthFailed
+	}
+	w := o.windows[sender]
+	if w == nil {
+		w = &replayWindow{}
+		o.windows[sender] = w
+	}
+	if !w.accept(counter) {
+		return Message{}, 0, fmt.Errorf("%w: sender %d counter %d", ErrReplay, sender, counter)
+	}
+	m, err := Unmarshal(plain)
+	if err != nil {
+		return Message{}, 0, err
+	}
+	return m, sender, nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("wire: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("wire: new cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("wire: new GCM: %w", err)
+	}
+	return aead, nil
+}
+
+// replayWindow is a 64-entry sliding anti-replay window (RFC 6479 style):
+// it accepts each counter at most once and tolerates reordering within
+// the window, which matters because the network (or the attacker) may
+// reorder UDP datagrams.
+type replayWindow struct {
+	max    uint64
+	bitmap uint64
+}
+
+func (w *replayWindow) accept(counter uint64) bool {
+	if counter == 0 {
+		return false // counters start at 1
+	}
+	switch {
+	case counter > w.max:
+		shift := counter - w.max
+		if shift >= 64 {
+			w.bitmap = 1
+		} else {
+			w.bitmap = w.bitmap<<shift | 1
+		}
+		w.max = counter
+		return true
+	case w.max-counter >= 64:
+		return false // too old to verify
+	default:
+		bit := uint64(1) << (w.max - counter)
+		if w.bitmap&bit != 0 {
+			return false
+		}
+		w.bitmap |= bit
+		return true
+	}
+}

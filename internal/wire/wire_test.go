@@ -1,0 +1,291 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testKey() []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	return key
+}
+
+func TestMessageRoundtrip(t *testing.T) {
+	tests := []Message{
+		{Kind: KindTimeRequest, Seq: 1, Sleep: time.Second},
+		{Kind: KindTimeRequest, Seq: 2, Sleep: 0},
+		{Kind: KindTimeResponse, Seq: 2, TimeNanos: 123456789},
+		{Kind: KindPeerTimeRequest, Seq: 99},
+		{Kind: KindPeerTimeResponse, Seq: 99, TimeNanos: -5}, // negative survives
+		{Kind: KindChimerReport, Seq: 3, Sleep: 12345, TimeNanos: 0b1011},
+	}
+	for _, m := range tests {
+		t.Run(m.Kind.String(), func(t *testing.T) {
+			got, err := Unmarshal(m.Marshal())
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if got != m {
+				t.Errorf("roundtrip = %+v, want %+v", got, m)
+			}
+		})
+	}
+}
+
+func TestMessageFixedSize(t *testing.T) {
+	// All kinds encode to the same length so an observer cannot classify
+	// messages by size (the attacker must use timing, as in the paper).
+	sizes := map[int]bool{}
+	for _, m := range []Message{
+		{Kind: KindTimeRequest, Sleep: time.Second},
+		{Kind: KindTimeResponse, TimeNanos: 1 << 60},
+		{Kind: KindPeerTimeRequest},
+		{Kind: KindPeerTimeResponse, TimeNanos: 1},
+	} {
+		sizes[len(m.Marshal())] = true
+	}
+	if len(sizes) != 1 {
+		t.Errorf("message sizes differ across kinds: %v", sizes)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, marshaledSize-1)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short buffer err = %v, want ErrTruncated", err)
+	}
+	bad := Message{Kind: KindTimeRequest}.Marshal()
+	bad[0] = 0
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("kind 0 err = %v, want ErrBadKind", err)
+	}
+	bad[0] = 200
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("kind 200 err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindTimeRequest.String() != "TimeRequest" || Kind(77).String() != "Kind(77)" {
+		t.Error("Kind.String misbehaves")
+	}
+}
+
+func TestSealOpenRoundtrip(t *testing.T) {
+	sealer, err := NewSealer(testKey(), 3)
+	if err != nil {
+		t.Fatalf("NewSealer: %v", err)
+	}
+	opener, err := NewOpener(testKey())
+	if err != nil {
+		t.Fatalf("NewOpener: %v", err)
+	}
+	msg := Message{Kind: KindTimeRequest, Seq: 7, Sleep: time.Second}
+	sealed := sealer.Seal(msg)
+	got, sender, err := opener.Open(sealed)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got != msg {
+		t.Errorf("got %+v, want %+v", got, msg)
+	}
+	if sender != 3 {
+		t.Errorf("sender = %d, want 3", sender)
+	}
+	if sealer.SenderID() != 3 {
+		t.Errorf("SenderID = %d", sealer.SenderID())
+	}
+}
+
+func TestSealHidesPlaintext(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	msg := Message{Kind: KindTimeRequest, Seq: 1, Sleep: time.Second}
+	sealed := sealer.Seal(msg)
+	if bytes.Contains(sealed, msg.Marshal()) {
+		t.Error("sealed datagram contains the plaintext")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	sealed := sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: 5})
+	for _, idx := range []int{0, nonceSize, len(sealed) - 1} {
+		cp := append([]byte(nil), sealed...)
+		cp[idx] ^= 0x01
+		if _, _, err := opener.Open(cp); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("tamper at %d: err = %v, want ErrAuthFailed", idx, err)
+		}
+	}
+	if _, _, err := opener.Open(sealed[:10]); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("truncated: err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	otherKey := testKey()
+	otherKey[0] ^= 0xFF
+	opener, _ := NewOpener(otherKey)
+	if _, _, err := opener.Open(sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: 1})); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong key: err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestOpenRejectsReplay(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	sealed := sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: 1})
+	if _, _, err := opener.Open(sealed); err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if _, _, err := opener.Open(sealed); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestOpenToleratesReorderingWithinWindow(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	var sealed [][]byte
+	for i := 0; i < 10; i++ {
+		sealed = append(sealed, sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: uint64(i)}))
+	}
+	// Deliver out of order: evens first, then odds.
+	for i := 0; i < 10; i += 2 {
+		if _, _, err := opener.Open(sealed[i]); err != nil {
+			t.Fatalf("even %d: %v", i, err)
+		}
+	}
+	for i := 1; i < 10; i += 2 {
+		if _, _, err := opener.Open(sealed[i]); err != nil {
+			t.Fatalf("odd %d: %v", i, err)
+		}
+	}
+	// But each at most once.
+	if _, _, err := opener.Open(sealed[3]); !errors.Is(err, ErrReplay) {
+		t.Errorf("second delivery of #3: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestOpenRejectsTooOld(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	first := sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: 0})
+	var last []byte
+	for i := 0; i < 70; i++ {
+		last = sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: uint64(i + 1)})
+	}
+	if _, _, err := opener.Open(last); err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if _, _, err := opener.Open(first); !errors.Is(err, ErrReplay) {
+		t.Errorf("64+ old message: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestSendersTrackedIndependently(t *testing.T) {
+	s1, _ := NewSealer(testKey(), 1)
+	s2, _ := NewSealer(testKey(), 2)
+	opener, _ := NewOpener(testKey())
+	// Both senders use counter 1; neither is a replay of the other.
+	if _, _, err := opener.Open(s1.Seal(Message{Kind: KindPeerTimeRequest, Seq: 1})); err != nil {
+		t.Fatalf("sender 1: %v", err)
+	}
+	if _, _, err := opener.Open(s2.Seal(Message{Kind: KindPeerTimeRequest, Seq: 1})); err != nil {
+		t.Fatalf("sender 2: %v", err)
+	}
+}
+
+func TestNewSealerBadKey(t *testing.T) {
+	if _, err := NewSealer(make([]byte, 16), 1); err == nil {
+		t.Error("16-byte key should be rejected (AES-256 only)")
+	}
+	if _, err := NewOpener(nil); err == nil {
+		t.Error("nil key should be rejected")
+	}
+}
+
+func TestSealOpenQuick(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 9)
+	opener, _ := NewOpener(testKey())
+	f := func(kindRaw uint8, seq uint64, sleepNs int64, timeNs int64) bool {
+		kind := Kind(kindRaw%5) + KindTimeRequest
+		m := Message{Kind: kind, Seq: seq, Sleep: time.Duration(sleepNs), TimeNanos: timeNs}
+		got, sender, err := opener.Open(sealer.Seal(m))
+		return err == nil && got == m && sender == 9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayWindowUnit(t *testing.T) {
+	var w replayWindow
+	if w.accept(0) {
+		t.Error("counter 0 must be rejected")
+	}
+	if !w.accept(1) || w.accept(1) {
+		t.Error("counter 1: accept once")
+	}
+	if !w.accept(100) {
+		t.Error("jump forward must be accepted")
+	}
+	if !w.accept(99) || w.accept(99) {
+		t.Error("within-window out-of-order: accept once")
+	}
+	if w.accept(36) {
+		t.Error("counter exactly 64 behind must be rejected")
+	}
+	if !w.accept(37) {
+		t.Error("counter 63 behind should be accepted")
+	}
+	if !w.accept(200) {
+		t.Error("large jump (>64) must reset the window and accept")
+	}
+	if !w.accept(137) || w.accept(137) {
+		t.Error("unseen counter 63 behind the new max: accept exactly once")
+	}
+	if w.accept(136) {
+		t.Error("counter exactly 64 behind the new max must be rejected")
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	sealer, _ := NewSealer(testKey(), 1)
+	msg := Message{Kind: KindTimeRequest, Seq: 1, Sleep: time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sealer.Seal(msg)
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	// Pre-seal so replay windows accept each datagram exactly once.
+	sealed := make([][]byte, b.N)
+	for i := range sealed {
+		sealed[i] = sealer.Seal(Message{Kind: KindTimeRequest, Seq: uint64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := opener.Open(sealed[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	msg := Message{Kind: KindTimeResponse, Seq: 42, TimeNanos: 1 << 60}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		msg.Marshal()
+	}
+}

@@ -1,0 +1,211 @@
+package lease
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	nanos int64
+	fail  bool
+}
+
+func (c *fakeClock) TrustedNow() (int64, error) {
+	if c.fail {
+		return 0, errors.New("tainted")
+	}
+	c.nanos++ // strictly monotonic, like a Triad node
+	return c.nanos, nil
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.nanos += int64(d) }
+
+func newManager(t *testing.T) (*Manager, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{nanos: int64(time.Hour)}
+	m, err := NewManager(clock, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, clock
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil, time.Minute); err == nil {
+		t.Error("nil clock accepted")
+	}
+	m, err := NewManager(&fakeClock{}, 0)
+	if err != nil || m.maxTTL != time.Hour {
+		t.Errorf("default maxTTL = %v, err %v", m.maxTTL, err)
+	}
+}
+
+func TestAcquireExclusive(t *testing.T) {
+	m, clock := newManager(t)
+	l, err := m.Acquire("gpu-0", "alice", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Holder != "alice" || l.Resource != "gpu-0" {
+		t.Errorf("lease = %+v", l)
+	}
+	if _, err := m.Acquire("gpu-0", "bob", time.Minute); !errors.Is(err, ErrHeld) {
+		t.Errorf("err = %v, want ErrHeld", err)
+	}
+	// A different resource is free.
+	if _, err := m.Acquire("gpu-1", "bob", time.Minute); err != nil {
+		t.Errorf("independent resource refused: %v", err)
+	}
+	holder, held, err := m.Holder("gpu-0")
+	if err != nil || !held || holder != "alice" {
+		t.Errorf("Holder = %q/%v/%v", holder, held, err)
+	}
+	clock.advance(2 * time.Minute)
+	if _, held, _ := m.Holder("gpu-0"); held {
+		t.Error("expired lease still reported held")
+	}
+}
+
+func TestAcquireAfterExpiry(t *testing.T) {
+	m, clock := newManager(t)
+	if _, err := m.Acquire("r", "alice", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(61 * time.Second)
+	l, err := m.Acquire("r", "bob", time.Minute)
+	if err != nil {
+		t.Fatalf("takeover after expiry refused: %v", err)
+	}
+	if l.Holder != "bob" {
+		t.Errorf("holder = %q", l.Holder)
+	}
+	granted, denied, expired := m.Stats()
+	if granted != 2 || denied != 0 || expired != 1 {
+		t.Errorf("stats = %d/%d/%d", granted, denied, expired)
+	}
+}
+
+func TestRenewExtendsOnlyCurrentLease(t *testing.T) {
+	m, clock := newManager(t)
+	l, _ := m.Acquire("r", "alice", time.Minute)
+	clock.advance(30 * time.Second)
+	renewed, err := m.Renew(l, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renewed.ExpiryNanos <= l.ExpiryNanos {
+		t.Error("renew did not extend")
+	}
+	// A stale incarnation cannot renew.
+	clock.advance(2 * time.Minute)
+	if _, err := m.Renew(renewed, time.Minute); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("expired renew err = %v, want ErrNotHeld", err)
+	}
+	l2, _ := m.Acquire("r", "bob", time.Minute)
+	if _, err := m.Renew(l, time.Minute); !errors.Is(err, ErrNotHeld) {
+		t.Error("superseded lease renewed")
+	}
+	if _, err := m.Renew(l2, time.Minute); err != nil {
+		t.Errorf("current lease renew failed: %v", err)
+	}
+}
+
+func TestReleaseOnlyCurrentIncarnation(t *testing.T) {
+	m, clock := newManager(t)
+	l1, _ := m.Acquire("r", "alice", time.Minute)
+	clock.advance(2 * time.Minute)
+	l2, _ := m.Acquire("r", "bob", time.Minute)
+	// Stale holder cannot release the successor's lease.
+	if err := m.Release(l1); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("stale release err = %v, want ErrNotHeld", err)
+	}
+	if err := m.Release(l2); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, err := m.Acquire("r", "carol", time.Minute); err != nil {
+		t.Errorf("acquire after release failed: %v", err)
+	}
+}
+
+func TestTTLValidation(t *testing.T) {
+	m, _ := newManager(t)
+	if _, err := m.Acquire("r", "a", 0); !errors.Is(err, ErrBadTTL) {
+		t.Error("zero ttl accepted")
+	}
+	if _, err := m.Acquire("r", "a", time.Hour); !errors.Is(err, ErrBadTTL) {
+		t.Error("over-max ttl accepted")
+	}
+	l, _ := m.Acquire("r", "a", time.Minute)
+	if _, err := m.Renew(l, -time.Second); !errors.Is(err, ErrBadTTL) {
+		t.Error("negative renew ttl accepted")
+	}
+}
+
+func TestClockUnavailabilityIsSafe(t *testing.T) {
+	m, clock := newManager(t)
+	l, _ := m.Acquire("r", "alice", time.Minute)
+	clock.fail = true
+	if _, err := m.Acquire("q", "bob", time.Minute); err == nil {
+		t.Error("acquire succeeded without trusted time")
+	}
+	if _, err := m.Renew(l, time.Minute); err == nil {
+		t.Error("renew succeeded without trusted time")
+	}
+	if _, _, err := m.Holder("r"); err == nil {
+		t.Error("holder check succeeded without trusted time")
+	}
+	// Release needs no clock: it only removes.
+	if err := m.Release(l); err != nil {
+		t.Errorf("release: %v", err)
+	}
+}
+
+// TestMutualExclusionProperty drives random acquire/renew/release
+// schedules and asserts the core invariant: whenever an Acquire
+// succeeds, the previous lease (if any) had expired or been released
+// at that trusted instant.
+func TestMutualExclusionProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 50; trial++ {
+		m, clock := newManager(t)
+		type holding struct {
+			l     Lease
+			valid bool
+		}
+		var cur holding
+		for step := 0; step < 200; step++ {
+			clock.advance(time.Duration(rng.IntN(30)) * time.Second)
+			holder := []string{"alice", "bob", "carol"}[rng.IntN(3)]
+			switch rng.IntN(3) {
+			case 0:
+				l, err := m.Acquire("r", holder, time.Minute)
+				if err == nil {
+					if cur.valid && cur.l.ExpiryNanos > l.GrantedNanos {
+						t.Fatalf("trial %d: lease granted at %d while previous valid until %d",
+							trial, l.GrantedNanos, cur.l.ExpiryNanos)
+					}
+					cur = holding{l: l, valid: true}
+				}
+			case 1:
+				if cur.valid {
+					if l, err := m.Renew(cur.l, time.Minute); err == nil {
+						cur.l = l
+					}
+				}
+			case 2:
+				if cur.valid && rng.IntN(2) == 0 {
+					_ = m.Release(cur.l)
+					cur.valid = false
+				}
+			}
+			if cur.valid {
+				now := clock.nanos
+				if cur.l.ExpiryNanos <= now {
+					cur.valid = false // expired naturally
+				}
+			}
+		}
+	}
+}

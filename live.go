@@ -1,0 +1,241 @@
+package triadtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"triadtime/internal/authority"
+	"triadtime/internal/core"
+	"triadtime/internal/resilient"
+	"triadtime/internal/transport"
+)
+
+// LiveConfig configures a live (UDP) Triad node.
+type LiveConfig struct {
+	// Key is the cluster's pre-shared 32-byte AES-256 key.
+	Key []byte
+	// ID is this node's identity.
+	ID NodeID
+	// Listen is the UDP address to bind, e.g. "0.0.0.0:7101".
+	Listen string
+	// Directory maps every participant (peers and authority) to its
+	// UDP address.
+	Directory map[NodeID]string
+	// Peers lists the other Triad nodes.
+	Peers []NodeID
+	// Authority is the Time Authority's identity.
+	Authority NodeID
+	// AEXPeriod optionally delivers synthetic AEXs at this period (a
+	// stand-in for the OS interrupts real enclaves observe through
+	// AEX-Notify). Zero disables them.
+	AEXPeriod time.Duration
+	// Hardened selects the Section V resilient protocol instead of the
+	// original Triad.
+	Hardened bool
+}
+
+// liveNode is the common handle surface of both protocol variants.
+type liveNode interface {
+	Start()
+	State() State
+	FCalib() float64
+	TrustedNow() (int64, error)
+}
+
+// LiveNode is a running Triad participant bound to a UDP socket. It is
+// safe for concurrent use: every call is serialized onto the
+// platform's dispatch goroutine.
+type LiveNode struct {
+	platform  *transport.Platform
+	node      liveNode
+	statusSrv *http.Server
+}
+
+// NewLiveNode binds the socket, builds the node (original or hardened)
+// and starts the protocol.
+func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
+	conn, err := net.ListenPacket("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: listen %q: %w", cfg.Listen, err)
+	}
+	platform, err := transport.New(transport.Config{
+		Conn:      conn,
+		Directory: cfg.Directory,
+		AEXPeriod: cfg.AEXPeriod,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ln := &LiveNode{platform: platform}
+	var buildErr error
+	ok := platform.Do(func() {
+		if cfg.Hardened {
+			ln.node, buildErr = resilient.NewNode(platform, resilient.Config{
+				Key:       cfg.Key,
+				Addr:      cfg.ID,
+				Peers:     cfg.Peers,
+				Authority: cfg.Authority,
+			})
+		} else {
+			ln.node, buildErr = core.NewNode(platform, core.Config{
+				Key:       cfg.Key,
+				Addr:      cfg.ID,
+				Peers:     cfg.Peers,
+				Authority: cfg.Authority,
+			})
+		}
+	})
+	if !ok {
+		platform.Close()
+		return nil, fmt.Errorf("triadtime: platform closed during setup")
+	}
+	if buildErr != nil {
+		platform.Close()
+		return nil, buildErr
+	}
+	platform.Do(ln.node.Start)
+	return ln, nil
+}
+
+// TrustedNow serves one trusted timestamp. It returns ErrUnavailable
+// while the node is tainted or calibrating.
+func (ln *LiveNode) TrustedNow() (Timestamp, error) {
+	var ts int64
+	var err error
+	if !ln.platform.Do(func() { ts, err = ln.node.TrustedNow() }) {
+		return Timestamp{}, fmt.Errorf("triadtime: node closed")
+	}
+	if err != nil {
+		return Timestamp{}, err
+	}
+	return Timestamp{Nanos: ts}, nil
+}
+
+// TrustedNanos serves one trusted timestamp as raw nanoseconds — the
+// form application toolkits (tsa.Clock, lease.Clock) consume.
+func (ln *LiveNode) TrustedNanos() (int64, error) {
+	ts, err := ln.TrustedNow()
+	if err != nil {
+		return 0, err
+	}
+	return ts.Nanos, nil
+}
+
+// State reports the node's protocol state.
+func (ln *LiveNode) State() State {
+	var s State
+	ln.platform.Do(func() { s = ln.node.State() })
+	return s
+}
+
+// FCalib reports the calibrated TSC rate (0 before calibration).
+func (ln *LiveNode) FCalib() float64 {
+	var f float64
+	ln.platform.Do(func() { f = ln.node.FCalib() })
+	return f
+}
+
+// LocalAddr reports the bound UDP address.
+func (ln *LiveNode) LocalAddr() net.Addr { return ln.platform.LocalAddr() }
+
+// Snapshot is a point-in-time view of a live node, for operational
+// monitoring.
+type Snapshot struct {
+	State        string  `json:"state"`
+	FCalibHz     float64 `json:"fCalibHz"`
+	TrustedNanos int64   `json:"trustedNanos,omitempty"`
+	Available    bool    `json:"available"`
+	AEXCount     int     `json:"aexCount"`
+}
+
+// Snapshot captures the node's current status.
+func (ln *LiveNode) Snapshot() Snapshot {
+	var s Snapshot
+	ln.platform.Do(func() {
+		s.State = ln.node.State().String()
+		s.FCalibHz = ln.node.FCalib()
+		if ts, err := ln.node.TrustedNow(); err == nil {
+			s.TrustedNanos = ts
+			s.Available = true
+		}
+	})
+	s.AEXCount = ln.platform.AEXCount()
+	return s
+}
+
+// ServeStatus exposes the node's Snapshot as JSON over HTTP at /status
+// and a Prometheus-style text exposition at /metrics. It returns the
+// bound listener address; the server stops when the node closes.
+func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: status listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ln.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s := ln.Snapshot()
+		available := 0
+		if s.Available {
+			available = 1
+		}
+		fmt.Fprintf(w, "triad_node_available %d\n", available)
+		fmt.Fprintf(w, "triad_node_fcalib_hz %g\n", s.FCalibHz)
+		fmt.Fprintf(w, "triad_node_aex_total %d\n", s.AEXCount)
+		fmt.Fprintf(w, "triad_node_trusted_nanos %d\n", s.TrustedNanos)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	ln.statusSrv = srv
+	return l.Addr(), nil
+}
+
+// InjectAEX severs time continuity once, as an OS interrupt would.
+func (ln *LiveNode) InjectAEX() { ln.platform.InjectAEX() }
+
+// Close shuts the node down (including its status server, if any).
+func (ln *LiveNode) Close() error {
+	if ln.statusSrv != nil {
+		_ = ln.statusSrv.Close()
+	}
+	return ln.platform.Close()
+}
+
+// AuthorityServer is a running live Time Authority.
+type AuthorityServer struct {
+	srv *authority.Server
+}
+
+// NewAuthorityServer binds a UDP socket and starts serving reference
+// time to the cluster identified by key.
+func NewAuthorityServer(listen string, key []byte, id NodeID) (*AuthorityServer, error) {
+	conn, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: listen %q: %w", listen, err)
+	}
+	srv, err := authority.NewServer(conn, key, uint32(id))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go func() { _ = srv.Serve() }()
+	return &AuthorityServer{srv: srv}, nil
+}
+
+// LocalAddr reports the bound UDP address.
+func (a *AuthorityServer) LocalAddr() net.Addr { return a.srv.LocalAddr() }
+
+// Served reports how many time references have been served to node id.
+func (a *AuthorityServer) Served(id NodeID) int {
+	return a.srv.Authority().Served(uint32(id))
+}
+
+// Close stops the server.
+func (a *AuthorityServer) Close() error { return a.srv.Close() }

@@ -1,0 +1,66 @@
+// Package triadtime is an open-source Go implementation and security
+// analysis of Triad's TEE trusted-time protocol, reproducing
+// "An Open-source Implementation and Security Analysis of Triad's TEE
+// Trusted Time Protocol" (DSN-S 2025).
+//
+// The package offers two entry points:
+//
+//   - Live deployment: NewLiveNode runs a Triad node over encrypted UDP
+//     (see also cmd/triad-node and cmd/timeauthority). Without SGX
+//     hardware the enclave substrate is substituted per DESIGN.md: the
+//     guest TSC maps onto the monotonic clock, AEXs come from a
+//     synthetic interrupt source, and the protocol logic is exactly the
+//     code the security analysis exercises.
+//
+//   - Simulation laboratory: NewLab builds a deterministic
+//     discrete-event cluster (nodes, Time Authority, interrupt
+//     environments, attackers) on which every figure and table of the
+//     paper is regenerated. See internal/experiment and cmd/triad-sim.
+//
+// The protocol implementations live in internal/core (the original
+// Triad protocol, faithful to the paper's specification including its
+// vulnerabilities) and internal/resilient (the Section V hardened
+// variant).
+package triadtime
+
+import (
+	"time"
+
+	"triadtime/internal/core"
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// State is a node's protocol state (FullCalib, RefCalib, Tainted, OK).
+type State = core.State
+
+// Protocol states, re-exported for applications.
+const (
+	StateInit      = core.StateInit
+	StateFullCalib = core.StateFullCalib
+	StateRefCalib  = core.StateRefCalib
+	StateTainted   = core.StateTainted
+	StateOK        = core.StateOK
+)
+
+// ErrUnavailable is returned while a node cannot serve trusted time.
+var ErrUnavailable = core.ErrUnavailable
+
+// NodeID identifies a protocol participant: it is both the wire-layer
+// authenticated sender identity and, in simulations, the network
+// address.
+type NodeID = simnet.Addr
+
+// KeySize is the cluster pre-shared key size (AES-256).
+const KeySize = wire.KeySize
+
+// Timestamp is a trusted timestamp on the Time Authority's timeline.
+type Timestamp struct {
+	// Nanos is nanoseconds since the authority's epoch (Unix epoch for
+	// live deployments).
+	Nanos int64
+}
+
+// Time converts the timestamp for use with the standard library (live
+// deployments, where the authority serves Unix time).
+func (t Timestamp) Time() time.Time { return time.Unix(0, t.Nanos) }

@@ -1,0 +1,254 @@
+package triadtime
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"triadtime/internal/simtime"
+)
+
+func labKey() []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i + 31)
+	}
+	return key
+}
+
+func TestLabQuickstartFlow(t *testing.T) {
+	lab, err := NewLab(LabConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		lab.UseTriadLikeAEXs(i)
+	}
+	lab.Start()
+	lab.Run(30 * time.Second)
+	for i := 0; i < 3; i++ {
+		ts, err := lab.TrustedNow(i)
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+		drift := time.Duration(ts.Nanos - lab.ReferenceNow())
+		if drift < -time.Second || drift > time.Second {
+			t.Errorf("node %d trusted time off reference by %v", i+1, drift)
+		}
+	}
+}
+
+func TestLabAttackFlow(t *testing.T) {
+	lab, err := NewLab(LabConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		lab.UseTriadLikeAEXs(i)
+	}
+	lab.AttackCalibration(2, FPlus)
+	lab.Start()
+	lab.Run(60 * time.Second)
+	ratio := lab.Nodes[2].FCalib() / simtime.NominalTSCHz
+	if math.Abs(ratio-1.1) > 0.01 {
+		t.Errorf("F+ victim F_calib ratio = %v, want ~1.1", ratio)
+	}
+}
+
+func TestLabHardened(t *testing.T) {
+	lab, err := NewLab(LabConfig{Seed: 3, Hardened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab.AttackCalibration(2, FMinus)
+	lab.Start()
+	lab.Run(60 * time.Second)
+	// Hardened victim: never silently corrupted.
+	if f := lab.Nodes[2].FCalib(); f != 0 {
+		ppm := math.Abs(f-simtime.NominalTSCHz) / simtime.NominalTSCHz * 1e6
+		if ppm > 5000 {
+			t.Errorf("hardened victim corrupted: %.0fppm", ppm)
+		}
+	}
+}
+
+func TestLabUnavailableBeforeStart(t *testing.T) {
+	lab, err := NewLab(LabConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.TrustedNow(0); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestTimestampTime(t *testing.T) {
+	ts := Timestamp{Nanos: 1_700_000_000_000_000_042}
+	if got := ts.Time().UnixNano(); got != ts.Nanos {
+		t.Errorf("Time() roundtrip = %d", got)
+	}
+}
+
+func TestLiveFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+
+	node, err := NewLiveNode(LiveConfig{
+		Key:       labKey(),
+		ID:        1,
+		Listen:    "127.0.0.1:0",
+		Directory: map[NodeID]string{100: ta.LocalAddr().String()},
+		Authority: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for node.State() != StateOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("live node never calibrated (state %v)", node.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	ts, err := node.TrustedNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off := time.Since(ts.Time()); off < -2*time.Second || off > 2*time.Second {
+		t.Errorf("trusted time off wall clock by %v", off)
+	}
+	if ta.Served(1) == 0 {
+		t.Error("authority reports zero served references")
+	}
+	// An injected AEX taints, then the node recovers via the TA.
+	node.InjectAEX()
+	recovered := false
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if node.State() == StateOK {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Error("node never recovered from injected AEX")
+	}
+}
+
+func TestLiveHardenedFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	node, err := NewLiveNode(LiveConfig{
+		Key:       labKey(),
+		ID:        1,
+		Listen:    "127.0.0.1:0",
+		Directory: map[NodeID]string{100: ta.LocalAddr().String()},
+		Authority: 100,
+		Hardened:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for node.State() != StateOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("hardened live node never calibrated (state %v)", node.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, err := node.TrustedNow(); err != nil {
+		t.Errorf("TrustedNow: %v", err)
+	}
+}
+
+func TestNewLiveNodeErrors(t *testing.T) {
+	if _, err := NewLiveNode(LiveConfig{Listen: "256.256.256.256:99999"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	if _, err := NewLiveNode(LiveConfig{
+		Key:    []byte("short"),
+		ID:     1,
+		Listen: "127.0.0.1:0",
+	}); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestLiveStatusEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	node, err := NewLiveNode(LiveConfig{
+		Key:       labKey(),
+		ID:        1,
+		Listen:    "127.0.0.1:0",
+		Directory: map[NodeID]string{100: ta.LocalAddr().String()},
+		Authority: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	addr, err := node.ServeStatus("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for node.State() != StateOK && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != "OK" || !snap.Available || snap.FCalibHz == 0 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	m, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	body, err := io.ReadAll(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "triad_node_available 1") ||
+		!strings.Contains(text, "triad_node_fcalib_hz") {
+		t.Errorf("metrics exposition:\n%s", text)
+	}
+}

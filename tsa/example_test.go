@@ -1,0 +1,38 @@
+package tsa_test
+
+import (
+	"fmt"
+	"time"
+
+	"triadtime"
+	"triadtime/tsa"
+)
+
+// ExampleStamper shows a timestamping authority backed by a simulated
+// Triad node's trusted clock.
+func ExampleStamper() {
+	lab, err := triadtime.NewLab(triadtime.LabConfig{Seed: 8})
+	if err != nil {
+		panic(err)
+	}
+	lab.Start()
+	lab.Run(30 * time.Second) // calibrate
+
+	stamper, err := tsa.New(lab.NodeClock(0), []byte("verification-key-of-32-bytes-ok!"))
+	if err != nil {
+		panic(err)
+	}
+	document := []byte("signed agreement")
+	token, err := stamper.Issue(document)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("genuine verifies:", stamper.Verify(document, token))
+
+	forged := token
+	forged.Nanos -= int64(time.Hour) // backdating attempt
+	fmt.Println("backdated verifies:", stamper.Verify(document, forged))
+	// Output:
+	// genuine verifies: true
+	// backdated verifies: false
+}

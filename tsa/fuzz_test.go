@@ -1,0 +1,27 @@
+package tsa
+
+import "testing"
+
+// FuzzUnmarshal: the token parser must never panic and every accepted
+// token must re-serialize identically.
+func FuzzUnmarshal(f *testing.F) {
+	s, _ := New(&fakeClock{nanos: 1}, []byte("0123456789abcdef0123456789abcdef"))
+	tok, _ := s.Issue([]byte("seed"))
+	f.Add(tok.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, TokenSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		round := tok.Marshal()
+		if len(round) != TokenSize {
+			t.Fatalf("marshal size %d", len(round))
+		}
+		tok2, err := Unmarshal(round)
+		if err != nil || tok2 != tok {
+			t.Fatal("canonical roundtrip broke")
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package tsa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var errUnavailable = errors.New("unavailable")
+
+type fakeClock struct {
+	nanos int64
+	fail  bool
+}
+
+func (c *fakeClock) TrustedNow() (int64, error) {
+	if c.fail {
+		return 0, errUnavailable
+	}
+	c.nanos++
+	return c.nanos, nil
+}
+
+func testStamper(t *testing.T) (*Stamper, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{nanos: 1_000_000}
+	s, err := New(clock, []byte("0123456789abcdef0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, clock
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, []byte("0123456789abcdef")); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := New(&fakeClock{}, []byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestNewCopiesKey(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	s, _ := New(&fakeClock{}, key)
+	tok, _ := s.Issue([]byte("doc"))
+	key[0] ^= 0xFF // caller mutates its buffer
+	if !s.Verify([]byte("doc"), tok) {
+		t.Error("stamper key aliased the caller's buffer")
+	}
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	s, _ := testStamper(t)
+	doc := []byte("the agreement")
+	tok, err := s.Issue(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Verify(doc, tok) {
+		t.Error("genuine token rejected")
+	}
+	if tok.Time() != time.Unix(0, tok.Nanos) {
+		t.Error("Time() inconsistent")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	s, _ := testStamper(t)
+	doc := []byte("the agreement")
+	tok, _ := s.Issue(doc)
+
+	backdated := tok
+	backdated.Nanos -= int64(time.Hour)
+	if s.Verify(doc, backdated) {
+		t.Error("backdated token accepted")
+	}
+	swapped := tok
+	swapped.Hash[0] ^= 1
+	if s.Verify(doc, swapped) {
+		t.Error("hash-swapped token accepted")
+	}
+	renonced := tok
+	renonced.Nonce[0] ^= 1
+	if s.Verify(doc, renonced) {
+		t.Error("nonce-tampered token accepted")
+	}
+	if s.Verify([]byte("another document"), tok) {
+		t.Error("token transferred to another document")
+	}
+}
+
+func TestVerifyRejectsForeignKey(t *testing.T) {
+	s1, _ := testStamper(t)
+	other, _ := New(&fakeClock{}, []byte("ffffffffffffffffffffffffffffffff"))
+	tok, _ := s1.Issue([]byte("doc"))
+	if other.Verify([]byte("doc"), tok) {
+		t.Error("token verified under a different key")
+	}
+}
+
+func TestIssuePropagatesUnavailability(t *testing.T) {
+	s, clock := testStamper(t)
+	clock.fail = true
+	if _, err := s.Issue([]byte("doc")); !errors.Is(err, errUnavailable) {
+		t.Errorf("err = %v, want the clock's unavailability", err)
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	s, _ := testStamper(t)
+	tok, _ := s.Issue([]byte("doc"))
+	parsed, err := Unmarshal(tok.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != tok {
+		t.Error("roundtrip mismatch")
+	}
+	got, ok := s.VerifyBytes([]byte("doc"), tok.Marshal())
+	if !ok || got != tok {
+		t.Error("VerifyBytes failed on genuine token")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, TokenSize-1)); !errors.Is(err, ErrTokenEncoding) {
+		t.Error("short buffer accepted")
+	}
+	if _, ok := (&Stamper{key: []byte("0123456789abcdef")}).VerifyBytes(nil, []byte("junk")); ok {
+		t.Error("junk token verified")
+	}
+}
+
+func TestTokensAreDistinctPerIssue(t *testing.T) {
+	s, clock := testStamper(t)
+	clock.nanos = 42
+	t1, _ := s.Issue([]byte("doc"))
+	clock.nanos = 42 // same next timestamp
+	t2, _ := s.Issue([]byte("doc"))
+	if t1 == t2 {
+		t.Error("two issues produced identical tokens (nonce not working)")
+	}
+}
+
+func TestMarshalQuick(t *testing.T) {
+	f := func(hash [HashSize]byte, nanos int64, nonce [nonceSize]byte, mac [macSize]byte) bool {
+		tok := Token{Hash: hash, Nanos: nanos, Nonce: nonce, MAC: mac}
+		got, err := Unmarshal(tok.Marshal())
+		return err == nil && got == tok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
