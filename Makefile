@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures check examples clean
+.PHONY: all build test test-short test-race vet bench figures check audit examples clean
 
 all: build vet test
 
@@ -19,6 +19,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race detector over the whole module — exercises the parallel
+# experiment runner, trace recorder, and live transport under -race.
+test-race:
+	$(GO) test -race ./...
+
 # Regenerate every paper figure/table as benchmark output.
 bench:
 	$(GO) test -bench=. -benchmem
@@ -27,8 +32,11 @@ bench:
 figures:
 	$(GO) run ./cmd/triad-sim -fig all -seed 1 -out results
 
+# Full pre-merge gate: vet, build, tests, and the race detector.
+check: vet build test test-race
+
 # 16-assertion reproduction audit (non-zero exit on any mismatch).
-check:
+audit:
 	$(GO) run ./cmd/triad-sim -fig check -seed 1
 
 examples:

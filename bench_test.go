@@ -14,6 +14,7 @@ package triadtime
 // and metrics (drift rates, availabilities, calibrated frequencies).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -499,5 +500,42 @@ func BenchmarkTableCalibrationTime(b *testing.B) {
 		}
 		b.ReportMetric(rows[1].P50.Seconds(), "orig_storm_p50_s")
 		b.ReportMetric(rows[3].P50.Seconds(), "hard_storm_p50_s")
+	}
+}
+
+// BenchmarkParallelSeedSweep measures the experiment runner's realized
+// speedup: the Figure 2a seed sweep executed serially vs. on a full
+// worker pool. The sweep's aggregate statistics are identical either
+// way; only the wall clock changes.
+func BenchmarkParallelSeedSweep(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				avails, err := RunSeeds(context.Background(), workers, Seeds(uint64(i)*10+1, 6),
+					func(_ context.Context, seed uint64) (float64, error) {
+						res, err := experiment.RunFig2(seed, 5*time.Minute)
+						if err != nil {
+							return 0, err
+						}
+						worst := 1.0
+						for _, a := range res.Availability {
+							worst = math.Min(worst, a)
+						}
+						return worst, nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst := 1.0
+				for _, a := range avails {
+					worst = math.Min(worst, a)
+				}
+				b.ReportMetric(worst*100, "worst_avail_pct")
+			}
+		})
 	}
 }

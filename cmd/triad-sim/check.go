@@ -24,7 +24,7 @@ func (r checkRow) ok() bool { return r.measured >= r.lo && r.measured <= r.hi }
 // headline quantities against the paper's shapes — a one-command
 // reproduction audit. It returns an error (non-zero exit) if any
 // quantity falls outside its admitted range.
-func (r runner) check() error {
+func (r figRunner) check() error {
 	fmt.Fprintln(r.out, "reproduction self-check (fast subset, seed", r.seed, ")")
 	var rows []checkRow
 	add := func(name string, measured, lo, hi float64) {

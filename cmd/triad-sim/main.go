@@ -2,15 +2,26 @@
 // deterministic simulation. Each experiment prints a paper-vs-measured
 // summary and, with -out, writes the figure's data series as CSV.
 //
+// Figures are independent simulations, so -fig all fans them across a
+// worker pool (-parallel N, default all CPUs). Output stays
+// byte-identical to a serial run at any worker count: every figure
+// renders into its own buffer and the buffers are flushed in figure
+// order. With -cache DIR, results are memoized on disk keyed by
+// (figure, seed, options), so re-running only recomputes what changed;
+// the runner accounting line goes to stderr to keep stdout canonical.
+//
 // Usage:
 //
 //	triad-sim -fig all -seed 1 -out results/
+//	triad-sim -fig all -parallel 8 -cache .simcache
 //	triad-sim -fig 6 -dur 7m
 //
 // Figure ids: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, all.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,24 +31,74 @@ import (
 	"time"
 
 	"triadtime/internal/experiment"
+	"triadtime/internal/experiment/runner"
 	"triadtime/internal/metrics"
 	"triadtime/internal/trace"
 )
 
+// cacheVersion tags cache keys with the generation of the simulation
+// code. Bump it whenever experiment output changes shape or content,
+// or stale -cache entries would replay outdated results.
+const cacheVersion = 1
+
+// allFigures is the -fig all execution order (and flush order).
+var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "dvfs", "scale", "gossip", "calib", "latency"}
+
+// figures maps figure ids to their generators.
+var figures = map[string]func(figRunner) error{
+	"1a":      figRunner.fig1a,
+	"1b":      figRunner.fig1b,
+	"inc":     figRunner.incTable,
+	"2":       figRunner.fig2,
+	"3":       figRunner.fig3,
+	"4":       figRunner.fig4,
+	"5":       figRunner.fig5,
+	"6":       figRunner.fig6,
+	"avail":   figRunner.availability,
+	"ext":     figRunner.extension,
+	"ntp":     figRunner.driftQuality,
+	"t3e":     figRunner.t3e,
+	"loss":    figRunner.loss,
+	"outage":  figRunner.outage,
+	"dvfs":    figRunner.dualMonitor,
+	"scale":   figRunner.scale,
+	"gossip":  figRunner.gossip,
+	"calib":   figRunner.calibTime,
+	"latency": figRunner.latency,
+	"check":   figRunner.check,
+}
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "triad-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// artifact is one file a figure produces (CSV, gnuplot script, trace),
+// captured in memory so figures can run concurrently and flush in
+// deterministic order. The JSON form is what the -cache stores.
+type artifact struct {
+	Path string `json:"path"`
+	Data []byte `json:"data"`
+}
+
+// figOutput is everything one figure run emits: its console text and
+// its file artifacts, in production order.
+type figOutput struct {
+	Text  string     `json:"text"`
+	Files []artifact `json:"files"`
+}
+
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("triad-sim", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, all")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same run)")
 	outDir := fs.String("out", "", "directory for CSV data series (optional)")
 	dur := fs.Duration("dur", 0, "override the experiment's simulated duration")
 	traceFile := fs.String("trace", "", "write structured protocol events (JSONL) for traced figures (currently: 6)")
+	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = all CPUs, 1 = serial)")
+	cacheDir := fs.String("cache", "", "result cache directory; re-runs replay unchanged figures from disk")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,77 +107,119 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	r := runner{seed: *seed, outDir: *outDir, dur: *dur, out: out, traceFile: *traceFile}
+	runner.SetDefaultWorkers(*parallel)
+	defer runner.SetDefaultWorkers(0)
 
-	known := map[string]func() error{
-		"1a":      r.fig1a,
-		"1b":      r.fig1b,
-		"inc":     r.incTable,
-		"2":       r.fig2,
-		"3":       r.fig3,
-		"4":       r.fig4,
-		"5":       r.fig5,
-		"6":       r.fig6,
-		"avail":   r.availability,
-		"ext":     r.extension,
-		"ntp":     r.driftQuality,
-		"t3e":     r.t3e,
-		"loss":    r.loss,
-		"outage":  r.outage,
-		"dvfs":    r.dualMonitor,
-		"scale":   r.scale,
-		"gossip":  r.gossip,
-		"calib":   r.calibTime,
-		"latency": r.latency,
-		"check":   r.check,
-	}
+	ids := []string{*fig}
 	if *fig == "all" {
-		for _, id := range []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "dvfs", "scale", "gossip", "calib", "latency"} {
-			if err := known[id](); err != nil {
-				return fmt.Errorf("fig %s: %w", id, err)
+		ids = allFigures
+	}
+	for _, id := range ids {
+		if _, ok := figures[id]; !ok {
+			return fmt.Errorf("unknown figure %q", id)
+		}
+	}
+
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = runner.OpenCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+
+	tasks := make([]runner.Task[figOutput], len(ids))
+	for i, id := range ids {
+		id := id
+		tasks[i] = runner.Task[figOutput]{
+			Name: "fig " + id,
+			Key: runner.Key{
+				// Everything besides the seed that shapes the output,
+				// including the output paths embedded in the text.
+				Scenario: fmt.Sprintf("triad-sim|v%d|fig=%s|dur=%s|outdir=%s|trace=%s",
+					cacheVersion, id, *dur, *outDir, *traceFile),
+				Seed: *seed,
+			},
+			Run: func(context.Context) (figOutput, error) {
+				var buf bytes.Buffer
+				var files []artifact
+				r := figRunner{
+					seed:      *seed,
+					outDir:    *outDir,
+					dur:       *dur,
+					out:       &buf,
+					traceFile: *traceFile,
+					files:     &files,
+				}
+				err := figures[id](r)
+				return figOutput{Text: buf.String(), Files: files}, err
+			},
+		}
+	}
+
+	rep := runner.Run(context.Background(), runner.Config{Workers: *parallel, Cache: cache}, tasks)
+	var firstErr error
+	for i, res := range rep.Results {
+		// Flush in figure order, including whatever a failed figure
+		// produced before failing (the audit prints its verdict rows).
+		if _, err := io.WriteString(out, res.Value.Text); err != nil {
+			return err
+		}
+		for _, f := range res.Value.Files {
+			if err := os.WriteFile(f.Path, f.Data, 0o644); err != nil {
+				return err
 			}
 		}
-		return nil
+		if res.Err != nil {
+			if *fig == "all" {
+				firstErr = fmt.Errorf("fig %s: %w", ids[i], res.Err)
+			} else {
+				firstErr = res.Err
+			}
+			break
+		}
 	}
-	f, ok := known[*fig]
-	if !ok {
-		return fmt.Errorf("unknown figure %q", *fig)
+	if len(tasks) > 1 || cache != nil {
+		// Accounting goes to stderr: stdout stays byte-identical across
+		// worker counts and cache states.
+		fmt.Fprintln(errOut, rep.Summary())
 	}
-	return f()
+	return firstErr
 }
 
-type runner struct {
+// figRunner renders one figure into an in-memory buffer and artifact
+// list; the driver flushes both in deterministic figure order.
+type figRunner struct {
 	seed      uint64
 	outDir    string
 	dur       time.Duration
 	out       io.Writer
 	traceFile string
+	files     *[]artifact
 }
 
-func (r runner) duration(def time.Duration) time.Duration {
+func (r figRunner) duration(def time.Duration) time.Duration {
 	if r.dur != 0 {
 		return r.dur
 	}
 	return def
 }
 
-func (r runner) writeCSV(name string, write func(io.Writer) error) error {
+func (r figRunner) writeCSV(name string, write func(io.Writer) error) error {
 	if r.outDir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(r.outDir, name))
-	if err != nil {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := write(f); err != nil {
-		return err
-	}
-	fmt.Fprintf(r.out, "  wrote %s\n", filepath.Join(r.outDir, name))
+	path := filepath.Join(r.outDir, name)
+	*r.files = append(*r.files, artifact{Path: path, Data: buf.Bytes()})
+	fmt.Fprintf(r.out, "  wrote %s\n", path)
 	return nil
 }
 
-func (r runner) cdf(name string, res *experiment.CDFResult) error {
+func (r figRunner) cdf(name string, res *experiment.CDFResult) error {
 	fmt.Fprintln(r.out, res.Summary())
 	if err := r.writeCSV(name, func(w io.Writer) error {
 		if _, err := fmt.Fprintln(w, "gap_seconds,cdf"); err != nil {
@@ -137,7 +240,7 @@ func (r runner) cdf(name string, res *experiment.CDFResult) error {
 	})
 }
 
-func (r runner) figure(base string, res *experiment.FigureResult) error {
+func (r figRunner) figure(base string, res *experiment.FigureResult) error {
 	fmt.Fprint(r.out, res.Summary())
 	if err := r.writeCSV(base+"_drift.csv", func(w io.Writer) error {
 		return metrics.WriteDriftCSV(w, res.Drift)
@@ -185,7 +288,7 @@ func (r runner) figure(base string, res *experiment.FigureResult) error {
 	})
 }
 
-func (r runner) fig1a() error {
+func (r figRunner) fig1a() error {
 	res, err := experiment.RunFig1a(r.seed, r.duration(2*time.Hour))
 	if err != nil {
 		return err
@@ -193,7 +296,7 @@ func (r runner) fig1a() error {
 	return r.cdf("fig1a_cdf.csv", res)
 }
 
-func (r runner) fig1b() error {
+func (r figRunner) fig1b() error {
 	res, err := experiment.RunFig1b(r.seed, r.duration(24*time.Hour))
 	if err != nil {
 		return err
@@ -201,7 +304,7 @@ func (r runner) fig1b() error {
 	return r.cdf("fig1b_cdf.csv", res)
 }
 
-func (r runner) incTable() error {
+func (r figRunner) incTable() error {
 	res, err := experiment.RunINCTable(r.seed, 10000)
 	if err != nil {
 		return err
@@ -210,7 +313,7 @@ func (r runner) incTable() error {
 	return nil
 }
 
-func (r runner) fig2() error {
+func (r figRunner) fig2() error {
 	res, err := experiment.RunFig2(r.seed, r.duration(30*time.Minute))
 	if err != nil {
 		return err
@@ -218,7 +321,7 @@ func (r runner) fig2() error {
 	return r.figure("fig2", res)
 }
 
-func (r runner) fig3() error {
+func (r figRunner) fig3() error {
 	res, err := experiment.RunFig3(r.seed, r.duration(8*time.Hour))
 	if err != nil {
 		return err
@@ -226,7 +329,7 @@ func (r runner) fig3() error {
 	return r.figure("fig3", res)
 }
 
-func (r runner) fig4() error {
+func (r figRunner) fig4() error {
 	res, err := experiment.RunFig4(r.seed, r.duration(10*time.Minute))
 	if err != nil {
 		return err
@@ -234,7 +337,7 @@ func (r runner) fig4() error {
 	return r.figure("fig4", res)
 }
 
-func (r runner) fig5() error {
+func (r figRunner) fig5() error {
 	res, err := experiment.RunFig5(r.seed, r.duration(10*time.Minute))
 	if err != nil {
 		return err
@@ -242,27 +345,24 @@ func (r runner) fig5() error {
 	return r.figure("fig5", res)
 }
 
-func (r runner) fig6() error {
+func (r figRunner) fig6() error {
 	var rec *trace.Recorder
+	var traceBuf bytes.Buffer
 	if r.traceFile != "" {
-		f, err := os.Create(r.traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		rec = trace.NewRecorder(nil, f)
+		rec = trace.NewRecorder(nil, &traceBuf)
 	}
 	res, err := experiment.RunFig6Traced(r.seed, r.duration(7*time.Minute), rec)
 	if err != nil {
 		return err
 	}
 	if rec != nil {
+		*r.files = append(*r.files, artifact{Path: r.traceFile, Data: traceBuf.Bytes()})
 		fmt.Fprintf(r.out, "  wrote %d trace events to %s\n", rec.Count(""), r.traceFile)
 	}
 	return r.figure("fig6", res)
 }
 
-func (r runner) availability() error {
+func (r figRunner) availability() error {
 	rows, err := experiment.RunAvailabilityTable(r.seed, r.duration(30*time.Minute), 8*time.Hour)
 	if err != nil {
 		return err
@@ -274,7 +374,7 @@ func (r runner) availability() error {
 	return nil
 }
 
-func (r runner) extension() error {
+func (r figRunner) extension() error {
 	results, err := experiment.RunExtensionComparison(r.seed, r.duration(7*time.Minute))
 	if err != nil {
 		return err
@@ -284,7 +384,7 @@ func (r runner) extension() error {
 	return nil
 }
 
-func (r runner) driftQuality() error {
+func (r figRunner) driftQuality() error {
 	rows, err := experiment.RunDriftQuality(r.seed, r.duration(2*time.Hour))
 	if err != nil {
 		return err
@@ -296,7 +396,7 @@ func (r runner) driftQuality() error {
 	return nil
 }
 
-func (r runner) t3e() error {
+func (r figRunner) t3e() error {
 	sweep, err := experiment.RunT3ETradeoff(r.seed, 2000, 10*time.Millisecond)
 	if err != nil {
 		return err
@@ -309,7 +409,7 @@ func (r runner) t3e() error {
 	return nil
 }
 
-func (r runner) loss() error {
+func (r figRunner) loss() error {
 	rows, err := experiment.RunLossResilience(r.seed, r.duration(10*time.Minute), nil)
 	if err != nil {
 		return err
@@ -321,7 +421,7 @@ func (r runner) loss() error {
 	return nil
 }
 
-func (r runner) dualMonitor() error {
+func (r figRunner) dualMonitor() error {
 	rows, err := experiment.RunDualMonitorAblation(r.seed)
 	if err != nil {
 		return err
@@ -333,7 +433,7 @@ func (r runner) dualMonitor() error {
 	return nil
 }
 
-func (r runner) scale() error {
+func (r figRunner) scale() error {
 	rows, err := experiment.RunClusterScale(r.seed, nil, r.duration(5*time.Minute))
 	if err != nil {
 		return err
@@ -345,7 +445,7 @@ func (r runner) scale() error {
 	return nil
 }
 
-func (r runner) calibTime() error {
+func (r figRunner) calibTime() error {
 	rows, err := experiment.RunCalibrationTime(r.seed*50+300, 10)
 	if err != nil {
 		return err
@@ -357,7 +457,7 @@ func (r runner) calibTime() error {
 	return nil
 }
 
-func (r runner) latency() error {
+func (r figRunner) latency() error {
 	res, err := experiment.RunServingLatency(r.seed, r.duration(10*time.Minute), 50*time.Millisecond, time.Millisecond)
 	if err != nil {
 		return err
@@ -367,7 +467,7 @@ func (r runner) latency() error {
 	return nil
 }
 
-func (r runner) gossip() error {
+func (r figRunner) gossip() error {
 	rows, err := experiment.RunGossipComparison(r.seed, r.duration(10*time.Minute))
 	if err != nil {
 		return err
@@ -379,7 +479,7 @@ func (r runner) gossip() error {
 	return nil
 }
 
-func (r runner) outage() error {
+func (r figRunner) outage() error {
 	res, err := experiment.RunTAOutage(r.seed, r.duration(15*time.Minute), 5*time.Minute, 8*time.Minute)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunUnknownFigure(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-fig", "99"}, &b); err == nil {
+	if err := run([]string{"-fig", "99"}, &b, io.Discard); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
@@ -17,7 +18,7 @@ func TestRunUnknownFigure(t *testing.T) {
 func TestRunFig2WritesSummaryAndCSVs(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run([]string{"-fig", "2", "-dur", "2m", "-out", dir, "-seed", "7"}, &b); err != nil {
+	if err := run([]string{"-fig", "2", "-dur", "2m", "-out", dir, "-seed", "7"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -38,7 +39,7 @@ func TestRunFig2WritesSummaryAndCSVs(t *testing.T) {
 func TestRunFig1aCDF(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run([]string{"-fig", "1a", "-dur", "5m", "-out", dir}, &b); err != nil {
+	if err := run([]string{"-fig", "1a", "-dur", "5m", "-out", dir}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig1a_cdf.csv"))
@@ -52,7 +53,7 @@ func TestRunFig1aCDF(t *testing.T) {
 
 func TestRunINC(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-fig", "inc"}, &b); err != nil {
+	if err := run([]string{"-fig", "inc"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "632182") && !strings.Contains(b.String(), "63218") {
@@ -62,7 +63,7 @@ func TestRunINC(t *testing.T) {
 
 func TestRunExtension(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-fig", "ext", "-dur", "3m"}, &b); err != nil {
+	if err := run([]string{"-fig", "ext", "-dur", "3m"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -76,7 +77,7 @@ func TestRunExtension(t *testing.T) {
 
 func TestRunSelfCheck(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-fig", "check", "-seed", "3"}, &b); err != nil {
+	if err := run([]string{"-fig", "check", "-seed", "3"}, &b, io.Discard); err != nil {
 		t.Fatalf("self-check failed:\n%s\n%v", b.String(), err)
 	}
 	if !strings.Contains(b.String(), "reproduction checks passed") {
@@ -90,7 +91,7 @@ func TestReproductionChecksAcrossSeeds(t *testing.T) {
 	}
 	for _, seed := range []string{"11", "23"} {
 		var b strings.Builder
-		if err := run([]string{"-fig", "check", "-seed", seed}, &b); err != nil {
+		if err := run([]string{"-fig", "check", "-seed", seed}, &b, io.Discard); err != nil {
 			t.Errorf("seed %s: %v\n%s", seed, err, b.String())
 		}
 	}
@@ -121,11 +122,130 @@ func TestRunAllFigureRunnersSmoke(t *testing.T) {
 	}
 	for _, args := range cases {
 		var b strings.Builder
-		if err := run(args, &b); err != nil {
+		if err := run(args, &b, io.Discard); err != nil {
 			t.Errorf("%v: %v\n%s", args, err, b.String())
 		}
 		if b.Len() == 0 {
 			t.Errorf("%v produced no output", args)
 		}
+	}
+}
+
+// readDir returns every file's contents keyed by name.
+func readDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(data)
+	}
+	return files
+}
+
+// TestParallelMatchesSerial is the determinism contract of the
+// parallel runner: the same figures at the same seed must produce
+// byte-identical console output, CSV artifacts, and JSONL traces
+// whether they run serially or fanned across workers.
+func TestParallelMatchesSerial(t *testing.T) {
+	runFigs := func(parallel string) (string, map[string]string) {
+		dir := t.TempDir()
+		var b strings.Builder
+		args := []string{"-fig", "all", "-dur", "2m", "-seed", "5", "-out", dir, "-parallel", parallel}
+		if err := run(args, &b, io.Discard); err != nil {
+			t.Fatalf("-parallel %s: %v\n%s", parallel, err, b.String())
+		}
+		files := readDir(t, dir)
+		// The out dir path differs between runs; normalize it away so
+		// the "wrote ..." lines compare equal.
+		return strings.ReplaceAll(b.String(), dir, "OUT"), files
+	}
+	serialText, serialFiles := runFigs("1")
+	parallelText, parallelFiles := runFigs("4")
+	if serialText != parallelText {
+		t.Errorf("console output differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serialText, parallelText)
+	}
+	if len(serialFiles) == 0 {
+		t.Fatal("serial run wrote no artifacts")
+	}
+	for name, want := range serialFiles {
+		if got, ok := parallelFiles[name]; !ok {
+			t.Errorf("parallel run missing artifact %s", name)
+		} else if got != want {
+			t.Errorf("artifact %s differs between serial and parallel runs", name)
+		}
+	}
+	for name := range parallelFiles {
+		if _, ok := serialFiles[name]; !ok {
+			t.Errorf("parallel run wrote extra artifact %s", name)
+		}
+	}
+}
+
+// TestTraceFileParallel checks the fig6 JSONL trace survives the
+// buffered artifact path byte-for-byte across worker counts.
+func TestTraceFileParallel(t *testing.T) {
+	runTraced := func(parallel string) string {
+		tf := filepath.Join(t.TempDir(), "trace.jsonl")
+		var b strings.Builder
+		if err := run([]string{"-fig", "6", "-dur", "2m", "-seed", "9", "-trace", tf, "-parallel", parallel}, &b, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatal("empty trace")
+		}
+		return string(data)
+	}
+	if runTraced("1") != runTraced("4") {
+		t.Error("fig6 trace differs across worker counts")
+	}
+}
+
+// TestCacheReplay checks the -cache path: a second run replays
+// identical output and artifacts without recomputation, and a seed
+// change misses the cache.
+func TestCacheReplay(t *testing.T) {
+	cacheDir := t.TempDir()
+	dir := t.TempDir() // shared: the out dir is part of the cache key
+	runCached := func(seed string) (string, string, map[string]string) {
+		var b, e strings.Builder
+		args := []string{"-fig", "2", "-dur", "2m", "-seed", seed, "-out", dir, "-cache", cacheDir}
+		if err := run(args, &b, &e); err != nil {
+			t.Fatal(err)
+		}
+		return strings.ReplaceAll(b.String(), dir, "OUT"), e.String(), readDir(t, dir)
+	}
+	coldText, coldSummary, coldFiles := runCached("7")
+	if !strings.Contains(coldSummary, "runner: 1 runs") {
+		t.Errorf("cold summary missing: %q", coldSummary)
+	}
+	if strings.Contains(coldSummary, "cached") {
+		t.Errorf("cold run reported cache hits: %q", coldSummary)
+	}
+	warmText, warmSummary, warmFiles := runCached("7")
+	if !strings.Contains(warmSummary, "(1 cached)") {
+		t.Errorf("warm run did not hit the cache: %q", warmSummary)
+	}
+	if warmText != coldText {
+		t.Errorf("cached replay text differs:\n--- cold ---\n%s\n--- warm ---\n%s", coldText, warmText)
+	}
+	for name, want := range coldFiles {
+		if warmFiles[name] != want {
+			t.Errorf("cached artifact %s differs", name)
+		}
+	}
+	_, otherSummary, _ := runCached("8")
+	if strings.Contains(otherSummary, "cached") {
+		t.Errorf("different seed hit the cache: %q", otherSummary)
 	}
 }

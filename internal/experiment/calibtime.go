@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"triadtime/internal/core"
+	"triadtime/internal/experiment/runner"
 	"triadtime/internal/stats"
 )
 
@@ -29,39 +31,62 @@ func (r CalibTimeRow) Summary() string {
 }
 
 // RunCalibrationTime measures startup time across seeds for both
-// protocols in both interrupt environments.
+// protocols in both interrupt environments. Every (protocol, env,
+// trial) combination is an independent single-node simulation; the
+// whole grid fans across the runner's worker pool, with samples
+// regrouped in trial order so quantiles match a serial run exactly.
 func RunCalibrationTime(baseSeed uint64, trials int) ([]CalibTimeRow, error) {
 	if trials <= 0 {
 		trials = 10
 	}
-	var rows []CalibTimeRow
-	for _, hardened := range []bool{false, true} {
-		for _, env := range []Env{EnvNone, EnvTriadLike} {
-			var samples []float64
-			for trial := 0; trial < trials; trial++ {
-				d, err := timeToFirstOK(baseSeed+uint64(trial), hardened, env)
-				if err != nil {
-					return nil, err
-				}
-				samples = append(samples, d.Seconds())
-			}
-			cdf := stats.NewCDF(samples)
-			name := "original"
-			if hardened {
-				name = "hardened"
-			}
-			envName := "low-AEX"
-			if env == EnvTriadLike {
-				envName = "Triad-like"
-			}
-			rows = append(rows, CalibTimeRow{
-				Protocol: name,
-				Env:      envName,
-				P50:      time.Duration(cdf.Quantile(0.5) * float64(time.Second)),
-				P95:      time.Duration(cdf.Quantile(0.95) * float64(time.Second)),
-				Trials:   trials,
+	type combo struct {
+		hardened bool
+		env      Env
+	}
+	combos := []combo{
+		{false, EnvNone}, {false, EnvTriadLike},
+		{true, EnvNone}, {true, EnvTriadLike},
+	}
+	var tasks []runner.Task[float64]
+	for _, cb := range combos {
+		for trial := 0; trial < trials; trial++ {
+			cb, seed := cb, baseSeed+uint64(trial)
+			tasks = append(tasks, runner.Task[float64]{
+				Name: fmt.Sprintf("calib hardened=%v env=%d seed=%d", cb.hardened, cb.env, seed),
+				Run: func(context.Context) (float64, error) {
+					d, err := timeToFirstOK(seed, cb.hardened, cb.env)
+					if err != nil {
+						return 0, err
+					}
+					return d.Seconds(), nil
+				},
 			})
 		}
+	}
+	samplesByTask, err := runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []CalibTimeRow
+	for ci, cb := range combos {
+		samples := samplesByTask[ci*trials : (ci+1)*trials]
+		cdf := stats.NewCDF(samples)
+		name := "original"
+		if cb.hardened {
+			name = "hardened"
+		}
+		envName := "low-AEX"
+		if cb.env == EnvTriadLike {
+			envName = "Triad-like"
+		}
+		rows = append(rows, CalibTimeRow{
+			Protocol: name,
+			Env:      envName,
+			P50:      time.Duration(cdf.Quantile(0.5) * float64(time.Second)),
+			P95:      time.Duration(cdf.Quantile(0.95) * float64(time.Second)),
+			Trials:   trials,
+		})
 	}
 	return rows, nil
 }

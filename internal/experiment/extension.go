@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"triadtime/internal/attack"
 	"triadtime/internal/core"
+	"triadtime/internal/experiment/runner"
 	"triadtime/internal/resilient"
 	"triadtime/internal/simtime"
 )
@@ -148,15 +150,21 @@ func RunExtensionVariant(seed uint64, v Variant, mode attack.Mode, duration time
 // protocol keeps honest nodes safe where the original gets infected.
 func RunExtensionComparison(seed uint64, duration time.Duration) ([]*ExtensionResult, error) {
 	variants := []Variant{VariantOriginal, VariantHardened, VariantNoChimer, VariantNoDeadline}
-	results := make([]*ExtensionResult, 0, len(variants))
-	for _, v := range variants {
-		r, err := RunExtensionVariant(seed, v, attack.ModeFMinus, duration)
-		if err != nil {
-			return nil, fmt.Errorf("variant %s: %w", v, err)
+	tasks := make([]runner.Task[*ExtensionResult], len(variants))
+	for i, v := range variants {
+		v := v
+		tasks[i] = runner.Task[*ExtensionResult]{
+			Name: fmt.Sprintf("variant %s", v),
+			Run: func(context.Context) (*ExtensionResult, error) {
+				r, err := RunExtensionVariant(seed, v, attack.ModeFMinus, duration)
+				if err != nil {
+					return nil, fmt.Errorf("variant %s: %w", v, err)
+				}
+				return r, nil
+			},
 		}
-		results = append(results, r)
 	}
-	return results, nil
+	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
 }
 
 // ComparisonSummary renders the variant table.

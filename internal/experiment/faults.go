@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"triadtime/internal/experiment/runner"
 	"triadtime/internal/simnet"
 	"triadtime/internal/simtime"
 )
@@ -34,34 +36,40 @@ func RunLossResilience(seed uint64, duration time.Duration, lossProbs []float64)
 	if len(lossProbs) == 0 {
 		lossProbs = []float64{0, 0.01, 0.05, 0.20}
 	}
-	rows := make([]LossRow, 0, len(lossProbs))
-	for _, loss := range lossProbs {
-		link := defaultExperimentLink()
-		link.LossProb = loss
-		c, err := NewCluster(ClusterConfig{Seed: seed, Link: &link})
-		if err != nil {
-			return nil, err
-		}
-		for i := range c.Nodes {
-			c.SetEnv(i, EnvTriadLike)
-		}
-		c.Start()
-		c.RunFor(duration)
+	tasks := make([]runner.Task[LossRow], len(lossProbs))
+	for t, loss := range lossProbs {
+		loss := loss
+		tasks[t] = runner.Task[LossRow]{
+			Name: fmt.Sprintf("loss %.0f%%", loss*100),
+			Run: func(context.Context) (LossRow, error) {
+				link := defaultExperimentLink()
+				link.LossProb = loss
+				c, err := NewCluster(ClusterConfig{Seed: seed, Link: &link})
+				if err != nil {
+					return LossRow{}, err
+				}
+				for i := range c.Nodes {
+					c.SetEnv(i, EnvTriadLike)
+				}
+				c.Start()
+				c.RunFor(duration)
 
-		row := LossRow{LossProb: loss, Calibrated: true, MinAvailability: 1}
-		for i := range c.Nodes {
-			f := c.FinalFCalib(i)
-			if f == 0 {
-				row.Calibrated = false
-				continue
-			}
-			ppm := math.Abs(f-simtime.NominalTSCHz) / simtime.NominalTSCHz * 1e6
-			row.WorstDriftPPM = math.Max(row.WorstDriftPPM, ppm)
-			row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
+				row := LossRow{LossProb: loss, Calibrated: true, MinAvailability: 1}
+				for i := range c.Nodes {
+					f := c.FinalFCalib(i)
+					if f == 0 {
+						row.Calibrated = false
+						continue
+					}
+					ppm := math.Abs(f-simtime.NominalTSCHz) / simtime.NominalTSCHz * 1e6
+					row.WorstDriftPPM = math.Max(row.WorstDriftPPM, ppm)
+					row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
+				}
+				return row, nil
+			},
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
 }
 
 // OutageResult reports cluster behaviour across a Time Authority

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"triadtime/internal/attack"
 	"triadtime/internal/core"
+	"triadtime/internal/experiment/runner"
 	"triadtime/internal/metrics"
 	"triadtime/internal/stats"
 	"triadtime/internal/trace"
@@ -218,7 +220,15 @@ func RunINCTable(seed uint64, n int) (*INCResult, error) {
 // (Figures 2a drift and 2b TA references, plus the ≥98% availability
 // row of §IV-A.2).
 func RunFig2(seed uint64, duration time.Duration) (*FigureResult, error) {
-	c, err := NewCluster(ClusterConfig{Seed: seed})
+	return RunFig2Traced(seed, duration, nil)
+}
+
+// RunFig2Traced is RunFig2 with an optional structured-event recorder
+// attached to every node. The simulation is deterministic, so the
+// recorded JSONL stream is a byte-exact fingerprint of the run — the
+// oracle the parallel-runner determinism tests diff against.
+func RunFig2Traced(seed uint64, duration time.Duration, rec *trace.Recorder) (*FigureResult, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed, Trace: rec})
 	if err != nil {
 		return nil, err
 	}
@@ -353,16 +363,24 @@ func (r AvailabilityRow) Summary() string {
 // 30-minute Triad-like run (≥98% including initial calibration) and a
 // long low-AEX run (up to 99.9%).
 func RunAvailabilityTable(seed uint64, shortRun, longRun time.Duration) ([]AvailabilityRow, error) {
-	fig2, err := RunFig2(seed, shortRun)
+	rows, err := runner.Run(context.Background(), runner.Config{}, []runner.Task[AvailabilityRow]{
+		{Name: "availability triad-like", Run: func(context.Context) (AvailabilityRow, error) {
+			fig2, err := RunFig2(seed, shortRun)
+			if err != nil {
+				return AvailabilityRow{}, err
+			}
+			return AvailabilityRow{Scenario: "Triad-like AEXs", Duration: shortRun, Availability: fig2.Availability}, nil
+		}},
+		{Name: "availability low-AEX", Run: func(context.Context) (AvailabilityRow, error) {
+			fig3, err := RunFig3(seed+1, longRun)
+			if err != nil {
+				return AvailabilityRow{}, err
+			}
+			return AvailabilityRow{Scenario: "low-AEX environment", Duration: longRun, Availability: fig3.Availability}, nil
+		}},
+	}).Values()
 	if err != nil {
 		return nil, err
 	}
-	fig3, err := RunFig3(seed+1, longRun)
-	if err != nil {
-		return nil, err
-	}
-	return []AvailabilityRow{
-		{Scenario: "Triad-like AEXs", Duration: shortRun, Availability: fig2.Availability},
-		{Scenario: "low-AEX environment", Duration: longRun, Availability: fig3.Availability},
-	}, nil
+	return rows, nil
 }

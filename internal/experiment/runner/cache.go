@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Key identifies a cacheable run: a scenario description plus the
+// seed. The scenario string must capture every input that affects the
+// result other than the seed — figure id, durations, output options,
+// and a version tag for the generating code — because the cache trusts
+// it blindly: two runs with equal keys are assumed interchangeable.
+type Key struct {
+	Scenario string
+	Seed     uint64
+}
+
+// IsZero reports whether the key is unset (caching disabled for the
+// task carrying it).
+func (k Key) IsZero() bool { return k == Key{} }
+
+// filename derives the cache entry's file name: a scenario hash plus
+// the seed in clear, so a cache directory stays human-navigable per
+// seed while scenario changes never collide.
+func (k Key) filename() string {
+	h := sha256.Sum256([]byte(k.Scenario))
+	return fmt.Sprintf("%x-seed%d.json", h[:12], k.Seed)
+}
+
+// Cache is an on-disk result store. Entries are JSON files written
+// atomically (temp file + rename), so concurrent workers — or
+// concurrent triad-sim invocations sharing a directory — never observe
+// torn entries.
+type Cache struct {
+	dir string
+	tmp atomic.Uint64 // unique temp-file suffix per process
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir reports the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Load decodes the entry for k into v, reporting whether a usable
+// entry existed. Unreadable or corrupt entries count as misses.
+func (c *Cache) Load(k Key, v any) bool {
+	data, err := os.ReadFile(filepath.Join(c.dir, k.filename()))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// Store writes v as the entry for k.
+func (c *Cache) Store(k Key, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: cache encode: %w", err)
+	}
+	final := filepath.Join(c.dir, k.filename())
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", final, os.Getpid(), c.tmp.Add(1))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("runner: cache write: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("runner: cache commit: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package runner fans independent simulation runs across a worker
+// pool. Every experiment in this repository is a deterministic
+// discrete-event simulation with all of its state — scheduler, RNG,
+// network, instrumentation — owned by the run itself, so runs
+// parallelize with no shared state and no loss of reproducibility:
+// results are collected by task index, never by completion order, and
+// a sweep executed on one worker is byte-identical to the same sweep
+// on sixteen.
+//
+// The pool adds the operational machinery large sweeps need:
+//
+//   - cancellation via context.Context (undispatched tasks report the
+//     context error instead of running);
+//   - per-task panic capture (a crashing seed becomes a failed Result,
+//     not a dead sweep);
+//   - an optional on-disk result cache keyed by (scenario hash, seed),
+//     so regenerating a figure set only recomputes what changed.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one independent unit of work: typically a single seeded
+// simulation run.
+type Task[T any] struct {
+	// Name labels the task in errors and summaries ("fig2 seed 7").
+	Name string
+	// Key enables result caching when a Cache is configured and the key
+	// is non-zero. The scenario string must capture everything that
+	// affects the result besides the seed.
+	Key Key
+	// Run produces the task's result. It must not share mutable state
+	// with other tasks; the pool calls it from an arbitrary goroutine.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Config parameterizes a pool invocation.
+type Config struct {
+	// Workers is the pool size. Values <= 0 use the package default
+	// (GOMAXPROCS unless SetDefaultWorkers overrode it).
+	Workers int
+	// Cache, when non-nil, is consulted before and populated after each
+	// task that carries a non-zero Key.
+	Cache *Cache
+}
+
+// Result is one task's outcome, at its original task index.
+type Result[T any] struct {
+	Index int
+	Name  string
+	Value T
+	// Err is the task's failure, the recovered panic, or the context
+	// error for tasks cancelled before dispatch.
+	Err error
+	// Panicked marks Err as a recovered panic.
+	Panicked bool
+	// Skipped marks a task the pool never ran (context cancelled).
+	Skipped bool
+	// CacheHit marks a Value loaded from the on-disk cache.
+	CacheHit bool
+	// Elapsed is the task's own wall-clock time.
+	Elapsed time.Duration
+}
+
+// Report is a completed pool invocation: results ordered by task
+// index plus the aggregate accounting a summary line needs.
+type Report[T any] struct {
+	Results   []Result[T]
+	Workers   int
+	CacheHits int
+	Failures  int
+	// Wall is the whole invocation's wall-clock time; CPU is the sum of
+	// per-task times. CPU/Wall is the realized speedup.
+	Wall, CPU time.Duration
+}
+
+// Err returns the first failed task's error (by index), or nil.
+func (r *Report[T]) Err() error {
+	for i := range r.Results {
+		if err := r.Results[i].Err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Values returns every task's value in task order, or the first error.
+func (r *Report[T]) Values() ([]T, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	vals := make([]T, len(r.Results))
+	for i := range r.Results {
+		vals[i] = r.Results[i].Value
+	}
+	return vals, nil
+}
+
+// Speedup is the realized parallel speedup (CPU time / wall time).
+func (r *Report[T]) Speedup() float64 {
+	if r.Wall <= 0 {
+		return 1
+	}
+	return float64(r.CPU) / float64(r.Wall)
+}
+
+// Summary renders the one-line runner accounting.
+func (r *Report[T]) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d runs", len(r.Results))
+	if r.CacheHits > 0 {
+		fmt.Fprintf(&b, " (%d cached)", r.CacheHits)
+	}
+	if r.Failures > 0 {
+		fmt.Fprintf(&b, " (%d FAILED)", r.Failures)
+	}
+	fmt.Fprintf(&b, ", %d workers, wall %s, cpu %s, speedup %.1fx",
+		r.Workers, r.Wall.Round(time.Millisecond), r.CPU.Round(time.Millisecond), r.Speedup())
+	return b.String()
+}
+
+// defaultWorkers holds the pool size used when Config.Workers <= 0.
+// Zero means GOMAXPROCS.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the pool size used when Config.Workers <= 0.
+// n <= 0 restores the GOMAXPROCS default. cmd/triad-sim wires its
+// -parallel flag here so nested sweeps inherit the setting.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers reports the current default pool size.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func resolveWorkers(configured, tasks int) int {
+	w := configured
+	if w <= 0 {
+		w = DefaultWorkers()
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the tasks on a worker pool and returns the ordered
+// report. It never returns early: cancelled tasks are reported as
+// skipped with the context error, and panics inside tasks are captured
+// into their Result.
+func Run[T any](ctx context.Context, cfg Config, tasks []Task[T]) *Report[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := resolveWorkers(cfg.Workers, len(tasks))
+	rep := &Report[T]{
+		Results: make([]Result[T], len(tasks)),
+		Workers: workers,
+	}
+	start := time.Now()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep.Results[i] = runOne(ctx, cfg, i, tasks[i])
+			}
+		}()
+	}
+	dispatched := len(tasks)
+dispatch:
+	for i := range tasks {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := dispatched; i < len(tasks); i++ {
+		rep.Results[i] = Result[T]{
+			Index:   i,
+			Name:    tasks[i].Name,
+			Err:     fmt.Errorf("runner: task %q skipped: %w", tasks[i].Name, ctx.Err()),
+			Skipped: true,
+		}
+	}
+	rep.Wall = time.Since(start)
+	for i := range rep.Results {
+		rep.CPU += rep.Results[i].Elapsed
+		if rep.Results[i].CacheHit {
+			rep.CacheHits++
+		}
+		if rep.Results[i].Err != nil {
+			rep.Failures++
+		}
+	}
+	return rep
+}
+
+func runOne[T any](ctx context.Context, cfg Config, i int, t Task[T]) (res Result[T]) {
+	res = Result[T]{Index: i, Name: t.Name}
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("runner: task %q skipped: %w", t.Name, err)
+		res.Skipped = true
+		return res
+	}
+	if cfg.Cache != nil && !t.Key.IsZero() {
+		var v T
+		if cfg.Cache.Load(t.Key, &v) {
+			res.Value = v
+			res.CacheHit = true
+			return res
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Panicked = true
+			res.Err = fmt.Errorf("runner: task %q panicked: %v\n%s", t.Name, p, debug.Stack())
+		}
+	}()
+	v, err := t.Run(ctx)
+	// A failed task's partial value is preserved: callers rendering
+	// buffered output (triad-sim) flush what the task produced before
+	// it failed, matching serial behaviour.
+	res.Value = v
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if cfg.Cache != nil && !t.Key.IsZero() {
+		// Store failures (full disk, unwritable dir) only cost future
+		// cache hits; the computed result stands.
+		_ = cfg.Cache.Store(t.Key, v)
+	}
+	return res
+}
+
+// Seeds builds the n consecutive seeds base, base+1, ... — the shape
+// every seed sweep in this repository uses.
+func Seeds(base uint64, n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = base + uint64(i)
+	}
+	return s
+}

@@ -1,0 +1,261 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersResultsByIndex(t *testing.T) {
+	// Tasks finish in reverse dispatch order (earlier tasks sleep
+	// longer); results must still land at their task index.
+	const n = 8
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("task%d", i),
+			Run: func(context.Context) (int, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	rep := Run(context.Background(), Config{Workers: n}, tasks)
+	vals, err := rep.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Errorf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+	if rep.Workers != n {
+		t.Errorf("workers = %d, want %d", rep.Workers, n)
+	}
+}
+
+func TestRunIdenticalAcrossWorkerCounts(t *testing.T) {
+	build := func() []Task[uint64] {
+		tasks := make([]Task[uint64], 16)
+		for i := range tasks {
+			seed := uint64(i) + 1
+			tasks[i] = Task[uint64]{
+				Name: fmt.Sprintf("seed%d", seed),
+				Run: func(context.Context) (uint64, error) {
+					// A run's result must depend only on its own inputs.
+					return seed * 2654435761, nil
+				},
+			}
+		}
+		return tasks
+	}
+	var want []uint64
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		rep := Run(context.Background(), Config{Workers: workers}, build())
+		got, err := rep.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunCapturesPanics(t *testing.T) {
+	tasks := []Task[int]{
+		{Name: "ok", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context) (int, error) { panic("seed exploded") }},
+		{Name: "also-ok", Run: func(context.Context) (int, error) { return 3, nil }},
+	}
+	rep := Run(context.Background(), Config{Workers: 2}, tasks)
+	if rep.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", rep.Failures)
+	}
+	r := rep.Results[1]
+	if !r.Panicked || r.Err == nil || !strings.Contains(r.Err.Error(), "seed exploded") {
+		t.Errorf("panic not captured: %+v", r)
+	}
+	// The healthy runs still completed.
+	if rep.Results[0].Value != 1 || rep.Results[2].Value != 3 {
+		t.Errorf("healthy results lost: %+v", rep.Results)
+	}
+	if _, err := rep.Values(); err == nil {
+		t.Error("Values() hid the failure")
+	}
+}
+
+func TestRunTaskError(t *testing.T) {
+	sentinel := errors.New("bad seed")
+	tasks := []Task[int]{
+		{Name: "fails", Run: func(context.Context) (int, error) { return 0, sentinel }},
+	}
+	rep := Run(context.Background(), Config{Workers: 1}, tasks)
+	if !errors.Is(rep.Err(), sentinel) {
+		t.Errorf("Err() = %v, want %v", rep.Err(), sentinel)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	tasks := make([]Task[int], 6)
+	for i := range tasks {
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("task%d", i),
+			Run: func(context.Context) (int, error) {
+				started.Add(1)
+				<-release
+				return 0, nil
+			},
+		}
+	}
+	done := make(chan *Report[int])
+	go func() { done <- Run(ctx, Config{Workers: 2}, tasks) }()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	rep := <-done
+
+	skipped := 0
+	for _, r := range rep.Results {
+		if r.Skipped {
+			skipped++
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("skipped task error = %v, want context.Canceled", r.Err)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("no task was skipped after cancellation")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		Rows []float64
+		Note string
+	}
+	var computes atomic.Int32
+	build := func() []Task[payload] {
+		tasks := make([]Task[payload], 4)
+		for i := range tasks {
+			seed := uint64(i) + 1
+			tasks[i] = Task[payload]{
+				Name: fmt.Sprintf("seed%d", seed),
+				Key:  Key{Scenario: "unit|v1", Seed: seed},
+				Run: func(context.Context) (payload, error) {
+					computes.Add(1)
+					return payload{Rows: []float64{float64(seed), 2}, Note: "fresh"}, nil
+				},
+			}
+		}
+		return tasks
+	}
+
+	first := Run(context.Background(), Config{Workers: 2, Cache: cache}, build())
+	if first.CacheHits != 0 || computes.Load() != 4 {
+		t.Fatalf("cold run: hits=%d computes=%d", first.CacheHits, computes.Load())
+	}
+	second := Run(context.Background(), Config{Workers: 2, Cache: cache}, build())
+	if second.CacheHits != 4 || computes.Load() != 4 {
+		t.Fatalf("warm run: hits=%d computes=%d", second.CacheHits, computes.Load())
+	}
+	want, _ := first.Values()
+	got, err := second.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Note != want[i].Note || len(got[i].Rows) != len(want[i].Rows) || got[i].Rows[0] != want[i].Rows[0] {
+			t.Errorf("cached value %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A different scenario must miss: the key's scenario hash separates
+	// entries even for the same seed.
+	third := Run(context.Background(), Config{Workers: 2, Cache: cache}, func() []Task[payload] {
+		tasks := build()
+		for i := range tasks {
+			tasks[i].Key.Scenario = "unit|v2"
+		}
+		return tasks
+	}())
+	if third.CacheHits != 0 {
+		t.Errorf("scenario change still hit the cache (%d hits)", third.CacheHits)
+	}
+}
+
+func TestCacheIgnoresCorruptEntries(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Scenario: "corrupt", Seed: 1}
+	if err := cache.Store(k, 42); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if !cache.Load(k, &v) || v != 42 {
+		t.Fatalf("load = %v, want 42", v)
+	}
+	// An entry whose JSON does not decode into the caller's type must
+	// count as a miss, not an error.
+	if err := cache.Store(Key{Scenario: "corrupt2", Seed: 1}, "not-an-int"); err != nil {
+		t.Fatal(err)
+	}
+	var w int
+	if cache.Load(Key{Scenario: "corrupt2", Seed: 1}, &w) {
+		t.Error("type-mismatched entry loaded as hit")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(10, 3)
+	if len(s) != 3 || s[0] != 10 || s[2] != 12 {
+		t.Errorf("Seeds(10,3) = %v", s)
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	rep := Run(context.Background(), Config{Workers: 2}, []Task[int]{
+		{Name: "a", Run: func(context.Context) (int, error) { return 0, nil }},
+		{Name: "b", Run: func(context.Context) (int, error) { return 0, nil }},
+	})
+	s := rep.Summary()
+	if !strings.Contains(s, "2 runs") || !strings.Contains(s, "workers") || !strings.Contains(s, "speedup") {
+		t.Errorf("summary malformed: %q", s)
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if DefaultWorkers() != 3 {
+		t.Errorf("DefaultWorkers = %d, want 3", DefaultWorkers())
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("DefaultWorkers = %d, want GOMAXPROCS", DefaultWorkers())
+	}
+}

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"triadtime/internal/attack"
+	"triadtime/internal/experiment/runner"
 )
 
 // ScaleRow reports one cluster size's behaviour under the F-
@@ -38,50 +40,63 @@ func (r ScaleRow) Summary() string {
 
 // RunClusterScale sweeps cluster sizes through the F- scenario with
 // node N compromised and everyone under Triad-like AEXs from the start.
+// Each size is an independent simulation; the sweep fans across the
+// runner's worker pool with rows collected in size order.
 func RunClusterScale(seed uint64, sizes []int, duration time.Duration) ([]ScaleRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{3, 5, 7, 9}
 	}
-	rows := make([]ScaleRow, 0, len(sizes))
-	for _, n := range sizes {
-		c, err := NewCluster(ClusterConfig{Seed: seed, Nodes: n})
-		if err != nil {
-			return nil, err
+	tasks := make([]runner.Task[ScaleRow], len(sizes))
+	for t, n := range sizes {
+		n := n
+		tasks[t] = runner.Task[ScaleRow]{
+			Name: fmt.Sprintf("cluster scale n=%d", n),
+			Run: func(context.Context) (ScaleRow, error) {
+				return runClusterScaleOne(seed, n, duration)
+			},
 		}
-		for i := range c.Nodes {
-			c.SetEnv(i, EnvTriadLike)
-		}
-		compromised := n - 1
-		c.Net.AttachMiddlebox(attack.NewDelay(attack.DelayConfig{
-			Victim:    c.Nodes[compromised].Addr(),
-			Authority: TAAddr,
-			Mode:      attack.ModeFMinus,
-		}))
-		c.Start()
-		c.RunFor(duration)
-
-		row := ScaleRow{Nodes: n, MinAvailability: 1}
-		var taSum float64
-		for i := 0; i < n-1; i++ {
-			infected := false
-			for _, p := range c.Drift[i].Available() {
-				if p.DriftSeconds > 1 {
-					infected = true
-					at := time.Duration(p.RefSeconds * float64(time.Second))
-					if row.FirstInfection == 0 || at < row.FirstInfection {
-						row.FirstInfection = at
-					}
-					break
-				}
-			}
-			if infected {
-				row.InfectedHonest++
-			}
-			row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
-			taSum += float64(c.Nodes[i].TAReferences())
-		}
-		row.TARefsPerNode = taSum / float64(n-1)
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+}
+
+// runClusterScaleOne measures one cluster size under the F- scenario.
+func runClusterScaleOne(seed uint64, n int, duration time.Duration) (ScaleRow, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed, Nodes: n})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	for i := range c.Nodes {
+		c.SetEnv(i, EnvTriadLike)
+	}
+	compromised := n - 1
+	c.Net.AttachMiddlebox(attack.NewDelay(attack.DelayConfig{
+		Victim:    c.Nodes[compromised].Addr(),
+		Authority: TAAddr,
+		Mode:      attack.ModeFMinus,
+	}))
+	c.Start()
+	c.RunFor(duration)
+
+	row := ScaleRow{Nodes: n, MinAvailability: 1}
+	var taSum float64
+	for i := 0; i < n-1; i++ {
+		infected := false
+		for _, p := range c.Drift[i].Available() {
+			if p.DriftSeconds > 1 {
+				infected = true
+				at := time.Duration(p.RefSeconds * float64(time.Second))
+				if row.FirstInfection == 0 || at < row.FirstInfection {
+					row.FirstInfection = at
+				}
+				break
+			}
+		}
+		if infected {
+			row.InfectedHonest++
+		}
+		row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
+		taSum += float64(c.Nodes[i].TAReferences())
+	}
+	row.TARefsPerNode = taSum / float64(n-1)
+	return row, nil
 }

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"triadtime/internal/attack"
+	"triadtime/internal/experiment/runner"
 	"triadtime/internal/simtime"
 	"triadtime/internal/stats"
 )
@@ -37,17 +39,34 @@ func (r *SweepResult) Summary() string {
 
 // RunSeedSweep repeats the Figure 2 scenario across seeds and
 // aggregates: the paper's qualitative claims should hold for every
-// seed, not one lucky draw.
+// seed, not one lucky draw. The seeds are independent simulations, so
+// they fan across the runner's worker pool; aggregation happens in
+// seed order afterwards, keeping the result bit-identical to a serial
+// sweep at any worker count.
 func RunSeedSweep(baseSeed uint64, seeds int, duration time.Duration) (*SweepResult, error) {
 	if seeds <= 0 {
 		seeds = 5
 	}
-	var avail, ferr, drift stats.Welford
-	for s := 0; s < seeds; s++ {
-		res, err := RunFig2(baseSeed+uint64(s), duration)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", baseSeed+uint64(s), err)
+	tasks := make([]runner.Task[*FigureResult], seeds)
+	for s, seed := range runner.Seeds(baseSeed, seeds) {
+		seed := seed
+		tasks[s] = runner.Task[*FigureResult]{
+			Name: fmt.Sprintf("fig2 seed %d", seed),
+			Run: func(context.Context) (*FigureResult, error) {
+				res, err := RunFig2(seed, duration)
+				if err != nil {
+					return nil, fmt.Errorf("seed %d: %w", seed, err)
+				}
+				return res, nil
+			},
 		}
+	}
+	results, err := runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	if err != nil {
+		return nil, err
+	}
+	var avail, ferr, drift stats.Welford
+	for _, res := range results {
 		for i := range res.FCalib {
 			avail.Add(res.Availability[i])
 			ferr.Add(math.Abs(res.FCalib[i]-simtime.NominalTSCHz) / simtime.NominalTSCHz * 1e6)
@@ -84,41 +103,49 @@ func (r AttackLatencyRow) Summary() string {
 }
 
 // RunAttackLatency measures request success rates under the Figure 6
-// F- scenario for the original and hardened protocols.
+// F- scenario for the original and hardened protocols. The two variant
+// runs are independent simulations and execute on the worker pool.
 func RunAttackLatency(seed uint64, duration time.Duration) ([]AttackLatencyRow, error) {
-	rows := make([]AttackLatencyRow, 0, 2)
-	for _, v := range []Variant{VariantOriginal, VariantHardened} {
-		c, err := buildVariantCluster(seed, v, attack.ModeFMinus)
-		if err != nil {
-			return nil, err
-		}
-		honest := probeCounts{}
-		compromised := probeCounts{}
-		var poll func()
-		poll = func() {
-			for i, n := range c.Nodes {
-				_, err := n.TrustedNow()
-				tgt := &honest
-				if i == 2 {
-					tgt = &compromised
+	variants := []Variant{VariantOriginal, VariantHardened}
+	tasks := make([]runner.Task[AttackLatencyRow], len(variants))
+	for i, v := range variants {
+		v := v
+		tasks[i] = runner.Task[AttackLatencyRow]{
+			Name: fmt.Sprintf("attack latency %s", v),
+			Run: func(context.Context) (AttackLatencyRow, error) {
+				c, err := buildVariantCluster(seed, v, attack.ModeFMinus)
+				if err != nil {
+					return AttackLatencyRow{}, err
 				}
-				tgt.total++
-				if err == nil {
-					tgt.ok++
+				honest := probeCounts{}
+				compromised := probeCounts{}
+				var poll func()
+				poll = func() {
+					for i, n := range c.Nodes {
+						_, err := n.TrustedNow()
+						tgt := &honest
+						if i == 2 {
+							tgt = &compromised
+						}
+						tgt.total++
+						if err == nil {
+							tgt.ok++
+						}
+					}
+					c.Sched.After(simtime.FromDuration(100*time.Millisecond), poll)
 				}
-			}
-			c.Sched.After(simtime.FromDuration(100*time.Millisecond), poll)
+				c.Sched.At(simtime.FromDuration(30*time.Second), poll)
+				c.Start()
+				c.RunFor(duration)
+				return AttackLatencyRow{
+					Variant:             v,
+					HonestFirstTry:      honest.frac(),
+					CompromisedFirstTry: compromised.frac(),
+				}, nil
+			},
 		}
-		c.Sched.At(simtime.FromDuration(30*time.Second), poll)
-		c.Start()
-		c.RunFor(duration)
-		rows = append(rows, AttackLatencyRow{
-			Variant:             v,
-			HonestFirstTry:      honest.frac(),
-			CompromisedFirstTry: compromised.frac(),
-		})
 	}
-	return rows, nil
+	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
 }
 
 type probeCounts struct {

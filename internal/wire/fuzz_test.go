@@ -30,6 +30,138 @@ func FuzzUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzPeerTimeDecode exercises the decoder specifically on the peer
+// untainting path (PeerTimeRequest/PeerTimeResponse): arbitrary input
+// must never panic, truncation must fail with ErrTruncated, and every
+// successful peer-message decode must roundtrip canonically with its
+// timestamp intact — a node adopting a peer timestamp mangled by the
+// codec would corrupt its trusted clock.
+func FuzzPeerTimeDecode(f *testing.F) {
+	f.Add(Message{Kind: KindPeerTimeRequest, Seq: 42}.Marshal())
+	f.Add(Message{Kind: KindPeerTimeResponse, Seq: 43, TimeNanos: 1719412345678901234}.Marshal())
+	f.Add(Message{Kind: KindPeerTimeResponse, Seq: ^uint64(0), TimeNanos: -1}.Marshal())
+	f.Add(Message{Kind: KindPeerTimeRequest, Seq: 1}.Marshal()[:12]) // truncated
+	f.Add([]byte{byte(KindPeerTimeResponse)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadKind) {
+				t.Fatalf("unexpected decode error class: %v", err)
+			}
+			if errors.Is(err, ErrTruncated) && len(data) >= len(Message{}.Marshal()) {
+				t.Fatalf("%d bytes reported as truncated", len(data))
+			}
+			return
+		}
+		if m.Kind != KindPeerTimeRequest && m.Kind != KindPeerTimeResponse {
+			return
+		}
+		m2, err := Unmarshal(m.Marshal())
+		if err != nil || m2 != m {
+			t.Fatalf("peer message roundtrip broke: %+v vs %+v (%v)", m, m2, err)
+		}
+		if m2.TimeNanos != m.TimeNanos {
+			t.Fatalf("peer timestamp mangled: %d vs %d", m.TimeNanos, m2.TimeNanos)
+		}
+	})
+}
+
+// FuzzOpenPeerTimeTruncated feeds the opener sealed peer-time
+// datagrams cut or grown to arbitrary lengths — malformed nonce
+// lengths (shorter than the 12-byte nonce) included. Nothing may
+// panic, and anything that authenticates must be a verbatim sealer
+// output: it carries the genuine authenticated sender identity and a
+// canonically decodable message. (A datagram grown with garbage and
+// cut back to the genuine bytes IS the genuine datagram.)
+func FuzzOpenPeerTimeTruncated(f *testing.F) {
+	const senderID = 9
+	sealer, _ := NewSealer(testKey(), senderID)
+	genuineReq := sealer.Seal(Message{Kind: KindPeerTimeRequest, Seq: 5})
+	genuineResp := sealer.Seal(Message{Kind: KindPeerTimeResponse, Seq: 5, TimeNanos: 1e18})
+	f.Add(genuineReq, len(genuineReq))
+	f.Add(genuineResp, len(genuineResp))
+	f.Add(genuineResp, 0)
+	f.Add(genuineResp, 5)  // shorter than the nonce
+	f.Add(genuineResp, 12) // nonce only, no ciphertext
+	f.Add(genuineResp, len(genuineResp)-1)
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		if cut < 0 {
+			cut = -cut
+		}
+		if len(data) > 0 {
+			cut %= len(data) + 1
+		} else {
+			cut = 0
+		}
+		data = data[:cut]
+		opener, err := NewOpener(testKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, sender, err := opener.Open(data)
+		if err == nil {
+			if sender != senderID {
+				t.Fatalf("forged sender %d authenticated (message %+v)", sender, m)
+			}
+			if m.Kind < KindTimeRequest || m.Kind > KindChimerReport {
+				t.Fatalf("invalid kind %d authenticated", m.Kind)
+			}
+			return
+		}
+		if !errors.Is(err, ErrAuthFailed) && !errors.Is(err, ErrReplay) &&
+			!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadKind) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}
+
+// FuzzReplayCache drives the sliding anti-replay window with an
+// arbitrary counter sequence and checks its two safety invariants
+// against a map-based model: no counter is ever accepted twice, and
+// counter zero is never accepted. The fuzz input encodes a mix of
+// fresh counters, stale replays, and large forward jumps.
+func FuzzReplayCache(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 1})
+	f.Add([]byte{255, 0, 255, 128, 1})
+	f.Add([]byte{10, 10, 10, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := &replayWindow{}
+		accepted := map[uint64]bool{}
+		var cursor uint64
+		for _, b := range data {
+			// Map each byte to a counter near the moving cursor so the
+			// sequence mixes replays, in-window stragglers, and jumps.
+			var counter uint64
+			switch {
+			case b < 128:
+				counter = cursor + uint64(b)%80 // replay or short jump
+			case b < 250:
+				if delta := uint64(b - 128); delta <= cursor {
+					counter = cursor - delta // stale, possibly beyond window
+				}
+			default:
+				counter = cursor + 64 + uint64(b) // far forward jump
+			}
+			if w.accept(counter) {
+				if counter == 0 {
+					t.Fatal("window accepted counter 0")
+				}
+				if accepted[counter] {
+					t.Fatalf("window accepted counter %d twice", counter)
+				}
+				accepted[counter] = true
+				if counter > cursor {
+					cursor = counter
+				}
+			}
+		}
+		// The window must always admit a counter beyond everything seen.
+		if !w.accept(cursor + 100) {
+			t.Fatalf("window rejected fresh counter %d", cursor+100)
+		}
+	})
+}
+
 // FuzzOpen feeds arbitrary datagrams to the AEAD opener: no panic, and
 // nothing not produced by the sealer may ever authenticate.
 func FuzzOpen(f *testing.F) {

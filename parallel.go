@@ -1,0 +1,38 @@
+package triadtime
+
+import (
+	"context"
+	"fmt"
+
+	"triadtime/internal/experiment/runner"
+)
+
+// RunSeeds executes fn once per seed on a worker pool and returns the
+// results in seed order. Every experiment in this package is a
+// deterministic simulation owning all of its state, so runs
+// parallelize with no loss of reproducibility: the returned slice is
+// identical at any worker count.
+//
+// workers sizes the pool; 0 uses all CPUs. A panic inside fn is
+// captured and returned as that seed's error rather than crashing the
+// sweep. The context cancels seeds not yet dispatched.
+//
+//	avail, err := triadtime.RunSeeds(ctx, 0, seeds,
+//	    func(ctx context.Context, seed uint64) (float64, error) {
+//	        lab, err := triadtime.NewLab(triadtime.LabConfig{Seed: seed})
+//	        ...
+//	    })
+func RunSeeds[T any](ctx context.Context, workers int, seeds []uint64, fn func(ctx context.Context, seed uint64) (T, error)) ([]T, error) {
+	tasks := make([]runner.Task[T], len(seeds))
+	for i, seed := range seeds {
+		tasks[i] = runner.Task[T]{
+			Name: fmt.Sprintf("seed %d", seed),
+			Run:  func(ctx context.Context) (T, error) { return fn(ctx, seed) },
+		}
+	}
+	return runner.Run(ctx, runner.Config{Workers: workers}, tasks).Values()
+}
+
+// Seeds builds the n consecutive seeds base, base+1, ... — the shape
+// every seed sweep in this repository uses.
+func Seeds(base uint64, n int) []uint64 { return runner.Seeds(base, n) }

@@ -1,0 +1,67 @@
+package triadtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// labDrift runs a 3-node lab for 30 s of simulated time and returns
+// node 0's drift from the reference timeline.
+func labDrift(seed uint64) (time.Duration, error) {
+	lab, err := NewLab(LabConfig{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < 3; i++ {
+		lab.UseTriadLikeAEXs(i)
+	}
+	lab.Start()
+	lab.Run(30 * time.Second)
+	ts, err := lab.TrustedNow(0)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(ts.Nanos - lab.ReferenceNow()), nil
+}
+
+func TestRunSeedsMatchesSerial(t *testing.T) {
+	seeds := Seeds(11, 4)
+
+	serial := make([]time.Duration, len(seeds))
+	for i, seed := range seeds {
+		d, err := labDrift(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serial[i] = d
+	}
+
+	parallel, err := RunSeeds(context.Background(), 4, seeds,
+		func(_ context.Context, seed uint64) (time.Duration, error) {
+			return labDrift(seed)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if parallel[i] != serial[i] {
+			t.Errorf("seed %d: parallel drift %v != serial %v", seeds[i], parallel[i], serial[i])
+		}
+	}
+}
+
+func TestRunSeedsError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunSeeds(context.Background(), 2, Seeds(1, 3),
+		func(_ context.Context, seed uint64) (int, error) {
+			if seed == 2 {
+				return 0, boom
+			}
+			return int(seed), nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
