@@ -257,6 +257,11 @@ func (r figRunner) figure(base string, res *experiment.FigureResult) error {
 	}); err != nil {
 		return err
 	}
+	if err := r.writeCSV(base+"_counters.csv", func(w io.Writer) error {
+		return metrics.WriteCountersCSV(w, res.Counters)
+	}); err != nil {
+		return err
+	}
 	if err := r.writeCSV(base+"_states.csv", func(w io.Writer) error {
 		if _, err := fmt.Fprintln(w, "node,ref_seconds,state"); err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"triadtime/internal/enclave"
+	"triadtime/internal/engine"
 	"triadtime/internal/stats"
 	"triadtime/internal/wire"
 )
@@ -11,6 +12,21 @@ import (
 // maxOWDNanos caps the one-way-delay estimate extracted from the
 // calibration intercept; larger values are treated as noise.
 const maxOWDNanos = 10 * int64(time.Millisecond)
+
+// policy is the original protocol's behaviour bundle: the
+// sleep-roundtrip regression calibration and the peers-then-authority
+// recovery ladder. It implements engine.CalibrationPolicy and
+// engine.RecoveryPolicy; the peer decision is the engine's
+// first-response AdoptIfAhead filter.
+type policy struct {
+	cfg Config
+
+	calib    *calibRun
+	owdNanos int64 // one-way TA delay estimate from calibration
+
+	refSeq   uint64 // pending reference calibration request, 0 = none
+	refTimer enclave.CancelFunc
+}
 
 // calibRun tracks one full calibration: repeated TA roundtrips with
 // requested sleeps, each bounded by uninterrupted execution (no AEX
@@ -43,22 +59,43 @@ func (c *calibRun) abandonPending() {
 	c.pendingSeq = 0
 }
 
-// startFullCalibration begins (or restarts) a full speed + reference
-// calibration with the Time Authority.
-func (n *Node) startFullCalibration() {
-	n.cancelRecoveryTimers()
-	n.calib = &calibRun{perSleep: make(map[time.Duration]int, len(n.cfg.CalibSleeps))}
-	n.sendNextCalibSample()
+// Start begins (or restarts) a full speed + reference calibration with
+// the Time Authority.
+func (p *policy) Start(e *engine.Engine) {
+	e.CancelGather()
+	p.cancelRef()
+	p.calib = &calibRun{perSleep: make(map[time.Duration]int, len(p.cfg.CalibSleeps))}
+	p.sendNextCalibSample(e)
+}
+
+// OnTimeResponse claims Time Authority responses belonging to the
+// pending calibration sample.
+func (p *policy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+	if p.calib != nil && msg.Seq == p.calib.pendingSeq {
+		p.onCalibSample(e, msg)
+		return true
+	}
+	return false
+}
+
+// OnAEX abandons an in-flight calibration sample: it is no longer
+// bounded by uninterrupted execution, so retry immediately rather than
+// waiting out a wasted roundtrip.
+func (p *policy) OnAEX(e *engine.Engine) {
+	if p.calib != nil && p.calib.pendingSeq != 0 {
+		p.calib.abandonPending()
+		p.sendNextCalibSample(e)
+	}
 }
 
 // nextCalibSleep picks the sleep value with the fewest collected
 // samples, so collection interleaves sleeps and finishes them together.
-func (n *Node) nextCalibSleep() (time.Duration, bool) {
+func (p *policy) nextCalibSleep() (time.Duration, bool) {
 	var best time.Duration
-	bestCount := n.cfg.CalibSamplesPerSleep
+	bestCount := p.cfg.CalibSamplesPerSleep
 	found := false
-	for _, s := range n.cfg.CalibSleeps {
-		if c := n.calib.perSleep[s]; c < bestCount {
+	for _, s := range p.cfg.CalibSleeps {
+		if c := p.calib.perSleep[s]; c < bestCount {
 			bestCount = c
 			best = s
 			found = true
@@ -68,44 +105,44 @@ func (n *Node) nextCalibSleep() (time.Duration, bool) {
 }
 
 // sendNextCalibSample issues the next calibration roundtrip.
-func (n *Node) sendNextCalibSample() {
-	sleep, ok := n.nextCalibSleep()
+func (p *policy) sendNextCalibSample(e *engine.Engine) {
+	sleep, ok := p.nextCalibSleep()
 	if !ok {
-		n.finishCalibration()
+		p.finishCalibration(e)
 		return
 	}
-	c := n.calib
+	c := p.calib
 	c.pendingSleep = sleep
-	c.pendingSeq = n.nextSeq()
-	c.sentTSC = n.platform.ReadTSC()
-	c.sentEpoch = n.aexEpoch
-	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+	c.pendingSeq = e.NextSeq()
+	c.sentTSC = e.Platform().ReadTSC()
+	c.sentEpoch = e.AEXEpoch()
+	e.SendSealed(e.Authority(), wire.Message{
 		Kind:  wire.KindTimeRequest,
 		Seq:   c.pendingSeq,
 		Sleep: sleep,
-	}))
-	timeout := sleep + n.cfg.TATimeout
-	c.timer = n.platform.AfterTicks(n.ticksFor(timeout), func() {
+	})
+	timeout := sleep + p.cfg.TATimeout
+	c.timer = e.Platform().AfterTicks(e.TicksFor(timeout), func() {
 		// Response lost or over-delayed: retry with a fresh request.
 		c.timer = nil
 		c.pendingSeq = 0
-		n.sendNextCalibSample()
+		p.sendNextCalibSample(e)
 	})
 }
 
 // onCalibSample handles the TA response to the pending calibration
 // request. Samples whose window was severed by an AEX are discarded:
 // the attacker could have manipulated the TSC during the exit.
-func (n *Node) onCalibSample(msg wire.Message) {
-	c := n.calib
-	recvTSC := n.platform.ReadTSC()
+func (p *policy) onCalibSample(e *engine.Engine, msg wire.Message) {
+	c := p.calib
+	recvTSC := e.Platform().ReadTSC()
 	if c.timer != nil {
 		c.timer()
 		c.timer = nil
 	}
 	c.pendingSeq = 0
-	if n.aexEpoch != c.sentEpoch {
-		n.sendNextCalibSample()
+	if e.AEXEpoch() != c.sentEpoch {
+		p.sendNextCalibSample(e)
 		return
 	}
 	c.samples = append(c.samples, stats.Sample{
@@ -115,17 +152,17 @@ func (n *Node) onCalibSample(msg wire.Message) {
 	c.perSleep[c.pendingSleep]++
 	c.lastResponse = msg
 	c.lastRecvTSC = recvTSC
-	n.sendNextCalibSample()
+	p.sendNextCalibSample(e)
 }
 
 // finishCalibration regresses the collected samples and installs the new
 // clock: F_calib from the slope, the one-way-delay estimate from the
 // intercept, and the time reference from the most recent TA response.
-func (n *Node) finishCalibration() {
-	c := n.calib
+func (p *policy) finishCalibration(e *engine.Engine) {
+	c := p.calib
 	var fit stats.Fit
 	var err error
-	switch n.cfg.Regression {
+	switch p.cfg.Regression {
 	case RegressionTheilSen:
 		fit, err = stats.TheilSen(c.samples)
 	default:
@@ -134,10 +171,9 @@ func (n *Node) finishCalibration() {
 	if err != nil || fit.Slope <= 0 {
 		// Degenerate measurements (e.g. all roundtrips interrupted in
 		// pathological schedules): start over.
-		n.startFullCalibration()
+		p.Start(e)
 		return
 	}
-	n.fCalib = fit.Slope
 	owd := int64(fit.Intercept / fit.Slope / 2 * 1e9)
 	if owd < 0 {
 		owd = 0
@@ -145,61 +181,84 @@ func (n *Node) finishCalibration() {
 	if owd > maxOWDNanos {
 		owd = maxOWDNanos
 	}
-	n.owdNanos = owd
+	p.owdNanos = owd
 
 	// Anchor the reference on the last TA response: the TA read its
 	// clock when sending, one network traversal before our receive.
-	n.refNanos = c.lastResponse.TimeNanos + n.owdNanos
-	n.refTSC = c.lastRecvTSC
-	n.calib = nil
-	n.taRefs++
-	n.events.taReference()
-	n.events.calibrated(n.fCalib)
-	n.setState(StateOK)
+	p.calib = nil
+	e.CompleteCalibration(fit.Slope, c.lastResponse.TimeNanos+p.owdNanos, c.lastRecvTSC)
 }
 
-// startRefCalib re-acquires only the time reference from the TA (the
+// OnStart: the original protocol has no steady-state self-checking to
+// arm.
+func (p *policy) OnStart(*engine.Engine) {}
+
+// OnTaint starts the recovery ladder after an AEX: peers first, the
+// Time Authority only if no peer answers (paper §III-B).
+func (p *policy) OnTaint(e *engine.Engine) {
+	e.SetState(StateTainted)
+	e.BeginPeerGather()
+}
+
+// OnPeerSample: the original protocol gathers peers only through the
+// engine's taint gather; stale responses are dropped.
+func (p *policy) OnPeerSample(*engine.Engine, uint64, engine.PeerSample) {}
+
+// StartRefCalib re-acquires only the time reference from the TA (the
 // peer untaint path failed). Retries on timeout until a response lands.
-func (n *Node) startRefCalib() {
-	n.setState(StateRefCalib)
-	n.refSeq = n.nextSeq()
-	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+func (p *policy) StartRefCalib(e *engine.Engine) {
+	e.SetState(StateRefCalib)
+	p.refSeq = e.NextSeq()
+	e.SendSealed(e.Authority(), wire.Message{
 		Kind: wire.KindTimeRequest,
-		Seq:  n.refSeq,
+		Seq:  p.refSeq,
 		// Sleep 0: immediate response, minimal offset error.
-	}))
-	n.refTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout), func() {
-		n.refTimer = nil
-		n.refSeq = 0
-		n.startRefCalib()
+	})
+	p.refTimer = e.Platform().AfterTicks(e.TicksFor(p.cfg.TATimeout), func() {
+		p.refTimer = nil
+		p.refSeq = 0
+		p.StartRefCalib(e)
 	})
 }
 
-// onRefCalibResponse installs the TA's reference time.
-func (n *Node) onRefCalibResponse(msg wire.Message) {
-	if n.refTimer != nil {
-		n.refTimer()
-		n.refTimer = nil
+// OnTimeResponse (recovery half) claims the pending reference
+// calibration response and installs the TA's reference time.
+func (p *policy) onRefCalibResponse(e *engine.Engine, msg wire.Message) {
+	if p.refTimer != nil {
+		p.refTimer()
+		p.refTimer = nil
 	}
-	n.refSeq = 0
-	n.refNanos = msg.TimeNanos + n.owdNanos
-	n.refTSC = n.platform.ReadTSC()
-	n.taRefs++
-	n.events.taReference()
-	n.setState(StateOK)
+	p.refSeq = 0
+	e.AdoptTAReference(msg.TimeNanos+p.owdNanos, e.Platform().ReadTSC())
 }
 
-// cancelRecoveryTimers clears any pending peer-untaint or ref-calib
-// exchange (used when escalating to a full calibration).
-func (n *Node) cancelRecoveryTimers() {
-	if n.peerTimer != nil {
-		n.peerTimer()
-		n.peerTimer = nil
+// recoveryPolicy is the RecoveryPolicy view of the bundle: both
+// engine policies share one state struct, but each interface claims
+// Time Authority responses for its own exchanges, so the method is
+// disambiguated here.
+type recoveryPolicy struct{ *policy }
+
+// OnTimeResponse claims the pending reference calibration response.
+func (rp recoveryPolicy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+	p := rp.policy
+	if p.refSeq != 0 && msg.Seq == p.refSeq {
+		p.onRefCalibResponse(e, msg)
+		return true
 	}
-	n.peerSeq = 0
-	if n.refTimer != nil {
-		n.refTimer()
-		n.refTimer = nil
+	return false
+}
+
+// Cancel clears any pending peer-untaint or ref-calib exchange (used
+// when escalating to a full calibration).
+func (p *policy) Cancel(e *engine.Engine) {
+	e.CancelGather()
+	p.cancelRef()
+}
+
+func (p *policy) cancelRef() {
+	if p.refTimer != nil {
+		p.refTimer()
+		p.refTimer = nil
 	}
-	n.refSeq = 0
+	p.refSeq = 0
 }

@@ -2,11 +2,10 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
+	"triadtime/internal/engine"
 	"triadtime/internal/simnet"
-	"triadtime/internal/wire"
 )
 
 // RegressionKind selects the calibration regression estimator.
@@ -74,13 +73,14 @@ type Config struct {
 	Events Events
 }
 
-// Defaults used when Config fields are zero.
+// Defaults used when Config fields are zero. The monitor and peer
+// timeout defaults are the engine's, shared across variants.
 const (
 	DefaultCalibSamplesPerSleep = 4
-	DefaultPeerTimeout          = 20 * time.Millisecond
+	DefaultPeerTimeout          = engine.DefaultPeerTimeout
 	DefaultTATimeout            = 250 * time.Millisecond
-	DefaultMonitorTicks         = 15_000_000
-	DefaultMonitorTolerance     = 0.005
+	DefaultMonitorTicks         = engine.DefaultMonitorTicks
+	DefaultMonitorTolerance     = engine.DefaultMonitorTolerance
 )
 
 // DefaultCalibSleeps returns the paper's calibration sleeps: an
@@ -89,20 +89,10 @@ func DefaultCalibSleeps() []time.Duration {
 	return []time.Duration{0, time.Second}
 }
 
-// withDefaults returns a copy of the config with zero fields defaulted
-// and validates the result.
+// withDefaults returns a copy of the config with the core-specific
+// zero fields defaulted and validated; key and address validation is
+// the engine's job.
 func (c Config) withDefaults() (Config, error) {
-	if len(c.Key) != wire.KeySize {
-		return c, fmt.Errorf("core: key must be %d bytes, got %d", wire.KeySize, len(c.Key))
-	}
-	if c.Authority == c.Addr {
-		return c, errors.New("core: node address equals authority address")
-	}
-	for _, p := range c.Peers {
-		if p == c.Addr {
-			return c, errors.New("core: node lists itself as a peer")
-		}
-	}
 	if len(c.CalibSleeps) == 0 {
 		c.CalibSleeps = DefaultCalibSleeps()
 	}
@@ -115,17 +105,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Regression == 0 {
 		c.Regression = RegressionOLS
 	}
-	if c.PeerTimeout <= 0 {
-		c.PeerTimeout = DefaultPeerTimeout
-	}
 	if c.TATimeout <= 0 {
 		c.TATimeout = DefaultTATimeout
-	}
-	if c.MonitorTicks == 0 {
-		c.MonitorTicks = DefaultMonitorTicks
-	}
-	if c.MonitorTolerance <= 0 {
-		c.MonitorTolerance = DefaultMonitorTolerance
 	}
 	return c, nil
 }

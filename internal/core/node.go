@@ -1,20 +1,21 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"time"
 
 	"triadtime/internal/enclave"
+	"triadtime/internal/engine"
 	"triadtime/internal/simnet"
-	"triadtime/internal/wire"
 )
 
 // ErrUnavailable is returned by TrustedNow while the node cannot serve
-// trusted timestamps (tainted or calibrating).
-var ErrUnavailable = errors.New("core: trusted time unavailable")
+// trusted timestamps (tainted or calibrating). It is the engine's
+// sentinel, shared by every protocol variant.
+var ErrUnavailable = engine.ErrUnavailable
 
-// Node is one Triad protocol participant running inside a TEE.
+// Node is one Triad protocol participant running inside a TEE: the
+// shared protocol engine assembled with the original protocol's
+// policies.
 //
 // A Node is event-driven: after Start, all work happens in callbacks the
 // Platform dispatches (datagram deliveries, AEX notifications, timer and
@@ -23,38 +24,8 @@ var ErrUnavailable = errors.New("core: trusted time unavailable")
 // dispatch context (in the simulation: from scheduler events; live: via
 // the transport's Do).
 type Node struct {
-	cfg      Config
-	platform enclave.Platform
-	sealer   *wire.Sealer
-	opener   *wire.Opener
-	events   *Events
-	peers    map[simnet.Addr]bool
-
-	state State
-
-	// Trusted clock: now = refNanos + (tsc - refTSC)/fCalib.
-	fCalib     float64 // estimated guest-TSC ticks per reference second
-	refNanos   int64
-	refTSC     uint64
-	owdNanos   int64 // one-way TA delay estimate from calibration
-	lastServed int64
-
-	aexEpoch uint64 // bumped on every AEX; stamps in-flight measurements
-	seq      uint64 // request sequence numbers
-
-	calib     *calibRun
-	peerSeq   uint64 // pending peer untaint request, 0 = none
-	peerTimer enclave.CancelFunc
-	refSeq    uint64 // pending reference calibration request, 0 = none
-	refTimer  enclave.CancelFunc
-
-	monitor *enclave.RateMonitor
-
-	// Counters.
-	taRefs       int
-	peerUntaints int
-	servedCount  uint64
-	timeJumps    []int64
+	eng *engine.Engine
+	pol *policy
 }
 
 // NewNode creates a Triad node on the given platform. The node installs
@@ -65,217 +36,72 @@ func NewNode(platform enclave.Platform, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	sealer, err := wire.NewSealer(cfg.Key, uint32(cfg.Addr))
+	pol := &policy{cfg: cfg}
+	eng, err := engine.New(platform, engine.Config{
+		Key:              cfg.Key,
+		Addr:             cfg.Addr,
+		Peers:            cfg.Peers,
+		Authority:        cfg.Authority,
+		PeerTimeout:      cfg.PeerTimeout,
+		MonitorTicks:     cfg.MonitorTicks,
+		MonitorTolerance: cfg.MonitorTolerance,
+		DisableMonitor:   cfg.DisableMonitor,
+		EnableMemMonitor: cfg.EnableMemMonitor,
+		MemTolerance:     cfg.MemTolerance,
+		FreqChangeEvents: true,
+		Events:           cfg.Events,
+	}, engine.Policies{
+		Calibration: pol,
+		Recovery:    recoveryPolicy{pol},
+		Filter:      engine.AdoptIfAhead{},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	opener, err := wire.NewOpener(cfg.Key)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	peers := make(map[simnet.Addr]bool, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		peers[p] = true
-	}
-	n := &Node{
-		cfg:      cfg,
-		platform: platform,
-		sealer:   sealer,
-		opener:   opener,
-		events:   &cfg.Events,
-		peers:    peers,
-		state:    StateInit,
-	}
-	platform.SetAEXHandler(n.onAEX)
-	platform.SetMessageHandler(n.onDatagram)
-	return n, nil
+	return &Node{eng: eng, pol: pol}, nil
 }
 
 // Start launches the protocol: the node enters full calibration with the
 // Time Authority and, unless disabled, starts TSC monitoring. Starting a
 // started node is a no-op.
-func (n *Node) Start() {
-	if n.state != StateInit {
-		return
-	}
-	n.setState(StateFullCalib)
-	n.startFullCalibration()
-	if !n.cfg.DisableMonitor {
-		n.startMonitor()
-	}
-}
+func (n *Node) Start() { n.eng.Start() }
 
 // Addr reports the node's network address.
-func (n *Node) Addr() simnet.Addr { return n.cfg.Addr }
+func (n *Node) Addr() simnet.Addr { return n.eng.Addr() }
 
 // State reports the node's protocol state.
-func (n *Node) State() State { return n.state }
+func (n *Node) State() State { return n.eng.State() }
 
 // FCalib reports the calibrated TSC rate in ticks per reference second,
 // or 0 before the first calibration completes.
-func (n *Node) FCalib() float64 { return n.fCalib }
+func (n *Node) FCalib() float64 { return n.eng.FCalib() }
 
 // TAReferences reports how many time references the node has adopted
 // from the Time Authority (Figure 2b's metric).
-func (n *Node) TAReferences() int { return n.taRefs }
+func (n *Node) TAReferences() int { return n.eng.Counters().TAReferences }
 
 // PeerUntaints reports how many times a peer's timestamp untainted this
 // node.
-func (n *Node) PeerUntaints() int { return n.peerUntaints }
+func (n *Node) PeerUntaints() int { return n.eng.Counters().PeerUntaints }
 
 // ServedCount reports how many trusted timestamps have been served.
-func (n *Node) ServedCount() uint64 { return n.servedCount }
+func (n *Node) ServedCount() uint64 { return n.eng.Counters().Served }
+
+// Counters returns a snapshot of the engine's protocol counters (the
+// hardening-only fields stay zero on original nodes).
+func (n *Node) Counters() engine.Counters { return n.eng.CounterSnapshot() }
 
 // TimeJumps returns the forward jumps (ns) taken when adopting peer
 // timestamps; the 50–70ms jumps of Figure 3a and ~35ms jumps of
 // Figure 6a show up here. The slice is a copy.
-func (n *Node) TimeJumps() []int64 {
-	cp := make([]int64, len(n.timeJumps))
-	copy(cp, n.timeJumps)
-	return cp
-}
+func (n *Node) TimeJumps() []int64 { return n.eng.TimeJumps() }
 
 // TrustedNow serves one trusted timestamp (nanoseconds on the Time
 // Authority's timeline). It fails with ErrUnavailable while the node is
 // tainted or calibrating. Served timestamps are strictly monotonic.
-func (n *Node) TrustedNow() (int64, error) {
-	if n.state != StateOK {
-		return 0, fmt.Errorf("%w: state %s", ErrUnavailable, n.state)
-	}
-	return n.serveTimestamp(), nil
-}
+func (n *Node) TrustedNow() (int64, error) { return n.eng.TrustedNow() }
 
 // ClockReading reports the node's internal clock without availability
 // checking or monotonic bumping. Instrumentation only (the experiment
 // harness samples drift with it); applications must use TrustedNow.
-func (n *Node) ClockReading() (int64, bool) {
-	if n.fCalib == 0 {
-		return 0, false
-	}
-	return n.clockNow(), true
-}
-
-// clockNow converts the current TSC to trusted nanoseconds. Callers
-// must ensure fCalib != 0.
-func (n *Node) clockNow() int64 {
-	tsc := n.platform.ReadTSC()
-	var delta float64
-	if tsc >= n.refTSC {
-		delta = float64(tsc-n.refTSC) / n.fCalib * 1e9
-	} else {
-		// TSC behind the anchor: a backwards TSC jump the monitor has
-		// not yet caught. Freeze rather than go back in time.
-		delta = 0
-	}
-	return n.refNanos + int64(delta)
-}
-
-// serveTimestamp returns the current clock reading bumped to stay
-// strictly monotonic across everything this node has ever served.
-func (n *Node) serveTimestamp() int64 {
-	ts := n.clockNow()
-	if ts <= n.lastServed {
-		ts = n.lastServed + 1
-	}
-	n.lastServed = ts
-	n.servedCount++
-	return ts
-}
-
-func (n *Node) setState(s State) {
-	if s == n.state {
-		return
-	}
-	old := n.state
-	n.state = s
-	n.events.stateChanged(old, s)
-}
-
-// ticksFor converts a wall duration to guest ticks using the boot-time
-// frequency hint. Used only to size timeouts, never for trusted time.
-func (n *Node) ticksFor(d time.Duration) uint64 {
-	return uint64(d.Seconds() * n.platform.BootTSCHz())
-}
-
-func (n *Node) nextSeq() uint64 {
-	n.seq++
-	return n.seq
-}
-
-// onDatagram authenticates and dispatches one delivered datagram. The
-// network-level source is ignored: trust keys off the authenticated
-// wire-layer sender identity.
-func (n *Node) onDatagram(_ simnet.Addr, payload []byte) {
-	msg, sender, err := n.opener.Open(payload)
-	if err != nil {
-		return // tampered, replayed, or foreign traffic: drop
-	}
-	// The authenticated sender identity, not the network source, decides
-	// trust: an attacker can spoof addresses but not the AEAD.
-	switch msg.Kind {
-	case wire.KindTimeResponse:
-		if simnet.Addr(sender) != n.cfg.Authority {
-			return
-		}
-		n.onTimeResponse(msg)
-	case wire.KindPeerTimeRequest:
-		if !n.peers[simnet.Addr(sender)] {
-			return
-		}
-		n.onPeerTimeRequest(simnet.Addr(sender), msg)
-	case wire.KindPeerTimeResponse:
-		if !n.peers[simnet.Addr(sender)] {
-			return
-		}
-		n.onPeerTimeResponse(sender, msg)
-	case wire.KindTimeRequest, wire.KindChimerReport:
-		// Nodes are not the Time Authority, and the original protocol
-		// does not participate in chimer gossip; ignore.
-	}
-}
-
-// onTimeResponse routes a Time Authority response to whichever exchange
-// is waiting on it.
-func (n *Node) onTimeResponse(msg wire.Message) {
-	switch {
-	case n.calib != nil && msg.Seq == n.calib.pendingSeq:
-		n.onCalibSample(msg)
-	case n.refSeq != 0 && msg.Seq == n.refSeq:
-		n.onRefCalibResponse(msg)
-	default:
-		// Stale or duplicate response (e.g. a sample abandoned after an
-		// AEX): drop.
-	}
-}
-
-// onPeerTimeRequest answers a peer's untaint request if, and only if,
-// this node's own timestamp is currently trustworthy.
-func (n *Node) onPeerTimeRequest(from simnet.Addr, msg wire.Message) {
-	if n.state != StateOK {
-		return // tainted peers stay silent (paper §III-D)
-	}
-	n.platform.Send(from, n.sealer.Seal(wire.Message{
-		Kind:      wire.KindPeerTimeResponse,
-		Seq:       msg.Seq,
-		TimeNanos: n.serveTimestamp(),
-	}))
-}
-
-// onAEX is the AEX-Notify handler: time continuity was severed.
-func (n *Node) onAEX() {
-	n.aexEpoch++
-	switch n.state {
-	case StateOK:
-		n.becomeTainted()
-	case StateFullCalib:
-		// An in-flight calibration sample is no longer bounded by
-		// uninterrupted execution: abandon it and retry immediately
-		// rather than waiting out a wasted roundtrip.
-		if n.calib != nil && n.calib.pendingSeq != 0 {
-			n.calib.abandonPending()
-			n.sendNextCalibSample()
-		}
-	case StateTainted, StateRefCalib, StateInit:
-		// Already tainted/recovering; nothing changes.
-	}
-}
+func (n *Node) ClockReading() (int64, bool) { return n.eng.ClockReading() }

@@ -130,7 +130,7 @@ func TestTrustedNowUnavailableBeforeCalibration(t *testing.T) {
 func TestFullCalibrationConvergesToTrueRate(t *testing.T) {
 	r := newRig(t, 1, simnet.Link{Base: 100 * time.Microsecond}, nil)
 	var transitions []State
-	r.nodes[0].events.StateChanged = func(_, s State) { transitions = append(transitions, s) }
+	r.nodes[0].eng.Events().StateChanged = func(_, s State) { transitions = append(transitions, s) }
 	r.startAll()
 	r.run(30 * time.Second)
 
@@ -195,7 +195,7 @@ func TestMonotonicAcrossBackwardReferenceReset(t *testing.T) {
 	}
 	// Force the reference a full second backwards (as a TA re-anchor
 	// after a fast miscalibrated stretch would).
-	n.refNanos -= int64(time.Second)
+	n.eng.ShiftReference(-int64(time.Second))
 	ts2, err := n.TrustedNow()
 	if err != nil {
 		t.Fatal(err)
@@ -264,7 +264,7 @@ func TestPeerUntaintAdoptsHigherTimestamp(t *testing.T) {
 	r.run(30 * time.Second)
 	victim, donor := r.nodes[0], r.nodes[1]
 	// Push the donor's clock 50ms into the future.
-	donor.refNanos += 50 * int64(time.Millisecond)
+	donor.eng.ShiftReference(50 * int64(time.Millisecond))
 	r.platforms[0].FireAEX()
 	r.run(time.Second)
 	if victim.State() != StateOK {
@@ -290,7 +290,7 @@ func TestPeerUntaintKeepsLocalWhenPeerBehind(t *testing.T) {
 	r.startAll()
 	r.run(30 * time.Second)
 	victim, donor := r.nodes[0], r.nodes[1]
-	donor.refNanos -= 50 * int64(time.Millisecond) // donor behind
+	donor.eng.ShiftReference(-50 * int64(time.Millisecond)) // donor behind
 	before, _ := victim.ClockReading()
 	r.platforms[0].FireAEX()
 	r.run(time.Second)
@@ -356,7 +356,7 @@ func TestTaintedPeersStaySilent(t *testing.T) {
 func TestMonitorDetectsTSCScaling(t *testing.T) {
 	r := newRig(t, 1, simnet.Link{Base: 100 * time.Microsecond}, nil)
 	var discrepancies []float64
-	r.nodes[0].events.Discrepancy = func(rel float64) { discrepancies = append(discrepancies, rel) }
+	r.nodes[0].eng.Events().Discrepancy = func(rel float64) { discrepancies = append(discrepancies, rel) }
 	r.startAll()
 	r.run(30 * time.Second)
 	n := r.nodes[0]
@@ -390,7 +390,7 @@ func TestMonitorDisabled(t *testing.T) {
 		cfg.DisableMonitor = true
 	})
 	fired := false
-	r.nodes[0].events.Discrepancy = func(float64) { fired = true }
+	r.nodes[0].eng.Events().Discrepancy = func(float64) { fired = true }
 	r.startAll()
 	r.run(10 * time.Second)
 	r.platforms[0].TSC().SetScale(1.5, r.sched.Now())
@@ -538,7 +538,7 @@ func TestDVFSMaskedScalingNeedsMemMonitor(t *testing.T) {
 		r := newRig(t, 1, simnet.Link{Base: 100 * time.Microsecond}, func(_ int, cfg *Config) {
 			cfg.EnableMemMonitor = enableMem
 		})
-		r.nodes[0].events.Discrepancy = func(float64) { discrepancies++ }
+		r.nodes[0].eng.Events().Discrepancy = func(float64) { discrepancies++ }
 		r.startAll()
 		r.run(30 * time.Second)
 		if r.nodes[0].State() != StateOK {
@@ -576,8 +576,8 @@ func TestHonestDVFSDoesNotDisruptService(t *testing.T) {
 		cfg.EnableMemMonitor = true
 	})
 	freqChanges, discrepancies := 0, 0
-	r.nodes[0].events.FreqChange = func(float64) { freqChanges++ }
-	r.nodes[0].events.Discrepancy = func(float64) { discrepancies++ }
+	r.nodes[0].eng.Events().FreqChange = func(float64) { freqChanges++ }
+	r.nodes[0].eng.Events().Discrepancy = func(float64) { discrepancies++ }
 	r.startAll()
 	r.run(30 * time.Second)
 	taRefs := r.nodes[0].TAReferences()

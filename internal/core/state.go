@@ -15,108 +15,34 @@
 //     hypervisor rate/offset manipulation, which triggers full
 //     recalibration.
 //
-// The node is written against enclave.Platform and runs identically on
-// the discrete-event simulation and on the live UDP runtime.
+// Since the engine extraction, this package is a thin policy bundle:
+// internal/engine owns the clock state, the state machine, datagram
+// dispatch, AEX epochs, peer gathering, rate monitoring, and counters,
+// while core contributes the original protocol's calibration policy
+// (sleep-roundtrip regression), recovery policy (first-responding
+// peer, then the Time Authority) and the engine's accept-all
+// AdoptIfAhead peer filter. The node runs identically on the
+// discrete-event simulation and on the live UDP runtime.
 package core
 
-// State is a Triad node's protocol state. It matches the states plotted
-// in the paper's Figure 3b timing diagram.
-type State int
+import "triadtime/internal/engine"
 
-// Node states.
+// State is a Triad node's protocol state, shared with every engine
+// variant. It matches the states plotted in the paper's Figure 3b
+// timing diagram.
+type State = engine.State
+
+// Node states, re-exported from the engine.
 const (
-	// StateInit: created, not yet started.
-	StateInit State = iota + 1
-	// StateFullCalib: calibrating both clock speed (F_calib) and time
-	// reference with the Time Authority. Entered at startup and after a
-	// TSC discrepancy is detected.
-	StateFullCalib
-	// StateRefCalib: re-acquiring only the time reference from the Time
-	// Authority, after peers failed to untaint us.
-	StateRefCalib
-	// StateTainted: an AEX severed time continuity; the timestamp cannot
-	// be served until refreshed from a peer or the Time Authority.
-	StateTainted
-	// StateOK: serving trusted timestamps.
-	StateOK
+	StateInit      = engine.StateInit
+	StateFullCalib = engine.StateFullCalib
+	StateRefCalib  = engine.StateRefCalib
+	StateTainted   = engine.StateTainted
+	StateOK        = engine.StateOK
 )
 
-// String names the state as in the paper's figures.
-func (s State) String() string {
-	switch s {
-	case StateInit:
-		return "Init"
-	case StateFullCalib:
-		return "FullCalib"
-	case StateRefCalib:
-		return "RefCalib"
-	case StateTainted:
-		return "Tainted"
-	case StateOK:
-		return "OK"
-	default:
-		return "State(?)"
-	}
-}
-
-// Events are optional observation hooks. They fire synchronously from
-// within platform callbacks; handlers must not block and must not call
-// back into the node. Nil members are skipped.
-type Events struct {
-	// StateChanged fires on every protocol state transition.
-	StateChanged func(old, new State)
-	// Calibrated fires when a full calibration completes, with the new
-	// estimated TSC rate in ticks per second.
-	Calibrated func(fCalib float64)
-	// TAReference fires each time a time reference from the Time
-	// Authority is adopted (both RefCalib and FullCalib) — the count
-	// plotted in Figure 2b.
-	TAReference func()
-	// PeerUntaint fires when a peer timestamp untaints the node.
-	// jumpNanos is the forward jump relative to the local clock
-	// (0 when the local timestamp was kept and minimally bumped).
-	PeerUntaint func(fromPeer uint32, jumpNanos int64)
-	// Discrepancy fires when rate monitoring concludes the TSC was
-	// manipulated; rel is the relative deviation from the baseline.
-	Discrepancy func(rel float64)
-	// FreqChange fires when dual monitoring identifies a core
-	// frequency (DVFS) change instead of TSC tampering: the INC count
-	// moved while the memory-access count held.
-	FreqChange func(rel float64)
-}
-
-func (e *Events) stateChanged(old, new State) {
-	if e != nil && e.StateChanged != nil {
-		e.StateChanged(old, new)
-	}
-}
-
-func (e *Events) calibrated(f float64) {
-	if e != nil && e.Calibrated != nil {
-		e.Calibrated(f)
-	}
-}
-
-func (e *Events) taReference() {
-	if e != nil && e.TAReference != nil {
-		e.TAReference()
-	}
-}
-
-func (e *Events) peerUntaint(from uint32, jump int64) {
-	if e != nil && e.PeerUntaint != nil {
-		e.PeerUntaint(from, jump)
-	}
-}
-
-func (e *Events) discrepancy(rel float64) {
-	if e != nil && e.Discrepancy != nil {
-		e.Discrepancy(rel)
-	}
-}
-
-func (e *Events) freqChange(rel float64) {
-	if e != nil && e.FreqChange != nil {
-		e.FreqChange(rel)
-	}
-}
+// Events are optional observation hooks, shared with every engine
+// variant. They fire synchronously from within platform callbacks;
+// handlers must not block and must not call back into the node. Nil
+// members are skipped.
+type Events = engine.Events

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// Config parameterizes the engine-owned machinery shared by every
+// protocol variant. Variant-specific knobs (calibration sleeps,
+// windows, RTT bounds, deadlines) live in the variant packages'
+// configs and reach the engine only through policy behaviour.
+type Config struct {
+	// Key is the cluster's 32-byte pre-shared AES-256 key.
+	Key []byte
+	// Addr is this node's network address and wire sender identity.
+	Addr simnet.Addr
+	// Peers are the other Triad nodes in the cluster, in broadcast
+	// order.
+	Peers []simnet.Addr
+	// Authority is the Time Authority's address.
+	Authority simnet.Addr
+
+	// PeerTimeout bounds how long a tainted node waits for peer
+	// timestamps before falling back to the Time Authority.
+	// Default: 20ms.
+	PeerTimeout time.Duration
+
+	// MonitorTicks is the guest-TSC window of one INC monitoring
+	// measurement. Default: 15e6 ticks (~5ms), the paper's window.
+	MonitorTicks uint64
+	// MonitorTolerance is the relative INC deviation from the baseline
+	// that is flagged as a TSC discrepancy. Default: 0.005 (0.5%).
+	MonitorTolerance float64
+	// DisableMonitor turns off rate monitoring entirely.
+	DisableMonitor bool
+	// EnableMemMonitor additionally runs the frequency-independent
+	// memory-access monitor, closing the TSC-scaling-masked-by-DVFS
+	// attack.
+	EnableMemMonitor bool
+	// MemTolerance is the memory monitor's relative deviation flag
+	// threshold (0 uses the monitor's default).
+	MemTolerance float64
+	// FreqChangeEvents wires the monitor's DVFS-reclassification
+	// callback to Events.FreqChange (the original protocol surfaces
+	// it; the hardened variant historically does not).
+	FreqChangeEvents bool
+
+	// Events are optional observation hooks.
+	Events Events
+}
+
+// Defaults used when Config fields are zero. They are shared by both
+// protocol variants.
+const (
+	DefaultPeerTimeout      = 20 * time.Millisecond
+	DefaultMonitorTicks     = 15_000_000
+	DefaultMonitorTolerance = 0.005
+)
+
+// withDefaults returns a copy of the config with zero fields defaulted
+// and validates the result. Errors carry no package prefix so the
+// variant packages can wrap them under their own name.
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Key) != wire.KeySize {
+		return c, fmt.Errorf("key must be %d bytes, got %d", wire.KeySize, len(c.Key))
+	}
+	if c.Authority == c.Addr {
+		return c, errors.New("node address equals authority address")
+	}
+	for _, p := range c.Peers {
+		if p == c.Addr {
+			return c, errors.New("node lists itself as a peer")
+		}
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = DefaultPeerTimeout
+	}
+	if c.MonitorTicks == 0 {
+		c.MonitorTicks = DefaultMonitorTicks
+	}
+	if c.MonitorTolerance <= 0 {
+		c.MonitorTolerance = DefaultMonitorTolerance
+	}
+	return c, nil
+}

@@ -1,0 +1,34 @@
+package engine
+
+// Counters are the engine's cumulative protocol counters. One struct
+// covers both variants so metrics, the live runtime, and the
+// experiment harness read original and hardened nodes uniformly;
+// hardening-only counters simply stay zero on original nodes.
+type Counters struct {
+	// TAReferences counts adopted Time Authority references (both
+	// reference and full calibrations) — Figure 2b's metric.
+	TAReferences int
+	// PeerUntaints counts recoveries via peer timestamps.
+	PeerUntaints int
+	// Served counts trusted timestamps served.
+	Served uint64
+
+	// RejectedPeers counts peer timestamps the hardened chimer filter
+	// refused.
+	RejectedPeers int
+	// RTTRejections counts Time Authority exchanges the hardened
+	// roundtrip bound discarded.
+	RTTRejections int
+	// Probes counts hardened in-TCB deadline self-checks;
+	// ProbeFailures counts those that found the local clock
+	// inconsistent.
+	Probes        int
+	ProbeFailures int
+
+	// GossipSent / GossipReceived count chimer reports published and
+	// ingested; GossipAdoptions counts untaints that needed
+	// gossip-accredited evidence.
+	GossipSent      int
+	GossipReceived  int
+	GossipAdoptions int
+}

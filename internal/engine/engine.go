@@ -1,0 +1,407 @@
+// Package engine is the protocol machinery shared by every Triad
+// variant: the trusted-clock state and its monotonic serving, the
+// Init/FullCalib/RefCalib/Tainted/OK state machine, sealed datagram
+// dispatch (AEAD sealing, opening, replay windows), AEX-epoch
+// stamping, peer-timestamp gathering, the TSC rate monitor, and the
+// protocol counters.
+//
+// Variant behaviour — how to calibrate, how to recover from a taint,
+// which peer timestamps to believe, whether to gossip — is injected
+// through the small interfaces in policy.go. internal/core assembles
+// the paper's original protocol from them; internal/resilient
+// assembles the Section V hardened protocol. The engine fires one set
+// of observation hooks (Events) and keeps one set of Counters for
+// both, so the live runtime, the lab, and the experiment harness
+// observe any variant through the same surface.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triadtime/internal/enclave"
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// ErrUnavailable is returned by TrustedNow while the node cannot serve
+// trusted timestamps (tainted or calibrating).
+var ErrUnavailable = errors.New("trusted time unavailable")
+
+// Engine is the variant-independent half of a Triad node. It is
+// event-driven: after Start, all work happens in callbacks the
+// Platform dispatches (datagram deliveries, AEX notifications, timer
+// and INC-measurement completions). Platforms serialize callbacks, so
+// the engine has no internal locking; callers of TrustedNow must call
+// from the same dispatch context (in the simulation: from scheduler
+// events; live: via the transport's Do).
+type Engine struct {
+	cfg      Config
+	platform enclave.Platform
+	sealer   *wire.Sealer
+	opener   *wire.Opener
+	events   *Events
+	peers    map[simnet.Addr]bool
+
+	calibration CalibrationPolicy
+	recovery    RecoveryPolicy
+	filter      PeerFilter
+	gossipHook  GossipHook
+
+	state State
+
+	// Trusted clock: now = refNanos + (tsc - refTSC)/fCalib.
+	fCalib     float64 // estimated guest-TSC ticks per reference second
+	refNanos   int64
+	refTSC     uint64
+	lastServed int64
+
+	aexEpoch uint64 // bumped on every AEX; stamps in-flight measurements
+	seq      uint64 // request sequence numbers
+
+	gather  *gather
+	monitor *enclave.RateMonitor
+
+	counters  Counters
+	timeJumps []int64
+}
+
+// New creates an engine bound to the platform with the given policy
+// assembly. It installs itself as the platform's AEX and message
+// handler; call Start to begin the protocol. Errors carry no package
+// prefix so variants wrap them under their own name.
+func New(platform enclave.Platform, cfg Config, pol Policies) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if pol.Calibration == nil || pol.Recovery == nil || pol.Filter == nil {
+		return nil, errors.New("engine policies incomplete")
+	}
+	sealer, err := wire.NewSealer(cfg.Key, uint32(cfg.Addr))
+	if err != nil {
+		return nil, err
+	}
+	opener, err := wire.NewOpener(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	peers := make(map[simnet.Addr]bool, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		peers[p] = true
+	}
+	e := &Engine{
+		cfg:         cfg,
+		platform:    platform,
+		sealer:      sealer,
+		opener:      opener,
+		events:      &cfg.Events,
+		peers:       peers,
+		calibration: pol.Calibration,
+		recovery:    pol.Recovery,
+		filter:      pol.Filter,
+		gossipHook:  pol.Gossip,
+		state:       StateInit,
+	}
+	platform.SetAEXHandler(e.onAEX)
+	platform.SetMessageHandler(e.onDatagram)
+	return e, nil
+}
+
+// Start launches the protocol: full calibration with the Time
+// Authority, rate monitoring (unless disabled), and the recovery
+// policy's steady-state machinery. Starting a started engine is a
+// no-op.
+func (e *Engine) Start() {
+	if e.state != StateInit {
+		return
+	}
+	e.setState(StateFullCalib)
+	e.calibration.Start(e)
+	if !e.cfg.DisableMonitor {
+		e.startMonitor()
+	}
+	e.recovery.OnStart(e)
+}
+
+// Addr reports the node's network address.
+func (e *Engine) Addr() simnet.Addr { return e.cfg.Addr }
+
+// Authority reports the Time Authority's address.
+func (e *Engine) Authority() simnet.Addr { return e.cfg.Authority }
+
+// PeerAddrs returns the configured peers in broadcast order. The
+// slice is shared; callers must not mutate it.
+func (e *Engine) PeerAddrs() []simnet.Addr { return e.cfg.Peers }
+
+// Platform exposes the enclave platform to policies (TSC reads,
+// timers).
+func (e *Engine) Platform() enclave.Platform { return e.platform }
+
+// Events exposes the observation hooks, which may be replaced
+// mid-session by instrumentation.
+func (e *Engine) Events() *Events { return e.events }
+
+// State reports the protocol state.
+func (e *Engine) State() State { return e.state }
+
+// SetState transitions the protocol state, firing StateChanged.
+func (e *Engine) SetState(s State) { e.setState(s) }
+
+// FCalib reports the calibrated TSC rate in ticks per reference
+// second, or 0 before the first calibration completes.
+func (e *Engine) FCalib() float64 { return e.fCalib }
+
+// AEXEpoch reports the current AEX epoch; policies stamp in-flight
+// measurements with it and discard any whose window was severed.
+func (e *Engine) AEXEpoch() uint64 { return e.aexEpoch }
+
+// NextSeq allocates a request sequence number.
+func (e *Engine) NextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Counters exposes the protocol counters for policy updates.
+func (e *Engine) Counters() *Counters { return &e.counters }
+
+// CounterSnapshot returns a copy of the protocol counters.
+func (e *Engine) CounterSnapshot() Counters { return e.counters }
+
+// TimeJumps returns the forward jumps (ns) taken when adopting peer
+// timestamps; the 50–70ms jumps of Figure 3a and ~35ms jumps of
+// Figure 6a show up here. The slice is a copy.
+func (e *Engine) TimeJumps() []int64 {
+	cp := make([]int64, len(e.timeJumps))
+	copy(cp, e.timeJumps)
+	return cp
+}
+
+// TrustedNow serves one trusted timestamp (nanoseconds on the Time
+// Authority's timeline). It fails with ErrUnavailable while the node
+// is tainted or calibrating. Served timestamps are strictly monotonic.
+func (e *Engine) TrustedNow() (int64, error) {
+	if e.state != StateOK {
+		return 0, fmt.Errorf("%w: state %s", ErrUnavailable, e.state)
+	}
+	return e.serveTimestamp(), nil
+}
+
+// ClockReading reports the internal clock without availability
+// checking or monotonic bumping. Instrumentation only (the experiment
+// harness samples drift with it); applications must use TrustedNow.
+func (e *Engine) ClockReading() (int64, bool) {
+	if e.fCalib == 0 {
+		return 0, false
+	}
+	return e.ClockNow(), true
+}
+
+// ClockNow converts the current TSC to trusted nanoseconds. Callers
+// must ensure a calibration has completed (fCalib != 0). When the TSC
+// sits behind the anchor — a backwards jump the monitor has not yet
+// caught — the clock freezes rather than going back in time.
+func (e *Engine) ClockNow() int64 {
+	tsc := e.platform.ReadTSC()
+	if tsc < e.refTSC {
+		return e.refNanos
+	}
+	return e.refNanos + int64(float64(tsc-e.refTSC)/e.fCalib*1e9)
+}
+
+// ReferenceNanos reports the current reference anchor — the latest
+// TA- or peer-anchored trusted time. The hardened gossip layer stamps
+// chimer reports with it as a credibility signal.
+func (e *Engine) ReferenceNanos() int64 { return e.refNanos }
+
+// serveTimestamp returns the current clock reading bumped to stay
+// strictly monotonic across everything this node has ever served.
+func (e *Engine) serveTimestamp() int64 {
+	ts := e.ClockNow()
+	if ts <= e.lastServed {
+		ts = e.lastServed + 1
+	}
+	e.lastServed = ts
+	e.counters.Served++
+	return ts
+}
+
+func (e *Engine) setState(s State) {
+	if s == e.state {
+		return
+	}
+	old := e.state
+	e.state = s
+	e.events.stateChanged(old, s)
+}
+
+// TicksFor converts a wall duration to guest ticks using the
+// boot-time frequency hint. Used only to size timeouts and windows,
+// never for trusted time.
+func (e *Engine) TicksFor(d time.Duration) uint64 {
+	return e.TicksForSeconds(d.Seconds())
+}
+
+// TicksForSeconds is TicksFor on a seconds value (hardened windows are
+// tracked as float seconds).
+func (e *Engine) TicksForSeconds(sec float64) uint64 {
+	return uint64(sec * e.platform.BootTSCHz())
+}
+
+// SendSealed seals msg under this node's wire identity and sends it.
+func (e *Engine) SendSealed(to simnet.Addr, msg wire.Message) {
+	e.platform.Send(to, e.sealer.Seal(msg))
+}
+
+// CompleteCalibration installs a finished full calibration — rate and
+// reference anchor — and moves the node to StateOK, firing
+// TAReference then Calibrated in the order the trace battery pins.
+func (e *Engine) CompleteCalibration(fCalib float64, refNanos int64, refTSC uint64) {
+	e.fCalib = fCalib
+	e.refNanos = refNanos
+	e.refTSC = refTSC
+	e.counters.TAReferences++
+	e.events.taReference()
+	e.events.calibrated(fCalib)
+	e.setState(StateOK)
+}
+
+// AdoptTAReference installs a reference-only Time Authority anchor
+// (RefCalib completion) and moves the node to StateOK.
+func (e *Engine) AdoptTAReference(refNanos int64, refTSC uint64) {
+	e.refNanos = refNanos
+	e.refTSC = refTSC
+	e.counters.TAReferences++
+	e.events.taReference()
+	e.setState(StateOK)
+}
+
+// AdoptPeerReference installs a peer-derived anchor (untaint) and
+// moves the node to StateOK. jumpNanos is the forward jump reported to
+// observers (0 when the local clock was kept).
+func (e *Engine) AdoptPeerReference(from uint32, refNanos int64, refTSC uint64, jumpNanos int64) {
+	e.refNanos = refNanos
+	e.refTSC = refTSC
+	e.counters.PeerUntaints++
+	e.timeJumps = append(e.timeJumps, jumpNanos)
+	e.events.peerUntaint(from, jumpNanos)
+	e.setState(StateOK)
+}
+
+// EmitDiscrepancy fires the Discrepancy observation hook (hardened
+// probes report clock divergence through it).
+func (e *Engine) EmitDiscrepancy(rel float64) { e.events.discrepancy(rel) }
+
+// ShiftReference moves the reference anchor by delta nanoseconds — a
+// fault-injection hook for tests and attack drills (a compromised or
+// skewed clock).
+func (e *Engine) ShiftReference(delta int64) { e.refNanos += delta }
+
+// ScaleRate multiplies the calibrated rate by factor — the
+// fault-injection analogue of a miscalibration.
+func (e *Engine) ScaleRate(factor float64) { e.fCalib *= factor }
+
+// onDatagram authenticates and dispatches one delivered datagram. The
+// network-level source is ignored: trust keys off the authenticated
+// wire-layer sender identity — an attacker can spoof addresses but
+// not the AEAD.
+func (e *Engine) onDatagram(_ simnet.Addr, payload []byte) {
+	msg, sender, err := e.opener.Open(payload)
+	if err != nil {
+		return // tampered, replayed, or foreign traffic: drop
+	}
+	switch msg.Kind {
+	case wire.KindTimeResponse:
+		if simnet.Addr(sender) != e.cfg.Authority {
+			return
+		}
+		if !e.calibration.OnTimeResponse(e, msg) {
+			e.recovery.OnTimeResponse(e, msg)
+		}
+	case wire.KindPeerTimeRequest:
+		if !e.peers[simnet.Addr(sender)] {
+			return
+		}
+		e.onPeerTimeRequest(simnet.Addr(sender), msg)
+	case wire.KindPeerTimeResponse:
+		if !e.peers[simnet.Addr(sender)] {
+			return
+		}
+		e.onPeerTimeResponse(sender, msg)
+	case wire.KindChimerReport:
+		if e.gossipHook == nil || !e.peers[simnet.Addr(sender)] {
+			return
+		}
+		e.gossipHook.OnChimerReport(e, sender, msg)
+	case wire.KindTimeRequest:
+		// Nodes are not the Time Authority; ignore.
+	}
+}
+
+// onPeerTimeRequest answers a peer's untaint request if, and only if,
+// this node's own timestamp is currently trustworthy (tainted peers
+// stay silent, paper §III-D).
+func (e *Engine) onPeerTimeRequest(from simnet.Addr, msg wire.Message) {
+	if e.state != StateOK {
+		return
+	}
+	e.SendSealed(from, wire.Message{
+		Kind:      wire.KindPeerTimeResponse,
+		Seq:       msg.Seq,
+		TimeNanos: e.serveTimestamp(),
+	})
+}
+
+// onAEX is the AEX-Notify handler: time continuity was severed.
+func (e *Engine) onAEX() {
+	e.aexEpoch++
+	switch e.state {
+	case StateOK:
+		e.recovery.OnTaint(e)
+	case StateFullCalib:
+		e.calibration.OnAEX(e)
+	case StateTainted, StateRefCalib, StateInit:
+		// Already tainted/recovering; nothing changes.
+	}
+}
+
+// startMonitor builds and starts the rate monitor: a dedicated
+// enclave thread cross-checks the guest TSC against the core's
+// instruction rate (INC counting, §IV-A.1) and — when EnableMemMonitor
+// is set — against the frequency-independent memory-access rate,
+// which closes the masking attack where the OS changes the core's
+// DVFS point in proportion to a TSC scaling.
+func (e *Engine) startMonitor() {
+	mc := enclave.MonitorConfig{
+		INCTicks:      e.cfg.MonitorTicks,
+		INCTol:        e.cfg.MonitorTolerance,
+		EnableMem:     e.cfg.EnableMemMonitor,
+		MemTol:        e.cfg.MemTolerance,
+		OnDiscrepancy: e.onDiscrepancy,
+	}
+	if e.cfg.FreqChangeEvents {
+		mc.OnFreqChange = func(rel float64) {
+			// A core-frequency change is legal OS behaviour; the INC
+			// baseline re-learns. Surface it for observability only.
+			e.events.freqChange(rel)
+		}
+	}
+	e.monitor = enclave.NewRateMonitor(e.platform, mc)
+	e.monitor.Start()
+}
+
+// onDiscrepancy reacts to detected TSC tampering: the calibrated
+// clock can no longer be trusted, so the node re-learns both rate and
+// reference from the Time Authority, and the monitor re-baselines
+// against the (possibly still manipulated) new TSC relationship.
+func (e *Engine) onDiscrepancy(rel float64) {
+	e.events.discrepancy(rel)
+	e.monitor.Reset()
+	if e.state == StateFullCalib {
+		return // already recalibrating
+	}
+	e.recovery.Cancel(e)
+	e.setState(StateFullCalib)
+	e.calibration.Start(e)
+}

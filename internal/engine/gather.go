@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"triadtime/internal/enclave"
+	"triadtime/internal/wire"
+)
+
+// PeerSample is one peer's timestamp gathered during recovery or a
+// self-check probe. The arrival TSC lets decision points age-adjust
+// the timestamp: gathering may wait out the full PeerTimeout, and
+// adopting a stale reading as "now" would skew the clock into the
+// past (and compound across adoption chains).
+type PeerSample struct {
+	From       uint32
+	TS         int64
+	ArrivalTSC uint64
+}
+
+// gather collects peer timestamps after a taint. How long it stays
+// open and what happens to the samples is the PeerFilter's call:
+// first-response-wins for the original protocol, a full PeerTimeout
+// window with majority filtering for the hardened one.
+type gather struct {
+	seq       uint64
+	responses []PeerSample
+	timer     enclave.CancelFunc
+}
+
+// BeginPeerGather broadcasts a timestamp request to all peers and arms
+// the PeerTimeout fallback. With no peers configured it goes straight
+// to the recovery policy's reference calibration. Call while
+// StateTainted.
+func (e *Engine) BeginPeerGather() {
+	if len(e.cfg.Peers) == 0 {
+		e.recovery.StartRefCalib(e)
+		return
+	}
+	g := &gather{seq: e.NextSeq()}
+	e.gather = g
+	for _, p := range e.cfg.Peers {
+		// Each peer gets its own sealed copy: GCM nonces are single-use.
+		e.SendSealed(p, wire.Message{
+			Kind: wire.KindPeerTimeRequest,
+			Seq:  g.seq,
+		})
+	}
+	g.timer = e.platform.AfterTicks(e.TicksFor(e.cfg.PeerTimeout), func() {
+		g.timer = nil
+		e.closeGather()
+	})
+}
+
+// CancelGather drops any gather in flight (timer included). Stale
+// responses are ignored by sequence-number mismatch.
+func (e *Engine) CancelGather() {
+	if e.gather == nil {
+		return
+	}
+	if e.gather.timer != nil {
+		e.gather.timer()
+	}
+	e.gather = nil
+}
+
+// closeGather ends the gather window and hands the samples to the
+// filter (or falls back to reference calibration when no peer had an
+// untainted timestamp for us).
+func (e *Engine) closeGather() {
+	g := e.gather
+	e.gather = nil
+	if g == nil || e.state != StateTainted {
+		return
+	}
+	if len(g.responses) == 0 {
+		e.recovery.StartRefCalib(e)
+		return
+	}
+	e.filter.Decide(e, g.responses)
+}
+
+// onPeerTimeResponse routes one authenticated peer timestamp: into the
+// gather if it matches, otherwise to the recovery policy (hardened
+// probes collect peer samples outside taint recovery).
+func (e *Engine) onPeerTimeResponse(from uint32, msg wire.Message) {
+	s := PeerSample{From: from, TS: msg.TimeNanos, ArrivalTSC: e.platform.ReadTSC()}
+	if e.gather != nil && msg.Seq == e.gather.seq {
+		e.gather.responses = append(e.gather.responses, s)
+		if e.filter.Immediate() {
+			if e.gather.timer != nil {
+				e.gather.timer()
+			}
+			e.closeGather()
+		}
+		return
+	}
+	e.recovery.OnPeerSample(e, msg.Seq, s)
+}

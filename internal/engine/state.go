@@ -1,0 +1,109 @@
+package engine
+
+// State is a Triad node's protocol state. It matches the states plotted
+// in the paper's Figure 3b timing diagram and is shared by every
+// protocol variant built on the engine.
+type State int
+
+// Node states.
+const (
+	// StateInit: created, not yet started.
+	StateInit State = iota + 1
+	// StateFullCalib: calibrating both clock speed (F_calib) and time
+	// reference with the Time Authority. Entered at startup and after a
+	// TSC discrepancy is detected.
+	StateFullCalib
+	// StateRefCalib: re-acquiring only the time reference from the Time
+	// Authority, after peers failed to untaint us.
+	StateRefCalib
+	// StateTainted: an AEX severed time continuity; the timestamp cannot
+	// be served until refreshed from a peer or the Time Authority.
+	StateTainted
+	// StateOK: serving trusted timestamps.
+	StateOK
+)
+
+// String names the state as in the paper's figures.
+func (s State) String() string {
+	switch s {
+	case StateInit:
+		return "Init"
+	case StateFullCalib:
+		return "FullCalib"
+	case StateRefCalib:
+		return "RefCalib"
+	case StateTainted:
+		return "Tainted"
+	case StateOK:
+		return "OK"
+	default:
+		return "State(?)"
+	}
+}
+
+// Events are optional observation hooks. They fire synchronously from
+// within platform callbacks; handlers must not block and must not call
+// back into the node. Nil members are skipped. The engine fires them
+// identically for every protocol variant, which is what lets the live
+// runtime, the lab, and the experiment harness observe original and
+// hardened nodes uniformly.
+type Events struct {
+	// StateChanged fires on every protocol state transition.
+	StateChanged func(old, new State)
+	// Calibrated fires when a full calibration completes, with the new
+	// estimated TSC rate in ticks per second.
+	Calibrated func(fCalib float64)
+	// TAReference fires each time a time reference from the Time
+	// Authority is adopted (both RefCalib and FullCalib) — the count
+	// plotted in Figure 2b.
+	TAReference func()
+	// PeerUntaint fires when a peer timestamp untaints the node.
+	// jumpNanos is the forward jump relative to the local clock
+	// (0 when the local timestamp was kept and minimally bumped).
+	PeerUntaint func(fromPeer uint32, jumpNanos int64)
+	// Discrepancy fires when rate monitoring (or a hardened probe)
+	// concludes the clock was manipulated; rel is the relative
+	// deviation from the baseline (probe failures report seconds of
+	// divergence instead).
+	Discrepancy func(rel float64)
+	// FreqChange fires when dual monitoring identifies a core
+	// frequency (DVFS) change instead of TSC tampering: the INC count
+	// moved while the memory-access count held.
+	FreqChange func(rel float64)
+}
+
+func (e *Events) stateChanged(old, new State) {
+	if e != nil && e.StateChanged != nil {
+		e.StateChanged(old, new)
+	}
+}
+
+func (e *Events) calibrated(f float64) {
+	if e != nil && e.Calibrated != nil {
+		e.Calibrated(f)
+	}
+}
+
+func (e *Events) taReference() {
+	if e != nil && e.TAReference != nil {
+		e.TAReference()
+	}
+}
+
+func (e *Events) peerUntaint(from uint32, jump int64) {
+	if e != nil && e.PeerUntaint != nil {
+		e.PeerUntaint(from, jump)
+	}
+}
+
+func (e *Events) discrepancy(rel float64) {
+	if e != nil && e.Discrepancy != nil {
+		e.Discrepancy(rel)
+	}
+}
+
+func (e *Events) freqChange(rel float64) {
+	if e != nil && e.FreqChange != nil {
+		e.FreqChange(rel)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"triadtime/internal/authority"
 	"triadtime/internal/core"
 	"triadtime/internal/enclave"
+	"triadtime/internal/engine"
 	"triadtime/internal/metrics"
 	"triadtime/internal/resilient"
 	"triadtime/internal/sim"
@@ -32,6 +33,7 @@ type TimeNode interface {
 	FCalib() float64
 	TAReferences() int
 	PeerUntaints() int
+	Counters() engine.Counters
 	TrustedNow() (int64, error)
 	ClockReading() (int64, bool)
 }
@@ -348,6 +350,20 @@ func (c *Cluster) sampleOnce() {
 // RunFor advances the simulation by d.
 func (c *Cluster) RunFor(d time.Duration) {
 	c.Sched.RunUntil(c.Sched.Now().Add(d))
+}
+
+// CounterSnapshots returns every node's current protocol counters —
+// the uniform engine counter set, so hardened columns are zero on
+// original-protocol clusters.
+func (c *Cluster) CounterSnapshots() []metrics.CounterSnapshot {
+	snaps := make([]metrics.CounterSnapshot, len(c.Nodes))
+	for i, n := range c.Nodes {
+		snaps[i] = metrics.CounterSnapshot{
+			Node:     fmt.Sprintf("node%d", i+1),
+			Counters: n.Counters(),
+		}
+	}
+	return snaps
 }
 
 // Availability reports node i's serving availability over [0, now].

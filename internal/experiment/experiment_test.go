@@ -270,7 +270,7 @@ func TestAvailabilityTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
+	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	for _, a := range rows[0].Availability {
@@ -283,8 +283,35 @@ func TestAvailabilityTable(t *testing.T) {
 			t.Errorf("low-AEX availability = %v, want >= 0.99", a)
 		}
 	}
+	for _, a := range rows[2].Availability {
+		if a < 0.9 {
+			t.Errorf("hardened availability = %v, want >= 0.9", a)
+		}
+	}
 	if !strings.Contains(rows[0].Summary(), "node1=") {
 		t.Error("row summary malformed")
+	}
+	// Original-protocol rows carry the uniform counter set with the
+	// hardening columns zero; the hardened row shows its probe machinery
+	// actually ran.
+	if len(rows[0].Counters) == 0 || len(rows[2].Counters) == 0 {
+		t.Fatal("rows missing counter snapshots")
+	}
+	for _, s := range rows[0].Counters {
+		if s.Probes != 0 || s.RejectedPeers != 0 {
+			t.Errorf("%s: original protocol reports hardened counters: %+v", s.Node, s.Counters)
+		}
+	}
+	for _, s := range rows[2].Counters {
+		if s.Probes == 0 {
+			t.Errorf("%s: hardened node never probed", s.Node)
+		}
+		if !strings.Contains(s.Summary(), "probes=") {
+			t.Errorf("%s: counter summary malformed: %q", s.Node, s.Summary())
+		}
+	}
+	if !strings.Contains(rows[2].Summary(), "rtt_rejections=") {
+		t.Error("hardened row summary missing counters")
 	}
 }
 

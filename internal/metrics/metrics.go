@@ -8,11 +8,55 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"triadtime/internal/core"
+	"triadtime/internal/engine"
 	"triadtime/internal/simtime"
 )
+
+// CounterSnapshot is one node's cumulative protocol counters at a
+// point in time, named for table rendering. It carries the engine's
+// uniform counter set, so original and hardened nodes snapshot
+// identically — hardening-only columns simply stay zero on original
+// nodes.
+type CounterSnapshot struct {
+	Node string
+	engine.Counters
+}
+
+// Summary renders the snapshot as one table line. The hardened
+// columns (chimer rejections, RTT rejections, probes) are always
+// present so scenario outputs stay column-stable; gossip tallies are
+// appended only when the gossip layer was active.
+func (s CounterSnapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ta_refs=%d peer_untaints=%d served=%d rejected_peers=%d rtt_rejections=%d probes=%d probe_failures=%d",
+		s.Node, s.TAReferences, s.PeerUntaints, s.Served,
+		s.RejectedPeers, s.RTTRejections, s.Probes, s.ProbeFailures)
+	if s.GossipSent != 0 || s.GossipReceived != 0 || s.GossipAdoptions != 0 {
+		fmt.Fprintf(&b, " gossip_sent=%d gossip_received=%d gossip_adoptions=%d",
+			s.GossipSent, s.GossipReceived, s.GossipAdoptions)
+	}
+	return b.String()
+}
+
+// WriteCountersCSV emits counter snapshots as CSV, one row per node.
+func WriteCountersCSV(w io.Writer, snaps []CounterSnapshot) error {
+	if _, err := fmt.Fprintln(w, "node,ta_refs,peer_untaints,served,rejected_peers,rtt_rejections,probes,probe_failures,gossip_sent,gossip_received,gossip_adoptions"); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Node, s.TAReferences, s.PeerUntaints, s.Served,
+			s.RejectedPeers, s.RTTRejections, s.Probes, s.ProbeFailures,
+			s.GossipSent, s.GossipReceived, s.GossipAdoptions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // DriftPoint is one sample of a node's clock error against reference
 // time.

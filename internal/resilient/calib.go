@@ -3,8 +3,29 @@ package resilient
 import (
 	"triadtime/internal/core"
 	"triadtime/internal/enclave"
+	"triadtime/internal/engine"
 	"triadtime/internal/wire"
 )
+
+// policy is the hardened protocol's behaviour bundle: windowed
+// sleep-free calibration, RTT-bounded reference calibration, the
+// Marzullo gather (via marzulloFilter), the in-TCB refresh deadline
+// with its probes, and true-chimer gossip bookkeeping. It implements
+// engine.CalibrationPolicy and engine.RecoveryPolicy.
+type policy struct {
+	cfg Config
+
+	calib *calibState
+
+	refSeq     uint64 // pending reference calibration request, 0 = none
+	refSentTSC uint64
+	refTimer   enclave.CancelFunc
+
+	deadlineCancel enclave.CancelFunc
+	probe          *probeState
+
+	gossip gossipView
+}
 
 // calibState tracks one windowed rate calibration: exchange A, a long
 // TSC wait, exchange B. Rate = elapsed ticks / elapsed TA time. All
@@ -26,9 +47,32 @@ type calibState struct {
 	waitTimer enclave.CancelFunc
 }
 
-// abort cancels everything in flight, halves the window (AEXs are
-// arriving faster than the window) and restarts from exchange A.
-func (c *calibState) abort(n *Node) {
+// Start begins a windowed rate + reference calibration.
+func (p *policy) Start(e *engine.Engine) {
+	e.CancelGather()
+	p.cancelRef()
+	p.calib = &calibState{windowSec: p.cfg.CalibWindow.Seconds()}
+	p.sendCalibExchange(e)
+}
+
+// OnTimeResponse claims Time Authority responses belonging to the
+// pending calibration exchange.
+func (p *policy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+	if p.calib != nil && msg.Seq == p.calib.pendingSeq {
+		p.onCalibResponse(e, msg)
+		return true
+	}
+	return false
+}
+
+// OnAEX aborts the calibration window in flight: cancel everything,
+// halve the window (AEXs are arriving faster than the window, adaptive
+// per §V) and restart from exchange A.
+func (p *policy) OnAEX(e *engine.Engine) {
+	c := p.calib
+	if c == nil {
+		return
+	}
 	if c.timer != nil {
 		c.timer()
 		c.timer = nil
@@ -40,42 +84,35 @@ func (c *calibState) abort(n *Node) {
 	c.pendingSeq = 0
 	c.haveFirst = false
 	c.windowSec /= 2
-	if min := n.cfg.MinCalibWindow.Seconds(); c.windowSec < min {
+	if min := p.cfg.MinCalibWindow.Seconds(); c.windowSec < min {
 		c.windowSec = min
 	}
-	n.sendCalibExchange()
-}
-
-// startFullCalibration begins a windowed rate + reference calibration.
-func (n *Node) startFullCalibration() {
-	n.cancelRecovery()
-	n.calib = &calibState{windowSec: n.cfg.CalibWindow.Seconds()}
-	n.sendCalibExchange()
+	p.sendCalibExchange(e)
 }
 
 // sendCalibExchange issues one sleep-free TA exchange (A or B according
 // to calib.haveFirst).
-func (n *Node) sendCalibExchange() {
-	c := n.calib
-	c.pendingSeq = n.nextSeq()
-	c.sentTSC = n.platform.ReadTSC()
-	c.sentEpoch = n.aexEpoch
-	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+func (p *policy) sendCalibExchange(e *engine.Engine) {
+	c := p.calib
+	c.pendingSeq = e.NextSeq()
+	c.sentTSC = e.Platform().ReadTSC()
+	c.sentEpoch = e.AEXEpoch()
+	e.SendSealed(e.Authority(), wire.Message{
 		Kind: wire.KindTimeRequest,
 		Seq:  c.pendingSeq,
-	}))
-	c.timer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout.Seconds()), func() {
+	})
+	c.timer = e.Platform().AfterTicks(e.TicksFor(p.cfg.TATimeout), func() {
 		c.timer = nil
 		c.pendingSeq = 0
-		n.sendCalibExchange()
+		p.sendCalibExchange(e)
 	})
 }
 
 // onCalibResponse validates one exchange and advances the window state
 // machine.
-func (n *Node) onCalibResponse(msg wire.Message) {
-	c := n.calib
-	recvTSC := n.platform.ReadTSC()
+func (p *policy) onCalibResponse(e *engine.Engine, msg wire.Message) {
+	c := p.calib
+	recvTSC := e.Platform().ReadTSC()
 	if c.timer != nil {
 		c.timer()
 		c.timer = nil
@@ -83,14 +120,14 @@ func (n *Node) onCalibResponse(msg wire.Message) {
 	c.pendingSeq = 0
 
 	rttTicks := float64(recvTSC - c.sentTSC)
-	boundTicks := n.cfg.RTTBound.Seconds() * n.platform.BootTSCHz()
-	interrupted := n.aexEpoch != c.sentEpoch
+	boundTicks := p.cfg.RTTBound.Seconds() * e.Platform().BootTSCHz()
+	interrupted := e.AEXEpoch() != c.sentEpoch
 	if interrupted || rttTicks > boundTicks {
 		if rttTicks > boundTicks {
-			n.rttRejections++
+			e.Counters().RTTRejections++
 		}
-		// Retry this exchange; a severed window is handled by onAEX.
-		n.sendCalibExchange()
+		// Retry this exchange; a severed window is handled by OnAEX.
+		p.sendCalibExchange(e)
 		return
 	}
 	// The TA read its clock one one-way before our receive: anchor the
@@ -100,9 +137,9 @@ func (n *Node) onCalibResponse(msg wire.Message) {
 		c.haveFirst = true
 		c.t1 = msg.TimeNanos
 		c.tsc1 = tscMid
-		c.waitTimer = n.platform.AfterTicks(n.ticksFor(c.windowSec), func() {
+		c.waitTimer = e.Platform().AfterTicks(e.TicksForSeconds(c.windowSec), func() {
 			c.waitTimer = nil
-			n.sendCalibExchange()
+			p.sendCalibExchange(e)
 		})
 		return
 	}
@@ -110,78 +147,85 @@ func (n *Node) onCalibResponse(msg wire.Message) {
 	dticks := tscMid - c.tsc1
 	if dt <= 0 || dticks <= 0 {
 		// TA clock anomaly or TSC went backwards: restart outright.
-		n.startFullCalibration()
+		p.Start(e)
 		return
 	}
-	n.fCalib = dticks / dt
-	n.adoptReference(msg.TimeNanos, uint64(tscMid))
-	n.calib = nil
-	n.taRefs++
-	if n.events.TAReference != nil {
-		n.events.TAReference()
-	}
-	if n.events.Calibrated != nil {
-		n.events.Calibrated(n.fCalib)
-	}
-	n.setState(core.StateOK)
+	p.calib = nil
+	e.CompleteCalibration(dticks/dt, msg.TimeNanos, uint64(tscMid))
 }
 
-// startRefCalib re-anchors the reference from a single bounded TA
+// StartRefCalib re-anchors the reference from a single bounded TA
 // exchange.
-func (n *Node) startRefCalib() {
-	n.setState(core.StateRefCalib)
-	n.sendRefExchange()
+func (p *policy) StartRefCalib(e *engine.Engine) {
+	e.SetState(core.StateRefCalib)
+	p.sendRefExchange(e)
 }
 
-func (n *Node) sendRefExchange() {
-	n.refSeq = n.nextSeq()
-	n.refSentTSC = n.platform.ReadTSC()
-	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+func (p *policy) sendRefExchange(e *engine.Engine) {
+	p.refSeq = e.NextSeq()
+	p.refSentTSC = e.Platform().ReadTSC()
+	e.SendSealed(e.Authority(), wire.Message{
 		Kind: wire.KindTimeRequest,
-		Seq:  n.refSeq,
-	}))
-	n.refTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout.Seconds()), func() {
-		n.refTimer = nil
-		n.refSeq = 0
-		n.sendRefExchange()
+		Seq:  p.refSeq,
+	})
+	p.refTimer = e.Platform().AfterTicks(e.TicksFor(p.cfg.TATimeout), func() {
+		p.refTimer = nil
+		p.refSeq = 0
+		p.sendRefExchange(e)
 	})
 }
 
-func (n *Node) onRefCalibResponse(msg wire.Message) {
-	recvTSC := n.platform.ReadTSC()
-	if n.refTimer != nil {
-		n.refTimer()
-		n.refTimer = nil
+func (p *policy) onRefCalibResponse(e *engine.Engine, msg wire.Message) {
+	recvTSC := e.Platform().ReadTSC()
+	if p.refTimer != nil {
+		p.refTimer()
+		p.refTimer = nil
 	}
-	n.refSeq = 0
-	rttTicks := float64(recvTSC - n.refSentTSC)
-	if rttTicks > n.cfg.RTTBound.Seconds()*n.platform.BootTSCHz() {
+	p.refSeq = 0
+	rttTicks := float64(recvTSC - p.refSentTSC)
+	if rttTicks > p.cfg.RTTBound.Seconds()*e.Platform().BootTSCHz() {
 		// Over-delayed (possibly attacker-held): visible retry instead
 		// of silent offset error.
-		n.rttRejections++
-		n.sendRefExchange()
+		e.Counters().RTTRejections++
+		p.sendRefExchange(e)
 		return
 	}
-	tscMid := float64(n.refSentTSC) + rttTicks/2
-	n.adoptReference(msg.TimeNanos, uint64(tscMid))
-	n.taRefs++
-	if n.events.TAReference != nil {
-		n.events.TAReference()
-	}
-	n.setState(core.StateOK)
+	tscMid := float64(p.refSentTSC) + rttTicks/2
+	e.AdoptTAReference(msg.TimeNanos, uint64(tscMid))
 }
 
-// cancelRecovery clears pending gather/refcalib machinery.
-func (n *Node) cancelRecovery() {
-	if n.gather != nil {
-		if n.gather.timer != nil {
-			n.gather.timer()
-		}
-		n.gather = nil
+// Cancel clears pending probe/gather/refcalib machinery (used when
+// escalating to a full calibration after a monitor discrepancy).
+func (p *policy) Cancel(e *engine.Engine) {
+	p.cancelProbe()
+	e.CancelGather()
+	p.cancelRef()
+}
+
+func (p *policy) cancelRef() {
+	if p.refTimer != nil {
+		p.refTimer()
+		p.refTimer = nil
 	}
-	if n.refTimer != nil {
-		n.refTimer()
-		n.refTimer = nil
+	p.refSeq = 0
+}
+
+// recoveryPolicy is the RecoveryPolicy view of the bundle: both engine
+// policies share one state struct, but each interface claims Time
+// Authority responses for its own exchanges, so the method is
+// disambiguated here.
+type recoveryPolicy struct{ *policy }
+
+// OnTimeResponse claims reference calibration and probe TA responses.
+func (rp recoveryPolicy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+	p := rp.policy
+	switch {
+	case p.refSeq != 0 && msg.Seq == p.refSeq:
+		p.onRefCalibResponse(e, msg)
+		return true
+	case p.probe != nil && msg.Seq == p.probe.taSeq:
+		p.onProbeTAResponse(e, msg)
+		return true
 	}
-	n.refSeq = 0
+	return false
 }

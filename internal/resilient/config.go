@@ -30,16 +30,20 @@
 //     self-checks every DeadlineTicks of its own TSC, so a
 //     miscalibrated clock cannot run unchecked arbitrarily long in a
 //     low-AEX environment (the amplifier behind Figure 4).
+//
+// Since the engine extraction, this package is a thin policy bundle:
+// internal/engine owns the clock state, the state machine, datagram
+// dispatch, AEX epochs, peer gathering, rate monitoring, and counters,
+// while resilient contributes the windowed calibration policy, the
+// probe/deadline recovery policy, the Marzullo true-chimer peer
+// filter, and the chimer-gossip hook.
 package resilient
 
 import (
-	"errors"
-	"fmt"
 	"time"
 
 	"triadtime/internal/core"
 	"triadtime/internal/simnet"
-	"triadtime/internal/wire"
 )
 
 // Config parameterizes a hardened node.
@@ -115,18 +119,10 @@ const (
 	DefaultDeadline       = 2 * time.Second
 )
 
+// withDefaults returns a copy of the config with the resilient-specific
+// zero fields defaulted; key and address validation is the engine's
+// job (NewNode wraps its errors under this package's name).
 func (c Config) withDefaults() (Config, error) {
-	if len(c.Key) != wire.KeySize {
-		return c, fmt.Errorf("resilient: key must be %d bytes, got %d", wire.KeySize, len(c.Key))
-	}
-	if c.Authority == c.Addr {
-		return c, errors.New("resilient: node address equals authority address")
-	}
-	for _, p := range c.Peers {
-		if p == c.Addr {
-			return c, errors.New("resilient: node lists itself as a peer")
-		}
-	}
 	if c.CalibWindow <= 0 {
 		c.CalibWindow = DefaultCalibWindow
 	}
@@ -148,11 +144,6 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ErrBudget <= 0 {
 		c.ErrBudget = DefaultErrBudget
 	}
-	if c.MonitorTicks == 0 {
-		c.MonitorTicks = core.DefaultMonitorTicks
-	}
-	if c.MonitorTolerance <= 0 {
-		c.MonitorTolerance = core.DefaultMonitorTolerance
-	}
+	// MonitorTicks / MonitorTolerance default in the engine.
 	return c, nil
 }

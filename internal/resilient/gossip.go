@@ -3,6 +3,7 @@ package resilient
 import (
 	"time"
 
+	"triadtime/internal/engine"
 	"triadtime/internal/wire"
 )
 
@@ -19,8 +20,9 @@ import (
 // report's 64-bit chimer bitmask.
 const maxGossipID = 64
 
-// gossipState is the node's chimer bookkeeping.
-type gossipState struct {
+// gossipView is the node's chimer bookkeeping; the sent/received/
+// adoption tallies live in the engine's Counters.
+type gossipView struct {
 	// own is this node's view: bit id-1 set = node id seen consistent.
 	own uint64
 	// views holds the latest report bitmask per reporter identity.
@@ -28,8 +30,6 @@ type gossipState struct {
 	// lastTA is the freshest TA-anchored timestamp per reporter (the
 	// §V credibility signal; currently informational).
 	lastTA map[uint32]int64
-
-	sent, received, adoptions int
 }
 
 func bitFor(id uint32) uint64 {
@@ -40,8 +40,8 @@ func bitFor(id uint32) uint64 {
 }
 
 // markChimer records consistency evidence about a peer.
-func (n *Node) markChimer(id uint32, consistent bool) {
-	if !n.cfg.EnableGossip {
+func (p *policy) markChimer(id uint32, consistent bool) {
+	if !p.cfg.EnableGossip {
 		return
 	}
 	bit := bitFor(id)
@@ -49,60 +49,63 @@ func (n *Node) markChimer(id uint32, consistent bool) {
 		return
 	}
 	if consistent {
-		n.gossip.own |= bit
+		p.gossip.own |= bit
 	} else {
-		n.gossip.own &^= bit
+		p.gossip.own &^= bit
 	}
 }
 
 // broadcastChimerReport publishes the current view to all peers. It
 // rides the in-TCB deadline, so views refresh at probe cadence.
-func (n *Node) broadcastChimerReport() {
-	if !n.cfg.EnableGossip || len(n.cfg.Peers) == 0 {
+func (p *policy) broadcastChimerReport(e *engine.Engine) {
+	if !p.cfg.EnableGossip || len(p.cfg.Peers) == 0 {
 		return
 	}
-	n.gossip.sent++
-	for _, p := range n.cfg.Peers {
-		n.platform.Send(p, n.sealer.Seal(wire.Message{
+	c := e.Counters()
+	c.GossipSent++
+	for _, peer := range p.cfg.Peers {
+		e.SendSealed(peer, wire.Message{
 			Kind:      wire.KindChimerReport,
-			Seq:       uint64(n.gossip.sent),
-			Sleep:     time.Duration(n.refNanos), // latest TA-anchored time
-			TimeNanos: int64(n.gossip.own),
-		}))
+			Seq:       uint64(c.GossipSent),
+			Sleep:     time.Duration(e.ReferenceNanos()), // latest TA-anchored time
+			TimeNanos: int64(p.gossip.own),
+		})
 	}
 }
 
-// onChimerReport ingests a peer's published view.
-func (n *Node) onChimerReport(from uint32, msg wire.Message) {
-	if !n.cfg.EnableGossip {
-		return
+// gossipHook ingests peers' published views; it is installed only when
+// gossip is enabled, so a disabled node drops reports in the engine.
+type gossipHook struct{ p *policy }
+
+// OnChimerReport ingests a peer's published view.
+func (h gossipHook) OnChimerReport(e *engine.Engine, from uint32, msg wire.Message) {
+	g := &h.p.gossip
+	if g.views == nil {
+		g.views = make(map[uint32]uint64)
+		g.lastTA = make(map[uint32]int64)
 	}
-	if n.gossip.views == nil {
-		n.gossip.views = make(map[uint32]uint64)
-		n.gossip.lastTA = make(map[uint32]int64)
-	}
-	n.gossip.views[from] = uint64(msg.TimeNanos)
-	n.gossip.lastTA[from] = int64(msg.Sleep)
-	n.gossip.received++
+	g.views[from] = uint64(msg.TimeNanos)
+	g.lastTA[from] = int64(msg.Sleep)
+	e.Counters().GossipReceived++
 }
 
 // accredited reports whether a strict majority of the cluster's
 // reporters (this node plus every peer view received) currently marks
 // id as a true-chimer.
-func (n *Node) accredited(id uint32) bool {
-	if !n.cfg.EnableGossip {
+func (p *policy) accredited(id uint32) bool {
+	if !p.cfg.EnableGossip {
 		return false
 	}
 	bit := bitFor(id)
 	if bit == 0 {
 		return false
 	}
-	clusterSize := len(n.cfg.Peers) + 1
+	clusterSize := len(p.cfg.Peers) + 1
 	votes := 0
-	if n.gossip.own&bit != 0 {
+	if p.gossip.own&bit != 0 {
 		votes++
 	}
-	for reporter, view := range n.gossip.views {
+	for reporter, view := range p.gossip.views {
 		if reporter == id {
 			continue // no self-accreditation: the §V credibility rule
 		}
@@ -111,9 +114,4 @@ func (n *Node) accredited(id uint32) bool {
 		}
 	}
 	return votes*2 > clusterSize
-}
-
-// GossipStats reports (reportsSent, reportsReceived, untaintsViaGossip).
-func (n *Node) GossipStats() (sent, received, adoptions int) {
-	return n.gossip.sent, n.gossip.received, n.gossip.adoptions
 }

@@ -27,8 +27,8 @@ func TestGossipBuildsAccreditation(t *testing.T) {
 		if sent == 0 || received == 0 {
 			t.Fatalf("node %d gossip sent/received = %d/%d", i+1, sent, received)
 		}
-		for _, peer := range n.cfg.Peers {
-			if !n.accredited(uint32(peer)) {
+		for _, peer := range n.pol.cfg.Peers {
+			if !n.pol.accredited(uint32(peer)) {
 				t.Errorf("node %d: honest peer %d not accredited", i+1, peer)
 			}
 		}
@@ -51,10 +51,10 @@ func TestGossipNeverAccreditsFastClock(t *testing.T) {
 	r.startAll()
 	r.run(90 * time.Second)
 	// Compromise node 5's clock after everyone calibrated honestly.
-	r.nodes[4].refNanos += 10 * int64(time.Second)
+	r.nodes[4].eng.ShiftReference(10 * int64(time.Second))
 	r.run(3 * time.Minute)
 	for i := 0; i < 4; i++ {
-		if r.nodes[i].accredited(5) {
+		if r.nodes[i].pol.accredited(5) {
 			t.Errorf("node %d accredits the fast clock", i+1)
 		}
 		// Honest peers stay accredited.
@@ -62,7 +62,7 @@ func TestGossipNeverAccreditsFastClock(t *testing.T) {
 			if peer == uint32(i+1) {
 				continue
 			}
-			if !r.nodes[i].accredited(peer) {
+			if !r.nodes[i].pol.accredited(peer) {
 				t.Errorf("node %d lost accreditation of honest peer %d", i+1, peer)
 			}
 		}
@@ -139,10 +139,10 @@ func TestGossipFastClockCannotUntaintViaAccreditation(t *testing.T) {
 	})
 	r.startAll()
 	r.run(2 * time.Minute) // accreditation established everywhere
-	r.nodes[2].refNanos += 10 * int64(time.Second)
+	r.nodes[2].eng.ShiftReference(10 * int64(time.Second))
 	// Let probes observe the now-fast clock: honest nodes revoke.
 	r.run(30 * time.Second)
-	if r.nodes[0].accredited(3) || r.nodes[1].accredited(3) {
+	if r.nodes[0].pol.accredited(3) || r.nodes[1].pol.accredited(3) {
 		t.Fatal("fast clock still accredited after probe evidence")
 	}
 	// A taint on node 1 with node 2 muzzled leaves only node 3's
@@ -188,7 +188,7 @@ func TestGossipDisabledIsInert(t *testing.T) {
 		if sent != 0 || received != 0 || adoptions != 0 {
 			t.Errorf("node %d gossip active while disabled: %d/%d/%d", i+1, sent, received, adoptions)
 		}
-		if n.accredited(uint32((i+1)%3) + 1) {
+		if n.pol.accredited(uint32((i+1)%3) + 1) {
 			t.Errorf("node %d accredits with gossip disabled", i+1)
 		}
 	}

@@ -5,55 +5,18 @@ import (
 
 	"triadtime/internal/core"
 	"triadtime/internal/enclave"
-	"triadtime/internal/marzullo"
+	"triadtime/internal/engine"
 	"triadtime/internal/simnet"
-	"triadtime/internal/wire"
 )
 
 // Node is a hardened Triad participant (see the package comment for how
-// it departs from internal/core's original protocol). Like the
+// it departs from internal/core's original protocol): the shared
+// protocol engine assembled with the Section V policies. Like the
 // original, it is event-driven and runs unmodified on the simulation
 // and the live runtime.
 type Node struct {
-	cfg      Config
-	platform enclave.Platform
-	sealer   *wire.Sealer
-	opener   *wire.Opener
-	events   *core.Events
-	peers    map[simnet.Addr]bool
-
-	state core.State
-
-	// Trusted clock: now = refNanos + (tsc - refTSC)/fCalib.
-	fCalib     float64
-	refNanos   int64
-	refTSC     uint64
-	lastServed int64
-
-	aexEpoch uint64
-	seq      uint64
-
-	calib      *calibState
-	refSeq     uint64
-	refSentTSC uint64
-	refTimer   enclave.CancelFunc
-
-	gather *gatherState
-
-	deadlineCancel enclave.CancelFunc
-	probe          *probeState
-
-	monitor *enclave.RateMonitor
-	gossip  gossipState
-
-	// Counters.
-	taRefs        int
-	peerUntaints  int
-	rejectedPeers int // peer timestamps discarded by the chimer filter
-	rttRejections int // TA exchanges discarded by the RTT bound
-	probes        int
-	probeFailures int
-	servedCount   uint64
+	eng *engine.Engine
+	pol *policy
 }
 
 // NewNode creates a hardened node on the platform; call Start to begin.
@@ -62,208 +25,87 @@ func NewNode(platform enclave.Platform, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	sealer, err := wire.NewSealer(cfg.Key, uint32(cfg.Addr))
-	if err != nil {
-		return nil, fmt.Errorf("resilient: %w", err)
-	}
-	opener, err := wire.NewOpener(cfg.Key)
-	if err != nil {
-		return nil, fmt.Errorf("resilient: %w", err)
-	}
 	if cfg.DeadlineTicks == 0 {
 		cfg.DeadlineTicks = uint64(DefaultDeadline.Seconds() * platform.BootTSCHz())
 	}
-	peers := make(map[simnet.Addr]bool, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		peers[p] = true
+	pol := &policy{cfg: cfg}
+	var filter engine.PeerFilter = marzulloFilter{pol}
+	if cfg.DisableChimerFilter {
+		// Original-protocol ablation: first response decides,
+		// adopt-if-higher.
+		filter = engine.AdoptIfAhead{}
 	}
-	n := &Node{
-		cfg:      cfg,
-		platform: platform,
-		sealer:   sealer,
-		opener:   opener,
-		events:   &cfg.Events,
-		peers:    peers,
-		state:    core.StateInit,
+	var gossip engine.GossipHook
+	if cfg.EnableGossip {
+		gossip = gossipHook{pol}
 	}
-	platform.SetAEXHandler(n.onAEX)
-	platform.SetMessageHandler(n.onDatagram)
-	return n, nil
+	eng, err := engine.New(platform, engine.Config{
+		Key:              cfg.Key,
+		Addr:             cfg.Addr,
+		Peers:            cfg.Peers,
+		Authority:        cfg.Authority,
+		PeerTimeout:      cfg.PeerTimeout,
+		MonitorTicks:     cfg.MonitorTicks,
+		MonitorTolerance: cfg.MonitorTolerance,
+		DisableMonitor:   cfg.DisableMonitor,
+		EnableMemMonitor: !cfg.DisableMemMonitor,
+		Events:           cfg.Events,
+	}, engine.Policies{
+		Calibration: pol,
+		Recovery:    recoveryPolicy{pol},
+		Filter:      filter,
+		Gossip:      gossip,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resilient: %w", err)
+	}
+	return &Node{eng: eng, pol: pol}, nil
 }
 
 // Start launches the protocol. Idempotent.
-func (n *Node) Start() {
-	if n.state != core.StateInit {
-		return
-	}
-	n.setState(core.StateFullCalib)
-	n.startFullCalibration()
-	if !n.cfg.DisableMonitor {
-		n.startMonitor()
-	}
-	if !n.cfg.DisableDeadline {
-		n.armDeadline()
-	}
-}
+func (n *Node) Start() { n.eng.Start() }
 
 // Addr reports the node's network address.
-func (n *Node) Addr() simnet.Addr { return n.cfg.Addr }
+func (n *Node) Addr() simnet.Addr { return n.eng.Addr() }
 
 // State reports the protocol state.
-func (n *Node) State() core.State { return n.state }
+func (n *Node) State() core.State { return n.eng.State() }
 
 // FCalib reports the calibrated tick rate (0 before calibration).
-func (n *Node) FCalib() float64 { return n.fCalib }
+func (n *Node) FCalib() float64 { return n.eng.FCalib() }
 
 // TAReferences counts adopted Time Authority references.
-func (n *Node) TAReferences() int { return n.taRefs }
+func (n *Node) TAReferences() int { return n.eng.Counters().TAReferences }
 
 // PeerUntaints counts recoveries via peer consensus.
-func (n *Node) PeerUntaints() int { return n.peerUntaints }
+func (n *Node) PeerUntaints() int { return n.eng.Counters().PeerUntaints }
 
 // RejectedPeerSamples counts peer timestamps the chimer filter refused.
-func (n *Node) RejectedPeerSamples() int { return n.rejectedPeers }
+func (n *Node) RejectedPeerSamples() int { return n.eng.Counters().RejectedPeers }
 
 // RTTRejections counts TA exchanges discarded by the roundtrip bound.
-func (n *Node) RTTRejections() int { return n.rttRejections }
+func (n *Node) RTTRejections() int { return n.eng.Counters().RTTRejections }
 
 // Probes counts in-TCB deadline self-checks; ProbeFailures counts those
 // that found the local clock inconsistent.
-func (n *Node) Probes() int        { return n.probes }
-func (n *Node) ProbeFailures() int { return n.probeFailures }
+func (n *Node) Probes() int        { return n.eng.Counters().Probes }
+func (n *Node) ProbeFailures() int { return n.eng.Counters().ProbeFailures }
 
 // ServedCount reports how many trusted timestamps have been served.
-func (n *Node) ServedCount() uint64 { return n.servedCount }
+func (n *Node) ServedCount() uint64 { return n.eng.Counters().Served }
+
+// Counters returns a snapshot of the engine's protocol counters.
+func (n *Node) Counters() engine.Counters { return n.eng.CounterSnapshot() }
+
+// GossipStats reports (reportsSent, reportsReceived, untaintsViaGossip).
+func (n *Node) GossipStats() (sent, received, adoptions int) {
+	c := n.eng.Counters()
+	return c.GossipSent, c.GossipReceived, c.GossipAdoptions
+}
 
 // TrustedNow serves one trusted timestamp; ErrUnavailable while the
 // node cannot vouch for its clock.
-func (n *Node) TrustedNow() (int64, error) {
-	if n.state != core.StateOK {
-		return 0, fmt.Errorf("%w: state %s", core.ErrUnavailable, n.state)
-	}
-	return n.serveTimestamp(), nil
-}
+func (n *Node) TrustedNow() (int64, error) { return n.eng.TrustedNow() }
 
 // ClockReading is instrumentation-only (drift sampling), as in core.
-func (n *Node) ClockReading() (int64, bool) {
-	if n.fCalib == 0 {
-		return 0, false
-	}
-	return n.clockNow(), true
-}
-
-func (n *Node) clockNow() int64 {
-	tsc := n.platform.ReadTSC()
-	if tsc < n.refTSC {
-		return n.refNanos
-	}
-	return n.refNanos + int64(float64(tsc-n.refTSC)/n.fCalib*1e9)
-}
-
-func (n *Node) serveTimestamp() int64 {
-	ts := n.clockNow()
-	if ts <= n.lastServed {
-		ts = n.lastServed + 1
-	}
-	n.lastServed = ts
-	n.servedCount++
-	return ts
-}
-
-func (n *Node) setState(s core.State) {
-	if s == n.state {
-		return
-	}
-	old := n.state
-	n.state = s
-	if n.events.StateChanged != nil {
-		n.events.StateChanged(old, s)
-	}
-}
-
-func (n *Node) ticksFor(d float64) uint64 {
-	return uint64(d * n.platform.BootTSCHz())
-}
-
-func (n *Node) nextSeq() uint64 {
-	n.seq++
-	return n.seq
-}
-
-// onDatagram authenticates and dispatches one datagram.
-func (n *Node) onDatagram(_ simnet.Addr, payload []byte) {
-	msg, sender, err := n.opener.Open(payload)
-	if err != nil {
-		return
-	}
-	switch msg.Kind {
-	case wire.KindTimeResponse:
-		if simnet.Addr(sender) != n.cfg.Authority {
-			return
-		}
-		n.onTimeResponse(msg)
-	case wire.KindPeerTimeRequest:
-		if !n.peers[simnet.Addr(sender)] {
-			return
-		}
-		if n.state != core.StateOK {
-			return // never vouch for a clock we do not trust ourselves
-		}
-		n.platform.Send(simnet.Addr(sender), n.sealer.Seal(wire.Message{
-			Kind:      wire.KindPeerTimeResponse,
-			Seq:       msg.Seq,
-			TimeNanos: n.serveTimestamp(),
-		}))
-	case wire.KindPeerTimeResponse:
-		if !n.peers[simnet.Addr(sender)] {
-			return
-		}
-		n.onPeerTimeResponse(sender, msg)
-	case wire.KindChimerReport:
-		if !n.peers[simnet.Addr(sender)] {
-			return
-		}
-		n.onChimerReport(sender, msg)
-	case wire.KindTimeRequest:
-		// Not the Time Authority; ignore.
-	}
-}
-
-func (n *Node) onTimeResponse(msg wire.Message) {
-	switch {
-	case n.calib != nil && msg.Seq == n.calib.pendingSeq:
-		n.onCalibResponse(msg)
-	case n.refSeq != 0 && msg.Seq == n.refSeq:
-		n.onRefCalibResponse(msg)
-	case n.probe != nil && msg.Seq == n.probe.taSeq:
-		n.onProbeTAResponse(msg)
-	}
-}
-
-// onAEX: continuity severed. Taint if serving; abort any calibration
-// window in flight.
-func (n *Node) onAEX() {
-	n.aexEpoch++
-	switch n.state {
-	case core.StateOK:
-		n.cancelProbe()
-		n.becomeTainted()
-	case core.StateFullCalib:
-		if n.calib != nil {
-			n.calib.abort(n)
-		}
-	case core.StateTainted, core.StateRefCalib, core.StateInit:
-	}
-}
-
-// adoptReference installs a trusted (time, tsc) anchor.
-func (n *Node) adoptReference(nanos int64, tsc uint64) {
-	n.refNanos = nanos
-	n.refTSC = tsc
-}
-
-// intervalFor builds the consistency interval for a clock reading.
-func (n *Node) intervalFor(ts int64) marzullo.Interval {
-	e := int64(n.cfg.ErrBudget)
-	return marzullo.Interval{Lo: ts - e, Hi: ts + e}
-}
+func (n *Node) ClockReading() (int64, bool) { return n.eng.ClockReading() }

@@ -209,7 +209,7 @@ func TestChimerFilterRejectsLoneFastClock(t *testing.T) {
 		}
 	}
 	// Compromise node 3's clock: +10s into the future.
-	r.nodes[2].refNanos += 10 * int64(time.Second)
+	r.nodes[2].eng.ShiftReference(10 * int64(time.Second))
 	taBefore := r.nodes[0].TAReferences()
 	// Taint node 1: it hears honest node 2 and fast node 3; the two
 	// disagree, so no majority -> TA fallback, fast clock rejected.
@@ -262,7 +262,7 @@ func TestAblationWithoutChimerFilterGetsInfected(t *testing.T) {
 	})
 	r.startAll()
 	r.run(60 * time.Second)
-	r.nodes[2].refNanos += 10 * int64(time.Second)
+	r.nodes[2].eng.ShiftReference(10 * int64(time.Second))
 	// Make the fast clock's answer arrive first, as the original
 	// first-response policy race allows.
 	r.net.SetLink(2, 1, simnet.Link{Base: 10 * time.Millisecond})
@@ -282,7 +282,7 @@ func TestDeadlineProbeCatchesMiscalibratedClock(t *testing.T) {
 	n := r.nodes[2]
 	// Simulate a calibration the F- attack would have produced on the
 	// original protocol: rate 10% low -> clock runs +111ms/s.
-	n.fCalib *= 0.9
+	n.eng.ScaleRate(0.9)
 	r.run(30 * time.Second)
 	if n.ProbeFailures() == 0 {
 		t.Fatal("in-TCB deadline never caught the runaway clock")
@@ -307,7 +307,7 @@ func TestDeadlineDisabledAblation(t *testing.T) {
 	r.startAll()
 	r.run(30 * time.Second)
 	n := r.nodes[0]
-	n.fCalib *= 0.9
+	n.eng.ScaleRate(0.9)
 	r.run(60 * time.Second)
 	if n.Probes() != 0 {
 		t.Errorf("probes ran despite DisableDeadline: %d", n.Probes())
@@ -348,7 +348,7 @@ func TestServedMonotonicAcrossConsensusAdoption(t *testing.T) {
 	}
 	// Push the victim's clock ahead, then force a consensus adoption
 	// (which lands behind): serving stays monotonic regardless.
-	victim.refNanos += int64(time.Second)
+	victim.eng.ShiftReference(int64(time.Second))
 	ts2, _ := victim.TrustedNow()
 	r.platforms[0].FireAEX()
 	r.run(time.Second)

@@ -3,178 +3,126 @@ package resilient
 import (
 	"triadtime/internal/core"
 	"triadtime/internal/enclave"
+	"triadtime/internal/engine"
 	"triadtime/internal/marzullo"
 	"triadtime/internal/wire"
 )
 
-// peerSample is one peer's timestamp gathered during recovery or a
-// self-check probe. The arrival TSC lets the decision point age-adjust
-// the timestamp: gathering waits out the full PeerTimeout, and
-// adopting a stale reading as "now" would skew the clock into the past
-// (and compound across adoption chains).
-type peerSample struct {
-	from       uint32
-	ts         int64
-	arrivalTSC uint64
-}
-
 // freshTS returns the sample's timestamp advanced by the time elapsed
 // since its arrival (measured in local ticks via the boot hint — the
-// spans are milliseconds, so hint error is negligible).
-func (n *Node) freshTS(s peerSample) int64 {
-	nowTSC := n.platform.ReadTSC()
-	if nowTSC <= s.arrivalTSC {
-		return s.ts
+// spans are milliseconds, so hint error is negligible). Gathering
+// waits out the full PeerTimeout, and adopting a stale reading as
+// "now" would skew the clock into the past (and compound across
+// adoption chains).
+func (p *policy) freshTS(e *engine.Engine, s engine.PeerSample) int64 {
+	nowTSC := e.Platform().ReadTSC()
+	if nowTSC <= s.ArrivalTSC {
+		return s.TS
 	}
-	age := float64(nowTSC-s.arrivalTSC) / n.platform.BootTSCHz() * 1e9
-	return s.ts + int64(age)
+	age := float64(nowTSC-s.ArrivalTSC) / e.Platform().BootTSCHz() * 1e9
+	return s.TS + int64(age)
 }
 
-// gatherState collects peer timestamps for the duration of PeerTimeout
-// before deciding — unlike the original protocol's first-response-wins,
-// which is what lets a fast compromised clock win races.
-type gatherState struct {
-	seq       uint64
-	responses []peerSample
-	timer     enclave.CancelFunc
+// intervalFor builds the consistency interval for a clock reading.
+func (p *policy) intervalFor(ts int64) marzullo.Interval {
+	eb := int64(p.cfg.ErrBudget)
+	return marzullo.Interval{Lo: ts - eb, Hi: ts + eb}
 }
 
-// becomeTainted starts recovery after an AEX.
-func (n *Node) becomeTainted() {
-	n.setState(core.StateTainted)
-	if len(n.cfg.Peers) == 0 {
-		n.startRefCalib()
-		return
-	}
-	g := &gatherState{seq: n.nextSeq()}
-	n.gather = g
-	for _, p := range n.cfg.Peers {
-		n.platform.Send(p, n.sealer.Seal(wire.Message{
-			Kind: wire.KindPeerTimeRequest,
-			Seq:  g.seq,
-		}))
-	}
-	g.timer = n.platform.AfterTicks(n.ticksFor(n.cfg.PeerTimeout.Seconds()), func() {
-		g.timer = nil
-		n.decideUntaint()
-	})
-}
-
-// onPeerTimeResponse collects (or, in ablation mode, immediately
-// applies) a peer timestamp.
-func (n *Node) onPeerTimeResponse(from uint32, msg wire.Message) {
-	sample := peerSample{from: from, ts: msg.TimeNanos, arrivalTSC: n.platform.ReadTSC()}
-	switch {
-	case n.gather != nil && msg.Seq == n.gather.seq:
-		n.gather.responses = append(n.gather.responses, sample)
-		if n.cfg.DisableChimerFilter {
-			// Original-protocol ablation: first response decides.
-			if n.gather.timer != nil {
-				n.gather.timer()
-			}
-			n.decideUntaint()
-		}
-	case n.probe != nil && msg.Seq == n.probe.seq:
-		n.probe.responses = append(n.probe.responses, sample)
+// OnStart arms the in-TCB refresh deadline (the hardened protocol's
+// steady-state self-checking).
+func (p *policy) OnStart(e *engine.Engine) {
+	if !p.cfg.DisableDeadline {
+		p.armDeadline(e)
 	}
 }
 
-// decideUntaint closes the gather window and applies the chimer policy.
-func (n *Node) decideUntaint() {
-	g := n.gather
-	n.gather = nil
-	if g == nil || n.state != core.StateTainted {
-		return
-	}
-	if len(g.responses) == 0 {
-		n.startRefCalib()
-		return
-	}
-	if n.cfg.DisableChimerFilter {
-		n.untaintOriginalPolicy(g.responses[0])
-		return
-	}
+// OnTaint starts recovery after an AEX: abandon any probe in flight
+// and gather all peers for the duration of PeerTimeout — unlike the
+// original protocol's first-response-wins, which is what lets a fast
+// compromised clock win races.
+func (p *policy) OnTaint(e *engine.Engine) {
+	p.cancelProbe()
+	e.SetState(core.StateTainted)
+	e.BeginPeerGather()
+}
 
-	intervals := make([]marzullo.Interval, len(g.responses))
-	for i, r := range g.responses {
-		intervals[i] = n.intervalFor(n.freshTS(r))
+// OnPeerSample collects probe responses (gather responses are routed
+// by the engine; anything else is stale and dropped).
+func (p *policy) OnPeerSample(_ *engine.Engine, seq uint64, s engine.PeerSample) {
+	if p.probe != nil && seq == p.probe.seq {
+		p.probe.responses = append(p.probe.responses, s)
 	}
-	best, ok := marzullo.MajorityAgrees(intervals, len(n.cfg.Peers))
+}
+
+// marzulloFilter is the hardened peer policy (paper §V): wait out the
+// gather window, form consistency intervals, and adopt the majority
+// intersection midpoint — never the maximum.
+type marzulloFilter struct{ p *policy }
+
+// Immediate reports that gathering waits out the full PeerTimeout.
+func (marzulloFilter) Immediate() bool { return false }
+
+// Decide applies the chimer policy to the gathered samples.
+func (f marzulloFilter) Decide(e *engine.Engine, samples []engine.PeerSample) {
+	f.p.decideUntaint(e, samples)
+}
+
+// decideUntaint applies the true-chimer policy: a single fast
+// compromised clock is disjoint from the honest majority and gets
+// ignored; without a majority the node falls back to the Time
+// Authority (or, with gossip, to an accredited responder).
+func (p *policy) decideUntaint(e *engine.Engine, samples []engine.PeerSample) {
+	intervals := make([]marzullo.Interval, len(samples))
+	for i, r := range samples {
+		intervals[i] = p.intervalFor(p.freshTS(e, r))
+	}
+	best, ok := marzullo.MajorityAgrees(intervals, len(p.cfg.Peers))
 	if !ok {
 		// No same-moment majority among the answers. Gossip-accredited
 		// responders may stand in for one: a strict majority of the
 		// cluster's published views vouches for their consistency.
-		if adopted, from, found := n.gossipAdoption(g.responses); found {
-			local := n.clockNow()
-			n.adoptReference(adopted, n.platform.ReadTSC())
-			n.peerUntaints++
-			n.gossip.adoptions++
-			if n.events.PeerUntaint != nil {
-				jump := adopted - local
-				if jump < 0 {
-					jump = 0
-				}
-				n.events.PeerUntaint(from, jump)
+		if adopted, from, found := p.gossipAdoption(e, samples); found {
+			local := e.ClockNow()
+			jump := adopted - local
+			if jump < 0 {
+				jump = 0
 			}
-			n.setState(core.StateOK)
+			e.Counters().GossipAdoptions++
+			e.AdoptPeerReference(from, adopted, e.Platform().ReadTSC(), jump)
 			return
 		}
 		// A lone unaccredited clock cannot be told from a lone honest
 		// one, so fall back to the root of trust.
-		n.rejectedPeers += len(g.responses)
-		n.startRefCalib()
+		e.Counters().RejectedPeers += len(samples)
+		p.StartRefCalib(e)
 		return
 	}
 	for i, iv := range intervals {
 		consistent := iv.Overlaps(best)
-		n.markChimer(g.responses[i].from, consistent)
+		p.markChimer(samples[i].From, consistent)
 		if !consistent {
-			n.rejectedPeers++
+			e.Counters().RejectedPeers++
 		}
 	}
 	adopted := best.Midpoint()
-	local := n.clockNow()
-	n.adoptReference(adopted, n.platform.ReadTSC())
-	n.peerUntaints++
-	if n.events.PeerUntaint != nil {
-		jump := adopted - local
-		if jump < 0 {
-			jump = 0
-		}
-		n.events.PeerUntaint(uint32(g.responses[0].from), jump)
+	local := e.ClockNow()
+	jump := adopted - local
+	if jump < 0 {
+		jump = 0
 	}
-	n.setState(core.StateOK)
-}
-
-// untaintOriginalPolicy reproduces internal/core's adopt-if-higher rule
-// for the ablation benchmark.
-func (n *Node) untaintOriginalPolicy(r peerSample) {
-	local := n.clockNow()
-	if r.ts > local {
-		n.adoptReference(r.ts, n.platform.ReadTSC())
-	} else {
-		n.adoptReference(local+1, n.platform.ReadTSC())
-	}
-	n.peerUntaints++
-	if n.events.PeerUntaint != nil {
-		jump := r.ts - local
-		if jump < 0 {
-			jump = 0
-		}
-		n.events.PeerUntaint(r.from, jump)
-	}
-	n.setState(core.StateOK)
+	e.AdoptPeerReference(samples[0].From, adopted, e.Platform().ReadTSC(), jump)
 }
 
 // gossipAdoption looks for an accredited responder whose timestamp can
 // untaint us without a same-moment majority. With several accredited
 // answers, their interval intersection midpoint is used.
-func (n *Node) gossipAdoption(responses []peerSample) (nanos int64, from uint32, ok bool) {
+func (p *policy) gossipAdoption(e *engine.Engine, samples []engine.PeerSample) (nanos int64, from uint32, ok bool) {
 	var ivs []marzullo.Interval
-	for _, r := range responses {
-		if n.accredited(r.from) {
-			ivs = append(ivs, n.intervalFor(n.freshTS(r)))
-			from = r.from
+	for _, r := range samples {
+		if p.accredited(r.From) {
+			ivs = append(ivs, p.intervalFor(p.freshTS(e, r)))
+			from = r.From
 		}
 	}
 	if len(ivs) == 0 {
@@ -194,7 +142,7 @@ func (n *Node) gossipAdoption(responses []peerSample) (nanos int64, from uint32,
 // true-chimer.
 type probeState struct {
 	seq       uint64
-	responses []peerSample
+	responses []engine.PeerSample
 	timer     enclave.CancelFunc
 	taSeq     uint64
 	taSentTSC uint64
@@ -202,124 +150,124 @@ type probeState struct {
 }
 
 // armDeadline schedules the next in-TCB self-check.
-func (n *Node) armDeadline() {
-	n.deadlineCancel = n.platform.AfterTicks(n.cfg.DeadlineTicks, func() {
-		n.deadlineCancel = nil
-		n.onDeadline()
-		if !n.cfg.DisableDeadline {
-			n.armDeadline()
+func (p *policy) armDeadline(e *engine.Engine) {
+	p.deadlineCancel = e.Platform().AfterTicks(p.cfg.DeadlineTicks, func() {
+		p.deadlineCancel = nil
+		p.onDeadline(e)
+		if !p.cfg.DisableDeadline {
+			p.armDeadline(e)
 		}
 	})
 }
 
 // onDeadline fires the self-check if the node is serving; otherwise the
 // protocol is already refreshing via another path.
-func (n *Node) onDeadline() {
-	if n.state != core.StateOK || n.probe != nil {
+func (p *policy) onDeadline(e *engine.Engine) {
+	if e.State() != core.StateOK || p.probe != nil {
 		return
 	}
-	n.probes++
-	n.broadcastChimerReport()
-	p := &probeState{seq: n.nextSeq()}
-	n.probe = p
-	if len(n.cfg.Peers) == 0 {
-		n.probeTACheck()
+	e.Counters().Probes++
+	p.broadcastChimerReport(e)
+	pr := &probeState{seq: e.NextSeq()}
+	p.probe = pr
+	if len(p.cfg.Peers) == 0 {
+		p.probeTACheck(e)
 		return
 	}
-	for _, peer := range n.cfg.Peers {
-		n.platform.Send(peer, n.sealer.Seal(wire.Message{
+	for _, peer := range p.cfg.Peers {
+		e.SendSealed(peer, wire.Message{
 			Kind: wire.KindPeerTimeRequest,
-			Seq:  p.seq,
-		}))
+			Seq:  pr.seq,
+		})
 	}
-	p.timer = n.platform.AfterTicks(n.ticksFor(n.cfg.PeerTimeout.Seconds()), func() {
-		p.timer = nil
-		n.decideProbe()
+	pr.timer = e.Platform().AfterTicks(e.TicksFor(p.cfg.PeerTimeout), func() {
+		pr.timer = nil
+		p.decideProbe(e)
 	})
 }
 
 // decideProbe evaluates the gathered peer view of our clock.
-func (n *Node) decideProbe() {
-	p := n.probe
-	if p == nil || n.state != core.StateOK {
-		n.cancelProbe()
+func (p *policy) decideProbe(e *engine.Engine) {
+	pr := p.probe
+	if pr == nil || e.State() != core.StateOK {
+		p.cancelProbe()
 		return
 	}
-	if len(p.responses) == 0 {
+	if len(pr.responses) == 0 {
 		// Nobody answered: check against the root of trust instead.
-		n.probeTACheck()
+		p.probeTACheck(e)
 		return
 	}
-	intervals := make([]marzullo.Interval, 0, len(p.responses)+1)
-	for _, r := range p.responses {
-		intervals = append(intervals, n.intervalFor(n.freshTS(r)))
+	intervals := make([]marzullo.Interval, 0, len(pr.responses)+1)
+	for _, r := range pr.responses {
+		intervals = append(intervals, p.intervalFor(p.freshTS(e, r)))
 	}
-	best, ok := marzullo.MajorityAgrees(intervals, len(n.cfg.Peers))
+	best, ok := marzullo.MajorityAgrees(intervals, len(p.cfg.Peers))
 	if ok {
 		// Record consistency evidence for the gossip layer.
 		for i, iv := range intervals {
-			n.markChimer(p.responses[i].from, iv.Overlaps(best))
+			p.markChimer(pr.responses[i].From, iv.Overlaps(best))
 		}
 	}
-	if ok && n.intervalFor(n.clockNow()).Overlaps(best) {
+	if ok && p.intervalFor(e.ClockNow()).Overlaps(best) {
 		// Consistent with the majority: clock quality confirmed.
-		n.probe = nil
+		p.probe = nil
 		return
 	}
 	// Inconsistent or inconclusive: ask the Time Authority.
-	n.probeTACheck()
+	p.probeTACheck(e)
 }
 
 // probeTACheck verifies the local clock directly against the TA.
-func (n *Node) probeTACheck() {
-	p := n.probe
-	if p == nil {
+func (p *policy) probeTACheck(e *engine.Engine) {
+	pr := p.probe
+	if pr == nil {
 		return
 	}
-	p.taSeq = n.nextSeq()
-	p.taSentTSC = n.platform.ReadTSC()
-	n.platform.Send(n.cfg.Authority, n.sealer.Seal(wire.Message{
+	pr.taSeq = e.NextSeq()
+	pr.taSentTSC = e.Platform().ReadTSC()
+	e.SendSealed(e.Authority(), wire.Message{
 		Kind: wire.KindTimeRequest,
-		Seq:  p.taSeq,
-	}))
-	p.taTimer = n.platform.AfterTicks(n.ticksFor(n.cfg.TATimeout.Seconds()), func() {
-		p.taTimer = nil
+		Seq:  pr.taSeq,
+	})
+	pr.taTimer = e.Platform().AfterTicks(e.TicksFor(p.cfg.TATimeout), func() {
+		pr.taTimer = nil
 		// TA unreachable right now; give up on this probe, the next
 		// deadline retries.
-		n.probe = nil
+		p.probe = nil
 	})
 }
 
 // onProbeTAResponse compares the local clock against the TA reading.
-func (n *Node) onProbeTAResponse(msg wire.Message) {
-	p := n.probe
-	recvTSC := n.platform.ReadTSC()
-	if p.taTimer != nil {
-		p.taTimer()
-		p.taTimer = nil
+func (p *policy) onProbeTAResponse(e *engine.Engine, msg wire.Message) {
+	pr := p.probe
+	recvTSC := e.Platform().ReadTSC()
+	if pr.taTimer != nil {
+		pr.taTimer()
+		pr.taTimer = nil
 	}
-	n.probe = nil
-	if n.state != core.StateOK {
+	p.probe = nil
+	if e.State() != core.StateOK {
 		return
 	}
-	rttTicks := float64(recvTSC - p.taSentTSC)
-	if rttTicks > n.cfg.RTTBound.Seconds()*n.platform.BootTSCHz() {
-		n.rttRejections++
+	rttTicks := float64(recvTSC - pr.taSentTSC)
+	if rttTicks > p.cfg.RTTBound.Seconds()*e.Platform().BootTSCHz() {
+		e.Counters().RTTRejections++
 		return // unusable reading; next deadline retries
 	}
 	taNow := msg.TimeNanos // one-way stale, well inside ErrBudget
-	diff := n.clockNow() - taNow
+	diff := e.ClockNow() - taNow
 	if diff < 0 {
 		diff = -diff
 	}
-	if diff <= int64(n.cfg.ErrBudget) {
+	if diff <= int64(p.cfg.ErrBudget) {
 		// Clock quality confirmed by the root of trust. The probe's
 		// peer answers can now be judged against our confirmed clock —
 		// the evidence path that matters in small clusters, where one
 		// honest and one false answer never form a majority.
-		own := n.intervalFor(n.clockNow())
-		for _, r := range p.responses {
-			n.markChimer(r.from, n.intervalFor(n.freshTS(r)).Overlaps(own))
+		own := p.intervalFor(e.ClockNow())
+		for _, r := range pr.responses {
+			p.markChimer(r.From, p.intervalFor(p.freshTS(e, r)).Overlaps(own))
 		}
 		return
 	}
@@ -327,25 +275,23 @@ func (n *Node) onProbeTAResponse(msg wire.Message) {
 	// period: the calibrated rate itself must be bad (this is exactly
 	// the miscalibrated-arbitrarily-long hole of the original protocol,
 	// paper §V ¶1). Re-learn everything.
-	n.probeFailures++
-	if n.events.Discrepancy != nil {
-		n.events.Discrepancy(float64(diff) / 1e9)
-	}
-	n.setState(core.StateFullCalib)
-	n.startFullCalibration()
+	e.Counters().ProbeFailures++
+	e.EmitDiscrepancy(float64(diff) / 1e9)
+	e.SetState(core.StateFullCalib)
+	p.Start(e)
 }
 
 // cancelProbe abandons a probe in flight (e.g. the node got tainted).
-func (n *Node) cancelProbe() {
-	p := n.probe
-	if p == nil {
+func (p *policy) cancelProbe() {
+	pr := p.probe
+	if pr == nil {
 		return
 	}
-	if p.timer != nil {
-		p.timer()
+	if pr.timer != nil {
+		pr.timer()
 	}
-	if p.taTimer != nil {
-		p.taTimer()
+	if pr.taTimer != nil {
+		pr.taTimer()
 	}
-	n.probe = nil
+	p.probe = nil
 }

@@ -115,6 +115,94 @@ func FuzzOpenPeerTimeTruncated(f *testing.F) {
 	})
 }
 
+// FuzzChimerReportDecode exercises the decoder on the gossip path
+// (KindChimerReport): arbitrary input must never panic, and every
+// successful chimer-report decode must roundtrip with the accreditation
+// bitmask (TimeNanos) and the credibility timestamp (Sleep) intact.
+// A codec that flips bitmask bits would let the gossip layer accredit
+// peers nobody vouched for.
+func FuzzChimerReportDecode(f *testing.F) {
+	f.Add(Message{Kind: KindChimerReport, Seq: 1, TimeNanos: 0b1011, Sleep: time.Duration(1719412345678901234)}.Marshal())
+	f.Add(Message{Kind: KindChimerReport, Seq: 2, TimeNanos: -1}.Marshal())              // all 64 bits set
+	f.Add(Message{Kind: KindChimerReport, Seq: 3, TimeNanos: int64(1) << 62}.Marshal())  // high node id
+	f.Add(Message{Kind: KindChimerReport, Seq: ^uint64(0), TimeNanos: 0}.Marshal()[:20]) // truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadKind) {
+				t.Fatalf("unexpected decode error class: %v", err)
+			}
+			return
+		}
+		if m.Kind != KindChimerReport {
+			return
+		}
+		m2, err := Unmarshal(m.Marshal())
+		if err != nil || m2 != m {
+			t.Fatalf("chimer report roundtrip broke: %+v vs %+v (%v)", m, m2, err)
+		}
+		if uint64(m2.TimeNanos) != uint64(m.TimeNanos) {
+			t.Fatalf("accreditation bitmask mangled: %b vs %b", uint64(m.TimeNanos), uint64(m2.TimeNanos))
+		}
+		if m2.Sleep != m.Sleep {
+			t.Fatalf("credibility timestamp mangled: %d vs %d", m.Sleep, m2.Sleep)
+		}
+	})
+}
+
+// FuzzSealedGatherExchange drives the sealed untaint-gather and gossip
+// exchanges end to end with fuzz-chosen payloads: a PeerTimeResponse
+// (the timestamp a tainted node would adopt) and a ChimerReport (the
+// accreditation a gossip view would merge). The genuine datagrams must
+// open verbatim with payloads intact; any single-byte corruption must
+// fail authentication — never decode to a different payload.
+func FuzzSealedGatherExchange(f *testing.F) {
+	f.Add(uint64(5), int64(1e18), uint64(0b101), uint32(0), byte(0))
+	f.Add(uint64(1)<<60, int64(-1), ^uint64(0), uint32(7), byte(0xFF))
+	f.Add(uint64(0), int64(0), uint64(0), uint32(1000), byte(1))
+	f.Fuzz(func(t *testing.T, seq uint64, ts int64, mask uint64, corruptAt uint32, flip byte) {
+		const senderID = 3
+		sealer, err := NewSealer(testKey(), senderID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datagrams := []struct {
+			name string
+			msg  Message
+		}{
+			{"peer response", Message{Kind: KindPeerTimeResponse, Seq: seq, TimeNanos: ts}},
+			{"chimer report", Message{Kind: KindChimerReport, Seq: seq, TimeNanos: int64(mask), Sleep: time.Duration(ts)}},
+		}
+		for _, d := range datagrams {
+			sealed := sealer.Seal(d.msg)
+			opener, err := NewOpener(testKey())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, sender, err := opener.Open(sealed)
+			if err != nil {
+				t.Fatalf("%s: genuine datagram rejected: %v", d.name, err)
+			}
+			if sender != senderID || got != d.msg {
+				t.Fatalf("%s: payload mangled in flight: %+v from %d", d.name, got, sender)
+			}
+			if flip == 0 {
+				continue // identity corruption: nothing to test
+			}
+			corrupted := append([]byte(nil), sealed...)
+			corrupted[int(corruptAt)%len(corrupted)] ^= flip
+			got2, sender2, err := opener.Open(corrupted)
+			if err == nil {
+				t.Fatalf("%s: corrupted datagram authenticated: %+v from %d", d.name, got2, sender2)
+			}
+			if !errors.Is(err, ErrAuthFailed) && !errors.Is(err, ErrReplay) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadKind) {
+				t.Fatalf("%s: unexpected error class: %v", d.name, err)
+			}
+		}
+	})
+}
+
 // FuzzReplayCache drives the sliding anti-replay window with an
 // arbitrary counter sequence and checks its two safety invariants
 // against a map-based model: no counter is ever accepted twice, and

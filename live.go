@@ -9,6 +9,7 @@ import (
 
 	"triadtime/internal/authority"
 	"triadtime/internal/core"
+	"triadtime/internal/engine"
 	"triadtime/internal/resilient"
 	"triadtime/internal/transport"
 )
@@ -35,6 +36,19 @@ type LiveConfig struct {
 	// Hardened selects the Section V resilient protocol instead of the
 	// original Triad.
 	Hardened bool
+
+	// CalibSleeps overrides the original protocol's calibration sleep
+	// ladder (default {0, 1s}). Shorter sleeps trade calibration
+	// accuracy for startup latency — useful in tests and demos. Ignored
+	// when Hardened.
+	CalibSleeps []time.Duration
+	// CalibSamplesPerSleep overrides how many uninterrupted samples the
+	// original protocol collects per sleep value (default 4). Ignored
+	// when Hardened.
+	CalibSamplesPerSleep int
+	// CalibWindow overrides the hardened variant's two-exchange
+	// calibration window (default 8s). Ignored unless Hardened.
+	CalibWindow time.Duration
 }
 
 // liveNode is the common handle surface of both protocol variants.
@@ -42,6 +56,7 @@ type liveNode interface {
 	Start()
 	State() State
 	FCalib() float64
+	Counters() engine.Counters
 	TrustedNow() (int64, error)
 }
 
@@ -75,17 +90,20 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	ok := platform.Do(func() {
 		if cfg.Hardened {
 			ln.node, buildErr = resilient.NewNode(platform, resilient.Config{
-				Key:       cfg.Key,
-				Addr:      cfg.ID,
-				Peers:     cfg.Peers,
-				Authority: cfg.Authority,
+				Key:         cfg.Key,
+				Addr:        cfg.ID,
+				Peers:       cfg.Peers,
+				Authority:   cfg.Authority,
+				CalibWindow: cfg.CalibWindow,
 			})
 		} else {
 			ln.node, buildErr = core.NewNode(platform, core.Config{
-				Key:       cfg.Key,
-				Addr:      cfg.ID,
-				Peers:     cfg.Peers,
-				Authority: cfg.Authority,
+				Key:                  cfg.Key,
+				Addr:                 cfg.ID,
+				Peers:                cfg.Peers,
+				Authority:            cfg.Authority,
+				CalibSleeps:          cfg.CalibSleeps,
+				CalibSamplesPerSleep: cfg.CalibSamplesPerSleep,
 			})
 		}
 	})
@@ -150,6 +168,10 @@ type Snapshot struct {
 	TrustedNanos int64   `json:"trustedNanos,omitempty"`
 	Available    bool    `json:"available"`
 	AEXCount     int     `json:"aexCount"`
+	// Counters carries the node's cumulative protocol counters. Both
+	// variants report the same set; the hardening tallies (rejections,
+	// probes, gossip) stay zero on an original-protocol node.
+	Counters Counters `json:"counters"`
 }
 
 // Snapshot captures the node's current status.
@@ -158,6 +180,7 @@ func (ln *LiveNode) Snapshot() Snapshot {
 	ln.platform.Do(func() {
 		s.State = ln.node.State().String()
 		s.FCalibHz = ln.node.FCalib()
+		s.Counters = ln.node.Counters()
 		if ts, err := ln.node.TrustedNow(); err == nil {
 			s.TrustedNanos = ts
 			s.Available = true
@@ -190,6 +213,12 @@ func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
 		fmt.Fprintf(w, "triad_node_fcalib_hz %g\n", s.FCalibHz)
 		fmt.Fprintf(w, "triad_node_aex_total %d\n", s.AEXCount)
 		fmt.Fprintf(w, "triad_node_trusted_nanos %d\n", s.TrustedNanos)
+		fmt.Fprintf(w, "triad_node_ta_refs_total %d\n", s.Counters.TAReferences)
+		fmt.Fprintf(w, "triad_node_peer_untaints_total %d\n", s.Counters.PeerUntaints)
+		fmt.Fprintf(w, "triad_node_served_total %d\n", s.Counters.Served)
+		fmt.Fprintf(w, "triad_node_rejected_peers_total %d\n", s.Counters.RejectedPeers)
+		fmt.Fprintf(w, "triad_node_rtt_rejections_total %d\n", s.Counters.RTTRejections)
+		fmt.Fprintf(w, "triad_node_probes_total %d\n", s.Counters.Probes)
 	})
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }()

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"triadtime/internal/core"
+	"triadtime/internal/engine"
 	"triadtime/internal/simnet"
 	"triadtime/internal/wire"
 )
@@ -45,6 +46,11 @@ const (
 
 // ErrUnavailable is returned while a node cannot serve trusted time.
 var ErrUnavailable = core.ErrUnavailable
+
+// Counters is the uniform cumulative-counter set every protocol
+// variant maintains; the hardening-only tallies stay zero on
+// original-protocol nodes.
+type Counters = engine.Counters
 
 // NodeID identifies a protocol participant: it is both the wire-layer
 // authenticated sender identity and, in simulations, the network

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -179,6 +180,141 @@ func TestLiveHardenedFacade(t *testing.T) {
 	}
 	if _, err := node.TrustedNow(); err != nil {
 		t.Errorf("TrustedNow: %v", err)
+	}
+}
+
+// reserveUDPPorts finds n free loopback UDP ports. The sockets are
+// closed before returning so NewLiveNode can re-bind them; the full
+// cluster directory must be known before any node starts, so the
+// usual bind-then-ask-for-the-address trick does not work here.
+func reserveUDPPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	conns := make([]net.PacketConn, n)
+	for i := range addrs {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs
+}
+
+// TestLiveClusterLoopback runs the full three-node-plus-authority
+// topology over real loopback UDP sockets for both protocol variants:
+// everyone calibrates, trusted time is monotonic while serving, and a
+// tainted node recovers through its live peers.
+func TestLiveClusterLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	for _, hardened := range []bool{false, true} {
+		name := "original"
+		if hardened {
+			name = "hardened"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ta.Close()
+
+			addrs := reserveUDPPorts(t, 3)
+			dir := map[NodeID]string{100: ta.LocalAddr().String()}
+			for i, a := range addrs {
+				dir[NodeID(i+1)] = a
+			}
+			nodes := make([]*LiveNode, 3)
+			for i := range nodes {
+				var peers []NodeID
+				for j := 1; j <= 3; j++ {
+					if j != i+1 {
+						peers = append(peers, NodeID(j))
+					}
+				}
+				cfg := LiveConfig{
+					Key:       labKey(),
+					ID:        NodeID(i + 1),
+					Listen:    addrs[i],
+					Directory: dir,
+					Peers:     peers,
+					Authority: 100,
+					Hardened:  hardened,
+				}
+				if hardened {
+					cfg.CalibWindow = 500 * time.Millisecond
+				} else {
+					// Short sleeps: same regression, s-scale startup.
+					cfg.CalibSleeps = []time.Duration{0, 200 * time.Millisecond}
+					cfg.CalibSamplesPerSleep = 2
+				}
+				n, err := NewLiveNode(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer n.Close()
+				nodes[i] = n
+			}
+
+			waitOK := func(i int, d time.Duration) {
+				t.Helper()
+				deadline := time.Now().Add(d)
+				for nodes[i].State() != StateOK {
+					if time.Now().After(deadline) {
+						t.Fatalf("node %d never reached OK (state %v)", i+1, nodes[i].State())
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}
+			for i := range nodes {
+				waitOK(i, 30*time.Second)
+			}
+			for i, n := range nodes {
+				snap := n.Snapshot()
+				if snap.Counters.TAReferences == 0 {
+					t.Errorf("node %d calibrated without a TA reference: %+v", i+1, snap.Counters)
+				}
+			}
+
+			// Trusted time must be monotonic on every node while serving.
+			last := make([]int64, len(nodes))
+			for iter := 0; iter < 40; iter++ {
+				for i, n := range nodes {
+					ts, err := n.TrustedNow()
+					if err != nil {
+						t.Fatalf("node %d unavailable mid-run: %v", i+1, err)
+					}
+					if ts.Nanos < last[i] {
+						t.Fatalf("node %d trusted time went backwards: %d -> %d", i+1, last[i], ts.Nanos)
+					}
+					last[i] = ts.Nanos
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			// A taint on node 1 recovers through live peers or the TA,
+			// and time stays monotonic across the jump.
+			nodes[0].InjectAEX()
+			waitOK(0, 10*time.Second)
+			ts, err := nodes[0].TrustedNow()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts.Nanos < last[0] {
+				t.Errorf("recovery moved trusted time backwards: %d -> %d", last[0], ts.Nanos)
+			}
+			snap := nodes[0].Snapshot()
+			if snap.Counters.PeerUntaints+snap.Counters.TAReferences < 2 {
+				t.Errorf("node 1 recovered without a new reference: %+v", snap.Counters)
+			}
+		})
 	}
 }
 
