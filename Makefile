@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench figures check audit examples clean
+.PHONY: all build test test-short test-race vet bench bench-json figures check audit examples clean
 
 all: build vet test
 
@@ -27,6 +27,18 @@ test-race:
 # Regenerate every paper figure/table as benchmark output.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Tracked performance baseline: the three hot-path micro-benchmarks at
+# full benchtime plus one iteration of every figure-regeneration
+# benchmark, converted to JSON. The output (BENCH_pr3.json) is checked
+# in so later PRs can diff ns/op, allocs/op, and events/sec against it.
+BENCH_JSON_OUT ?= BENCH_pr3.json
+
+bench-json:
+	{ $(GO) test ./internal/sim ./internal/simnet ./internal/wire -run='^$$' \
+		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip)$$' -benchmem \
+	  && $(GO) test . -run='^$$' -bench=. -benchtime=1x -benchmem ; } \
+	| $(GO) run ./cmd/bench-json -out $(BENCH_JSON_OUT)
 
 # Full figure regeneration with CSV + gnuplot scripts under results/.
 figures:

@@ -14,7 +14,7 @@ type Injector struct {
 	sched   *sim.Scheduler
 	sampler GapSampler
 	targets []func()
-	next    *sim.Event
+	next    sim.Event
 	fired   int
 	running bool
 }
@@ -53,7 +53,7 @@ func (in *Injector) Stop() {
 	}
 	in.running = false
 	in.sched.Cancel(in.next)
-	in.next = nil
+	in.next = sim.Event{}
 }
 
 // Running reports whether the process is active.

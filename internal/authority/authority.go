@@ -35,6 +35,11 @@ type Authority struct {
 	sealer *wire.Sealer
 	clock  Clock
 	served map[uint32]int
+	// openBuf is the request-side plaintext scratch (guarded by mu, like
+	// the opener itself). Replies still seal into fresh buffers: a reply
+	// builder runs after its sleep, possibly concurrently with later
+	// builders, and the returned bytes outlive the lock.
+	openBuf []byte
 }
 
 // New creates a Time Authority using the cluster's pre-shared key, the
@@ -49,10 +54,11 @@ func New(key []byte, senderID uint32, clock Clock) (*Authority, error) {
 		return nil, fmt.Errorf("authority: %w", err)
 	}
 	return &Authority{
-		opener: opener,
-		sealer: sealer,
-		clock:  clock,
-		served: make(map[uint32]int),
+		opener:  opener,
+		sealer:  sealer,
+		clock:   clock,
+		served:  make(map[uint32]int),
+		openBuf: make([]byte, 0, wire.MarshaledSize),
 	}, nil
 }
 
@@ -64,7 +70,7 @@ func New(key []byte, senderID uint32, clock Clock) (*Authority, error) {
 // the datagram is dropped, mirroring a hardened server's behaviour.
 func (a *Authority) Process(datagram []byte) (sleep time.Duration, reply func() []byte, ok bool) {
 	a.mu.Lock()
-	msg, sender, err := a.opener.Open(datagram)
+	msg, sender, err := a.opener.OpenInto(a.openBuf, datagram)
 	a.mu.Unlock()
 	if err != nil || msg.Kind != wire.KindTimeRequest {
 		return 0, nil, false

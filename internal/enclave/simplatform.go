@@ -32,13 +32,13 @@ type SimPlatform struct {
 	// (a jump or rescale) moves their completion time — exactly how
 	// the real monitoring loop reacts.
 	incDone   func(count float64, interrupted bool)
-	incCancel *sim.Event
+	incCancel sim.Event
 	incStart  simtime.Instant
 	incTarget uint64
 
 	// mem measurement in flight, if any.
 	memDone   func(count float64, interrupted bool)
-	memCancel *sim.Event
+	memCancel sim.Event
 	memStart  simtime.Instant
 	memTarget uint64
 
@@ -188,7 +188,7 @@ func (p *SimPlatform) StartINCCheck(ticks uint64, done func(count float64, inter
 func (p *SimPlatform) finishINC() {
 	cb := p.incDone
 	p.incDone = nil
-	p.incCancel = nil
+	p.incCancel = sim.Event{}
 	elapsed := p.sched.Now().Sub(p.incStart).Seconds()
 	cycles := p.core.CyclesPerINC
 	if cycles <= 0 {
@@ -217,7 +217,7 @@ func (p *SimPlatform) StartMemCheck(ticks uint64, done func(count float64, inter
 func (p *SimPlatform) finishMem() {
 	cb := p.memDone
 	p.memDone = nil
-	p.memCancel = nil
+	p.memCancel = sim.Event{}
 	elapsed := p.sched.Now().Sub(p.memStart).Seconds()
 	ideal := elapsed * p.memModel.AccessesPerSec
 	cb(p.memModel.sampleMem(ideal, p.rng), false)
@@ -255,14 +255,14 @@ func (p *SimPlatform) FireAEX() {
 		cb := p.incDone
 		p.incDone = nil
 		p.sched.Cancel(p.incCancel)
-		p.incCancel = nil
+		p.incCancel = sim.Event{}
 		cb(0, true)
 	}
 	if p.memDone != nil {
 		cb := p.memDone
 		p.memDone = nil
 		p.sched.Cancel(p.memCancel)
-		p.memCancel = nil
+		p.memCancel = sim.Event{}
 		cb(0, true)
 	}
 	if p.aexHandler != nil {

@@ -63,6 +63,15 @@ type Engine struct {
 	gather  *gather
 	monitor *enclave.RateMonitor
 
+	// sealBuf/openBuf are the endpoint's datagram scratch: every sealed
+	// send reuses sealBuf (safe because both transports are done with
+	// the bytes when Send returns — the simulated network copies the
+	// payload into its delivery pool, the live one writes it to the
+	// socket) and every open decrypts into openBuf, so the dispatch and
+	// gather paths allocate nothing per datagram.
+	sealBuf []byte
+	openBuf []byte
+
 	counters  Counters
 	timeJumps []int64
 }
@@ -103,6 +112,8 @@ func New(platform enclave.Platform, cfg Config, pol Policies) (*Engine, error) {
 		filter:      pol.Filter,
 		gossipHook:  pol.Gossip,
 		state:       StateInit,
+		sealBuf:     make([]byte, 0, wire.SealedSize),
+		openBuf:     make([]byte, 0, wire.MarshaledSize),
 	}
 	platform.SetAEXHandler(e.onAEX)
 	platform.SetMessageHandler(e.onDatagram)
@@ -250,8 +261,12 @@ func (e *Engine) TicksForSeconds(sec float64) uint64 {
 }
 
 // SendSealed seals msg under this node's wire identity and sends it.
+// The sealed bytes live in the engine's scratch buffer, which the next
+// SendSealed reuses; transports must be done with the payload when Send
+// returns (both are).
 func (e *Engine) SendSealed(to simnet.Addr, msg wire.Message) {
-	e.platform.Send(to, e.sealer.Seal(msg))
+	e.sealBuf = e.sealer.SealAppend(e.sealBuf[:0], msg)
+	e.platform.Send(to, e.sealBuf)
 }
 
 // CompleteCalibration installs a finished full calibration — rate and
@@ -307,7 +322,7 @@ func (e *Engine) ScaleRate(factor float64) { e.fCalib *= factor }
 // wire-layer sender identity — an attacker can spoof addresses but
 // not the AEAD.
 func (e *Engine) onDatagram(_ simnet.Addr, payload []byte) {
-	msg, sender, err := e.opener.Open(payload)
+	msg, sender, err := e.opener.OpenInto(e.openBuf, payload)
 	if err != nil {
 		return // tampered, replayed, or foreign traffic: drop
 	}

@@ -111,6 +111,11 @@ type Client struct {
 	polls, steps, slews, spikes int
 	lastOffset                  time.Duration
 	started                     bool
+
+	// Per-endpoint datagram scratch, as in the Triad engine: polls
+	// reseal into sealBuf, responses decrypt into openBuf.
+	sealBuf []byte
+	openBuf []byte
 }
 
 // NewClient creates a discipline client on the platform. Call Start.
@@ -136,6 +141,8 @@ func NewClient(platform enclave.Platform, cfg Config) (*Client, error) {
 		opener:   opener,
 		rate:     platform.BootTSCHz(),
 		poll:     cfg.MinPoll,
+		sealBuf:  make([]byte, 0, wire.SealedSize),
+		openBuf:  make([]byte, 0, wire.MarshaledSize),
 	}
 	platform.SetMessageHandler(c.onDatagram)
 	return c, nil
@@ -193,10 +200,11 @@ func (c *Client) sendPoll() {
 	c.polls++
 	c.pendingSeq = uint64(c.polls)
 	c.sentTSC = c.platform.ReadTSC()
-	c.platform.Send(c.cfg.Authority, c.sealer.Seal(wire.Message{
+	c.sealBuf = c.sealer.SealAppend(c.sealBuf[:0], wire.Message{
 		Kind: wire.KindTimeRequest,
 		Seq:  c.pendingSeq,
-	}))
+	})
+	c.platform.Send(c.cfg.Authority, c.sealBuf)
 	// If the response never arrives, poll again after the interval.
 	c.timer = c.platform.AfterTicks(c.ticksFor(c.poll), func() {
 		c.timer = nil
@@ -206,7 +214,7 @@ func (c *Client) sendPoll() {
 }
 
 func (c *Client) onDatagram(_ simnet.Addr, payload []byte) {
-	msg, sender, err := c.opener.Open(payload)
+	msg, sender, err := c.opener.OpenInto(c.openBuf, payload)
 	if err != nil || msg.Kind != wire.KindTimeResponse {
 		return
 	}

@@ -5,114 +5,138 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"triadtime/internal/simtime"
 )
 
-// Event is a scheduled callback. Cancel it via Scheduler.Cancel.
+// Event is a cancellable handle to a scheduled callback. It is a small
+// value (no per-event heap object): the scheduler stores event state in
+// an internal slot array and hands out generation-stamped indices, so a
+// stale handle — one whose event already fired or was cancelled — can
+// never touch a reused slot. The zero Event is inert: Cancel ignores it.
 type Event struct {
-	at    simtime.Instant
-	seq   uint64 // tie-breaker: schedule order at equal instants
-	index int    // heap index, -1 once removed
-	fn    func()
+	s   *Scheduler
+	id  uint32 // slot index + 1; 0 marks the zero (inert) handle
+	gen uint32 // slot generation at schedule time
 }
 
-// At reports when the event fires.
-func (e *Event) At() simtime.Instant { return e.at }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// At reports when the event fires. Once the event has fired or been
+// cancelled the handle is stale and At reports the epoch.
+func (e Event) At() simtime.Instant {
+	if e.s == nil || e.id == 0 {
+		return simtime.Epoch
 	}
-	return q[i].seq < q[j].seq
+	sl := &e.s.slots[e.id-1]
+	if sl.gen != e.gen || sl.pos < 0 {
+		return simtime.Epoch
+	}
+	return sl.at
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// slot is the in-place storage of one scheduled (or free) event.
+type slot struct {
+	at       simtime.Instant
+	seq      uint64 // tie-breaker: schedule order at equal instants
+	fn       func()
+	gen      uint32 // bumped on release; invalidates outstanding handles
+	pos      int32  // index in Scheduler.heap, -1 while free
+	nextFree int32  // next slot in the free list, -1 at the tail
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+
+// heapArity is the fan-out of the event queue. A 4-ary heap halves the
+// tree depth of a binary heap; with cheap (at, seq) comparisons the
+// extra per-level compares are better than the extra levels, and the
+// node's children share a cache line.
+const heapArity = 4
 
 // Scheduler is the simulation's event loop. It is single-threaded: all
 // simulated components run inside callbacks dispatched by Run/Step, so no
 // locking is needed anywhere in the simulated stack.
+//
+// The pending queue is a hand-specialized index-addressed min-heap over
+// the slot array ordered by (at, seq), with freed slots recycled through
+// an intrusive free list. Steady-state At/After/Step/Cancel therefore
+// perform zero heap allocations: the slot and heap arrays only grow when
+// the number of simultaneously pending events exceeds every previous
+// high-water mark. Because (at, seq) is a total order (seq is unique),
+// events fire in exactly the same sequence as any other stable queue —
+// the heap shape is not observable.
 type Scheduler struct {
 	now    simtime.Instant
-	queue  eventQueue
+	slots  []slot
+	heap   []uint32 // slot indices, min-heap on (at, seq)
+	free   int32    // head of the free-slot list, -1 when empty
 	seq    uint64
 	halted bool
 }
 
 // NewScheduler returns a scheduler positioned at the epoch.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{free: -1}
 }
 
 // Now reports the current simulated reference time.
 func (s *Scheduler) Now() simtime.Instant { return s.now }
 
 // Pending reports the number of events waiting to fire.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // At schedules fn to run at the given instant. Scheduling in the past
 // panics: it is always a modelling bug, and silently reordering events
 // would destroy determinism.
-func (s *Scheduler) At(at simtime.Instant, fn func()) *Event {
+func (s *Scheduler) At(at simtime.Instant, fn func()) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, s.now))
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
+	idx := s.alloc()
+	sl := &s.slots[idx]
+	sl.at = at
+	sl.seq = s.seq
+	sl.fn = fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.push(idx)
+	return Event{s: s, id: idx + 1, gen: sl.gen}
 }
 
 // After schedules fn to run d after the current simulated time. Negative
 // durations are treated as zero.
-func (s *Scheduler) After(d simtime.Instant, fn func()) *Event {
+func (s *Scheduler) After(d simtime.Instant, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired
-// or was already cancelled is a no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event. Cancelling the zero Event, an event
+// that already fired, or one already cancelled is a no-op — the
+// generation stamp makes stale handles harmless even after their slot
+// has been reused by a later event.
+func (s *Scheduler) Cancel(e Event) {
+	if e.s != s || e.id == 0 {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
-	e.index = -1
+	idx := e.id - 1
+	sl := &s.slots[idx]
+	if sl.gen != e.gen || sl.pos < 0 {
+		return
+	}
+	s.remove(int(sl.pos))
+	s.release(idx)
 }
 
 // Step fires the next pending event and advances simulated time to it.
 // It reports whether an event was fired.
 func (s *Scheduler) Step() bool {
-	if len(s.queue) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
-	e.fn()
+	idx := s.popRoot()
+	sl := &s.slots[idx]
+	s.now = sl.at
+	fn := sl.fn
+	s.release(idx) // before fn: the callback may reschedule into this slot
+	fn()
 	return true
 }
 
@@ -122,7 +146,7 @@ func (s *Scheduler) Step() bool {
 // successive RunUntil calls see a monotone clock.
 func (s *Scheduler) RunUntil(deadline simtime.Instant) {
 	s.halted = false
-	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for !s.halted && len(s.heap) > 0 && s.slots[s.heap[0]].at <= deadline {
 		s.Step()
 	}
 	if !s.halted && s.now < deadline {
@@ -140,3 +164,123 @@ func (s *Scheduler) RunUntilIdle() {
 
 // Halt stops the current Run* call after the in-flight event returns.
 func (s *Scheduler) Halt() { s.halted = true }
+
+// alloc takes a slot off the free list, growing the array only when no
+// freed slot is available (i.e. at a new pending high-water mark).
+func (s *Scheduler) alloc() uint32 {
+	if s.free >= 0 {
+		idx := uint32(s.free)
+		s.free = s.slots[idx].nextFree
+		return idx
+	}
+	s.slots = append(s.slots, slot{pos: -1, nextFree: -1})
+	return uint32(len(s.slots) - 1)
+}
+
+// release returns a slot to the free list. Dropping fn here both frees
+// the callback's captures promptly and prevents a stale closure from
+// ever firing out of a recycled slot.
+func (s *Scheduler) release(idx uint32) {
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.gen++
+	sl.pos = -1
+	sl.nextFree = s.free
+	s.free = int32(idx)
+}
+
+// less orders slots by firing time, then schedule order: a strict total
+// order, so the firing sequence is independent of the heap's shape.
+func (s *Scheduler) less(a, b uint32) bool {
+	sa, sb := &s.slots[a], &s.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (s *Scheduler) push(idx uint32) {
+	s.heap = append(s.heap, idx)
+	s.slots[idx].pos = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// popRoot removes and returns the minimum slot index.
+func (s *Scheduler) popRoot() uint32 {
+	h := s.heap
+	root := h[0]
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+		s.slots[h[0]].pos = 0
+	}
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return root
+}
+
+// remove deletes the heap entry at position i.
+func (s *Scheduler) remove(i int) {
+	h := s.heap
+	n := len(h) - 1
+	if i == n {
+		s.heap = h[:n]
+		return
+	}
+	moved := h[n]
+	h[i] = moved
+	s.slots[moved].pos = int32(i)
+	s.heap = h[:n]
+	s.siftDown(i)
+	if s.slots[moved].pos == int32(i) {
+		s.siftUp(i)
+	}
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !s.less(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		s.slots[h[i]].pos = int32(i)
+		i = parent
+	}
+	h[i] = idx
+	s.slots[idx].pos = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !s.less(h[min], idx) {
+			break
+		}
+		h[i] = h[min]
+		s.slots[h[i]].pos = int32(i)
+		i = min
+	}
+	h[i] = idx
+	s.slots[idx].pos = int32(i)
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"container/heap"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -68,8 +70,8 @@ func TestSchedulerCancel(t *testing.T) {
 	fired := false
 	e := s.At(after(time.Second), func() { fired = true })
 	s.Cancel(e)
-	s.Cancel(e) // double cancel is a no-op
-	s.Cancel(nil)
+	s.Cancel(e)       // double cancel is a no-op
+	s.Cancel(Event{}) // zero handle is inert
 	s.RunUntilIdle()
 	if fired {
 		t.Error("cancelled event fired")
@@ -82,7 +84,7 @@ func TestSchedulerCancel(t *testing.T) {
 func TestSchedulerCancelAmongMany(t *testing.T) {
 	s := NewScheduler()
 	var got []int
-	events := make([]*Event, 5)
+	events := make([]Event, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		events[i] = s.At(after(time.Duration(i+1)*time.Second), func() { got = append(got, i) })
@@ -98,6 +100,57 @@ func TestSchedulerCancelAmongMany(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("got %v, want %v", got, want)
 		}
+	}
+}
+
+// TestSchedulerCancelReschedulesIntoFreeSlot pins the free-list and
+// generation mechanics: a cancelled event's slot is recycled by the next
+// schedule, and the stale handle to the old occupant must not be able to
+// cancel (or report on) the new one.
+func TestSchedulerCancelReschedulesIntoFreeSlot(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(after(time.Second), func() { t.Error("cancelled event fired") })
+	s.Cancel(stale)
+	fired := false
+	fresh := s.At(after(2*time.Second), func() { fired = true })
+	if fresh.id != stale.id {
+		t.Fatalf("slot not recycled: fresh id %d, stale id %d", fresh.id, stale.id)
+	}
+	if fresh.gen == stale.gen {
+		t.Fatal("recycled slot kept its generation; stale handles would alias")
+	}
+	s.Cancel(stale) // stale handle aims at the recycled slot: must be a no-op
+	if stale.At() != simtime.Epoch {
+		t.Errorf("stale At() = %v, want epoch", stale.At())
+	}
+	if fresh.At() != after(2*time.Second) {
+		t.Errorf("fresh At() = %v, want t+2s", fresh.At())
+	}
+	s.RunUntilIdle()
+	if !fired {
+		t.Error("rescheduled event did not survive the stale cancel")
+	}
+}
+
+// TestSchedulerCancelHeadMidRun cancels the queue's head from inside a
+// running callback: the head's heap root slot is vacated while RunUntil
+// is iterating on it.
+func TestSchedulerCancelHeadMidRun(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	var b Event
+	s.At(after(1*time.Second), func() {
+		order = append(order, "a")
+		s.Cancel(b) // b is now the head of the queue
+	})
+	b = s.At(after(2*time.Second), func() { order = append(order, "b") })
+	s.At(after(3*time.Second), func() { order = append(order, "c") })
+	s.RunUntil(after(time.Minute))
+	if len(order) != 2 || order[0] != "a" || order[1] != "c" {
+		t.Errorf("order = %v, want [a c]", order)
+	}
+	if s.Now() != after(time.Minute) {
+		t.Errorf("Now() = %v, want t+1m", s.Now())
 	}
 }
 
@@ -196,12 +249,225 @@ func TestSchedulerDeterministicOrderProperty(t *testing.T) {
 	}
 }
 
+// oracleQueue is the scheduler's original container/heap event queue,
+// kept here as the ordering oracle for the specialized 4-ary queue: both
+// order by (at, seq), so any random workload must fire identically.
+type oracleEvent struct {
+	at    simtime.Instant
+	seq   uint64
+	index int
+	fn    func()
+}
+
+type oracleQueue []*oracleEvent
+
+func (q oracleQueue) Len() int { return len(q) }
+func (q oracleQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oracleQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *oracleQueue) Push(x any) {
+	e := x.(*oracleEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *oracleQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+type oracleScheduler struct {
+	now   simtime.Instant
+	queue oracleQueue
+	seq   uint64
+}
+
+func (s *oracleScheduler) at(at simtime.Instant, fn func()) *oracleEvent {
+	e := &oracleEvent{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+func (s *oracleScheduler) cancel(e *oracleEvent) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+func (s *oracleScheduler) run() {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*oracleEvent)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// TestSchedulerMatchesHeapOracle drives the specialized queue and the
+// original container/heap implementation through identical randomized
+// workloads — bursts of schedules (including ties), cancellations of
+// random pending events, and follow-up events scheduled from inside
+// callbacks — and requires bit-identical firing order. This is the
+// determinism bar the golden-trace battery relies on.
+func TestSchedulerMatchesHeapOracle(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*2654435761 + 1))
+		type op struct {
+			delayMs  int
+			cancelOf int // index of an earlier op to cancel, -1 none
+			chainMs  int // reschedule delay from inside the callback, 0 none
+		}
+		ops := make([]op, 200)
+		for i := range ops {
+			ops[i].delayMs = rng.Intn(50) // dense: plenty of (at) ties
+			ops[i].cancelOf = -1
+			if i > 0 && rng.Intn(4) == 0 {
+				ops[i].cancelOf = rng.Intn(i)
+			}
+			if rng.Intn(5) == 0 {
+				ops[i].chainMs = 1 + rng.Intn(20)
+			}
+		}
+
+		// New queue.
+		var gotOrder []int
+		{
+			s := NewScheduler()
+			events := make([]Event, len(ops))
+			for i, o := range ops {
+				i, o := i, o
+				events[i] = s.At(after(time.Duration(o.delayMs)*time.Millisecond), func() {
+					gotOrder = append(gotOrder, i)
+					if o.chainMs != 0 {
+						s.After(simtime.FromDuration(time.Duration(o.chainMs)*time.Millisecond), func() {
+							gotOrder = append(gotOrder, -i)
+						})
+					}
+				})
+				if o.cancelOf >= 0 {
+					s.Cancel(events[o.cancelOf])
+				}
+			}
+			s.RunUntilIdle()
+		}
+
+		// Oracle.
+		var wantOrder []int
+		{
+			s := &oracleScheduler{}
+			events := make([]*oracleEvent, len(ops))
+			for i, o := range ops {
+				i, o := i, o
+				events[i] = s.at(after(time.Duration(o.delayMs)*time.Millisecond), func() {
+					wantOrder = append(wantOrder, i)
+					if o.chainMs != 0 {
+						s.at(s.now+simtime.FromDuration(time.Duration(o.chainMs)*time.Millisecond), func() {
+							wantOrder = append(wantOrder, -i)
+						})
+					}
+				})
+				if o.cancelOf >= 0 {
+					s.cancel(events[o.cancelOf])
+				}
+			}
+			s.run()
+		}
+
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("trial %d: fired %d events, oracle fired %d", trial, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("trial %d: firing order diverges from heap oracle at %d: got %d, want %d",
+					trial, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}
+
 func TestEventAt(t *testing.T) {
 	s := NewScheduler()
 	e := s.At(after(5*time.Second), func() {})
 	if e.At() != after(5*time.Second) {
 		t.Errorf("At() = %v", e.At())
 	}
+	s.RunUntilIdle()
+	if e.At() != simtime.Epoch {
+		t.Errorf("fired handle At() = %v, want epoch", e.At())
+	}
+	if (Event{}).At() != simtime.Epoch {
+		t.Error("zero Event At() should report the epoch")
+	}
+}
+
+// TestSchedulerStepZeroAllocSteadyState is the allocation regression
+// guard CI runs: once the slot and heap arrays have reached their
+// high-water mark, scheduling and firing events must not allocate.
+func TestSchedulerStepZeroAllocSteadyState(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm up past the high-water mark: a standing queue plus churn.
+	for i := 0; i < 256; i++ {
+		s.After(simtime.FromDuration(time.Duration(i+1)*time.Microsecond), fn)
+	}
+	for i := 0; i < 256; i++ {
+		s.After(simtime.FromDuration(time.Millisecond), fn)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(simtime.FromDuration(time.Millisecond), fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state After+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSchedulerCancelZeroAllocSteadyState(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(simtime.FromDuration(time.Duration(i+1)*time.Microsecond), fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e := s.After(simtime.FromDuration(time.Millisecond), fn)
+		s.Cancel(e)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state At+Cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSchedulerThroughput is the headline scheduler metric tracked
+// in BENCH_pr3.json: steady-state events scheduled and fired against a
+// standing queue, reported as events/sec.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.After(simtime.FromDuration(time.Duration(i+1)*time.Microsecond), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(simtime.FromDuration(time.Millisecond), fn)
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
 func BenchmarkSchedulerEventThroughput(b *testing.B) {
@@ -224,5 +490,19 @@ func BenchmarkSchedulerDeepQueue(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.After(simtime.FromDuration(time.Millisecond), func() {})
 		s.Step()
+	}
+}
+
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		s.After(simtime.FromDuration(time.Duration(i)*time.Microsecond), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.After(simtime.FromDuration(time.Millisecond), fn)
+		s.Cancel(e)
 	}
 }

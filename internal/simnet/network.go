@@ -25,7 +25,10 @@ type Packet struct {
 	SentAt   simtime.Instant
 }
 
-// Handler consumes datagrams delivered to a registered endpoint.
+// Handler consumes datagrams delivered to a registered endpoint. The
+// Payload slice is only valid for the duration of the callback: the
+// network recycles delivery buffers, so a handler that needs the bytes
+// later must copy them.
 type Handler func(pkt Packet)
 
 // Verdict is a middlebox's decision about one packet.
@@ -37,6 +40,8 @@ type Verdict struct {
 	// Duplicate delivers a second copy of the packet after an
 	// additional resample of the link delay (replay/duplication
 	// attacks; the wire layer's anti-replay window must absorb it).
+	// The copy carries its own payload buffer, so a handler mutating
+	// or recycling the original's bytes cannot corrupt the replay.
 	Duplicate bool
 }
 
@@ -45,7 +50,9 @@ type Verdict struct {
 type Middlebox interface {
 	// Process inspects a packet at the moment it is sent. now is the
 	// current reference time (the attacker runs outside the TCB and has
-	// an accurate clock of its own).
+	// an accurate clock of its own). Boxes see every sent packet,
+	// including ones the lossy link subsequently drops; the Payload
+	// slice must not be retained past the call.
 	Process(now simtime.Instant, pkt Packet) Verdict
 }
 
@@ -85,9 +92,29 @@ type Network struct {
 	links       map[[2]Addr]Link
 	boxes       []Middlebox
 
-	sent      int
-	delivered int
-	dropped   int
+	sent       int
+	delivered  int
+	lostLink   int // dropped by a lossy link in transit
+	droppedBox int // dropped by a middlebox verdict
+	unrouted   int // delivered to an address with no handler
+
+	// freePending recycles in-flight delivery records (and their payload
+	// buffers) so steady-state delivery allocates nothing; the pool's
+	// size is bounded by the maximum number of simultaneously in-flight
+	// packets.
+	freePending *pendingPacket
+}
+
+// pendingPacket is one scheduled delivery. Its fire closure is built
+// once, when the record first enters the pool, and reused for every
+// delivery the record carries afterwards; buf is the record's owned
+// payload storage.
+type pendingPacket struct {
+	n    *Network
+	pkt  Packet
+	buf  []byte
+	fire func()
+	next *pendingPacket
 }
 
 // New creates a network on the scheduler with the given default link
@@ -125,7 +152,8 @@ func (n *Network) AttachMiddlebox(b Middlebox) {
 
 // Send injects a datagram. Semantics are UDP-like: no delivery
 // guarantee, no error to the sender on loss or unknown destination.
-// The payload is not copied; callers must not reuse the buffer.
+// The payload is copied into a network-owned buffer when a delivery is
+// scheduled, so the caller may reuse its buffer as soon as Send returns.
 func (n *Network) Send(from, to Addr, payload []byte) {
 	n.sent++
 	now := n.sched.Now()
@@ -136,7 +164,15 @@ func (n *Network) Send(from, to Addr, payload []byte) {
 		link = n.defaultLink
 	}
 	if link.LossProb > 0 && n.rng.Float64() < link.LossProb {
-		n.dropped++
+		// The link loses the packet in transit, but an attacker
+		// middlebox sits on the path and still observes it — hiding
+		// lossy-link traffic from the attacker would weaken the threat
+		// model. The verdicts are moot: the packet is gone either way,
+		// and the loss is accounted to the link, not the box.
+		for _, b := range n.boxes {
+			b.Process(now, pkt)
+		}
+		n.lostLink++
 		return
 	}
 	delay := n.sampleDelay(link)
@@ -144,7 +180,7 @@ func (n *Network) Send(from, to Addr, payload []byte) {
 	for _, b := range n.boxes {
 		v := b.Process(now, pkt)
 		if v.Drop {
-			n.dropped++
+			n.droppedBox++
 			return
 		}
 		if v.ExtraDelay > 0 {
@@ -154,6 +190,9 @@ func (n *Network) Send(from, to Addr, payload []byte) {
 	}
 	n.deliver(pkt, delay)
 	if duplicate {
+		// deliver copies the payload per scheduled delivery, so the
+		// duplicate owns its bytes: a handler that mutates or recycles
+		// the original's buffer cannot corrupt the replayed copy.
 		n.deliver(pkt, delay+n.sampleDelay(link))
 	}
 }
@@ -171,19 +210,53 @@ func (n *Network) sampleDelay(link Link) time.Duration {
 	return delay
 }
 
+// deliver schedules one delivery through a pooled pending-packet
+// record: the payload is copied into the record's own buffer and the
+// record's pre-built fire closure is handed to the scheduler, so the
+// steady-state path allocates nothing.
 func (n *Network) deliver(pkt Packet, delay time.Duration) {
-	n.sched.After(simtime.FromDuration(delay), func() {
-		h, ok := n.handlers[pkt.To]
-		if !ok {
-			n.dropped++
-			return
-		}
+	pp := n.freePending
+	if pp == nil {
+		pp = &pendingPacket{n: n}
+		pp.fire = pp.deliverNow
+	} else {
+		n.freePending = pp.next
+		pp.next = nil
+	}
+	pp.buf = append(pp.buf[:0], pkt.Payload...)
+	pp.pkt = pkt
+	pp.pkt.Payload = pp.buf
+	n.sched.After(simtime.FromDuration(delay), pp.fire)
+}
+
+// deliverNow hands the packet to its destination handler and returns
+// the record to the pool. The record is recycled only after the handler
+// returns: a handler that sends (scheduling new deliveries) re-enters
+// deliver while this record's payload is still live.
+func (pp *pendingPacket) deliverNow() {
+	n := pp.n
+	pkt := pp.pkt
+	if h, ok := n.handlers[pkt.To]; ok {
 		n.delivered++
 		h(pkt)
-	})
+	} else {
+		n.unrouted++
+	}
+	pp.pkt = Packet{}
+	pp.next = n.freePending
+	n.freePending = pp
 }
 
 // Stats reports cumulative sent/delivered/dropped packet counts.
+// dropped aggregates every way a packet can die; DropStats separates
+// them.
 func (n *Network) Stats() (sent, delivered, dropped int) {
-	return n.sent, n.delivered, n.dropped
+	return n.sent, n.delivered, n.lostLink + n.droppedBox + n.unrouted
+}
+
+// DropStats breaks the drop count down by cause: lostLink counts lossy
+// links losing packets in transit, droppedBox counts middlebox Drop
+// verdicts, and unrouted counts deliveries to unregistered addresses.
+func (n *Network) DropStats() (lostLink, droppedBox, unrouted int) {
+	return n.lostLink, n.droppedBox, n.unrouted
 }

@@ -198,6 +198,130 @@ func TestMiddleboxDelaysAccumulate(t *testing.T) {
 	}
 }
 
+// TestLossSeparatedFromMiddleboxDrops pins the Send accounting fix:
+// middleboxes observe every sent packet — including ones the lossy link
+// swallows — and Stats no longer conflates link loss with middlebox
+// drops.
+func TestLossSeparatedFromMiddleboxDrops(t *testing.T) {
+	sched, net := newNet(t, Link{Base: time.Millisecond, LossProb: 0.5})
+	box := &delayBox{match: func(Packet) bool { return false }}
+	net.AttachMiddlebox(box)
+	net.Register(2, func(Packet) {})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		net.Send(1, 2, []byte("x"))
+	}
+	sched.RunUntilIdle()
+	if box.seen != n {
+		t.Errorf("middlebox saw %d of %d packets; lossy-link traffic must be observable", box.seen, n)
+	}
+	lostLink, droppedBox, unrouted := net.DropStats()
+	if droppedBox != 0 || unrouted != 0 {
+		t.Errorf("droppedBox = %d, unrouted = %d, want 0/0", droppedBox, unrouted)
+	}
+	if lostLink < n/2-100 || lostLink > n/2+100 {
+		t.Errorf("lostLink = %d of %d with 50%% loss", lostLink, n)
+	}
+	sent, delivered, dropped := net.Stats()
+	if sent != n || delivered+dropped != n || dropped != lostLink {
+		t.Errorf("stats inconsistent: %d/%d/%d, lostLink %d", sent, delivered, dropped, lostLink)
+	}
+}
+
+func TestDropStatsSeparatesBoxDrops(t *testing.T) {
+	sched, net := newNet(t, fixedLink(time.Millisecond))
+	net.AttachMiddlebox(&dropBox{match: func(p Packet) bool { return p.To == 2 }})
+	net.Register(2, func(Packet) {})
+	net.Register(3, func(Packet) {})
+	net.Send(1, 2, []byte("x"))
+	net.Send(1, 3, []byte("y"))
+	net.Send(1, 99, []byte("z"))
+	sched.RunUntilIdle()
+	lostLink, droppedBox, unrouted := net.DropStats()
+	if lostLink != 0 || droppedBox != 1 || unrouted != 1 {
+		t.Errorf("DropStats = %d/%d/%d, want 0/1/1", lostLink, droppedBox, unrouted)
+	}
+	if _, _, dropped := net.Stats(); dropped != 2 {
+		t.Errorf("aggregate dropped = %d, want 2", dropped)
+	}
+}
+
+// TestSenderMayReuseBufferAfterSend pins the pooled-delivery contract:
+// the network copies the payload when scheduling a delivery, so a sender
+// overwriting its buffer right after Send cannot corrupt the datagram.
+func TestSenderMayReuseBufferAfterSend(t *testing.T) {
+	sched, net := newNet(t, fixedLink(time.Millisecond))
+	var got []byte
+	net.Register(2, func(p Packet) { got = append([]byte(nil), p.Payload...) })
+	buf := []byte("original")
+	net.Send(1, 2, buf)
+	copy(buf, "clobber!")
+	sched.RunUntilIdle()
+	if string(got) != "original" {
+		t.Errorf("delivered %q; sender reuse corrupted an in-flight packet", got)
+	}
+}
+
+// TestDuplicatePayloadIsolated pins the duplicate-copy fix: a handler
+// that mutates the payload it received must not corrupt the replayed
+// copy, which arrives later from the same Send.
+func TestDuplicatePayloadIsolated(t *testing.T) {
+	sched, net := newNet(t, fixedLink(time.Millisecond))
+	net.AttachMiddlebox(dupBox{})
+	var got []string
+	net.Register(2, func(p Packet) {
+		got = append(got, string(p.Payload))
+		for i := range p.Payload {
+			p.Payload[i] = 'X' // hostile handler scribbles on its buffer
+		}
+	})
+	net.Send(1, 2, []byte("payload"))
+	sched.RunUntilIdle()
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(got))
+	}
+	if got[0] != "payload" || got[1] != "payload" {
+		t.Errorf("deliveries = %q; duplicate shared the original's buffer", got)
+	}
+}
+
+// TestDeliverZeroAllocSteadyState is the allocation regression guard CI
+// runs: once the pending-packet pool is warm, Send+Step must not
+// allocate.
+func TestDeliverZeroAllocSteadyState(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched, sim.NewRNG(1), DefaultLink())
+	net.Register(2, func(Packet) {})
+	payload := make([]byte, 64)
+	for i := 0; i < 256; i++ {
+		net.Send(1, 2, payload)
+		sched.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		net.Send(1, 2, payload)
+		sched.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Send+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNetworkDelivery is the headline network metric tracked in
+// BENCH_pr3.json: one jittered send and its delivery per iteration.
+func BenchmarkNetworkDelivery(b *testing.B) {
+	sched := sim.NewScheduler()
+	net := New(sched, sim.NewRNG(1), DefaultLink())
+	net.Register(2, func(Packet) {})
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(1, 2, payload)
+		sched.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+}
+
 func BenchmarkSendDeliver(b *testing.B) {
 	sched := sim.NewScheduler()
 	net := New(sched, sim.NewRNG(1), DefaultLink())

@@ -116,6 +116,17 @@ func (p *Platform) loop() {
 	}
 }
 
+// payloadPool recycles received-datagram buffers between the read and
+// dispatch goroutines. Handlers must not retain the payload past the
+// callback (the engine copies what it needs while opening the seal),
+// matching the simulated network's delivery-buffer contract.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
 func (p *Platform) readLoop() {
 	defer close(p.readDone)
 	buf := make([]byte, 64*1024)
@@ -124,13 +135,15 @@ func (p *Platform) readLoop() {
 		if err != nil {
 			return // closed
 		}
-		payload := make([]byte, n)
-		copy(payload, buf[:n])
+		bp := payloadPool.Get().(*[]byte)
+		payload := append((*bp)[:0], buf[:n]...)
+		*bp = payload
 		sender := p.identify(from)
 		p.post(func() {
 			if p.msgHandler != nil {
 				p.msgHandler(sender, payload)
 			}
+			payloadPool.Put(bp)
 		})
 	}
 }

@@ -72,10 +72,10 @@ type Message struct {
 	TimeNanos int64
 }
 
-// marshaledSize is the fixed encoded size: kind(1) + seq(8) + sleep(8) +
+// MarshaledSize is the fixed encoded size: kind(1) + seq(8) + sleep(8) +
 // time(8). A fixed size means message kinds are indistinguishable by
 // length on the wire, as with the paper's encrypted UDP datagrams.
-const marshaledSize = 1 + 8 + 8 + 8
+const MarshaledSize = 1 + 8 + 8 + 8
 
 // ErrTruncated is returned when a datagram is too short to decode.
 var ErrTruncated = errors.New("wire: truncated message")
@@ -83,19 +83,26 @@ var ErrTruncated = errors.New("wire: truncated message")
 // ErrBadKind is returned when a datagram carries an unknown kind.
 var ErrBadKind = errors.New("wire: unknown message kind")
 
-// Marshal encodes the message into a fixed-size buffer.
+// Marshal encodes the message into a fresh fixed-size buffer.
 func (m Message) Marshal() []byte {
-	b := make([]byte, marshaledSize)
+	b := make([]byte, MarshaledSize)
+	m.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes the message into b, which must be at least
+// MarshaledSize bytes. The allocation-free form of Marshal.
+func (m Message) MarshalInto(b []byte) {
+	_ = b[MarshaledSize-1] // bounds hint
 	b[0] = byte(m.Kind)
 	binary.BigEndian.PutUint64(b[1:], m.Seq)
 	binary.BigEndian.PutUint64(b[9:], uint64(m.Sleep))
 	binary.BigEndian.PutUint64(b[17:], uint64(m.TimeNanos))
-	return b
 }
 
 // Unmarshal decodes a message produced by Marshal.
 func Unmarshal(b []byte) (Message, error) {
-	if len(b) < marshaledSize {
+	if len(b) < MarshaledSize {
 		return Message{}, ErrTruncated
 	}
 	m := Message{

@@ -14,6 +14,15 @@ const KeySize = 32
 // nonceSize is the AES-GCM nonce size: 4-byte sender ID + 8-byte counter.
 const nonceSize = 12
 
+// gcmOverhead is the AES-GCM authentication tag size. newAEAD asserts
+// the constructed AEAD agrees.
+const gcmOverhead = 16
+
+// SealedSize is the exact on-the-wire size of a sealed protocol
+// datagram: nonce || ciphertext || tag. Fixed because messages are
+// fixed-size (see MarshaledSize); useful for sizing reusable buffers.
+const SealedSize = nonceSize + MarshaledSize + gcmOverhead
+
 // Errors returned by Open.
 var (
 	// ErrAuthFailed is returned when a datagram fails AEAD
@@ -32,6 +41,11 @@ type Sealer struct {
 	aead     cipher.AEAD
 	senderID uint32
 	counter  uint64
+	// nonce/plain are per-sealer scratch so the append-style hot path
+	// never allocates; single-goroutine use is already the type's
+	// contract (the counter would race first).
+	nonce [nonceSize]byte
+	plain [MarshaledSize]byte
 }
 
 // NewSealer creates a sealer for the given 32-byte pre-shared cluster key
@@ -50,15 +64,25 @@ func (s *Sealer) SenderID() uint32 { return s.senderID }
 
 // Seal encrypts and authenticates a message. The output is
 // nonce || ciphertext || tag, self-contained for datagram transport.
+// It allocates a fresh buffer per call; hot paths that can recycle a
+// buffer should use SealAppend.
 func (s *Sealer) Seal(m Message) []byte {
+	return s.SealAppend(make([]byte, 0, SealedSize), m)
+}
+
+// SealAppend encrypts and authenticates a message, appending the sealed
+// datagram (nonce || ciphertext || tag, exactly SealedSize bytes) to dst
+// and returning the extended slice. When dst has SealedSize spare
+// capacity the call performs no heap allocation, which is what keeps the
+// simulation's dispatch paths allocation-free: callers hold one scratch
+// buffer per endpoint and reseal into it for every send.
+func (s *Sealer) SealAppend(dst []byte, m Message) []byte {
 	s.counter++
-	nonce := make([]byte, nonceSize)
-	binary.BigEndian.PutUint32(nonce[:4], s.senderID)
-	binary.BigEndian.PutUint64(nonce[4:], s.counter)
-	plain := m.Marshal()
-	out := make([]byte, 0, nonceSize+len(plain)+s.aead.Overhead())
-	out = append(out, nonce...)
-	return s.aead.Seal(out, nonce, plain, nil)
+	binary.BigEndian.PutUint32(s.nonce[:4], s.senderID)
+	binary.BigEndian.PutUint64(s.nonce[4:], s.counter)
+	m.MarshalInto(s.plain[:])
+	dst = append(dst, s.nonce[:]...)
+	return s.aead.Seal(dst, s.nonce[:], s.plain[:], nil)
 }
 
 // Opener decrypts incoming datagrams and rejects replays. One Opener
@@ -79,15 +103,27 @@ func NewOpener(key []byte) (*Opener, error) {
 }
 
 // Open authenticates and decrypts a datagram produced by Seal, returning
-// the message and the claimed (and authenticated) sender identity.
+// the message and the claimed (and authenticated) sender identity. It
+// lets the AEAD allocate the plaintext buffer; hot paths should hold a
+// scratch buffer and use OpenInto.
 func (o *Opener) Open(b []byte) (Message, uint32, error) {
+	return o.OpenInto(nil, b)
+}
+
+// OpenInto is Open with a caller-provided plaintext scratch buffer: the
+// decrypted plaintext is written into scratch's spare capacity (scratch
+// may be nil, in which case a buffer is allocated). With cap(scratch) >=
+// MarshaledSize the steady-state path performs no heap allocation. The
+// plaintext never escapes — the returned Message is a value — so one
+// scratch buffer per receiving endpoint suffices.
+func (o *Opener) OpenInto(scratch []byte, b []byte) (Message, uint32, error) {
 	if len(b) < nonceSize+o.aead.Overhead() {
 		return Message{}, 0, ErrAuthFailed
 	}
 	nonce := b[:nonceSize]
 	sender := binary.BigEndian.Uint32(nonce[:4])
 	counter := binary.BigEndian.Uint64(nonce[4:])
-	plain, err := o.aead.Open(nil, nonce, b[nonceSize:], nil)
+	plain, err := o.aead.Open(scratch[:0], nonce, b[nonceSize:], nil)
 	if err != nil {
 		return Message{}, 0, ErrAuthFailed
 	}
@@ -117,6 +153,9 @@ func newAEAD(key []byte) (cipher.AEAD, error) {
 	aead, err := cipher.NewGCM(block)
 	if err != nil {
 		return nil, fmt.Errorf("wire: new GCM: %w", err)
+	}
+	if aead.Overhead() != gcmOverhead {
+		return nil, fmt.Errorf("wire: unexpected AEAD overhead %d", aead.Overhead())
 	}
 	return aead, nil
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -56,7 +57,7 @@ func TestMessageFixedSize(t *testing.T) {
 }
 
 func TestUnmarshalErrors(t *testing.T) {
-	if _, err := Unmarshal(make([]byte, marshaledSize-1)); !errors.Is(err, ErrTruncated) {
+	if _, err := Unmarshal(make([]byte, MarshaledSize-1)); !errors.Is(err, ErrTruncated) {
 		t.Errorf("short buffer err = %v, want ErrTruncated", err)
 	}
 	bad := Message{Kind: KindTimeRequest}.Marshal()
@@ -253,6 +254,146 @@ func TestReplayWindowUnit(t *testing.T) {
 	}
 	if w.accept(136) {
 		t.Error("counter exactly 64 behind the new max must be rejected")
+	}
+}
+
+// TestReplayWindowShiftBoundary pins the window-advance boundary: a
+// forward jump of exactly 64 must wipe all history (every retained bit
+// would fall out of the window), while a jump of 63 keeps the oldest
+// bit alive.
+func TestReplayWindowShiftBoundary(t *testing.T) {
+	// Shift of exactly 63: counter 1's bit survives at the window edge.
+	var w replayWindow
+	if !w.accept(1) || !w.accept(64) {
+		t.Fatal("setup accepts failed")
+	}
+	if w.accept(1) {
+		t.Error("counter 1 is 63 behind max 64: replay must still be remembered")
+	}
+	if !w.accept(2) || w.accept(2) {
+		t.Error("unseen counter 2 at 62 behind: accept exactly once")
+	}
+	// Shift of exactly 64: history is wiped, and everything it covered is
+	// now too old to verify anyway.
+	w = replayWindow{}
+	if !w.accept(1) || !w.accept(65) {
+		t.Fatal("setup accepts failed")
+	}
+	if w.accept(1) {
+		t.Error("counter 1 is exactly 64 behind max 65: must be rejected as too old")
+	}
+	if !w.accept(2) || w.accept(2) {
+		t.Error("counter 2 at 63 behind the new max: accept exactly once")
+	}
+	if w.accept(65) {
+		t.Error("max itself must be remembered across the shift")
+	}
+}
+
+// TestReplayWindowPermutationProperty: any delivery order of a burst of
+// 64 consecutive counters — the full window width — is accepted exactly
+// once each, regardless of how the adversary reorders the datagrams.
+func TestReplayWindowPermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		start := rng.Uint64()%1000 + 1
+		perm := rng.Perm(64)
+		var w replayWindow
+		for i, p := range perm {
+			c := start + uint64(p)
+			if !w.accept(c) {
+				t.Fatalf("trial %d: counter %d (pos %d of %v) rejected on first delivery", trial, c, i, perm)
+			}
+		}
+		for _, p := range rng.Perm(64) {
+			c := start + uint64(p)
+			if w.accept(c) {
+				t.Fatalf("trial %d: counter %d accepted twice", trial, c)
+			}
+		}
+	}
+}
+
+func TestSealedSizeExact(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	sealed := sealer.Seal(Message{Kind: KindTimeRequest, Seq: 1})
+	if len(sealed) != SealedSize {
+		t.Errorf("Seal output = %d bytes, SealedSize = %d", len(sealed), SealedSize)
+	}
+	prefix := []byte("prefix")
+	out := sealer.SealAppend(prefix, Message{Kind: KindTimeRequest, Seq: 2})
+	if len(out) != len(prefix)+SealedSize || string(out[:len(prefix)]) != "prefix" {
+		t.Errorf("SealAppend must append exactly SealedSize bytes after dst")
+	}
+	opener, _ := NewOpener(testKey())
+	if _, _, err := opener.Open(out[len(prefix):]); err != nil {
+		t.Errorf("appended datagram failed to open: %v", err)
+	}
+}
+
+func TestMarshalIntoMatchesMarshal(t *testing.T) {
+	m := Message{Kind: KindChimerReport, Seq: 3, Sleep: 12345, TimeNanos: -9}
+	buf := make([]byte, MarshaledSize)
+	m.MarshalInto(buf)
+	if !bytes.Equal(buf, m.Marshal()) {
+		t.Error("MarshalInto and Marshal disagree")
+	}
+}
+
+// TestSealAppendZeroAllocSteadyState is the allocation regression guard
+// CI runs for the seal path.
+func TestSealAppendZeroAllocSteadyState(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	msg := Message{Kind: KindTimeRequest, Seq: 7, Sleep: time.Second}
+	buf := make([]byte, 0, SealedSize)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = sealer.SealAppend(buf[:0], msg)
+	})
+	if allocs != 0 {
+		t.Errorf("SealAppend into scratch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestOpenIntoZeroAllocSteadyState is the allocation regression guard
+// CI runs for the open path (the per-sender window is allocated on the
+// warmup call).
+func TestOpenIntoZeroAllocSteadyState(t *testing.T) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	const runs = 1000
+	sealed := make([][]byte, runs+2)
+	for i := range sealed {
+		sealed[i] = sealer.Seal(Message{Kind: KindTimeRequest, Seq: uint64(i)})
+	}
+	scratch := make([]byte, 0, MarshaledSize)
+	next := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		if _, _, err := opener.OpenInto(scratch, sealed[next]); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Errorf("OpenInto with scratch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSealOpenRoundtrip is the headline wire metric tracked in
+// BENCH_pr3.json: one SealAppend + OpenInto per iteration, the exact
+// datagram path the engine dispatch loop runs.
+func BenchmarkSealOpenRoundtrip(b *testing.B) {
+	sealer, _ := NewSealer(testKey(), 1)
+	opener, _ := NewOpener(testKey())
+	msg := Message{Kind: KindTimeRequest, Seq: 7, Sleep: time.Second}
+	buf := make([]byte, 0, SealedSize)
+	scratch := make([]byte, 0, MarshaledSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sealer.SealAppend(buf[:0], msg)
+		if _, _, err := opener.OpenInto(scratch, buf); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
