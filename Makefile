@@ -28,15 +28,15 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Tracked performance baseline: the three hot-path micro-benchmarks at
+# Tracked performance baseline: the four hot-path micro-benchmarks at
 # full benchtime plus one iteration of every figure-regeneration
-# benchmark, converted to JSON. The output (BENCH_pr3.json) is checked
+# benchmark, converted to JSON. The output (BENCH_pr4.json) is checked
 # in so later PRs can diff ns/op, allocs/op, and events/sec against it.
-BENCH_JSON_OUT ?= BENCH_pr3.json
+BENCH_JSON_OUT ?= BENCH_pr4.json
 
 bench-json:
-	{ $(GO) test ./internal/sim ./internal/simnet ./internal/wire -run='^$$' \
-		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip)$$' -benchmem \
+	{ $(GO) test ./internal/sim ./internal/simnet ./internal/wire ./internal/serve -run='^$$' \
+		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip|BenchmarkServeDispatch)$$' -benchmem \
 	  && $(GO) test . -run='^$$' -bench=. -benchtime=1x -benchmem ; } \
 	| $(GO) run ./cmd/bench-json -out $(BENCH_JSON_OUT)
 

@@ -1,0 +1,88 @@
+package triadtime
+
+import (
+	"fmt"
+
+	"triadtime/internal/wire"
+)
+
+// The client side of the serving protocol (see internal/serve): sealed
+// TimeRequest/TimeResponse datagrams over the node's client-facing UDP
+// endpoint. These aliases and helpers are the public surface external
+// consumers use — the wire package itself is internal.
+
+// TimeRequest is a client's timestamp request.
+type TimeRequest = wire.TimeRequest
+
+// TimeResponse is the endpoint's answer.
+type TimeResponse = wire.TimeResponse
+
+// StampStatus is a TimeResponse's outcome code.
+type StampStatus = wire.StampStatus
+
+// Serving protocol constants, re-exported from the wire layer.
+const (
+	// FlagWantToken asks the endpoint to stamp the request's document
+	// hash into an RFC3161-style token (requires a TSA-enabled endpoint).
+	FlagWantToken = wire.FlagWantToken
+	// StatusOK: the response carries trusted time.
+	StatusOK = wire.StatusOK
+	// StatusOverloaded: the request was shed by admission control;
+	// back off and retry.
+	StatusOverloaded = wire.StatusOverloaded
+	// StatusUnavailable: the node cannot serve trusted time right now
+	// (tainted or calibrating).
+	StatusUnavailable = wire.StatusUnavailable
+)
+
+// ClientSealer seals timestamp requests under the endpoint's client
+// key. Not safe for concurrent use; one sealer per sending goroutine
+// with a distinct senderID each.
+type ClientSealer struct {
+	s     *wire.Sealer
+	plain [wire.TimeRequestSize]byte
+}
+
+// NewClientSealer creates a sealer with the given wire identity.
+func NewClientSealer(key []byte, senderID uint32) (*ClientSealer, error) {
+	s, err := wire.NewSealer(key, senderID)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: %w", err)
+	}
+	return &ClientSealer{s: s}, nil
+}
+
+// SealRequest appends the sealed request datagram to dst.
+func (c *ClientSealer) SealRequest(dst []byte, req TimeRequest) []byte {
+	req.MarshalInto(c.plain[:])
+	return c.s.SealDatagramAppend(dst, c.plain[:])
+}
+
+// ClientOpener authenticates and decodes response datagrams. Not safe
+// for concurrent use (it tracks a replay window).
+type ClientOpener struct {
+	o       *wire.Opener
+	scratch [wire.TimeResponseSize + wire.SealedOverhead]byte
+}
+
+// NewClientOpener creates an opener for the endpoint's client key.
+func NewClientOpener(key []byte) (*ClientOpener, error) {
+	o, err := wire.NewOpener(key)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: %w", err)
+	}
+	return &ClientOpener{o: o}, nil
+}
+
+// OpenResponse authenticates one datagram and decodes the response.
+func (c *ClientOpener) OpenResponse(datagram []byte) (TimeResponse, error) {
+	plain, _, err := c.o.OpenDatagramInto(c.scratch[:0], datagram)
+	if err != nil {
+		return TimeResponse{}, fmt.Errorf("triadtime: %w", err)
+	}
+	resp, err := wire.UnmarshalTimeResponse(plain)
+	if err != nil {
+		return TimeResponse{}, fmt.Errorf("triadtime: %w", err)
+	}
+	return resp, nil
+}

@@ -2,12 +2,12 @@
 // machine-readable JSON baseline. The repo's `make bench-json` target
 // pipes the tracked micro-benchmarks (scheduler, network delivery,
 // seal/open) and the figure-regeneration benchmarks through it to
-// produce BENCH_pr3.json, the checked-in performance baseline later
+// produce BENCH_pr4.json, the checked-in performance baseline later
 // PRs diff against.
 //
 // Usage:
 //
-//	go test -bench=... -benchmem | bench-json -out BENCH_pr3.json
+//	go test -bench=... -benchmem | bench-json -out BENCH_pr4.json
 //
 // Lines that are not benchmark results (figure summaries, pass/fail
 // footers) are ignored; goos/goarch/cpu/pkg headers are captured as

@@ -1,0 +1,253 @@
+// Command triad-loadgen drives a live client-serving endpoint (a
+// triad-node started with -serve) with sealed TimeRequest traffic and
+// reports achieved throughput, response mix, and round-trip latency
+// quantiles — the live counterpart of the simulation's load sweep
+// (triad-sim -fig load).
+//
+// Example, 50k req/s for 10 seconds from 32 virtual clients:
+//
+//	triad-loadgen -target localhost:7201 -key $SERVE_KEY \
+//	    -rate 50000 -clients 32 -duration 10s
+package main
+
+import (
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"triadtime/internal/metrics"
+	"triadtime/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "triad-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	target     string
+	key        []byte
+	senderID   uint32
+	clients    int
+	rate       float64
+	duration   time.Duration
+	tokenEvery int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("triad-loadgen", flag.ContinueOnError)
+	target := fs.String("target", "", "serving endpoint host:port (required)")
+	keyHex := fs.String("key", "", "client-traffic pre-shared key, 64 hex characters (required)")
+	id := fs.Uint("id", 9001, "this generator's wire sender identity")
+	clients := fs.Int("clients", 16, "virtual client IDs to spread requests over")
+	rate := fs.Float64("rate", 50000, "offered load, requests/second")
+	duration := fs.Duration("duration", 5*time.Second, "sending window")
+	tokenEvery := fs.Int("token-every", 0, "request a timestamp token on every Nth request (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return errors.New("-target is required")
+	}
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || len(key) != wire.KeySize {
+		return fmt.Errorf("-key must be %d hex characters", 2*wire.KeySize)
+	}
+	if *clients <= 0 || *rate <= 0 || *duration <= 0 {
+		return errors.New("-clients, -rate and -duration must be positive")
+	}
+	rep, err := generate(config{
+		target:     *target,
+		key:        key,
+		senderID:   uint32(*id),
+		clients:    *clients,
+		rate:       *rate,
+		duration:   *duration,
+		tokenEvery: *tokenEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.render())
+	return nil
+}
+
+// report is one generation run's outcome.
+type report struct {
+	cfg      config
+	elapsed  time.Duration
+	sent     uint64
+	ok       uint64
+	shed     uint64
+	unavail  uint64
+	tokens   uint64
+	latency  metrics.HistogramSnapshot
+	sentRate float64
+	okRate   float64
+}
+
+func (r report) render() string {
+	lost := r.sent - r.ok - r.shed - r.unavail
+	return fmt.Sprintf(
+		"offered %.0f req/s for %v (%d virtual clients)\n"+
+			"  sent     %8d  (%.0f req/s achieved)\n"+
+			"  served   %8d  (%.0f req/s)\n"+
+			"  shed     %8d\n"+
+			"  unavail  %8d\n"+
+			"  lost     %8d\n"+
+			"  tokens   %8d\n"+
+			"  rtt      %s\n",
+		r.cfg.rate, r.elapsed.Round(time.Millisecond), r.cfg.clients,
+		r.sent, r.sentRate, r.ok, r.okRate, r.shed, r.unavail, lost, r.tokens,
+		r.latency.Summary())
+}
+
+// seqSlot pairs a sequence number with its send time; the receiver
+// matches responses through a power-of-two ring indexed by seq. All
+// fields are atomic: the sender may recycle a slot (ring wrap) while
+// the receiver consumes it, and the inUse flag arbitrates ownership.
+type seqSlot struct {
+	seq   atomic.Uint64
+	nanos atomic.Int64
+	inUse atomic.Bool
+}
+
+// generate runs one load generation against cfg.target.
+func generate(cfg config) (report, error) {
+	raddr, err := net.ResolveUDPAddr("udp", cfg.target)
+	if err != nil {
+		return report{}, fmt.Errorf("resolve %q: %w", cfg.target, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return report{}, err
+	}
+	defer conn.Close()
+	sealer, err := wire.NewSealer(cfg.key, cfg.senderID)
+	if err != nil {
+		return report{}, err
+	}
+	opener, err := wire.NewOpener(cfg.key)
+	if err != nil {
+		return report{}, err
+	}
+
+	// One second of in-flight state, rounded up to a power of two.
+	ringSize := 1
+	for float64(ringSize) < cfg.rate {
+		ringSize *= 2
+	}
+	ring := make([]seqSlot, ringSize)
+	mask := uint64(ringSize - 1)
+
+	var okCount, shedCount, unavailCount, tokenCount atomic.Uint64
+	latency := metrics.NewLatencyHistogram()
+	start := time.Now()
+
+	// Receiver: match responses to the ring and record round-trips.
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		buf := make([]byte, 2048)
+		scratch := make([]byte, 0, wire.TimeResponseSize)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return // deadline or closed: generation over
+			}
+			pt, _, err := opener.OpenDatagramInto(scratch, buf[:n])
+			if err != nil {
+				continue
+			}
+			resp, err := wire.UnmarshalTimeResponse(pt)
+			if err != nil {
+				continue
+			}
+			slot := &ring[resp.Seq&mask]
+			if !slot.inUse.CompareAndSwap(true, false) {
+				continue // stale or duplicate
+			}
+			if slot.seq.Load() != resp.Seq {
+				continue // ring wrapped under the response; drop it
+			}
+			latency.Record(int64(time.Since(start)) - slot.nanos.Load())
+			switch resp.Status {
+			case wire.StatusOK:
+				okCount.Add(1)
+				if resp.HasToken {
+					tokenCount.Add(1)
+				}
+			case wire.StatusOverloaded:
+				shedCount.Add(1)
+			case wire.StatusUnavailable:
+				unavailCount.Add(1)
+			}
+		}
+	}()
+
+	// Sender: fixed-interval pacing in 1ms slices to keep syscall
+	// overhead per request minimal while spreading the offered load.
+	const slice = time.Millisecond
+	perSlice := cfg.rate * slice.Seconds()
+	var plain [wire.TimeRequestSize]byte
+	sealBuf := make([]byte, 0, wire.TimeRequestSize+wire.SealedOverhead)
+	var sent uint64
+	var carry float64
+	ticker := time.NewTicker(slice)
+	for now := time.Now(); now.Sub(start) < cfg.duration; now = <-ticker.C {
+		carry += perSlice
+		n := int(carry)
+		carry -= float64(n)
+		for i := 0; i < n; i++ {
+			seq := sent
+			req := wire.TimeRequest{
+				// Spread sequential sends across virtual clients (and
+				// thereby server shards).
+				ClientID: uint64(cfg.senderID)<<32 | seq%uint64(cfg.clients),
+				Seq:      seq,
+			}
+			if cfg.tokenEvery > 0 && seq%uint64(cfg.tokenEvery) == 0 {
+				req.Flags = wire.FlagWantToken
+				req.Hash[0] = byte(seq)
+			}
+			slot := &ring[seq&mask]
+			slot.inUse.Store(false) // retire any stale occupant
+			slot.seq.Store(seq)
+			slot.nanos.Store(int64(time.Since(start)))
+			slot.inUse.Store(true)
+			req.MarshalInto(plain[:])
+			sealBuf = sealer.SealDatagramAppend(sealBuf[:0], plain[:])
+			if _, err := conn.Write(sealBuf); err != nil {
+				continue // transient UDP error: counts as loss
+			}
+			sent++
+		}
+	}
+	ticker.Stop()
+	sendElapsed := time.Since(start)
+
+	// Linger for stragglers, then stop the receiver.
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	<-recvDone
+
+	return report{
+		cfg:      cfg,
+		elapsed:  sendElapsed,
+		sent:     sent,
+		ok:       okCount.Load(),
+		shed:     shedCount.Load(),
+		unavail:  unavailCount.Load(),
+		tokens:   tokenCount.Load(),
+		latency:  latency.Snapshot(),
+		sentRate: float64(sent) / sendElapsed.Seconds(),
+		okRate:   float64(okCount.Load()) / sendElapsed.Seconds(),
+	}, nil
+}

@@ -10,6 +10,10 @@
 // The node prints its trusted time once per second. -hardened selects
 // the Section V resilient protocol; -aex injects synthetic AEXs at the
 // given period (standing in for the OS interrupts real enclaves see).
+// -serve (with -serve-key, distinct from -key) additionally exposes the
+// node's trusted clock to external clients as a sharded, batched,
+// admission-controlled UDP timestamp endpoint; drive it with
+// cmd/triad-loadgen.
 package main
 
 import (
@@ -81,6 +85,10 @@ func run(args []string) error {
 	printEvery := fs.Duration("print", time.Second, "how often to print the trusted time")
 	configPath := fs.String("config", "", "cluster description file (JSON); replaces -key/-peer/-authority")
 	statusAddr := fs.String("status", "", "serve /status and /metrics over HTTP at this address (optional)")
+	serveAddr := fs.String("serve", "", "serve client timestamp requests over UDP at this address (optional)")
+	serveKeyHex := fs.String("serve-key", "", "client-traffic pre-shared key, 64 hex characters (required with -serve; distinct from -key)")
+	serveTSAKeyHex := fs.String("serve-tsa-key", "", "timestamp-token key in hex (optional; enables token issuance)")
+	serveRate := fs.Float64("serve-rate", 0, "per-client admission rate in req/s (0 disables rate limiting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +146,28 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("status endpoint on http://%s/status\n", addr)
+	}
+	if *serveAddr != "" {
+		serveKey, err := hex.DecodeString(*serveKeyHex)
+		if err != nil || len(serveKey) != wire.KeySize {
+			return fmt.Errorf("-serve-key must be %d hex characters", 2*wire.KeySize)
+		}
+		var tsaKey []byte
+		if *serveTSAKeyHex != "" {
+			if tsaKey, err = hex.DecodeString(*serveTSAKeyHex); err != nil {
+				return fmt.Errorf("-serve-tsa-key: %w", err)
+			}
+		}
+		addr, err := node.ServeClients(triadtime.ClientServeConfig{
+			Listen:        *serveAddr,
+			Key:           serveKey,
+			TSAKey:        tsaKey,
+			RatePerClient: *serveRate,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("client serving endpoint on %s\n", addr)
 	}
 	fmt.Printf("triad node %d on %s (hardened=%v, %d peers)\n",
 		*id, node.LocalAddr(), cfg.Hardened, len(cfg.Peers))

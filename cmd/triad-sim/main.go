@@ -39,10 +39,10 @@ import (
 // cacheVersion tags cache keys with the generation of the simulation
 // code. Bump it whenever experiment output changes shape or content,
 // or stale -cache entries would replay outdated results.
-const cacheVersion = 1
+const cacheVersion = 2
 
 // allFigures is the -fig all execution order (and flush order).
-var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "dvfs", "scale", "gossip", "calib", "latency"}
+var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "dvfs", "scale", "gossip", "calib", "latency", "load"}
 
 // figures maps figure ids to their generators.
 var figures = map[string]func(figRunner) error{
@@ -65,6 +65,7 @@ var figures = map[string]func(figRunner) error{
 	"gossip":  figRunner.gossip,
 	"calib":   figRunner.calibTime,
 	"latency": figRunner.latency,
+	"load":    figRunner.load,
 	"check":   figRunner.check,
 }
 
@@ -470,6 +471,31 @@ func (r figRunner) latency() error {
 	fmt.Fprintln(r.out, "Client-visible serving latency:")
 	fmt.Fprintln(r.out, " ", res.Summary())
 	return nil
+}
+
+func (r figRunner) load() error {
+	// The sweep's 2s-per-point window is fixed (not -dur scaled): load
+	// points cost one simulation event per request, so minutes-long
+	// windows at 64k req/s would be prohibitive, and 2s of steady state
+	// already resolves the throughput plateau and shed shares.
+	res, err := experiment.RunLoadSweep(r.seed, experiment.LoadConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(r.out, res.Summary())
+	return r.writeCSV("load_sweep.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "offered_rps,served_rps,shed_frac,p50_us,p99_us,batches,tokens"); err != nil {
+			return err
+		}
+		for _, p := range res.Points {
+			if _, err := fmt.Fprintf(w, "%d,%.0f,%.4f,%d,%d,%d,%d\n",
+				p.OfferedRPS, p.ServedRPS, p.ShedFrac(),
+				p.P50.Microseconds(), p.P99.Microseconds(), p.Batches, p.Tokens); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func (r figRunner) gossip() error {

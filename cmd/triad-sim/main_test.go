@@ -119,6 +119,7 @@ func TestRunAllFigureRunnersSmoke(t *testing.T) {
 		{"-fig", "gossip", "-dur", "3m"},
 		{"-fig", "calib"},
 		{"-fig", "latency", "-dur", "3m"},
+		{"-fig", "load"},
 	}
 	for _, args := range cases {
 		var b strings.Builder

@@ -1,0 +1,314 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"triadtime/internal/experiment/runner"
+	"triadtime/internal/metrics"
+	"triadtime/internal/serve"
+	"triadtime/internal/sim"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+	"triadtime/internal/wire"
+	"triadtime/tsa"
+)
+
+// ServeAddr is the serving endpoint's address in load experiments.
+const ServeAddr simnet.Addr = 150
+
+// ClientKey is the experiments' pre-shared client-traffic key —
+// deliberately distinct from ClusterKey, so client credentials cannot
+// open protocol datagrams (and vice versa).
+func ClientKey() []byte {
+	key := make([]byte, wire.KeySize)
+	for i := range key {
+		key[i] = byte(0x5A ^ i)
+	}
+	return key
+}
+
+// LoadConfig shapes one load sweep.
+type LoadConfig struct {
+	// OfferedRPS are the offered-load points, requests/second across all
+	// clients. Default: a sweep crossing the rig's nominal capacity.
+	OfferedRPS []int
+	// Clients is the number of concurrent requesters. Default 16.
+	Clients int
+	// Duration is the measured window per point (after warm-up).
+	// Default 2s.
+	Duration time.Duration
+	// Shards, QueueDepth, BatchMax and Tick size the serving rig; the
+	// defaults give a nominal capacity of Shards*BatchMax/Tick = 32k
+	// req/s, small enough to saturate cheaply in simulation.
+	Shards     int
+	QueueDepth int
+	BatchMax   int
+	Tick       time.Duration
+	// TokenEvery requests a tsa token on every Nth request (0 disables).
+	// Default 4.
+	TokenEvery int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if len(c.OfferedRPS) == 0 {
+		c.OfferedRPS = []int{4000, 8000, 16000, 24000, 32000, 48000, 64000}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Millisecond
+	}
+	if c.TokenEvery == 0 {
+		c.TokenEvery = 4
+	}
+	return c
+}
+
+// capacityRPS is the rig's nominal drain capacity.
+func (c LoadConfig) capacityRPS() float64 {
+	return float64(c.Shards) * float64(c.BatchMax) / c.Tick.Seconds()
+}
+
+// LoadPoint is one offered-load measurement: client-observed outcome
+// counts and round-trip latency quantiles over the measured window,
+// plus the server's whole-run batching counters.
+type LoadPoint struct {
+	OfferedRPS int
+	// Client-side tallies over the measured window.
+	Sent, Served, Shed, Unavailable uint64
+	ServedRPS                       float64
+	// Round-trip latency of served requests (client-observed).
+	P50, P99 time.Duration
+	// Server-side whole-run counters.
+	Batches, Tokens uint64
+}
+
+// ShedFrac is the shed fraction of sent requests.
+func (p LoadPoint) ShedFrac() float64 {
+	if p.Sent == 0 {
+		return 0
+	}
+	return float64(p.Shed) / float64(p.Sent)
+}
+
+// LoadResult is the throughput/latency-vs-offered-load table.
+type LoadResult struct {
+	Config LoadConfig
+	Points []LoadPoint
+}
+
+// Summary renders the table.
+func (r *LoadResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving load sweep (%d shards × batch %d / %v tick ≈ %.0f rps capacity):\n",
+		r.Config.Shards, r.Config.BatchMax, r.Config.Tick, r.Config.capacityRPS())
+	fmt.Fprintf(&b, "  %9s %11s %7s %9s %9s %8s %7s\n",
+		"offered", "served rps", "shed%", "p50", "p99", "batches", "tokens")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %9d %11.0f %6.1f%% %9v %9v %8d %7d\n",
+			p.OfferedRPS, p.ServedRPS, p.ShedFrac()*100,
+			p.P50.Round(10*time.Microsecond), p.P99.Round(10*time.Microsecond),
+			p.Batches, p.Tokens)
+	}
+	return b.String()
+}
+
+// RunLoadSweep measures the serving subsystem across offered loads on
+// the deterministic simulation. Each point is an independent simulation
+// (same construction, different offered rate), so points fan across the
+// runner's worker pool and the table is byte-identical at any worker
+// count. Past the rig's nominal capacity the bounded queues engage:
+// shed share rises with offered load while served-request p99 stays
+// bounded by queue depth over drain rate — the shape that distinguishes
+// load shedding from collapse.
+func RunLoadSweep(seed uint64, cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	tasks := make([]runner.Task[LoadPoint], len(cfg.OfferedRPS))
+	for i, offered := range cfg.OfferedRPS {
+		offered := offered
+		tasks[i] = runner.Task[LoadPoint]{
+			Name: fmt.Sprintf("load %d rps", offered),
+			Run: func(context.Context) (LoadPoint, error) {
+				return runLoadPoint(seed, offered, cfg)
+			},
+		}
+	}
+	points, err := runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	if err != nil {
+		return nil, err
+	}
+	return &LoadResult{Config: cfg, Points: points}, nil
+}
+
+// loadClient is one simulated requester sending at a fixed interval and
+// tallying responses. Requests sent before the warm-up boundary are
+// excluded from the tallies (their responses are recognized by seq).
+type loadClient struct {
+	net    *simnet.Network
+	sched  *sim.Scheduler
+	addr   simnet.Addr
+	sealer *wire.Sealer
+	opener *wire.Opener
+
+	interval   simtime.Instant
+	stopAt     simtime.Instant
+	warmupSeq  uint64
+	tokenEvery int
+
+	seq     uint64
+	sentAt  map[uint64]simtime.Instant
+	point   *LoadPoint
+	latency *metrics.Histogram
+	scratch [wire.TimeRequestSize]byte
+	sealBuf []byte
+}
+
+func (c *loadClient) tick() {
+	now := c.sched.Now()
+	if now.After(c.stopAt) {
+		return
+	}
+	req := wire.TimeRequest{ClientID: uint64(c.addr), Seq: c.seq}
+	if c.tokenEvery > 0 && c.seq%uint64(c.tokenEvery) == 0 {
+		req.Flags = wire.FlagWantToken
+		req.Hash[0] = byte(c.seq) // stand-in document hash
+	}
+	c.sentAt[c.seq] = now
+	c.seq++
+	req.MarshalInto(c.scratch[:])
+	c.sealBuf = c.sealer.SealDatagramAppend(c.sealBuf[:0], c.scratch[:])
+	c.net.Send(c.addr, ServeAddr, c.sealBuf)
+	c.sched.After(c.interval, c.tick)
+}
+
+func (c *loadClient) handle(pkt simnet.Packet) {
+	plain, sender, err := c.opener.OpenDatagramInto(nil, pkt.Payload)
+	if err != nil || sender != uint32(ServeAddr) {
+		return
+	}
+	resp, err := wire.UnmarshalTimeResponse(plain)
+	if err != nil || resp.ClientID != uint64(c.addr) {
+		return
+	}
+	sent, ok := c.sentAt[resp.Seq]
+	if !ok {
+		return
+	}
+	delete(c.sentAt, resp.Seq)
+	if resp.Seq < c.warmupSeq {
+		return // warm-up traffic: excluded from the measured window
+	}
+	c.point.Sent++
+	switch resp.Status {
+	case wire.StatusOK:
+		c.point.Served++
+		c.latency.Record(int64(c.sched.Now().Sub(sent)))
+	case wire.StatusOverloaded:
+		c.point.Shed++
+	case wire.StatusUnavailable:
+		c.point.Unavailable++
+	}
+}
+
+// runLoadPoint measures one offered load on a fresh simulation.
+func runLoadPoint(seed uint64, offered int, cfg LoadConfig) (LoadPoint, error) {
+	const warmup = 250 * time.Millisecond
+	const drain = 100 * time.Millisecond
+
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	network := simnet.New(sched, rng.Fork(1), simnet.DefaultLink())
+	clock := serve.ClockFunc(func() (int64, error) { return int64(sched.Now()), nil })
+	stamper, err := tsa.New(clock, ClientKey())
+	if err != nil {
+		return LoadPoint{}, fmt.Errorf("experiment: %w", err)
+	}
+	latency := metrics.NewLatencyHistogram()
+	binding, err := serve.NewSimBinding(sched, network, serve.SimConfig{
+		Addr: ServeAddr,
+		Key:  ClientKey(),
+		Tick: cfg.Tick,
+		Server: serve.Config{
+			Shards:     cfg.Shards,
+			QueueDepth: cfg.QueueDepth,
+			BatchMax:   cfg.BatchMax,
+			Clock:      clock,
+			Stamper:    stamper,
+		},
+	})
+	if err != nil {
+		return LoadPoint{}, fmt.Errorf("experiment: %w", err)
+	}
+	binding.Start()
+
+	point := LoadPoint{OfferedRPS: offered}
+	interval := simtime.FromDuration(time.Duration(float64(time.Second) * float64(cfg.Clients) / float64(offered)))
+	if interval <= 0 {
+		interval = 1
+	}
+	stopAt := simtime.FromDuration(warmup + cfg.Duration)
+	clients := make([]*loadClient, cfg.Clients)
+	for i := range clients {
+		addr := simnet.Addr(1000 + i)
+		sealer, err := wire.NewSealer(ClientKey(), uint32(addr))
+		if err != nil {
+			return LoadPoint{}, fmt.Errorf("experiment: %w", err)
+		}
+		opener, err := wire.NewOpener(ClientKey())
+		if err != nil {
+			return LoadPoint{}, fmt.Errorf("experiment: %w", err)
+		}
+		c := &loadClient{
+			net:        network,
+			sched:      sched,
+			addr:       addr,
+			sealer:     sealer,
+			opener:     opener,
+			interval:   interval,
+			stopAt:     stopAt,
+			tokenEvery: cfg.TokenEvery,
+			warmupSeq:  ^uint64(0), // exclude everything until the boundary event
+			sentAt:     make(map[uint64]simtime.Instant),
+			point:      &point,
+			latency:    latency,
+		}
+		network.Register(addr, c.handle)
+		clients[i] = c
+		// Stagger client phases across one interval so the offered load
+		// arrives spread, not in lockstep bursts.
+		start := simtime.Instant(int64(interval) * int64(i) / int64(cfg.Clients))
+		sched.At(start, c.tick)
+	}
+	// Warm-up boundary: responses to seqs sent before it are excluded.
+	sched.At(simtime.FromDuration(warmup), func() {
+		for _, c := range clients {
+			c.warmupSeq = c.seq
+		}
+	})
+	sched.RunUntil(stopAt.Add(drain))
+
+	snap := latency.Snapshot()
+	point.P50 = time.Duration(snap.Quantile(0.5))
+	point.P99 = time.Duration(snap.Quantile(0.99))
+	point.ServedRPS = float64(point.Served) / cfg.Duration.Seconds()
+	counters := binding.Server().Counters()
+	point.Batches = counters.Batches
+	point.Tokens = counters.TokensIssued
+	return point, nil
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// testLoadConfig keeps the sweep small enough for unit tests while
+// still crossing the rig's nominal capacity (32k rps).
+func testLoadConfig() LoadConfig {
+	return LoadConfig{
+		OfferedRPS: []int{8000, 64000},
+		Duration:   500 * time.Millisecond,
+	}
+}
+
+func TestLoadSweepAdmissionControlEngages(t *testing.T) {
+	res, err := RunLoadSweep(1, testLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	under, over := res.Points[0], res.Points[1]
+
+	// Under capacity: everything is served, nothing shed.
+	if under.Shed != 0 || under.Unavailable != 0 {
+		t.Fatalf("under capacity: shed=%d unavailable=%d, want 0/0", under.Shed, under.Unavailable)
+	}
+	if ratio := under.ServedRPS / float64(under.OfferedRPS); ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("under capacity served %.0f rps for offered %d", under.ServedRPS, under.OfferedRPS)
+	}
+
+	// Past saturation (2× capacity): throughput plateaus near capacity,
+	// a large share is shed with explicit responses, and — the point of
+	// bounded queues — served p99 stays bounded by queue depth over
+	// drain rate instead of growing with offered load.
+	cap := res.Config.capacityRPS()
+	if over.ServedRPS < 0.9*cap || over.ServedRPS > 1.1*cap {
+		t.Fatalf("past saturation served %.0f rps, want ≈ capacity %.0f", over.ServedRPS, cap)
+	}
+	if frac := over.ShedFrac(); frac < 0.2 {
+		t.Fatalf("past saturation shed fraction %.2f, want ≥ 0.2", frac)
+	}
+	// Worst admissible wait: QueueDepth/BatchMax ticks, plus slack for
+	// RTT and tick phase — doubled because the latency histogram's
+	// power-of-two buckets resolve quantiles only to a factor of two.
+	bound := 2 * time.Duration(res.Config.QueueDepth/res.Config.BatchMax+4) * res.Config.Tick
+	if over.P99 > bound {
+		t.Fatalf("past saturation p99 %v exceeds queue-bound %v", over.P99, bound)
+	}
+	if over.P99 < under.P99 {
+		t.Fatalf("p99 shrank under overload: %v < %v", over.P99, under.P99)
+	}
+	if over.Batches == 0 || over.Tokens == 0 {
+		t.Fatalf("server counters not engaged: batches=%d tokens=%d", over.Batches, over.Tokens)
+	}
+}
+
+// TestLoadSweepSeedStable guards the acceptance requirement that the
+// load table is reproducible byte-for-byte for a fixed seed.
+func TestLoadSweepSeedStable(t *testing.T) {
+	a, err := RunLoadSweep(7, testLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoadSweep(7, testLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("load sweep not seed-stable:\n%s\nvs\n%s", a.Summary(), b.Summary())
+	}
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram for hot-path measurements
+// (request latencies, queue waits). The bucket layout is fixed at
+// construction, Record is allocation-free and safe for concurrent use
+// (a single atomic add per sample), and quantiles are estimated by
+// linear interpolation inside the covering bucket — the usual
+// fixed-bucket trade: O(1) recording and bounded memory for bounded
+// quantile resolution.
+//
+// Values at or below bounds[i] (and above bounds[i-1]) land in bucket
+// i; values above the last bound land in the overflow bucket, whose
+// quantiles are reported as the last bound (a known lower bound, never
+// an extrapolation).
+type Histogram struct {
+	bounds []int64         // ascending inclusive upper bounds
+	counts []atomic.Uint64 // len(bounds)+1: per-bucket, plus overflow
+	total  atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram creates a histogram over the given ascending, strictly
+// increasing inclusive upper bounds. Panics on an empty or unsorted
+// layout: bucket layouts are compile-time decisions, not runtime data.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	cp := make([]int64, len(bounds))
+	copy(cp, bounds)
+	for i := 1; i < len(cp); i++ {
+		if cp[i] <= cp[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly increasing at %d: %d <= %d", i, cp[i], cp[i-1]))
+		}
+	}
+	return &Histogram{bounds: cp, counts: make([]atomic.Uint64, len(cp)+1)}
+}
+
+// NewLatencyHistogram creates the serving subsystem's default layout:
+// powers of two from 1µs to ~8.6s. 24 buckets resolve sub-millisecond
+// tails to within a factor of two, which is all a shed-or-serve
+// decision needs.
+func NewLatencyHistogram() *Histogram {
+	bounds := make([]int64, 24)
+	b := int64(time.Microsecond)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return NewHistogram(bounds)
+}
+
+// Record adds one sample. Negative samples clamp to zero (they land in
+// the first bucket): with monotonic inputs they indicate a caller bug,
+// but a telemetry path must never panic the server.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Binary search over ≤ a few dozen bounds; no allocation either way.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Quantile estimates the q-quantile of the recorded samples; see
+// HistogramSnapshot.Quantile.
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// Snapshot captures a point-in-time copy for analysis and rendering.
+// Concurrent Records may land between bucket reads; each bucket is
+// individually consistent, which is the usual monitoring contract.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable view of a Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds; Counts has one extra
+	// trailing entry for the overflow bucket.
+	Bounds []int64
+	Counts []uint64
+	Count  uint64
+	Sum    int64
+}
+
+// Mean reports the arithmetic mean of the recorded samples (0 when
+// empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]; values outside clamp)
+// by linear interpolation within the covering bucket, taking each
+// bucket's samples as uniformly spread over (lower, upper]. The first
+// bucket interpolates from zero; the overflow bucket reports the last
+// bound. An empty snapshot reports 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the sample the quantile names, under
+	// the "nearest rank with interpolation" convention.
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // overflow: lower bound only
+		}
+		lower := int64(0)
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		frac := (rank - float64(cum)) / float64(c)
+		return lower + int64(math.Round(frac*float64(upper-lower)))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Summary renders the snapshot's headline quantiles as durations, the
+// form the load generator and live /metrics report.
+func (s HistogramSnapshot) Summary() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v", s.Count, time.Duration(int64(s.Mean())).Round(time.Microsecond))
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(&b, " p%g=%v", q*100, time.Duration(s.Quantile(q)).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Inclusive upper bounds: a value exactly on a bound lands in that
+	// bound's bucket, one past it in the next, and past the last bound
+	// in the overflow bucket.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, // clamps to 0
+		{0, 0},
+		{10, 0},
+		{11, 1},
+		{20, 1},
+		{21, 2},
+		{40, 2},
+		{41, 3},
+		{1 << 60, 3},
+	}
+	for _, tc := range cases {
+		h := NewHistogram([]int64{10, 20, 40})
+		h.Record(tc.v)
+		s := h.Snapshot()
+		for i, c := range s.Counts {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Record(%d): bucket %d count %d, want %d", tc.v, i, c, want)
+			}
+		}
+	}
+}
+
+func TestHistogramRejectsBadLayout(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {5, 5}, {10, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400})
+	// 10 samples in (100, 200]: uniform-spread interpolation puts the
+	// median at lower + 0.5*(upper-lower) = 150.
+	for i := 0; i < 10; i++ {
+		h.Record(150)
+	}
+	if got := h.Quantile(0.5); got != 150 {
+		t.Errorf("p50 = %d, want 150", got)
+	}
+	// q=1 names the last sample: the top of its bucket.
+	if got := h.Quantile(1); got != 200 {
+		t.Errorf("p100 = %d, want 200", got)
+	}
+	// First bucket interpolates from zero.
+	h2 := NewHistogram([]int64{100, 200})
+	for i := 0; i < 4; i++ {
+		h2.Record(10)
+	}
+	if got := h2.Quantile(0.25); got != 25 {
+		t.Errorf("first-bucket p25 = %d, want 25", got)
+	}
+	// Mixed buckets: 5 below 100, 5 in (100,200]; p90 ranks into the
+	// second bucket at fraction (9-5)/5 = 0.8 → 180.
+	h3 := NewHistogram([]int64{100, 200})
+	for i := 0; i < 5; i++ {
+		h3.Record(50)
+		h3.Record(150)
+	}
+	if got := h3.Quantile(0.9); got != 180 {
+		t.Errorf("p90 = %d, want 180", got)
+	}
+	// Overflow bucket reports the last bound, never an extrapolation.
+	h4 := NewHistogram([]int64{100})
+	h4.Record(1e6)
+	if got := h4.Quantile(0.99); got != 100 {
+		t.Errorf("overflow p99 = %d, want 100", got)
+	}
+	// Quantiles clamp and an empty histogram reports zero.
+	if got := h4.Quantile(-1); got != 100 {
+		t.Errorf("clamped q<0 = %d, want 100", got)
+	}
+	if got := NewHistogram([]int64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramMeanAndSummary(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []int64{1000, 3000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 2 || s.Mean() != 2000 {
+		t.Errorf("count=%d mean=%v, want 2 / 2000", s.Count, s.Mean())
+	}
+	if sum := s.Summary(); sum == "" || sum == "no samples" {
+		t.Errorf("summary: %q", sum)
+	}
+	if empty := (HistogramSnapshot{}).Summary(); empty != "no samples" {
+		t.Errorf("empty summary: %q", empty)
+	}
+}
+
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	h := NewLatencyHistogram()
+	allocs := testing.AllocsPerRun(1000, func() { h.Record(12345) })
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.1f times per op", allocs)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers Record from many goroutines
+// (run under -race via make test-race): no sample may be lost and the
+// sum must be exact, since both are single atomic adds.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewLatencyHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(time.Microsecond) << uint(g%8))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"testing"
+
+	"triadtime/internal/metrics"
+	"triadtime/internal/wire"
+)
+
+// dispatchLoop submits reqsPerShard requests per shard from a fixed
+// client population and drains every shard once — the steady-state
+// serving cycle both bindings run.
+func dispatchLoop(s *Server[uint64], now int64, clients, reqsPerShard int, out []Delivery[uint64]) []Delivery[uint64] {
+	var req wire.TimeRequest
+	for c := 0; c < clients; c++ {
+		req.ClientID = uint64(c)
+		for r := 0; r < reqsPerShard; r++ {
+			req.Seq++
+			s.Submit(now, req, req.ClientID)
+		}
+	}
+	out = out[:0]
+	for i := 0; i < s.Shards(); i++ {
+		out = s.Drain(i, now, out)
+	}
+	return out
+}
+
+// BenchmarkServeDispatch measures the full submit+drain cycle —
+// admission, queueing, batch drain, response build, queue-wait
+// recording — and must report 0 allocs/op: the serving hot path may
+// not create garbage-collector pressure.
+func BenchmarkServeDispatch(b *testing.B) {
+	s, err := New[uint64](Config{
+		Shards:        4,
+		RatePerClient: 1e12, // buckets exercised, never shedding
+		QueueWait:     metrics.NewLatencyHistogram(),
+		Clock:         ClockFunc(func() (int64, error) { return 1e9, nil }),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const clients, perClient = 16, 8
+	out := make([]Delivery[uint64], 0, clients*perClient)
+	out = dispatchLoop(s, 0, clients, perClient, out) // warm token buckets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		out = dispatchLoop(s, int64(n), clients, perClient, out)
+	}
+	if len(out) != clients*perClient {
+		b.Fatalf("served %d, want %d", len(out), clients*perClient)
+	}
+}
+
+// TestServeDispatchZeroAllocSteadyState is the CI gate behind the
+// benchmark: after the first cycle warms per-client token buckets, a
+// full submit+drain cycle must not allocate at all.
+func TestServeDispatchZeroAllocSteadyState(t *testing.T) {
+	s, err := New[uint64](Config{
+		Shards:        4,
+		RatePerClient: 1e12,
+		QueueWait:     metrics.NewLatencyHistogram(),
+		Clock:         ClockFunc(func() (int64, error) { return 1e9, nil }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 16, 8
+	out := make([]Delivery[uint64], 0, clients*perClient)
+	out = dispatchLoop(s, 0, clients, perClient, out)
+	now := int64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		now++
+		out = dispatchLoop(s, now, clients, perClient, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dispatch cycle allocated %.1f times per run", allocs)
+	}
+}

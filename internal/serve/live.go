@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"triadtime/internal/wire"
+)
+
+// LiveConfig parameterizes a live (UDP) serving endpoint.
+type LiveConfig struct {
+	// Conn is the endpoint's packet socket. The server takes ownership
+	// and closes it on Close. Required.
+	Conn net.PacketConn
+	// Key seals client traffic — a separate credential from the
+	// protocol cluster key, so client datagrams cannot masquerade as
+	// protocol traffic (and vice versa).
+	Key []byte
+	// SenderID is the endpoint's wire identity in response datagrams.
+	SenderID uint32
+	// Tick is the per-shard drain period. Default 1ms.
+	Tick time.Duration
+	// Server configures the underlying engine; Clock is required.
+	Server Config
+}
+
+// LiveServer runs a Server over UDP: a receive goroutine decodes,
+// authenticates and admits requests; one drain goroutine per shard
+// batches responses on the configured tick. The engine, admission
+// behavior and wire format are identical to the simulated binding.
+type LiveServer struct {
+	srv   *Server[net.Addr]
+	conn  net.PacketConn
+	tick  time.Duration
+	start time.Time
+
+	opener *wire.Opener
+	sealer *wire.Sealer
+	// sealMu serializes sealer state (the nonce counter): shed
+	// responses on the receive goroutine and batch responses on the
+	// drain goroutines share one sending identity.
+	sealMu sync.Mutex
+
+	done     chan struct{}
+	drainWG  sync.WaitGroup
+	recvDone chan struct{}
+	stopOnce sync.Once
+}
+
+// NewLiveServer creates the endpoint and starts its goroutines.
+func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
+	if cfg.Conn == nil {
+		return nil, errors.New("serve: Conn is required")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	srv, err := New[net.Addr](cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	opener, err := wire.NewOpener(cfg.Key)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client key: %w", err)
+	}
+	sealer, err := wire.NewSealer(cfg.Key, cfg.SenderID)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client key: %w", err)
+	}
+	s := &LiveServer{
+		srv:      srv,
+		conn:     cfg.Conn,
+		tick:     cfg.Tick,
+		start:    time.Now(),
+		opener:   opener,
+		sealer:   sealer,
+		done:     make(chan struct{}),
+		recvDone: make(chan struct{}),
+	}
+	for i := 0; i < srv.Shards(); i++ {
+		s.drainWG.Add(1)
+		go s.drainLoop(i)
+	}
+	go s.recvLoop()
+	return s, nil
+}
+
+// Server exposes the underlying engine (counters, metrics).
+func (s *LiveServer) Server() *Server[net.Addr] { return s.srv }
+
+// LocalAddr reports the bound UDP address.
+func (s *LiveServer) LocalAddr() net.Addr { return s.conn.LocalAddr() }
+
+// nowNanos is the endpoint's monotonic clock for admission and
+// queue-wait accounting (not trusted time).
+func (s *LiveServer) nowNanos() int64 { return int64(time.Since(s.start)) }
+
+func (s *LiveServer) recvLoop() {
+	defer close(s.recvDone)
+	buf := make([]byte, 64*1024)
+	scratch := make([]byte, 0, wire.TimeRequestSize)
+	var plain [wire.TimeResponseSize]byte
+	sealBuf := make([]byte, 0, wire.TimeResponseSize+wire.SealedOverhead)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		// Opener replay state is only touched here, on one goroutine.
+		pt, _, err := s.opener.OpenDatagramInto(scratch, buf[:n])
+		if err != nil {
+			continue // forged, replayed, or protocol-keyed: drop
+		}
+		req, err := wire.UnmarshalTimeRequest(pt)
+		if err != nil {
+			continue
+		}
+		if resp, shed := s.srv.Submit(s.nowNanos(), req, from); shed {
+			s.send(from, resp, &plain, &sealBuf)
+		}
+	}
+}
+
+func (s *LiveServer) drainLoop(i int) {
+	defer s.drainWG.Done()
+	t := time.NewTicker(s.tick)
+	defer t.Stop()
+	out := make([]Delivery[net.Addr], 0, s.srv.BatchMax())
+	var plain [wire.TimeResponseSize]byte
+	sealBuf := make([]byte, 0, wire.TimeResponseSize+wire.SealedOverhead)
+	deliver := func() {
+		out = s.srv.Drain(i, s.nowNanos(), out[:0])
+		for k := range out {
+			s.send(out[k].To, out[k].Resp, &plain, &sealBuf)
+		}
+	}
+	for {
+		select {
+		case <-t.C:
+			deliver()
+		case <-s.done:
+			deliver() // answer what was already admitted
+			return
+		}
+	}
+}
+
+// send seals one response and writes it. plain and sealBuf are the
+// caller's scratch; only the sealer's nonce counter is shared state.
+func (s *LiveServer) send(to net.Addr, resp wire.TimeResponse, plain *[wire.TimeResponseSize]byte, sealBuf *[]byte) {
+	resp.MarshalInto(plain[:])
+	s.sealMu.Lock()
+	*sealBuf = s.sealer.SealDatagramAppend((*sealBuf)[:0], plain[:])
+	s.sealMu.Unlock()
+	// Write errors are indistinguishable from loss for the client.
+	_, _ = s.conn.WriteTo(*sealBuf, to)
+}
+
+// Close shuts the endpoint down gracefully: drain goroutines answer
+// every already-admitted request and exit, then the socket closes and
+// the receive goroutine exits. Safe to call multiple times.
+func (s *LiveServer) Close() error {
+	var err error
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.drainWG.Wait()
+		err = s.conn.Close()
+		<-s.recvDone
+	})
+	return err
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"triadtime/internal/wire"
+)
+
+func liveTestKey() []byte {
+	key := make([]byte, wire.KeySize)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	return key
+}
+
+func listenUDP(t *testing.T) net.PacketConn {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return conn
+}
+
+func TestLiveServerRoundtrip(t *testing.T) {
+	key := liveTestKey()
+	srv, err := NewLiveServer(LiveConfig{
+		Conn:     listenUDP(t),
+		Key:      key,
+		SenderID: 150,
+		Tick:     time.Millisecond,
+		Server: Config{
+			Clock: ClockFunc(func() (int64, error) { return 1234567890, nil }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := listenUDP(t)
+	defer client.Close()
+	sealer, err := wire.NewSealer(key, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := wire.NewOpener(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reqs = 20
+	var plain [wire.TimeRequestSize]byte
+	for i := 0; i < reqs; i++ {
+		wire.TimeRequest{ClientID: 9001, Seq: uint64(i)}.MarshalInto(plain[:])
+		if _, err := client.WriteTo(sealer.SealDatagramAppend(nil, plain[:]), srv.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := map[uint64]bool{}
+	buf := make([]byte, 2048)
+	for len(got) < reqs {
+		n, _, err := client.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("after %d/%d responses: %v", len(got), reqs, err)
+		}
+		pt, sender, err := opener.OpenDatagramInto(nil, buf[:n])
+		if err != nil {
+			t.Fatalf("bad response datagram: %v", err)
+		}
+		if sender != 150 {
+			t.Fatalf("response sender %d, want 150", sender)
+		}
+		resp, err := wire.UnmarshalTimeResponse(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK || resp.Nanos != 1234567890 || resp.ClientID != 9001 {
+			t.Fatalf("bad response: %+v", resp)
+		}
+		got[resp.Seq] = true
+	}
+	c := srv.Server().Counters()
+	if c.Served != reqs || c.Shed() != 0 {
+		t.Fatalf("counters: %s", c.Summary())
+	}
+}
+
+// TestLiveServerCloseAnswersAdmitted: requests admitted before Close
+// are answered by the final drain, not dropped.
+func TestLiveServerCloseAnswersAdmitted(t *testing.T) {
+	key := liveTestKey()
+	srv, err := NewLiveServer(LiveConfig{
+		Conn:     listenUDP(t),
+		Key:      key,
+		SenderID: 150,
+		// A long tick: the periodic drain won't fire before Close does,
+		// so any response must come from the shutdown drain.
+		Tick: time.Hour,
+		Server: Config{
+			Clock: ClockFunc(func() (int64, error) { return 7, nil }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := listenUDP(t)
+	defer client.Close()
+	sealer, err := wire.NewSealer(key, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain [wire.TimeRequestSize]byte
+	wire.TimeRequest{ClientID: 77, Seq: 5}.MarshalInto(plain[:])
+	if _, err := client.WriteTo(sealer.SealDatagramAppend(nil, plain[:]), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for admission, then close.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Server().Counters().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opener, err := wire.NewOpener(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, _, err := client.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("no response after Close: %v", err)
+	}
+	pt, _, err := opener.OpenDatagramInto(nil, buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.UnmarshalTimeResponse(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.Seq != 5 || resp.Nanos != 7 {
+		t.Fatalf("shutdown drain response: %+v", resp)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

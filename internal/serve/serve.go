@@ -1,0 +1,376 @@
+// Package serve is the client-facing trusted-timestamp serving
+// subsystem: the layer that turns a calibrated Triad node into a
+// service handling request traffic at scale (the TimeStamping
+// Authority and trusted-lease use-cases motivating the paper's
+// introduction).
+//
+// Requests are dispatched across shards keyed by client ID; each shard
+// holds a bounded FIFO queue and drains it in batches, reading trusted
+// time ONCE per batch — under load, one TrustedNow amortizes over up
+// to BatchMax responses, which is what lets a single node serve tens
+// of thousands of requests per second. Admission control protects the
+// node instead of letting it collapse: a full shard queue or an
+// exhausted per-client token bucket sheds the request immediately with
+// an explicit StatusOverloaded response, so clients learn to back off
+// and served requests keep bounded latency.
+//
+// The core is platform-agnostic and allocation-free on the dispatch
+// path. SimBinding runs it on the deterministic simulation
+// (internal/experiment's load sweeps); LiveServer runs the identical
+// logic over UDP.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"triadtime/internal/metrics"
+	"triadtime/internal/wire"
+	"triadtime/tsa"
+)
+
+// The wire format reserves exactly one serialized tsa token per
+// response; the two packages must agree on its size.
+const (
+	_ = uint(tsa.TokenSize - wire.StampTokenSize)
+	_ = uint(wire.StampTokenSize - tsa.TokenSize)
+)
+
+// Clock supplies trusted timestamps in nanoseconds. Both protocol
+// variants, the triadtime façades, and plain test clocks satisfy it.
+type Clock interface {
+	TrustedNow() (int64, error)
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() (int64, error)
+
+// TrustedNow implements Clock.
+func (f ClockFunc) TrustedNow() (int64, error) { return f() }
+
+// ErrOverloaded is the error form of StatusOverloaded, returned by
+// bindings that surface shedding to local callers.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of queue/batch lanes client IDs hash onto.
+	// Default 4.
+	Shards int
+	// QueueDepth bounds each shard's pending-request queue; a full
+	// queue sheds new arrivals with StatusOverloaded. Default 1024.
+	QueueDepth int
+	// BatchMax caps how many queued requests one Drain serves from a
+	// single TrustedNow read. Default 256.
+	BatchMax int
+	// RatePerClient is the sustained per-client admission rate in
+	// requests/second, enforced by a token bucket per client ID.
+	// Zero disables per-client limiting.
+	RatePerClient float64
+	// RateBurst is the token bucket's capacity (how far a client may
+	// momentarily exceed the sustained rate). Default: one second's
+	// worth of RatePerClient, at least 1.
+	RateBurst float64
+	// Clock is the trusted time source. Required.
+	Clock Clock
+	// Stamper, when set, issues tsa tokens for requests carrying
+	// FlagWantToken, stamped against the batch's single trusted read.
+	Stamper *tsa.Stamper
+	// QueueWait, when set, records each served request's queue wait
+	// (admission to drain, in the binding's monotonic nanoseconds).
+	QueueWait *metrics.Histogram
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Clock == nil {
+		return c, errors.New("serve: Clock is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.RatePerClient < 0 {
+		return c, fmt.Errorf("serve: negative RatePerClient %g", c.RatePerClient)
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = c.RatePerClient
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	return c, nil
+}
+
+// Counters is a point-in-time snapshot of the server's cumulative
+// admission and serving tallies.
+type Counters struct {
+	// Received counts every submitted request.
+	Received uint64
+	// Queued counts requests admitted into a shard queue.
+	Queued uint64
+	// Served counts requests answered with StatusOK.
+	Served uint64
+	// ShedQueueFull counts requests shed because their shard's queue
+	// was full.
+	ShedQueueFull uint64
+	// ShedRateLimited counts requests shed by per-client rate limits.
+	ShedRateLimited uint64
+	// Unavailable counts drained requests answered with
+	// StatusUnavailable because the trusted clock could not serve.
+	Unavailable uint64
+	// TokensIssued counts tsa tokens stamped into responses.
+	TokensIssued uint64
+	// Batches counts Drain calls that served at least one request —
+	// i.e. TrustedNow reads; Served+Unavailable over Batches is the
+	// amortization factor batching bought.
+	Batches uint64
+}
+
+// Shed reports the total shed requests (queue + rate).
+func (c Counters) Shed() uint64 { return c.ShedQueueFull + c.ShedRateLimited }
+
+// Summary renders the counters as one table line.
+func (c Counters) Summary() string {
+	return fmt.Sprintf("received=%d queued=%d served=%d shed_queue=%d shed_rate=%d unavailable=%d tokens=%d batches=%d",
+		c.Received, c.Queued, c.Served, c.ShedQueueFull, c.ShedRateLimited,
+		c.Unavailable, c.TokensIssued, c.Batches)
+}
+
+// Delivery pairs a built response with the address it goes back to.
+// The type parameter is the binding's reply-address type: simnet.Addr
+// in simulation, net.Addr live, or anything cheap in benchmarks.
+type Delivery[T any] struct {
+	To   T
+	Resp wire.TimeResponse
+}
+
+// pending is one admitted request waiting in a shard queue.
+type pending[T any] struct {
+	to            T
+	clientID, seq uint64
+	flags         uint8
+	hash          [wire.StampHashSize]byte
+	enqueuedNanos int64
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens    float64
+	lastNanos int64
+}
+
+// shard is one queue/batch lane. Each shard has its own lock, so
+// submissions for different clients contend only within their lane and
+// drains never block the whole server.
+type shard[T any] struct {
+	mu      sync.Mutex
+	ring    []pending[T] // fixed-capacity FIFO: QueueDepth slots
+	head, n int
+	buckets map[uint64]*bucket
+	batch   []pending[T] // drain scratch, capacity BatchMax
+}
+
+// Server is the serving engine. It is safe for concurrent use: every
+// shard is independently locked and counters are atomic. In the
+// single-threaded simulation the locks are uncontended and cost a few
+// nanoseconds; live bindings run one goroutine per shard plus
+// concurrent submitters.
+type Server[T any] struct {
+	cfg    Config
+	shards []*shard[T]
+
+	received, queued, served     atomic.Uint64
+	shedQueue, shedRate          atomic.Uint64
+	unavailable, tokens, batches atomic.Uint64
+}
+
+// New creates a server.
+func New[T any](cfg Config) (*Server[T], error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server[T]{cfg: cfg, shards: make([]*shard[T], cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard[T]{
+			ring:    make([]pending[T], cfg.QueueDepth),
+			buckets: make(map[uint64]*bucket),
+			batch:   make([]pending[T], 0, cfg.BatchMax),
+		}
+	}
+	return s, nil
+}
+
+// Shards reports the number of shards (the bindings' tick fan-out).
+func (s *Server[T]) Shards() int { return len(s.shards) }
+
+// BatchMax reports the per-drain batch cap (for sizing reply scratch).
+func (s *Server[T]) BatchMax() int { return s.cfg.BatchMax }
+
+// ShardOf maps a client ID to its shard. The ID is mixed
+// (splitmix64-style) first so adjacent client IDs still spread across
+// lanes.
+func (s *Server[T]) ShardOf(clientID uint64) int {
+	z := clientID + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(s.shards)))
+}
+
+// Submit runs admission control for one decoded request at monotonic
+// time nowNanos (the binding's arrival clock, not trusted time). A
+// shed request returns (response, true): the caller must send the
+// explicit overload response now. An admitted request returns
+// (zero, false) and is answered by a later Drain. Allocation-free
+// except the first request of a never-seen client (its token bucket).
+func (s *Server[T]) Submit(nowNanos int64, req wire.TimeRequest, to T) (wire.TimeResponse, bool) {
+	s.received.Add(1)
+	sh := s.shards[s.ShardOf(req.ClientID)]
+	sh.mu.Lock()
+	if s.cfg.RatePerClient > 0 && !sh.takeToken(req.ClientID, nowNanos, s.cfg.RatePerClient, s.cfg.RateBurst) {
+		sh.mu.Unlock()
+		s.shedRate.Add(1)
+		return shedResponse(req), true
+	}
+	if sh.n == len(sh.ring) {
+		sh.mu.Unlock()
+		s.shedQueue.Add(1)
+		return shedResponse(req), true
+	}
+	idx := sh.head + sh.n
+	if idx >= len(sh.ring) {
+		idx -= len(sh.ring)
+	}
+	p := &sh.ring[idx]
+	p.to = to
+	p.clientID = req.ClientID
+	p.seq = req.Seq
+	p.flags = req.Flags
+	p.hash = req.Hash
+	p.enqueuedNanos = nowNanos
+	sh.n++
+	sh.mu.Unlock()
+	s.queued.Add(1)
+	return wire.TimeResponse{}, false
+}
+
+// shedResponse builds the explicit early-shed answer.
+func shedResponse(req wire.TimeRequest) wire.TimeResponse {
+	return wire.TimeResponse{ClientID: req.ClientID, Seq: req.Seq, Status: wire.StatusOverloaded}
+}
+
+// takeToken refills and debits one client's bucket; called under the
+// shard lock.
+func (sh *shard[T]) takeToken(clientID uint64, nowNanos int64, rate, burst float64) bool {
+	b := sh.buckets[clientID]
+	if b == nil {
+		b = &bucket{tokens: burst, lastNanos: nowNanos}
+		sh.buckets[clientID] = b
+	} else if elapsed := nowNanos - b.lastNanos; elapsed > 0 {
+		b.tokens += rate * float64(elapsed) / 1e9
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.lastNanos = nowNanos
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Drain serves one batch from shard i: it pops up to BatchMax queued
+// requests, reads trusted time ONCE, and appends the finished
+// responses to out (reused scratch; the call allocates nothing when
+// out has capacity). nowNanos is the binding's monotonic clock, used
+// for queue-wait accounting. When the trusted clock cannot serve, the
+// whole batch is answered StatusUnavailable — the read would not have
+// succeeded for any of them.
+//
+// Drain may run concurrently with Submit and with Drains of other
+// shards, but not with another Drain of the same shard: each shard has
+// one batch scratch, matching the bindings' one-drainer-per-shard
+// structure.
+func (s *Server[T]) Drain(i int, nowNanos int64, out []Delivery[T]) []Delivery[T] {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	n := sh.n
+	if n > s.cfg.BatchMax {
+		n = s.cfg.BatchMax
+	}
+	if n == 0 {
+		sh.mu.Unlock()
+		return out
+	}
+	batch := sh.batch[:0]
+	for k := 0; k < n; k++ {
+		batch = append(batch, sh.ring[sh.head])
+		sh.ring[sh.head] = pending[T]{} // drop any reply-address reference
+		sh.head++
+		if sh.head == len(sh.ring) {
+			sh.head = 0
+		}
+	}
+	sh.n -= n
+	sh.batch = batch
+	sh.mu.Unlock()
+
+	nanos, err := s.cfg.Clock.TrustedNow()
+	s.batches.Add(1)
+	for k := range batch {
+		p := &batch[k]
+		resp := wire.TimeResponse{ClientID: p.clientID, Seq: p.seq}
+		if err != nil {
+			resp.Status = wire.StatusUnavailable
+			s.unavailable.Add(1)
+		} else {
+			resp.Status = wire.StatusOK
+			resp.Nanos = nanos
+			if p.flags&wire.FlagWantToken != 0 && s.cfg.Stamper != nil {
+				if tok, terr := s.cfg.Stamper.IssueAt(p.hash, nanos); terr == nil {
+					tok.MarshalInto(resp.Token[:])
+					resp.HasToken = true
+					s.tokens.Add(1)
+				}
+			}
+			s.served.Add(1)
+		}
+		if s.cfg.QueueWait != nil {
+			s.cfg.QueueWait.Record(nowNanos - p.enqueuedNanos)
+		}
+		out = append(out, Delivery[T]{To: p.to, Resp: resp})
+	}
+	return out
+}
+
+// Pending reports shard i's current queue length.
+func (s *Server[T]) Pending(i int) int {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n
+}
+
+// Counters snapshots the cumulative tallies.
+func (s *Server[T]) Counters() Counters {
+	return Counters{
+		Received:        s.received.Load(),
+		Queued:          s.queued.Load(),
+		Served:          s.served.Load(),
+		ShedQueueFull:   s.shedQueue.Load(),
+		ShedRateLimited: s.shedRate.Load(),
+		Unavailable:     s.unavailable.Load(),
+		TokensIssued:    s.tokens.Load(),
+		Batches:         s.batches.Load(),
+	}
+}

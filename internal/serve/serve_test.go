@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"time"
+
+	"triadtime/internal/metrics"
+	"triadtime/internal/wire"
+	"triadtime/tsa"
+)
+
+// fixedClock counts TrustedNow reads, the quantity batching amortizes.
+type fixedClock struct {
+	nanos int64
+	err   error
+	reads int
+}
+
+func (c *fixedClock) TrustedNow() (int64, error) {
+	c.reads++
+	return c.nanos, c.err
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server[int], *fixedClock) {
+	t.Helper()
+	clk := &fixedClock{nanos: 42e9}
+	cfg.Clock = clk
+	s, err := New[int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, clk
+}
+
+func TestNewRequiresClock(t *testing.T) {
+	if _, err := New[int](Config{}); err == nil {
+		t.Fatal("server without clock accepted")
+	}
+	if _, err := New[int](Config{Clock: &fixedClock{}, RatePerClient: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// drainAll drains every shard once and returns the deliveries.
+func drainAll(s *Server[int], now int64) []Delivery[int] {
+	var out []Delivery[int]
+	for i := 0; i < s.Shards(); i++ {
+		out = s.Drain(i, now, out)
+	}
+	return out
+}
+
+func TestBatchingOneClockReadPerShardDrain(t *testing.T) {
+	s, clk := newTestServer(t, Config{Shards: 2, BatchMax: 64})
+	const reqs = 40
+	for i := 0; i < reqs; i++ {
+		resp, shed := s.Submit(1000, wire.TimeRequest{ClientID: uint64(i), Seq: uint64(i)}, i)
+		if shed {
+			t.Fatalf("request %d shed: %+v", i, resp)
+		}
+	}
+	out := drainAll(s, 2000)
+	if len(out) != reqs {
+		t.Fatalf("%d deliveries, want %d", len(out), reqs)
+	}
+	// One trusted read per non-empty shard drain, not per request.
+	if clk.reads != 2 {
+		t.Fatalf("%d TrustedNow reads for %d requests over 2 shards, want 2", clk.reads, reqs)
+	}
+	seen := map[int]bool{}
+	for _, d := range out {
+		if d.Resp.Status != wire.StatusOK || d.Resp.Nanos != 42e9 {
+			t.Fatalf("bad response: %+v", d.Resp)
+		}
+		if d.Resp.ClientID != uint64(d.To) || d.Resp.Seq != uint64(d.To) {
+			t.Fatalf("response misrouted: %+v to %d", d.Resp, d.To)
+		}
+		seen[d.To] = true
+	}
+	if len(seen) != reqs {
+		t.Fatalf("%d distinct recipients, want %d", len(seen), reqs)
+	}
+	c := s.Counters()
+	if c.Received != reqs || c.Queued != reqs || c.Served != reqs || c.Batches != 2 || c.Shed() != 0 {
+		t.Fatalf("counters off: %s", c.Summary())
+	}
+}
+
+func TestQueueFullShedsExplicitly(t *testing.T) {
+	s, _ := newTestServer(t, Config{Shards: 1, QueueDepth: 3})
+	shedCount := 0
+	for i := 0; i < 5; i++ {
+		resp, shed := s.Submit(0, wire.TimeRequest{ClientID: 7, Seq: uint64(i)}, i)
+		if shed {
+			shedCount++
+			if resp.Status != wire.StatusOverloaded || resp.Seq != uint64(i) || resp.ClientID != 7 {
+				t.Fatalf("shed response %+v", resp)
+			}
+		}
+	}
+	if shedCount != 2 {
+		t.Fatalf("%d shed, want 2", shedCount)
+	}
+	if got := s.Counters().ShedQueueFull; got != 2 {
+		t.Fatalf("ShedQueueFull=%d, want 2", got)
+	}
+	// The queued 3 still get served: shedding is early, not destructive.
+	if out := drainAll(s, 0); len(out) != 3 {
+		t.Fatalf("%d served after shed, want 3", len(out))
+	}
+}
+
+func TestPerClientRateLimiting(t *testing.T) {
+	s, _ := newTestServer(t, Config{Shards: 1, RatePerClient: 2, RateBurst: 2})
+	submit := func(client uint64, now int64) bool {
+		resp, shed := s.Submit(now, wire.TimeRequest{ClientID: client}, 0)
+		if shed && resp.Status != wire.StatusOverloaded {
+			t.Fatalf("shed with status %v", resp.Status)
+		}
+		return !shed
+	}
+	// Burst of 2 admitted, the rest of the instant shed.
+	for i := 0; i < 2; i++ {
+		if !submit(1, 0) {
+			t.Fatalf("burst request %d shed", i)
+		}
+	}
+	if submit(1, 0) {
+		t.Fatal("burst exceeded but admitted")
+	}
+	// An unrelated client is unaffected.
+	if !submit(2, 0) {
+		t.Fatal("independent client shed")
+	}
+	// Half a second refills one token at 2/s.
+	if !submit(1, int64(500*time.Millisecond)) {
+		t.Fatal("refilled token not granted")
+	}
+	if submit(1, int64(500*time.Millisecond)) {
+		t.Fatal("second token granted without refill")
+	}
+	if got := s.Counters().ShedRateLimited; got != 2 {
+		t.Fatalf("ShedRateLimited=%d, want 2", got)
+	}
+}
+
+func TestClockUnavailableAnswersWholeBatch(t *testing.T) {
+	s, clk := newTestServer(t, Config{Shards: 1})
+	clk.err = errors.New("tainted")
+	for i := 0; i < 4; i++ {
+		s.Submit(0, wire.TimeRequest{ClientID: uint64(i), Seq: 9}, i)
+	}
+	out := drainAll(s, 0)
+	if len(out) != 4 {
+		t.Fatalf("%d deliveries, want 4", len(out))
+	}
+	for _, d := range out {
+		if d.Resp.Status != wire.StatusUnavailable {
+			t.Fatalf("status %v, want unavailable", d.Resp.Status)
+		}
+	}
+	c := s.Counters()
+	if c.Unavailable != 4 || c.Served != 0 {
+		t.Fatalf("counters off: %s", c.Summary())
+	}
+}
+
+func TestTokenIssuanceStampsBatchRead(t *testing.T) {
+	clk := &fixedClock{nanos: 7e9}
+	stamper, err := tsa.New(clk, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New[int](Config{Shards: 1, Clock: clk, Stamper: stamper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("the document")
+	req := wire.TimeRequest{ClientID: 3, Seq: 1, Flags: wire.FlagWantToken, Hash: sha256.Sum256(doc)}
+	s.Submit(0, req, 0)
+	s.Submit(0, wire.TimeRequest{ClientID: 4, Seq: 2}, 0) // no token asked
+	reads := clk.reads
+	out := drainAll(s, 0)
+	if clk.reads != reads+1 {
+		t.Fatalf("token issuance read the clock again (%d extra reads)", clk.reads-reads)
+	}
+	var tokenResp, plainResp *Delivery[int]
+	for i := range out {
+		if out[i].Resp.HasToken {
+			tokenResp = &out[i]
+		} else {
+			plainResp = &out[i]
+		}
+	}
+	if tokenResp == nil || plainResp == nil {
+		t.Fatalf("expected one token and one plain response, got %+v", out)
+	}
+	tok, ok := stamper.VerifyBytes(doc, tokenResp.Resp.Token[:])
+	if !ok {
+		t.Fatal("issued token failed verification")
+	}
+	if tok.Nanos != 7e9 || tokenResp.Resp.Nanos != 7e9 {
+		t.Fatalf("token stamped %d, response %d, want the batch read 7e9", tok.Nanos, tokenResp.Resp.Nanos)
+	}
+	if got := s.Counters().TokensIssued; got != 1 {
+		t.Fatalf("TokensIssued=%d, want 1", got)
+	}
+}
+
+func TestQueueWaitRecorded(t *testing.T) {
+	hist := metrics.NewLatencyHistogram()
+	s, _ := newTestServer(t, Config{Shards: 1, QueueWait: hist})
+	s.Submit(1000, wire.TimeRequest{ClientID: 1}, 0)
+	drainAll(s, 51000)
+	snap := hist.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("histogram count %d, want 1", snap.Count)
+	}
+	if snap.Sum != 50000 {
+		t.Fatalf("recorded wait %d, want 50000", snap.Sum)
+	}
+}
+
+func TestRingFIFOAcrossWraparound(t *testing.T) {
+	s, _ := newTestServer(t, Config{Shards: 1, QueueDepth: 4, BatchMax: 2})
+	next := uint64(0)
+	served := []uint64{}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 2; i++ {
+			if _, shed := s.Submit(0, wire.TimeRequest{ClientID: 1, Seq: next}, 0); shed {
+				t.Fatalf("unexpected shed at seq %d", next)
+			}
+			next++
+		}
+		for _, d := range s.Drain(0, 0, nil) {
+			served = append(served, d.Resp.Seq)
+		}
+	}
+	if len(served) != 10 {
+		t.Fatalf("%d served, want 10", len(served))
+	}
+	for i, seq := range served {
+		if seq != uint64(i) {
+			t.Fatalf("FIFO broken: position %d served seq %d", i, seq)
+		}
+	}
+}
+
+func TestShardOfSpreadsClients(t *testing.T) {
+	s, _ := newTestServer(t, Config{Shards: 4})
+	hit := make([]int, 4)
+	for c := uint64(0); c < 1000; c++ {
+		hit[s.ShardOf(c)]++
+	}
+	for i, n := range hit {
+		if n < 100 {
+			t.Fatalf("shard %d got only %d of 1000 sequential clients: %v", i, n, hit)
+		}
+	}
+	// Sharding must be stable: the same client always lands on the same
+	// lane, or FIFO-per-client would break.
+	if s.ShardOf(12345) != s.ShardOf(12345) {
+		t.Fatal("ShardOf unstable")
+	}
+}
+
+func TestPending(t *testing.T) {
+	s, _ := newTestServer(t, Config{Shards: 1})
+	for i := 0; i < 3; i++ {
+		s.Submit(0, wire.TimeRequest{ClientID: 1, Seq: uint64(i)}, 0)
+	}
+	if got := s.Pending(0); got != 3 {
+		t.Fatalf("Pending=%d, want 3", got)
+	}
+	drainAll(s, 0)
+	if got := s.Pending(0); got != 0 {
+		t.Fatalf("Pending after drain=%d, want 0", got)
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"triadtime/internal/sim"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+	"triadtime/internal/wire"
+)
+
+// SimConfig parameterizes a simulated serving endpoint.
+type SimConfig struct {
+	// Addr is the endpoint's address on the simulated network.
+	Addr simnet.Addr
+	// Key seals client traffic. Deliberately distinct from the protocol
+	// cluster key: a client credential must not open protocol datagrams.
+	Key []byte
+	// Tick is the per-shard drain period. Default 1ms.
+	Tick time.Duration
+	// Server configures the underlying engine; Clock is required.
+	Server Config
+}
+
+// SimBinding runs a Server on the deterministic simulation: it
+// registers the serving address on the simulated network, decodes and
+// admits sealed TimeRequests as they arrive, and drains every shard
+// once per tick, sealing the batched responses back to their senders.
+// Single-threaded like everything under the scheduler, so runs are
+// reproducible byte-for-byte.
+type SimBinding struct {
+	srv   *Server[simnet.Addr]
+	sched *sim.Scheduler
+	net   *simnet.Network
+	addr  simnet.Addr
+	tick  simtime.Instant
+
+	opener *wire.Opener
+	sealer *wire.Sealer
+
+	// Reused scratch: the per-packet and per-tick paths allocate only
+	// what simnet itself copies.
+	openBuf []byte
+	plain   [wire.TimeResponseSize]byte
+	sealBuf []byte
+	out     []Delivery[simnet.Addr]
+}
+
+// NewSimBinding creates a simulated serving endpoint and registers it
+// on the network. Call Start to begin the drain ticks.
+func NewSimBinding(sched *sim.Scheduler, net *simnet.Network, cfg SimConfig) (*SimBinding, error) {
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	srv, err := New[simnet.Addr](cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	opener, err := wire.NewOpener(cfg.Key)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client key: %w", err)
+	}
+	sealer, err := wire.NewSealer(cfg.Key, uint32(cfg.Addr))
+	if err != nil {
+		return nil, fmt.Errorf("serve: client key: %w", err)
+	}
+	b := &SimBinding{
+		srv:     srv,
+		sched:   sched,
+		net:     net,
+		addr:    cfg.Addr,
+		tick:    simtime.FromDuration(cfg.Tick),
+		opener:  opener,
+		sealer:  sealer,
+		openBuf: make([]byte, 0, wire.TimeRequestSize),
+		sealBuf: make([]byte, 0, wire.TimeResponseSize+wire.SealedOverhead),
+		out:     make([]Delivery[simnet.Addr], 0, cfg.Server.BatchMax*cfg.Server.Shards),
+	}
+	net.Register(cfg.Addr, b.handle)
+	return b, nil
+}
+
+// Addr reports the serving endpoint's network address.
+func (b *SimBinding) Addr() simnet.Addr { return b.addr }
+
+// Server exposes the underlying engine (counters, queue-wait metrics).
+func (b *SimBinding) Server() *Server[simnet.Addr] { return b.srv }
+
+// Start schedules the first drain tick.
+func (b *SimBinding) Start() {
+	b.sched.After(b.tick, b.drainTick)
+}
+
+func (b *SimBinding) handle(pkt simnet.Packet) {
+	plain, _, err := b.opener.OpenDatagramInto(b.openBuf, pkt.Payload)
+	if err != nil {
+		return // forged, replayed, or protocol-keyed traffic: drop silently
+	}
+	req, err := wire.UnmarshalTimeRequest(plain)
+	if err != nil {
+		return
+	}
+	if resp, shed := b.srv.Submit(int64(b.sched.Now()), req, pkt.From); shed {
+		b.send(pkt.From, resp)
+	}
+}
+
+func (b *SimBinding) drainTick() {
+	now := int64(b.sched.Now())
+	for i := 0; i < b.srv.Shards(); i++ {
+		b.out = b.srv.Drain(i, now, b.out[:0])
+		for k := range b.out {
+			b.send(b.out[k].To, b.out[k].Resp)
+		}
+	}
+	b.sched.After(b.tick, b.drainTick)
+}
+
+func (b *SimBinding) send(to simnet.Addr, resp wire.TimeResponse) {
+	resp.MarshalInto(b.plain[:])
+	b.sealBuf = b.sealer.SealDatagramAppend(b.sealBuf[:0], b.plain[:])
+	b.net.Send(b.addr, to, b.sealBuf) // simnet copies the payload
+}

@@ -55,6 +55,7 @@ type Platform struct {
 	work     chan func()
 	done     chan struct{}
 	readDone chan struct{}
+	loopDone chan struct{}
 	stopOnce sync.Once
 
 	// Accessed only on the loop goroutine.
@@ -94,6 +95,7 @@ func New(cfg Config) (*Platform, error) {
 		work:     make(chan func(), 256),
 		done:     make(chan struct{}),
 		readDone: make(chan struct{}),
+		loopDone: make(chan struct{}),
 		core:     simtime.PaperCore(),
 	}
 	go p.loop()
@@ -106,12 +108,23 @@ func New(cfg Config) (*Platform, error) {
 
 // loop serializes every callback the node sees.
 func (p *Platform) loop() {
+	defer close(p.loopDone)
 	for {
 		select {
 		case fn := <-p.work:
 			fn()
 		case <-p.done:
-			return
+			// Shutdown: run what is already enqueued — datagrams the
+			// read loop accepted before the socket closed — so Close
+			// never abandons an admitted callback mid-queue, then exit.
+			for {
+				select {
+				case fn := <-p.work:
+					fn()
+				default:
+					return
+				}
+			}
 		}
 	}
 }
@@ -304,14 +317,23 @@ func (p *Platform) AEXCount() int {
 // LocalAddr reports the bound UDP address.
 func (p *Platform) LocalAddr() net.Addr { return p.conn.LocalAddr() }
 
-// Close shuts the platform down: the socket closes, the loops exit.
-// Safe to call multiple times.
+// Close shuts the platform down gracefully and returns only when no
+// handler is running or pending: the socket closes first (unblocking
+// the read loop), then every datagram the read loop had already
+// accepted is dispatched, then the dispatch goroutine exits. Callbacks
+// posted after Close are dropped. Safe to call multiple times; later
+// calls return nil without waiting. Must not be called from a handler
+// (it would wait for its own return).
 func (p *Platform) Close() error {
 	var err error
 	p.stopOnce.Do(func() {
 		err = p.conn.Close()
-		close(p.done)
+		// The read loop exits on the closed socket — after this, every
+		// accepted datagram is in the work queue.
 		<-p.readDone
+		// Tell the dispatch loop to drain that queue and stop.
+		close(p.done)
+		<-p.loopDone
 	})
 	return err
 }

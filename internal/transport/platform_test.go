@@ -312,3 +312,79 @@ func TestLiveClusterEndToEnd(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 }
+
+// TestCloseWaitsForInFlightHandler is the graceful-shutdown contract:
+// Close must not return while a message handler is still running, and
+// datagrams the read loop accepted before Close are dispatched, not
+// abandoned. The handler writes handled without locks — if Close
+// returned early the race detector (make test-race) and the plain
+// assertion would both catch it.
+func TestCloseWaitsForInFlightHandler(t *testing.T) {
+	conn := listen(t)
+	p, err := New(Config{Conn: conn})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	handled := 0
+	p.SetMessageHandler(func(_ simnet.Addr, _ []byte) {
+		if handled == 0 {
+			close(started)
+			<-release // hold the dispatch loop mid-handler
+		}
+		handled++
+	})
+
+	sender := listen(t)
+	defer sender.Close()
+	if _, err := sender.WriteTo([]byte("one"), conn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first datagram never reached the handler")
+	}
+	// With the loop held, a second datagram lands in the work queue.
+	if _, err := sender.WriteTo([]byte("two"), conn.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.work) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second datagram never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan error)
+	go func() { closed <- p.Close() }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a handler was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the handler finished")
+	}
+	// Happens-before: Close returned, so both handler runs are visible.
+	if handled != 2 {
+		t.Fatalf("handled %d datagrams, want 2 (queued work must drain on Close)", handled)
+	}
+	// Idempotent, and callbacks after Close are dropped, not queued.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	p.InjectAEX()
+	if got := p.AEXCount(); got != 0 {
+		t.Fatalf("AEXCount after Close = %d, want 0", got)
+	}
+}

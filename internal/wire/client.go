@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Client-facing serving messages. The serving subsystem
+// (internal/serve) speaks to untrusted clients over its own sealed
+// datagram exchange: a TimeRequest asks a node for an attested
+// timestamp (optionally binding a document hash for an RFC3161-style
+// token) and a TimeResponse answers it — or sheds it with an explicit
+// overload status instead of a silent drop. Both are fixed-size, like
+// every other Triad datagram, so message kinds are indistinguishable
+// by length on the wire.
+//
+// These messages are deliberately NOT Message values: they are larger
+// than the fixed calibration-protocol datagram, travel under a
+// separate client pre-shared key, and their kinds are rejected by
+// Unmarshal so a client datagram replayed at a protocol endpoint can
+// never be mistaken for protocol traffic.
+
+// Client-facing message kinds. Values are part of the wire format; they
+// extend the Kind space past the calibration-protocol messages and are
+// intentionally outside Unmarshal's accepted range.
+const (
+	// KindStampRequest asks a serving node for an attested timestamp.
+	KindStampRequest Kind = 6
+	// KindStampResponse carries the timestamp (or a shed/unavailable
+	// status) back to the client.
+	KindStampResponse Kind = 7
+)
+
+// StampHashSize is the document hash a TimeRequest may bind (SHA-256,
+// matching tsa.HashSize).
+const StampHashSize = 32
+
+// StampTokenSize is the serialized tsa token carried by a granting
+// TimeResponse (hash 32 + nanos 8 + nonce 16 + MAC 32, matching
+// tsa.TokenSize; internal/serve asserts the two agree at compile time).
+const StampTokenSize = 88
+
+// TimeRequest flags.
+const (
+	// FlagWantToken asks the node to additionally issue a tsa token
+	// binding Hash to the served timestamp.
+	FlagWantToken uint8 = 1 << 0
+)
+
+// StampStatus is a TimeResponse's disposition.
+type StampStatus uint8
+
+// TimeResponse statuses.
+const (
+	// StatusOK: Nanos carries the trusted timestamp (and Token a tsa
+	// token when the request set FlagWantToken).
+	StatusOK StampStatus = 1
+	// StatusOverloaded: the node shed the request under admission
+	// control (queue full or per-client rate exceeded). Explicit, so
+	// clients can back off instead of retrying into the overload.
+	StatusOverloaded StampStatus = 2
+	// StatusUnavailable: the node cannot currently serve trusted time
+	// (tainted or calibrating). Clients retry later.
+	StatusUnavailable StampStatus = 3
+)
+
+// String names the status for logs and tables.
+func (s StampStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("StampStatus(%d)", uint8(s))
+	}
+}
+
+// TimeRequest is a client's request for an attested timestamp.
+type TimeRequest struct {
+	// ClientID identifies the requesting principal: the serving node's
+	// shard dispatch and per-client rate limiting key on it. It is
+	// carried inside the sealed payload, so a network observer cannot
+	// link datagrams to clients.
+	ClientID uint64
+	// Seq matches responses to requests; each client chooses its own.
+	Seq uint64
+	// Flags modifies the request (FlagWantToken).
+	Flags uint8
+	// Hash is the document hash a token should bind (FlagWantToken).
+	Hash [StampHashSize]byte
+}
+
+// TimeRequestSize is the fixed encoded size of a TimeRequest:
+// kind(1) + clientID(8) + seq(8) + flags(1) + hash(32).
+const TimeRequestSize = 1 + 8 + 8 + 1 + StampHashSize
+
+// MarshalInto encodes the request into b, which must be at least
+// TimeRequestSize bytes. Allocation-free.
+func (r TimeRequest) MarshalInto(b []byte) {
+	_ = b[TimeRequestSize-1] // bounds hint
+	b[0] = byte(KindStampRequest)
+	binary.BigEndian.PutUint64(b[1:], r.ClientID)
+	binary.BigEndian.PutUint64(b[9:], r.Seq)
+	b[17] = r.Flags
+	copy(b[18:], r.Hash[:])
+}
+
+// Marshal encodes the request into a fresh buffer.
+func (r TimeRequest) Marshal() []byte {
+	b := make([]byte, TimeRequestSize)
+	r.MarshalInto(b)
+	return b
+}
+
+// UnmarshalTimeRequest decodes a request produced by Marshal. The
+// encoding is exact-size: clients have no business padding datagrams,
+// and rejecting slack keeps kinds and lengths in 1:1 correspondence.
+func UnmarshalTimeRequest(b []byte) (TimeRequest, error) {
+	if len(b) < TimeRequestSize {
+		return TimeRequest{}, ErrTruncated
+	}
+	if len(b) != TimeRequestSize || Kind(b[0]) != KindStampRequest {
+		return TimeRequest{}, fmt.Errorf("%w: %d (len %d)", ErrBadKind, b[0], len(b))
+	}
+	r := TimeRequest{
+		ClientID: binary.BigEndian.Uint64(b[1:]),
+		Seq:      binary.BigEndian.Uint64(b[9:]),
+		Flags:    b[17],
+	}
+	copy(r.Hash[:], b[18:])
+	return r, nil
+}
+
+// TimeResponse answers (or sheds) a TimeRequest.
+type TimeResponse struct {
+	// ClientID and Seq echo the request's, so a client multiplexing
+	// identities over one socket can route the answer.
+	ClientID uint64
+	Seq      uint64
+	// Status is the disposition; Nanos and Token are meaningful only
+	// for StatusOK.
+	Status StampStatus
+	// Nanos is the trusted timestamp (authority timeline).
+	Nanos int64
+	// Token is the serialized tsa token when the request asked for one
+	// (zero otherwise; HasToken distinguishes).
+	Token [StampTokenSize]byte
+	// HasToken reports whether Token carries an issued token.
+	HasToken bool
+}
+
+// TimeResponseSize is the fixed encoded size of a TimeResponse:
+// kind(1) + clientID(8) + seq(8) + status(1) + hasToken(1) + nanos(8) +
+// token(88).
+const TimeResponseSize = 1 + 8 + 8 + 1 + 1 + 8 + StampTokenSize
+
+// MarshalInto encodes the response into b, which must be at least
+// TimeResponseSize bytes. Allocation-free.
+func (r TimeResponse) MarshalInto(b []byte) {
+	_ = b[TimeResponseSize-1] // bounds hint
+	b[0] = byte(KindStampResponse)
+	binary.BigEndian.PutUint64(b[1:], r.ClientID)
+	binary.BigEndian.PutUint64(b[9:], r.Seq)
+	b[17] = byte(r.Status)
+	if r.HasToken {
+		b[18] = 1
+	} else {
+		b[18] = 0
+	}
+	binary.BigEndian.PutUint64(b[19:], uint64(r.Nanos))
+	copy(b[27:], r.Token[:])
+}
+
+// Marshal encodes the response into a fresh buffer.
+func (r TimeResponse) Marshal() []byte {
+	b := make([]byte, TimeResponseSize)
+	r.MarshalInto(b)
+	return b
+}
+
+// UnmarshalTimeResponse decodes a response produced by Marshal.
+func UnmarshalTimeResponse(b []byte) (TimeResponse, error) {
+	if len(b) < TimeResponseSize {
+		return TimeResponse{}, ErrTruncated
+	}
+	if len(b) != TimeResponseSize || Kind(b[0]) != KindStampResponse {
+		return TimeResponse{}, fmt.Errorf("%w: %d (len %d)", ErrBadKind, b[0], len(b))
+	}
+	status := StampStatus(b[17])
+	if status < StatusOK || status > StatusUnavailable {
+		return TimeResponse{}, fmt.Errorf("%w: status %d", ErrBadKind, b[17])
+	}
+	if b[18] > 1 {
+		return TimeResponse{}, fmt.Errorf("%w: hasToken %d", ErrBadKind, b[18])
+	}
+	r := TimeResponse{
+		ClientID: binary.BigEndian.Uint64(b[1:]),
+		Seq:      binary.BigEndian.Uint64(b[9:]),
+		Status:   status,
+		HasToken: b[18] == 1,
+		Nanos:    int64(binary.BigEndian.Uint64(b[19:])),
+	}
+	copy(r.Token[:], b[27:])
+	return r, nil
+}

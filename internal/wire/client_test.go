@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTimeRequestRoundtrip(t *testing.T) {
+	req := TimeRequest{ClientID: 77, Seq: 1 << 50, Flags: FlagWantToken}
+	for i := range req.Hash {
+		req.Hash[i] = byte(i * 3)
+	}
+	got, err := UnmarshalTimeRequest(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, req)
+	}
+}
+
+func TestTimeResponseRoundtrip(t *testing.T) {
+	resp := TimeResponse{
+		ClientID: 9,
+		Seq:      42,
+		Status:   StatusOK,
+		Nanos:    1719412345678901234,
+		HasToken: true,
+	}
+	for i := range resp.Token {
+		resp.Token[i] = byte(255 - i)
+	}
+	got, err := UnmarshalTimeResponse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != resp {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, resp)
+	}
+}
+
+func TestClientDecodeRejectsMalformed(t *testing.T) {
+	req := TimeRequest{ClientID: 1, Seq: 2}.Marshal()
+	resp := TimeResponse{Status: StatusOverloaded, Seq: 3}.Marshal()
+
+	cases := []struct {
+		name string
+		data []byte
+		dec  func([]byte) error
+		want error
+	}{
+		{"request truncated", req[:TimeRequestSize-1],
+			func(b []byte) error { _, err := UnmarshalTimeRequest(b); return err }, ErrTruncated},
+		{"request oversize", append(append([]byte(nil), req...), 0),
+			func(b []byte) error { _, err := UnmarshalTimeRequest(b); return err }, ErrBadKind},
+		{"request wrong kind", resp[:TimeRequestSize],
+			func(b []byte) error { _, err := UnmarshalTimeRequest(b); return err }, ErrBadKind},
+		{"response truncated", resp[:TimeResponseSize-1],
+			func(b []byte) error { _, err := UnmarshalTimeResponse(b); return err }, ErrTruncated},
+		{"response wrong kind", append(append([]byte(nil), req...), make([]byte, TimeResponseSize-TimeRequestSize)...),
+			func(b []byte) error { _, err := UnmarshalTimeResponse(b); return err }, ErrBadKind},
+	}
+	for _, tc := range cases {
+		if err := tc.dec(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	bad := TimeResponse{Status: StatusOK}.Marshal()
+	bad[17] = 99 // out-of-range status
+	if _, err := UnmarshalTimeResponse(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad status accepted: %v", err)
+	}
+	bad = TimeResponse{Status: StatusOK}.Marshal()
+	bad[18] = 2 // non-boolean hasToken
+	if _, err := UnmarshalTimeResponse(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad hasToken accepted: %v", err)
+	}
+}
+
+// TestProtocolUnmarshalRejectsClientKinds keeps the two datagram
+// families apart: a client message replayed at a protocol endpoint
+// must not decode as protocol traffic (and vice versa the sizes
+// already differ).
+func TestProtocolUnmarshalRejectsClientKinds(t *testing.T) {
+	req := TimeRequest{ClientID: 5, Seq: 6}.Marshal()
+	if _, err := Unmarshal(req[:MarshaledSize]); !errors.Is(err, ErrBadKind) {
+		t.Errorf("protocol decoder accepted a StampRequest prefix: %v", err)
+	}
+}
+
+func TestSealDatagramRoundtrip(t *testing.T) {
+	sealer, err := NewSealer(testKey(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := NewOpener(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := TimeRequest{ClientID: 31, Seq: 7, Flags: FlagWantToken}
+	var plain [TimeRequestSize]byte
+	req.MarshalInto(plain[:])
+	sealed := sealer.SealDatagramAppend(nil, plain[:])
+	if len(sealed) != TimeRequestSize+SealedOverhead {
+		t.Fatalf("sealed size %d, want %d", len(sealed), TimeRequestSize+SealedOverhead)
+	}
+
+	got, sender, err := opener.OpenDatagramInto(nil, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != 31 {
+		t.Fatalf("sender %d, want 31", sender)
+	}
+	if !bytes.Equal(got, plain[:]) {
+		t.Fatal("plaintext mangled")
+	}
+	req2, err := UnmarshalTimeRequest(got)
+	if err != nil || req2 != req {
+		t.Fatalf("decoded %+v (%v), want %+v", req2, err, req)
+	}
+
+	// Replay of the same sealed datagram must be rejected.
+	if _, _, err := opener.OpenDatagramInto(nil, sealed); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+// TestSealDatagramAppendZeroAlloc holds the serving hot path to the
+// same standard as the protocol dispatch: sealing and opening a client
+// datagram into pre-sized scratch performs no heap allocation.
+func TestSealDatagramAppendZeroAlloc(t *testing.T) {
+	sealer, err := NewSealer(testKey(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := NewOpener(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain [TimeResponseSize]byte
+	TimeResponse{Status: StatusOK, Nanos: 1}.MarshalInto(plain[:])
+	sealed := make([]byte, 0, TimeResponseSize+SealedOverhead)
+	scratch := make([]byte, 0, TimeResponseSize)
+	// Warm the replay window allocation for the sender.
+	sealed = sealer.SealDatagramAppend(sealed[:0], plain[:])
+	if _, _, err := opener.OpenDatagramInto(scratch, sealed); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sealed = sealer.SealDatagramAppend(sealed[:0], plain[:])
+		if _, _, err := opener.OpenDatagramInto(scratch, sealed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("seal+open datagram allocated %.1f times per op", allocs)
+	}
+}

@@ -52,6 +52,10 @@ func (k Kind) String() string {
 		return "PeerTimeResponse"
 	case KindChimerReport:
 		return "ChimerReport"
+	case KindStampRequest:
+		return "StampRequest"
+	case KindStampResponse:
+		return "StampResponse"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

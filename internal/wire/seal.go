@@ -18,10 +18,15 @@ const nonceSize = 12
 // the constructed AEAD agrees.
 const gcmOverhead = 16
 
+// SealedOverhead is what sealing adds to any plaintext: the nonce in
+// front and the authentication tag behind. Sized-buffer arithmetic for
+// the variable-plaintext datagrams (SealDatagramAppend) hangs off it.
+const SealedOverhead = nonceSize + gcmOverhead
+
 // SealedSize is the exact on-the-wire size of a sealed protocol
 // datagram: nonce || ciphertext || tag. Fixed because messages are
 // fixed-size (see MarshaledSize); useful for sizing reusable buffers.
-const SealedSize = nonceSize + MarshaledSize + gcmOverhead
+const SealedSize = SealedOverhead + MarshaledSize
 
 // Errors returned by Open.
 var (
@@ -77,12 +82,23 @@ func (s *Sealer) Seal(m Message) []byte {
 // simulation's dispatch paths allocation-free: callers hold one scratch
 // buffer per endpoint and reseal into it for every send.
 func (s *Sealer) SealAppend(dst []byte, m Message) []byte {
+	m.MarshalInto(s.plain[:])
+	return s.SealDatagramAppend(dst, s.plain[:])
+}
+
+// SealDatagramAppend seals an arbitrary-length plaintext datagram,
+// appending nonce || ciphertext || tag (len(plaintext)+SealedOverhead
+// bytes) to dst and returning the extended slice. It is the
+// variable-size counterpart of SealAppend, used by the client-facing
+// serving messages (TimeRequest/TimeResponse), which are larger than
+// the fixed protocol Message. Like SealAppend, the call performs no
+// heap allocation when dst has enough spare capacity.
+func (s *Sealer) SealDatagramAppend(dst, plaintext []byte) []byte {
 	s.counter++
 	binary.BigEndian.PutUint32(s.nonce[:4], s.senderID)
 	binary.BigEndian.PutUint64(s.nonce[4:], s.counter)
-	m.MarshalInto(s.plain[:])
 	dst = append(dst, s.nonce[:]...)
-	return s.aead.Seal(dst, s.nonce[:], s.plain[:], nil)
+	return s.aead.Seal(dst, s.nonce[:], plaintext, nil)
 }
 
 // Opener decrypts incoming datagrams and rejects replays. One Opener
@@ -117,15 +133,35 @@ func (o *Opener) Open(b []byte) (Message, uint32, error) {
 // plaintext never escapes — the returned Message is a value — so one
 // scratch buffer per receiving endpoint suffices.
 func (o *Opener) OpenInto(scratch []byte, b []byte) (Message, uint32, error) {
+	plain, sender, err := o.OpenDatagramInto(scratch, b)
+	if err != nil {
+		return Message{}, 0, err
+	}
+	m, err := Unmarshal(plain)
+	if err != nil {
+		return Message{}, 0, err
+	}
+	return m, sender, nil
+}
+
+// OpenDatagramInto authenticates and decrypts any sealed datagram
+// (fixed protocol Message or variable client datagram), enforcing the
+// per-sender anti-replay window, and returns the raw plaintext with
+// the authenticated sender identity. The plaintext is written into
+// scratch's spare capacity (scratch may be nil); it aliases that
+// buffer, so callers decode before reusing it. Kind-specific decoding
+// is the caller's: the serving layer follows with UnmarshalTimeRequest
+// where the protocol engine would use Unmarshal.
+func (o *Opener) OpenDatagramInto(scratch []byte, b []byte) ([]byte, uint32, error) {
 	if len(b) < nonceSize+o.aead.Overhead() {
-		return Message{}, 0, ErrAuthFailed
+		return nil, 0, ErrAuthFailed
 	}
 	nonce := b[:nonceSize]
 	sender := binary.BigEndian.Uint32(nonce[:4])
 	counter := binary.BigEndian.Uint64(nonce[4:])
 	plain, err := o.aead.Open(scratch[:0], nonce, b[nonceSize:], nil)
 	if err != nil {
-		return Message{}, 0, ErrAuthFailed
+		return nil, 0, ErrAuthFailed
 	}
 	w := o.windows[sender]
 	if w == nil {
@@ -133,13 +169,9 @@ func (o *Opener) OpenInto(scratch []byte, b []byte) (Message, uint32, error) {
 		o.windows[sender] = w
 	}
 	if !w.accept(counter) {
-		return Message{}, 0, fmt.Errorf("%w: sender %d counter %d", ErrReplay, sender, counter)
+		return nil, 0, fmt.Errorf("%w: sender %d counter %d", ErrReplay, sender, counter)
 	}
-	m, err := Unmarshal(plain)
-	if err != nil {
-		return Message{}, 0, err
-	}
-	return m, sender, nil
+	return plain, sender, nil
 }
 
 func newAEAD(key []byte) (cipher.AEAD, error) {

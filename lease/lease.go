@@ -48,6 +48,11 @@ var (
 	ErrNotHeld = errors.New("lease: no matching lease")
 	// ErrBadTTL is returned for non-positive or excessive TTLs.
 	ErrBadTTL = errors.New("lease: invalid ttl")
+	// ErrClockUnavailable is returned when the trusted clock cannot
+	// supply a timestamp (node tainted, calibrating, or unreachable).
+	// The clock's own error remains in the chain, so callers can match
+	// either this sentinel or the underlying cause with errors.Is.
+	ErrClockUnavailable = errors.New("lease: trusted clock unavailable")
 )
 
 // Manager grants leases against a trusted clock. It is not safe for
@@ -83,7 +88,7 @@ func (m *Manager) Acquire(resource, holder string, ttl time.Duration) (Lease, er
 	}
 	now, err := m.clock.TrustedNow()
 	if err != nil {
-		return Lease{}, fmt.Errorf("lease: %w", err)
+		return Lease{}, fmt.Errorf("%w: %w", ErrClockUnavailable, err)
 	}
 	if cur, ok := m.leases[resource]; ok {
 		if cur.ExpiryNanos > now {
@@ -114,7 +119,7 @@ func (m *Manager) Renew(l Lease, ttl time.Duration) (Lease, error) {
 	}
 	now, err := m.clock.TrustedNow()
 	if err != nil {
-		return Lease{}, fmt.Errorf("lease: %w", err)
+		return Lease{}, fmt.Errorf("%w: %w", ErrClockUnavailable, err)
 	}
 	cur, ok := m.leases[l.Resource]
 	if !ok || cur.Token != l.Token || cur.ExpiryNanos <= now {
@@ -141,7 +146,7 @@ func (m *Manager) Release(l Lease) error {
 func (m *Manager) Holder(resource string) (string, bool, error) {
 	now, err := m.clock.TrustedNow()
 	if err != nil {
-		return "", false, fmt.Errorf("lease: %w", err)
+		return "", false, fmt.Errorf("%w: %w", ErrClockUnavailable, err)
 	}
 	cur, ok := m.leases[resource]
 	if !ok || cur.ExpiryNanos <= now {

@@ -209,3 +209,44 @@ func TestMutualExclusionProperty(t *testing.T) {
 		}
 	}
 }
+
+// errClock fails every read with a fixed underlying error, so tests can
+// assert the full wrap chain.
+type errClock struct{ err error }
+
+func (c errClock) TrustedNow() (int64, error) { return 0, c.err }
+
+func TestClockUnavailableSentinel(t *testing.T) {
+	cause := errors.New("node tainted by AEX burst")
+	m, err := NewManager(errClock{err: cause}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		op   func() error
+	}{
+		{"acquire", func() error { _, err := m.Acquire("r", "alice", time.Second); return err }},
+		{"renew", func() error { _, err := m.Renew(Lease{Resource: "r", Token: 1}, time.Second); return err }},
+		{"holder", func() error { _, _, err := m.Holder("r"); return err }},
+	}
+	for _, tc := range cases {
+		err := tc.op()
+		if err == nil {
+			t.Fatalf("%s: succeeded without trusted time", tc.name)
+		}
+		if !errors.Is(err, ErrClockUnavailable) {
+			t.Errorf("%s: error %v does not match ErrClockUnavailable", tc.name, err)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("%s: error %v lost the underlying clock error", tc.name, err)
+		}
+		if errors.Is(err, ErrHeld) || errors.Is(err, ErrNotHeld) || errors.Is(err, ErrBadTTL) {
+			t.Errorf("%s: error %v matches an unrelated sentinel", tc.name, err)
+		}
+	}
+	// Sentinel must stay distinguishable from validation errors.
+	if _, err := m.Acquire("r", "alice", -time.Second); !errors.Is(err, ErrBadTTL) || errors.Is(err, ErrClockUnavailable) {
+		t.Errorf("bad-ttl error %v misclassified", err)
+	}
+}

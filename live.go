@@ -10,8 +10,11 @@ import (
 	"triadtime/internal/authority"
 	"triadtime/internal/core"
 	"triadtime/internal/engine"
+	"triadtime/internal/metrics"
 	"triadtime/internal/resilient"
+	"triadtime/internal/serve"
 	"triadtime/internal/transport"
+	"triadtime/tsa"
 )
 
 // LiveConfig configures a live (UDP) Triad node.
@@ -66,7 +69,11 @@ type liveNode interface {
 type LiveNode struct {
 	platform  *transport.Platform
 	node      liveNode
+	id        NodeID
 	statusSrv *http.Server
+
+	clientSrv  *serve.LiveServer
+	clientWait *metrics.Histogram
 }
 
 // NewLiveNode binds the socket, builds the node (original or hardened)
@@ -85,7 +92,7 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		conn.Close()
 		return nil, err
 	}
-	ln := &LiveNode{platform: platform}
+	ln := &LiveNode{platform: platform, id: cfg.ID}
 	var buildErr error
 	ok := platform.Do(func() {
 		if cfg.Hardened {
@@ -219,6 +226,21 @@ func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
 		fmt.Fprintf(w, "triad_node_rejected_peers_total %d\n", s.Counters.RejectedPeers)
 		fmt.Fprintf(w, "triad_node_rtt_rejections_total %d\n", s.Counters.RTTRejections)
 		fmt.Fprintf(w, "triad_node_probes_total %d\n", s.Counters.Probes)
+		if ln.clientSrv != nil {
+			c := ln.clientSrv.Server().Counters()
+			fmt.Fprintf(w, "triad_serve_received_total %d\n", c.Received)
+			fmt.Fprintf(w, "triad_serve_served_total %d\n", c.Served)
+			fmt.Fprintf(w, "triad_serve_shed_queue_total %d\n", c.ShedQueueFull)
+			fmt.Fprintf(w, "triad_serve_shed_ratelimit_total %d\n", c.ShedRateLimited)
+			fmt.Fprintf(w, "triad_serve_unavailable_total %d\n", c.Unavailable)
+			fmt.Fprintf(w, "triad_serve_tokens_issued_total %d\n", c.TokensIssued)
+			fmt.Fprintf(w, "triad_serve_batches_total %d\n", c.Batches)
+			snap := ln.clientWait.Snapshot()
+			fmt.Fprintf(w, "triad_serve_queue_wait_count %d\n", snap.Count)
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				fmt.Fprintf(w, "triad_serve_queue_wait_nanos{quantile=\"%g\"} %d\n", q, snap.Quantile(q))
+			}
+		}
 	})
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }()
@@ -229,10 +251,91 @@ func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
 // InjectAEX severs time continuity once, as an OS interrupt would.
 func (ln *LiveNode) InjectAEX() { ln.platform.InjectAEX() }
 
-// Close shuts the node down (including its status server, if any).
+// ClientServeConfig configures a node's client-facing timestamp
+// service (see internal/serve): sealed TimeRequest/TimeResponse
+// datagrams on their own UDP socket and key, batched against the
+// node's trusted clock.
+type ClientServeConfig struct {
+	// Listen is the UDP address for client traffic, e.g. "0.0.0.0:7201"
+	// — a separate socket from the protocol's.
+	Listen string
+	// Key seals client traffic. Deliberately distinct from the cluster
+	// key: client credentials must not open protocol datagrams.
+	Key []byte
+	// TSAKey, when set, enables RFC3161-style token issuance for
+	// requests carrying wire.FlagWantToken.
+	TSAKey []byte
+	// RatePerClient, Shards, QueueDepth, BatchMax and Tick tune
+	// admission control and batching; zero values use serve's defaults.
+	RatePerClient        float64
+	Shards               int
+	QueueDepth, BatchMax int
+	Tick                 time.Duration
+}
+
+// ServeClients starts the client-facing serving endpoint. Timestamps
+// come from this node's TrustedNow — one read per batch, amortized
+// across up to BatchMax responses. Returns the bound UDP address; the
+// endpoint stops when the node closes. Call at most once.
+func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
+	if ln.clientSrv != nil {
+		return nil, fmt.Errorf("triadtime: ServeClients called twice")
+	}
+	conn, err := net.ListenPacket("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("triadtime: serve listen %q: %w", cfg.Listen, err)
+	}
+	clock := serve.ClockFunc(ln.TrustedNanos)
+	var stamper *tsa.Stamper
+	if cfg.TSAKey != nil {
+		stamper, err = tsa.New(tsa.ClockFunc(ln.TrustedNanos), cfg.TSAKey)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	wait := metrics.NewLatencyHistogram()
+	srv, err := serve.NewLiveServer(serve.LiveConfig{
+		Conn:     conn,
+		Key:      cfg.Key,
+		SenderID: uint32(ln.id),
+		Tick:     cfg.Tick,
+		Server: serve.Config{
+			Shards:        cfg.Shards,
+			QueueDepth:    cfg.QueueDepth,
+			BatchMax:      cfg.BatchMax,
+			RatePerClient: cfg.RatePerClient,
+			Clock:         clock,
+			Stamper:       stamper,
+			QueueWait:     wait,
+		},
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ln.clientSrv = srv
+	ln.clientWait = wait
+	return srv.LocalAddr(), nil
+}
+
+// ServeCounters snapshots the client-serving tallies (zero value if
+// ServeClients was not started).
+func (ln *LiveNode) ServeCounters() serve.Counters {
+	if ln.clientSrv == nil {
+		return serve.Counters{}
+	}
+	return ln.clientSrv.Server().Counters()
+}
+
+// Close shuts the node down (including its status server and client
+// serving endpoint, if any).
 func (ln *LiveNode) Close() error {
 	if ln.statusSrv != nil {
 		_ = ln.statusSrv.Close()
+	}
+	if ln.clientSrv != nil {
+		_ = ln.clientSrv.Close()
 	}
 	return ln.platform.Close()
 }

@@ -388,3 +388,110 @@ func TestLiveStatusEndpoint(t *testing.T) {
 		t.Errorf("metrics exposition:\n%s", text)
 	}
 }
+
+// TestLiveServeClients runs the full serving stack end to end: a live
+// node calibrates against a live TA, opens its client-facing endpoint,
+// and answers sealed TimeRequests with its trusted time; the serving
+// tallies surface on /metrics.
+func TestLiveServeClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	node, err := NewLiveNode(LiveConfig{
+		Key:         labKey(),
+		ID:          1,
+		Listen:      "127.0.0.1:0",
+		Directory:   map[NodeID]string{100: ta.LocalAddr().String()},
+		Authority:   100,
+		CalibSleeps: []time.Duration{0, 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	serveKey := make([]byte, KeySize)
+	for i := range serveKey {
+		serveKey[i] = byte(i + 77)
+	}
+	serveAddr, err := node.ServeClients(ClientServeConfig{
+		Listen: "127.0.0.1:0",
+		Key:    serveKey,
+		TSAKey: serveKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ServeClients(ClientServeConfig{Listen: "127.0.0.1:0", Key: serveKey}); err == nil {
+		t.Fatal("second ServeClients accepted")
+	}
+	statusAddr, err := node.ServeStatus("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for node.State() != StateOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("live node never calibrated (state %v)", node.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	client, err := net.Dial("udp", serveAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sealer, err := NewClientSealer(serveKey, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := NewClientOpener(serveKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := TimeRequest{ClientID: 9001, Seq: 1, Flags: FlagWantToken}
+	if _, err := client.Write(sealer.SealRequest(nil, req)); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatalf("no serving response: %v", err)
+	}
+	resp, err := opener.OpenResponse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || resp.ClientID != 9001 || resp.Seq != 1 || !resp.HasToken {
+		t.Fatalf("serving response: %+v", resp)
+	}
+	if off := time.Since(time.Unix(0, resp.Nanos)); off < -2*time.Second || off > 2*time.Second {
+		t.Errorf("served time off wall clock by %v", off)
+	}
+	if c := node.ServeCounters(); c.Served != 1 || c.TokensIssued != 1 {
+		t.Errorf("serve counters: %s", c.Summary())
+	}
+
+	m, err := http.Get("http://" + statusAddr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	body, err := io.ReadAll(m.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "triad_serve_served_total 1") ||
+		!strings.Contains(text, "triad_serve_queue_wait_nanos{quantile=\"0.99\"}") {
+		t.Errorf("metrics missing serving series:\n%s", text)
+	}
+}

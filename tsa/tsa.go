@@ -60,11 +60,20 @@ func (t Token) Time() time.Time { return time.Unix(0, t.Nanos) }
 
 // Marshal serializes the token.
 func (t Token) Marshal() []byte {
-	out := make([]byte, 0, TokenSize)
-	out = append(out, t.Hash[:]...)
-	out = binary.BigEndian.AppendUint64(out, uint64(t.Nanos))
-	out = append(out, t.Nonce[:]...)
-	return append(out, t.MAC[:]...)
+	out := make([]byte, TokenSize)
+	t.MarshalInto(out)
+	return out
+}
+
+// MarshalInto serializes the token into b, which must be at least
+// TokenSize bytes. The allocation-free form of Marshal, for response
+// paths that embed tokens in preallocated datagram buffers.
+func (t Token) MarshalInto(b []byte) {
+	_ = b[TokenSize-1] // bounds hint
+	copy(b, t.Hash[:])
+	binary.BigEndian.PutUint64(b[HashSize:], uint64(t.Nanos))
+	copy(b[HashSize+8:], t.Nonce[:])
+	copy(b[HashSize+8+nonceSize:], t.MAC[:])
 }
 
 // ErrTokenEncoding is returned for malformed serialized tokens.
@@ -114,7 +123,17 @@ func (s *Stamper) Issue(document []byte) (Token, error) {
 	if err != nil {
 		return Token{}, fmt.Errorf("tsa: %w", err)
 	}
-	t := Token{Hash: sha256.Sum256(document), Nanos: nanos}
+	return s.IssueAt(sha256.Sum256(document), nanos)
+}
+
+// IssueAt binds an already-computed document hash to a trusted
+// timestamp the caller obtained. It is the batching form of Issue: the
+// serving subsystem reads trusted time once per batch and stamps every
+// token in the batch against that read, instead of one clock call per
+// request. The caller vouches that nanos came from the trusted clock —
+// the token is only as trustworthy as its timestamp source.
+func (s *Stamper) IssueAt(hash [HashSize]byte, nanos int64) (Token, error) {
+	t := Token{Hash: hash, Nanos: nanos}
 	if _, err := s.randRead(t.Nonce[:]); err != nil {
 		return Token{}, fmt.Errorf("tsa: nonce: %w", err)
 	}
