@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json figures check audit examples clean
+.PHONY: all build test test-short test-race vet lint fuzz-smoke bench bench-json figures check audit examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Custom analyzer suite (cmd/triad-vet): determinism, hot-path
+# allocation, wire-kind exhaustiveness, sealer/opener copy, and lock
+# discipline. See DESIGN.md, "Static analysis".
+lint:
+	$(GO) run ./cmd/triad-vet ./...
 
 test:
 	$(GO) test ./...
@@ -44,11 +50,25 @@ bench-json:
 figures:
 	$(GO) run ./cmd/triad-sim -fig all -seed 1 -out results
 
-# Full pre-merge gate: vet, build, tests, and the race detector.
-check: vet build test test-race
+# Run every Fuzz* target for a short burst of new-input generation —
+# a smoke pass over the wire parser/sealer and TSA verifier fuzzers,
+# not a soak (lengthen with FUZZTIME=5m).
+FUZZTIME ?= 10s
 
-# 16-assertion reproduction audit (non-zero exit on any mismatch).
-audit:
+fuzz-smoke:
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		for f in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); do \
+			echo "== $$pkg $$f"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME); \
+		done; \
+	done
+
+# Full pre-merge gate: vet, lint, build, tests, and the race detector.
+check: vet lint build test test-race
+
+# 16-assertion reproduction audit (non-zero exit on any mismatch),
+# preceded by the static-analysis gate.
+audit: lint
 	$(GO) run ./cmd/triad-sim -fig check -seed 1
 
 examples:

@@ -1,0 +1,109 @@
+// Command triad-vet runs the repo's custom static analyzers — the
+// determinism, zero-allocation, wire-safety, and lock-discipline
+// invariants that ordinary go vet cannot express — over a set of
+// package patterns:
+//
+//	go run ./cmd/triad-vet ./...
+//
+// Analyzers (see DESIGN.md, "Static analysis"):
+//
+//	simdet    deterministic packages must not read wall-clock time,
+//	          use global math/rand, spawn goroutines, or range over maps
+//	hotpath   //triad:hotpath functions must not contain allocating
+//	          constructs
+//	wirekind  switches over wire enum types must be exhaustive or carry
+//	          an explicit default
+//	sealcopy  wire Sealer/Opener values must not be copied by value
+//	lockflow  serve/transport must not hold mutexes across channel
+//	          sends or TrustedNow calls
+//
+// Exit status is 1 if any diagnostic is reported, 2 on load failure.
+// Suppress a finding with a trailing //triad:nolint:<name> <reason>
+// comment on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/hotpath"
+	"triadtime/internal/analysis/load"
+	"triadtime/internal/analysis/lockflow"
+	"triadtime/internal/analysis/sealcopy"
+	"triadtime/internal/analysis/simdet"
+	"triadtime/internal/analysis/wirekind"
+)
+
+// Suite is the full analyzer set triad-vet runs, in report order.
+var Suite = []*analysis.Analyzer{
+	simdet.Analyzer,
+	hotpath.Analyzer,
+	wirekind.Analyzer,
+	sealcopy.Analyzer,
+	lockflow.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("triad-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	list := fs.Bool("list", false, "print the analyzer names and docs, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: triad-vet [-C dir] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range Suite {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Packages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "triad-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, Suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "triad-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s: %s (%s)\n", relativize(d.Pos.String()), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "triad-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relativize shortens an absolute file:line:col position to be
+// relative to the current directory when possible, for readable
+// clickable output.
+func relativize(pos string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return pos
+	}
+	rel, err := filepath.Rel(cwd, pos)
+	if err != nil || len(rel) >= len(pos) {
+		return pos
+	}
+	return rel
+}

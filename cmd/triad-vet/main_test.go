@@ -1,0 +1,37 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/load"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the repository and
+// requires zero findings: every real violation is either fixed or
+// carries an explicit //triad:nolint suppression with a reason. This
+// is the same gate `make lint` and CI enforce.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := analysis.Run(pkgs, Suite)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+}

@@ -1,0 +1,160 @@
+// Package analysistest runs an analyzer over a testdata module and
+// checks its diagnostics against golden expectations written in the
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := time.Now() // want `nondeterministic time\.Now`
+//
+// Each `// want` comment carries one or more backquoted or
+// double-quoted regular expressions; every expectation must be matched
+// by a diagnostic on that line, and every diagnostic must be covered
+// by an expectation. Testdata directories are modules of their own
+// (with a go.mod), so the go tool ignores them during normal builds
+// while the loader can still compile them — positive cases must be
+// legal Go that merely violates the suite's invariants.
+//
+// Diagnostics pass through the runner's //triad:nolint filtering, so
+// testdata can also pin the suppression mechanism itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/load"
+)
+
+// expectation is one `// want` pattern at a file position.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the testdata module rooted at dir, applies the analyzer to
+// the packages matched by patterns (default ./...), and reports any
+// mismatch between diagnostics and `// want` expectations as test
+// errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := collectWants(pkg.Fset, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(d), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func posOf(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want` comment in the file.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			pats, err := parsePatterns(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want comment: %w", pos.Filename, pos.Line, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexps.
+func parsePatterns(s string) ([]string, error) {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[2+end:]
+		case '"':
+			// strconv handles escapes inside double quotes.
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, err
+			}
+			pats = append(pats, p)
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted pattern, got %q", s)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return pats, nil
+}

@@ -1,0 +1,210 @@
+// Package hotpath defines the zero-allocation analyzer: functions
+// annotated with a //triad:hotpath doc-comment directive are the
+// steady-state loops gated by the ZeroAllocSteadyState runtime tests
+// (scheduler Step, simnet delivery, wire seal/open, serve dispatch).
+// The analyzer flags constructs that heap-allocate — so an allocation
+// regression is caught at vet time, file and line in hand, instead of
+// as an opaque allocs/op assertion failure.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"triadtime/internal/analysis"
+)
+
+// Directive marks a function as an allocation-free steady-state path.
+// It must appear on its own line in the function's doc comment.
+const Directive = "//triad:hotpath"
+
+// Analyzer is the hotpath analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flags allocating constructs (fmt calls, string<->[]byte conversions, " +
+		"map/slice/pointer composite literals, make/new, closures, interface " +
+		"boxing) inside functions annotated //triad:hotpath",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHot(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the function's doc comment carries the
+// directive.
+func isHot(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path takes the address of a composite literal (heap allocation); reuse a pooled object")
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path creates a function literal (closure allocation); hoist it to a pre-built field or method value")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil && isString(t) {
+					pass.Reportf(n.Pos(), "hot path concatenates strings (allocation); use a preallocated buffer")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Type conversions.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id := calleeIdent(call.Fun); id != nil {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "hot path calls %s (allocation); preallocate outside the steady state", b.Name())
+			}
+			return
+		}
+	}
+	// fmt calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path calls fmt.%s (allocates for formatting); move formatting off the steady state", fn.Name())
+		}
+	}
+	checkBoxing(pass, call)
+}
+
+// checkConversion flags the two allocating conversion families that
+// show up in serialization code.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type) {
+	from := pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	switch {
+	case isString(to) && isByteSlice(from):
+		pass.Reportf(call.Pos(), "hot path converts []byte to string (copies and allocates)")
+	case isByteSlice(to) && isString(from):
+		pass.Reportf(call.Pos(), "hot path converts string to []byte (copies and allocates)")
+	case types.IsInterface(to) && !types.IsInterface(from):
+		pass.Reportf(call.Pos(), "hot path converts %s to interface %s (boxing allocation)", from, to)
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "hot path builds a map literal (allocation); preallocate outside the steady state")
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "hot path builds a slice literal (allocation); preallocate outside the steady state")
+	}
+}
+
+// checkBoxing flags concrete values passed to interface parameters:
+// the conversion boxes the value on the heap (small-integer and
+// pointer cases aside, which the runtime gate would still admit — the
+// lint is deliberately stricter than the allocator).
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	sigT := pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path boxes %s into interface parameter %s (allocation)", at, pt)
+	}
+	// A call with its own variadic arguments also allocates the
+	// backing array for the ...slice.
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		pass.Reportf(call.Pos(), "hot path calls a variadic function (allocates the argument slice)")
+	}
+}
+
+// calleeIdent unwraps a call's function expression to its identifier,
+// if it has one (plain name or parenthesized name).
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", hotpath.Analyzer)
+}

@@ -1,0 +1,3 @@
+module hotpathdata
+
+go 1.24

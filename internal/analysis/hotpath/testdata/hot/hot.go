@@ -1,0 +1,62 @@
+// Package hot exercises the hotpath analyzer: annotated functions are
+// checked for allocating constructs; unannotated ones are not.
+package hot
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+//triad:hotpath
+func Fmt(x int) {
+	fmt.Println(x) // want `calls fmt\.Println` `boxes int into interface` `variadic function`
+}
+
+//triad:hotpath
+func Convert(b []byte, s string) int {
+	t := string(b) // want `converts \[\]byte to string`
+	u := []byte(s) // want `converts string to \[\]byte`
+	return len(t) + len(u)
+}
+
+//triad:hotpath
+func Literals() int {
+	m := map[int]int{1: 2}       // want `map literal`
+	s := []int{1, 2, 3}          // want `slice literal`
+	p := &pair{}                 // want `address of a composite literal`
+	q := make([]int, 4)          // want `calls make`
+	f := func() int { return 1 } // want `function literal`
+	return m[1] + s[0] + p.a + q[0] + f()
+}
+
+//triad:hotpath
+func Concat(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+//triad:hotpath
+func Boxes(v int) {
+	box(v) // want `boxes int into interface`
+}
+
+func box(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Cold is unannotated: identical constructs pass.
+func Cold() string {
+	return fmt.Sprintf("%d", 1+2)
+}
+
+// Clean is the steady-state idiom the gate exists to protect:
+// append into caller-provided capacity, value structs, no boxing.
+//
+//triad:hotpath
+func Clean(dst []byte, vals []int) []byte {
+	for _, v := range vals {
+		dst = append(dst, byte(v))
+	}
+	return dst
+}

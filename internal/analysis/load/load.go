@@ -1,0 +1,163 @@
+// Package load type-checks Go packages for the static-analysis suite
+// without depending on golang.org/x/tools/go/packages. It shells out
+// to `go list -export -deps -json` for build metadata and compiled
+// export data (the same mechanism the x/tools driver uses), parses the
+// matched packages' non-test sources, and type-checks them against the
+// export data of their dependencies.
+//
+// Only non-test Go files are analyzed: the suite enforces invariants
+// of production code (determinism, zero-alloc hot paths), while tests
+// legitimately use wall clocks, goroutines, and allocations.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one fully type-checked, pattern-matched package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+}
+
+// Packages loads and type-checks the non-test sources of every package
+// matched by patterns, resolved relative to dir (the module root, or a
+// testdata module root in analyzer tests).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter{importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("load: %s uses cgo, which the analysis loader does not support", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-check %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   t.ImportPath,
+			Name:      t.Name,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	if len(pkgs) == 0 {
+		return nil, errors.New("load: patterns matched no packages")
+	}
+	return pkgs, nil
+}
+
+// goList resolves patterns to target packages plus an import-path ->
+// export-data-file map covering every dependency.
+func goList(dir string, patterns []string) ([]listPackage, map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// The analyzed modules are self-contained (stdlib imports only), so
+	// the loader never needs the network; failing fast beats hanging on
+	// a proxy that is unreachable in CI sandboxes.
+	cmd.Env = append(os.Environ(), "GOPROXY=off")
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("load: go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}
+
+// exportImporter wraps the gc export-data importer with the "unsafe"
+// special case (unsafe has no export data; the type checker's own
+// package object stands in).
+type exportImporter struct {
+	imp types.Importer
+}
+
+func (e exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.imp.Import(path)
+}

@@ -1,0 +1,15 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/lockflow"
+)
+
+func TestLockflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", lockflow.Analyzer)
+}

@@ -1,0 +1,3 @@
+module lockflowdata
+
+go 1.24

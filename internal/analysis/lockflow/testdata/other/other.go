@@ -1,0 +1,22 @@
+// Package other is outside lockflow's guarded scope: the same
+// patterns pass (components that own their concurrency model make
+// their own lock-ordering arguments).
+package other
+
+import "sync"
+
+type clock interface {
+	TrustedNow() (int64, error)
+}
+
+type box struct {
+	mu  sync.Mutex
+	out chan int64
+}
+
+func HeldSend(b *box, c clock) {
+	b.mu.Lock()
+	n, _ := c.TrustedNow()
+	b.out <- n
+	b.mu.Unlock()
+}

@@ -1,0 +1,68 @@
+// Package serve is in lockflow's guarded scope (its import path ends
+// in "serve"): locks must be released before channel sends and
+// TrustedNow calls.
+package serve
+
+import "sync"
+
+type clock interface {
+	TrustedNow() (int64, error)
+}
+
+type shard struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	q   []int64
+	out chan int64
+}
+
+// Bad blocks twice while holding the shard lock.
+func Bad(s *shard, c clock) {
+	s.mu.Lock()
+	n, _ := c.TrustedNow() // want `TrustedNow call while holding s\.mu`
+	s.out <- n             // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// DeferBad holds to function end via defer.
+func DeferBad(s *shard, c clock) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, _ := c.TrustedNow() // want `TrustedNow call while holding s\.mu`
+	return n
+}
+
+// RLockBad covers reader locks.
+func RLockBad(s *shard, c clock) int64 {
+	s.rw.RLock()
+	n, _ := c.TrustedNow() // want `TrustedNow call while holding s\.rw`
+	s.rw.RUnlock()
+	return n
+}
+
+// SelectSend covers sends inside select clauses.
+func SelectSend(s *shard, done chan struct{}) {
+	s.mu.Lock()
+	select {
+	case s.out <- 1: // want `channel send while holding s\.mu`
+	case <-done:
+	}
+	s.mu.Unlock()
+}
+
+// Good is the repo's own discipline: collect under the lock, release,
+// then read trusted time and send.
+func Good(s *shard, c clock) {
+	s.mu.Lock()
+	s.q = append(s.q, 1)
+	s.mu.Unlock()
+	n, _ := c.TrustedNow()
+	s.out <- n
+}
+
+// GoodDefer never blocks under its deferred lock.
+func GoodDefer(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}

@@ -1,0 +1,15 @@
+package sealcopy_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/sealcopy"
+)
+
+func TestSealcopy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", sealcopy.Analyzer)
+}

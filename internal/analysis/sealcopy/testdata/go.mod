@@ -1,0 +1,3 @@
+module sealcopydata
+
+go 1.24

@@ -1,0 +1,118 @@
+// Package simdet defines the determinism analyzer: every figure and
+// table in the reproduction depends on the discrete-event simulation
+// being bit-for-bit deterministic across runs and platforms, so the
+// packages that execute under the simulated clock must never consult
+// a wall clock, the global math/rand generator, spawn goroutines, or
+// iterate a map in an order-sensitive position.
+package simdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"triadtime/internal/analysis"
+)
+
+// deterministicPkgs names the package directories (import-path last
+// elements) that must stay deterministic: the simulation engine and
+// everything that runs on it, plus the metrics/trace layers whose
+// output feeds golden traces and figures.
+var deterministicPkgs = map[string]bool{
+	"sim":        true,
+	"simnet":     true,
+	"simtime":    true,
+	"engine":     true,
+	"core":       true,
+	"resilient":  true,
+	"experiment": true,
+	"trace":      true,
+	"metrics":    true,
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time.
+// Using the time package's types (Duration, Time arithmetic) is fine;
+// asking the host for "now" or scheduling against it is not.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that produce a
+// seeded, locally-owned generator — the only sanctioned use. Every
+// other package-level function draws from the global generator, which
+// is seeded per-process and shared across goroutines.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+// Analyzer is the simdet analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "forbids nondeterminism sources (wall clocks, global math/rand, " +
+		"goroutines, map iteration) in the deterministic simulation packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministicPkgs[analysis.PathBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine started in deterministic package %s; all concurrency must be modelled as scheduler events", analysis.PathBase(pass.PkgPath))
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock and global-generator calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: methods (e.g. time.Time.Sub,
+	// rand.Rand.Intn on an owned generator) are deterministic given
+	// deterministic inputs.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTimeFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "nondeterministic time.%s in deterministic package; use the simulated clock (simtime/sim.Scheduler)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand generator (rand.%s) in deterministic package; draw from a seeded *rand.Rand (sim.RNG)", fn.Name())
+		}
+	}
+}
+
+// checkRange flags iteration over maps: Go randomizes map order per
+// run, so any map range in a deterministic package either leaks
+// nondeterminism into traces and figures or needs a
+// //triad:nolint:simdet directive arguing order-independence.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(rng.Pos(), "iteration over unordered map in deterministic package; iterate a sorted key slice (or suppress with a //triad:nolint:simdet order-independence argument)")
+	}
+}

@@ -1,0 +1,15 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", simdet.Analyzer)
+}

@@ -1,0 +1,3 @@
+module simdetdata
+
+go 1.24

@@ -1,0 +1,18 @@
+// Package liveok is outside the deterministic scope: wall clocks,
+// goroutines, and map iteration are legitimate here.
+package liveok
+
+import "time"
+
+func Wall(ch chan int64) int64 {
+	go func() { ch <- 1 }()
+	return time.Now().UnixNano()
+}
+
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+// Package sim is a deterministic-scope testdata package: its import
+// path ends in "sim", so simdet applies.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Nondeterministic exercises every banned construct.
+func Nondeterministic(ch chan int) int64 {
+	go forward(ch, 1)            // want `goroutine started in deterministic package`
+	time.Sleep(time.Millisecond) // want `nondeterministic time\.Sleep`
+	n := time.Now().UnixNano()   // want `nondeterministic time\.Now`
+	n += int64(rand.Intn(4))     // want `global math/rand generator \(rand\.Intn\)`
+	return n
+}
+
+func forward(ch chan int, v int) { ch <- v }
+
+// MapOrder iterates a map: flagged even though the keys are sorted
+// afterwards — the sorted-slice idiom should not range the map without
+// arguing order-independence.
+func MapOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `iteration over unordered map`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Deterministic shows the sanctioned forms: an owned seeded generator
+// and plain duration arithmetic.
+func Deterministic(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	d := 3 * time.Second
+	return r.Int63() + int64(d)
+}
+
+// Sum demonstrates the suppression directive for an order-independent
+// aggregation.
+func Sum(m map[string]int) int {
+	total := 0
+	//triad:nolint:simdet commutative sum, order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

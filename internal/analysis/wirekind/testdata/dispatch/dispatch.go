@@ -1,0 +1,55 @@
+// Package dispatch switches over wire.Kind from outside the wire
+// package — the engine's position.
+package dispatch
+
+import "wirekinddata/wire"
+
+// Missing drops KindC on the floor: the bug class the analyzer exists
+// to catch.
+func Missing(k wire.Kind) int {
+	switch k { // want `does not handle KindC`
+	case wire.KindA:
+		return 1
+	case wire.KindB:
+		return 2
+	}
+	return 0
+}
+
+// Defaulted consciously handles the rest: fine.
+func Defaulted(k wire.Kind) int {
+	switch k {
+	case wire.KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MultiCase covers kinds in one clause: fine.
+func MultiCase(k wire.Kind) int {
+	switch k {
+	case wire.KindA, wire.KindB, wire.KindC:
+		return 1
+	}
+	return 0
+}
+
+// NonConstant compares against a runtime value: coverage is not
+// statically decidable, so the analyzer stays silent.
+func NonConstant(k, other wire.Kind) int {
+	switch k {
+	case other:
+		return 1
+	}
+	return 0
+}
+
+// NotAnEnum switches over a plain int: out of scope.
+func NotAnEnum(v int) int {
+	switch v {
+	case 1:
+		return 1
+	}
+	return 0
+}

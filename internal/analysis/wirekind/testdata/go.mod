@@ -1,0 +1,3 @@
+module wirekinddata
+
+go 1.24

@@ -1,0 +1,28 @@
+// Package wire mimics the repo's wire package: an enum-like message
+// kind whose switches the wirekind analyzer checks for exhaustiveness.
+package wire
+
+// Kind discriminates messages.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+	// KindCAlias shares KindC's value: a covered value counts once.
+	KindCAlias = KindC
+)
+
+// Name is exhaustive without a default: every kind has a case.
+func Name(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return "?"
+}

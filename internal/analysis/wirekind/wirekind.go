@@ -1,0 +1,110 @@
+// Package wirekind defines the wire-dispatch exhaustiveness analyzer:
+// every switch over a wire-package enum (message Kind, StampStatus)
+// must either handle all declared constants or carry an explicit
+// default clause. TriHaRd-style resilience analysis shows how a
+// silently dropped message class invalidates protocol guarantees — a
+// newly added kind must fail vet everywhere it is not consciously
+// dispatched or consciously ignored.
+package wirekind
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"triadtime/internal/analysis"
+)
+
+// Analyzer is the wirekind analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirekind",
+	Doc: "requires switches over wire enums (message kinds, statuses) to " +
+		"handle every declared constant or carry an explicit default",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	t := types.Unalias(pass.TypesInfo.TypeOf(sw.Tag))
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	// The invariant is scoped to wire-format enums: defined integer
+	// types declared in a package named "wire".
+	if obj.Pkg() == nil || obj.Pkg().Name() != "wire" {
+		return
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return
+	}
+	consts := enumConstants(obj.Pkg(), named)
+	if len(consts) == 0 {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // explicit default: the switch consciously handles the rest
+		}
+		for _, expr := range clause.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil {
+				return // non-constant case: coverage is not statically decidable
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s.%s does not handle %s and has no default clause; dispatch or explicitly drop every kind",
+			obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants collects the constants of type t declared at package
+// scope, deduplicated by value (aliased constants count as one case),
+// in declaration-name order (Scope.Names is sorted, so diagnostics are
+// deterministic).
+func enumConstants(pkg *types.Package, t *types.Named) []*types.Const {
+	var consts []*types.Const
+	seen := map[string]bool{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		consts = append(consts, c)
+	}
+	return consts
+}

@@ -1,0 +1,15 @@
+package wirekind_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/wirekind"
+)
+
+func TestWirekind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", wirekind.Analyzer)
+}

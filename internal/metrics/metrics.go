@@ -232,18 +232,23 @@ func WriteDriftCSV(w io.Writer, series []*DriftSeries) error {
 	if _, err := fmt.Fprintln(w); err != nil {
 		return err
 	}
-	// Collect the union of sample times.
-	timeSet := map[float64]bool{}
+	// Collect the sorted, deduplicated union of sample times. A slice
+	// with sort+compact (rather than a set map) keeps the iteration
+	// deterministic.
+	var times []float64
 	for _, s := range series {
 		for _, p := range s.Points {
-			timeSet[p.RefSeconds] = true
+			times = append(times, p.RefSeconds)
 		}
 	}
-	times := make([]float64, 0, len(timeSet))
-	for t := range timeSet {
-		times = append(times, t)
-	}
 	sort.Float64s(times)
+	uniq := times[:0]
+	for _, t := range times {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != t {
+			uniq = append(uniq, t)
+		}
+	}
+	times = uniq
 	// Index points by time per series.
 	idx := make([]map[float64]DriftPoint, len(series))
 	for i, s := range series {

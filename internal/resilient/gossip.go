@@ -105,7 +105,7 @@ func (p *policy) accredited(id uint32) bool {
 	if p.gossip.own&bit != 0 {
 		votes++
 	}
-	for reporter, view := range p.gossip.views {
+	for reporter, view := range p.gossip.views { //triad:nolint:simdet commutative vote sum — iteration order cannot affect the count
 		if reporter == id {
 			continue // no self-accreditation: the §V credibility rule
 		}

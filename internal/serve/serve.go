@@ -232,6 +232,8 @@ func (s *Server[T]) ShardOf(clientID uint64) int {
 // explicit overload response now. An admitted request returns
 // (zero, false) and is answered by a later Drain. Allocation-free
 // except the first request of a never-seen client (its token bucket).
+//
+//triad:hotpath
 func (s *Server[T]) Submit(nowNanos int64, req wire.TimeRequest, to T) (wire.TimeResponse, bool) {
 	s.received.Add(1)
 	sh := s.shards[s.ShardOf(req.ClientID)]
@@ -301,6 +303,8 @@ func (sh *shard[T]) takeToken(clientID uint64, nowNanos int64, rate, burst float
 // shards, but not with another Drain of the same shard: each shard has
 // one batch scratch, matching the bindings' one-drainer-per-shard
 // structure.
+//
+//triad:hotpath
 func (s *Server[T]) Drain(i int, nowNanos int64, out []Delivery[T]) []Delivery[T] {
 	sh := s.shards[i]
 	sh.mu.Lock()

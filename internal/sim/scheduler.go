@@ -127,6 +127,8 @@ func (s *Scheduler) Cancel(e Event) {
 
 // Step fires the next pending event and advances simulated time to it.
 // It reports whether an event was fired.
+//
+//triad:hotpath
 func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false

@@ -214,10 +214,12 @@ func (n *Network) sampleDelay(link Link) time.Duration {
 // record: the payload is copied into the record's own buffer and the
 // record's pre-built fire closure is handed to the scheduler, so the
 // steady-state path allocates nothing.
+//
+//triad:hotpath
 func (n *Network) deliver(pkt Packet, delay time.Duration) {
 	pp := n.freePending
 	if pp == nil {
-		pp = &pendingPacket{n: n}
+		pp = &pendingPacket{n: n} //triad:nolint:hotpath pool growth happens only until the in-flight high-water mark; steady state reuses
 		pp.fire = pp.deliverNow
 	} else {
 		n.freePending = pp.next
@@ -233,6 +235,8 @@ func (n *Network) deliver(pkt Packet, delay time.Duration) {
 // the record to the pool. The record is recycled only after the handler
 // returns: a handler that sends (scheduling new deliveries) re-enters
 // deliver while this record's payload is still live.
+//
+//triad:hotpath
 func (pp *pendingPacket) deliverNow() {
 	n := pp.n
 	pkt := pp.pkt

@@ -81,6 +81,8 @@ func (s *Sealer) Seal(m Message) []byte {
 // capacity the call performs no heap allocation, which is what keeps the
 // simulation's dispatch paths allocation-free: callers hold one scratch
 // buffer per endpoint and reseal into it for every send.
+//
+//triad:hotpath
 func (s *Sealer) SealAppend(dst []byte, m Message) []byte {
 	m.MarshalInto(s.plain[:])
 	return s.SealDatagramAppend(dst, s.plain[:])
@@ -93,6 +95,8 @@ func (s *Sealer) SealAppend(dst []byte, m Message) []byte {
 // serving messages (TimeRequest/TimeResponse), which are larger than
 // the fixed protocol Message. Like SealAppend, the call performs no
 // heap allocation when dst has enough spare capacity.
+//
+//triad:hotpath
 func (s *Sealer) SealDatagramAppend(dst, plaintext []byte) []byte {
 	s.counter++
 	binary.BigEndian.PutUint32(s.nonce[:4], s.senderID)
@@ -132,6 +136,8 @@ func (o *Opener) Open(b []byte) (Message, uint32, error) {
 // MarshaledSize the steady-state path performs no heap allocation. The
 // plaintext never escapes — the returned Message is a value — so one
 // scratch buffer per receiving endpoint suffices.
+//
+//triad:hotpath
 func (o *Opener) OpenInto(scratch []byte, b []byte) (Message, uint32, error) {
 	plain, sender, err := o.OpenDatagramInto(scratch, b)
 	if err != nil {
@@ -152,6 +158,8 @@ func (o *Opener) OpenInto(scratch []byte, b []byte) (Message, uint32, error) {
 // buffer, so callers decode before reusing it. Kind-specific decoding
 // is the caller's: the serving layer follows with UnmarshalTimeRequest
 // where the protocol engine would use Unmarshal.
+//
+//triad:hotpath
 func (o *Opener) OpenDatagramInto(scratch []byte, b []byte) ([]byte, uint32, error) {
 	if len(b) < nonceSize+o.aead.Overhead() {
 		return nil, 0, ErrAuthFailed
@@ -165,10 +173,11 @@ func (o *Opener) OpenDatagramInto(scratch []byte, b []byte) ([]byte, uint32, err
 	}
 	w := o.windows[sender]
 	if w == nil {
-		w = &replayWindow{}
+		w = &replayWindow{} //triad:nolint:hotpath one-time allocation on the first datagram from a never-seen sender
 		o.windows[sender] = w
 	}
 	if !w.accept(counter) {
+		//triad:nolint:hotpath replay-rejection error path; the steady state never takes it
 		return nil, 0, fmt.Errorf("%w: sender %d counter %d", ErrReplay, sender, counter)
 	}
 	return plain, sender, nil
