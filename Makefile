@@ -66,7 +66,7 @@ fuzz-smoke:
 # Full pre-merge gate: vet, lint, build, tests, and the race detector.
 check: vet lint build test test-race
 
-# 16-assertion reproduction audit (non-zero exit on any mismatch),
+# 23-assertion reproduction audit (non-zero exit on any mismatch),
 # preceded by the static-analysis gate.
 audit: lint
 	$(GO) run ./cmd/triad-sim -fig check -seed 1

@@ -373,6 +373,35 @@ func BenchmarkExtTAOutage(b *testing.B) {
 	}
 }
 
+// BenchmarkExtQuorumFaults regenerates the multi-authority quorum
+// fault suite: availability and correctness of Marzullo consensus over
+// N Time Authorities versus the single-TA baseline under outages,
+// lying/delaying authorities, split-brain, and staggered failures.
+func BenchmarkExtQuorumFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunQuorumFaults(uint64(i)+10, 5*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("\nMulti-authority quorum fault suite:")
+			for _, r := range rows {
+				fmt.Println("  " + r.Summary())
+			}
+		}
+		for _, r := range rows {
+			switch r.Name {
+			case "baseline-1ta-outage":
+				b.ReportMetric(r.RawAvailability*100, "baseline_outage_avail_pct")
+			case "quorum-3ta-1dark":
+				b.ReportMetric(r.RawAvailability*100, "quorum_1dark_avail_pct")
+			case "quorum-3ta-lying-fixed":
+				b.ReportMetric(r.CorrectAvailability*100, "quorum_lying_correct_pct")
+			}
+		}
+	}
+}
+
 // BenchmarkExtDualMonitor regenerates the §IV-A.1 RQ A.1 answer: an
 // attacker masking a 0.8x TSC scaling with a matching discrete DVFS
 // drop evades INC-only monitoring but not the coupled

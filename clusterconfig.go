@@ -22,11 +22,30 @@ import (
 //	  "hardened": true,
 //	  "aexPeriodMillis": 500
 //	}
+//
+// Multi-authority deployments replace "authority" with an ordered
+// "authorities" list (and optionally "quorumMinAgree"); nodes then
+// calibrate by Marzullo consensus across the set:
+//
+//	"authorities": [
+//	  {"id": 100, "addr": "ta0.example:7100"},
+//	  {"id": 101, "addr": "ta1.example:7100"},
+//	  {"id": 102, "addr": "ta2.example:7100"}
+//	]
 type ClusterFile struct {
 	// KeyHex is the cluster's pre-shared AES-256 key, hex-encoded.
 	KeyHex string `json:"keyHex"`
-	// Authority is the Time Authority endpoint.
-	Authority Endpoint `json:"authority"`
+	// Authority is the Time Authority endpoint (single-authority
+	// deployments; ignored when Authorities is set).
+	Authority Endpoint `json:"authority,omitempty"`
+	// Authorities lists the Time Authorities for multi-authority quorum
+	// calibration, in quorum order. With two or more entries nodes run
+	// Marzullo consensus over the set and Authority may be omitted.
+	Authorities []Endpoint `json:"authorities,omitempty"`
+	// QuorumMinAgree optionally relaxes the quorum's strict-majority
+	// rule to "at least this many authorities agree" (e.g. 1 for a
+	// 2-authority deployment that must survive one loss).
+	QuorumMinAgree int `json:"quorumMinAgree,omitempty"`
 	// Nodes lists every Triad node.
 	Nodes []Endpoint `json:"nodes"`
 	// Hardened selects the Section V protocol for all nodes.
@@ -67,13 +86,27 @@ func (cf *ClusterFile) Validate() error {
 	if len(key) != KeySize {
 		return fmt.Errorf("triadtime: cluster key must be %d bytes, got %d", KeySize, len(key))
 	}
-	if cf.Authority.Addr == "" {
+	authorities := cf.authorities()
+	if len(authorities) == 0 {
 		return fmt.Errorf("triadtime: cluster file missing authority address")
 	}
 	if len(cf.Nodes) == 0 {
 		return fmt.Errorf("triadtime: cluster file lists no nodes")
 	}
-	seen := map[NodeID]bool{cf.Authority.ID: true}
+	if cf.QuorumMinAgree < 0 || cf.QuorumMinAgree > len(authorities) {
+		return fmt.Errorf("triadtime: quorumMinAgree %d outside [0, %d authorities]",
+			cf.QuorumMinAgree, len(authorities))
+	}
+	seen := map[NodeID]bool{}
+	for _, a := range authorities {
+		if a.Addr == "" {
+			return fmt.Errorf("triadtime: authority %d has no address", a.ID)
+		}
+		if seen[a.ID] {
+			return fmt.Errorf("triadtime: duplicate participant id %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
 	for _, n := range cf.Nodes {
 		if n.Addr == "" {
 			return fmt.Errorf("triadtime: node %d has no address", n.ID)
@@ -84,6 +117,18 @@ func (cf *ClusterFile) Validate() error {
 		seen[n.ID] = true
 	}
 	return nil
+}
+
+// authorities returns the effective authority set: Authorities when
+// present, else the single Authority entry (if configured).
+func (cf *ClusterFile) authorities() []Endpoint {
+	if len(cf.Authorities) > 0 {
+		return cf.Authorities
+	}
+	if cf.Authority.Addr == "" {
+		return nil
+	}
+	return []Endpoint{cf.Authority}
 }
 
 // Key decodes the cluster key.
@@ -104,7 +149,13 @@ func (cf *ClusterFile) NodeConfig(id NodeID, listen string) (LiveConfig, error) 
 		return LiveConfig{}, err
 	}
 	var self *Endpoint
-	directory := map[NodeID]string{cf.Authority.ID: cf.Authority.Addr}
+	authorities := cf.authorities()
+	directory := make(map[NodeID]string, len(authorities)+len(cf.Nodes))
+	taIDs := make([]NodeID, len(authorities))
+	for i, a := range authorities {
+		directory[a.ID] = a.Addr
+		taIDs[i] = a.ID
+	}
 	var peers []NodeID
 	for i := range cf.Nodes {
 		n := cf.Nodes[i]
@@ -121,14 +172,19 @@ func (cf *ClusterFile) NodeConfig(id NodeID, listen string) (LiveConfig, error) 
 	if listen == "" {
 		listen = self.Addr
 	}
-	return LiveConfig{
+	cfg := LiveConfig{
 		Key:       key,
 		ID:        id,
 		Listen:    listen,
 		Directory: directory,
 		Peers:     peers,
-		Authority: cf.Authority.ID,
+		Authority: taIDs[0],
 		AEXPeriod: time.Duration(cf.AEXPeriodMillis) * time.Millisecond,
 		Hardened:  cf.Hardened,
-	}, nil
+	}
+	if len(taIDs) >= 2 {
+		cfg.Authorities = taIDs
+		cfg.QuorumMinAgree = cf.QuorumMinAgree
+	}
+	return cfg, nil
 }

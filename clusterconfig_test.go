@@ -84,6 +84,83 @@ func TestLoadClusterFileErrors(t *testing.T) {
 	}
 }
 
+func TestClusterFileAuthoritiesQuorum(t *testing.T) {
+	content := `{
+	  "keyHex": "` + strings.Repeat("ab", 32) + `",
+	  "authorities": [
+	    {"id": 100, "addr": "ta0.example:7100"},
+	    {"id": 101, "addr": "ta1.example:7100"},
+	    {"id": 102, "addr": "ta2.example:7100"}
+	  ],
+	  "quorumMinAgree": 2,
+	  "nodes": [{"id": 1, "addr": "a.example:7101"}, {"id": 2, "addr": "b.example:7101"}]
+	}`
+	cf, err := LoadClusterFile(writeClusterFile(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := cf.NodeConfig(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Authority order in the file is quorum order in the config.
+	want := []NodeID{100, 101, 102}
+	if len(cfg.Authorities) != len(want) {
+		t.Fatalf("Authorities = %v, want %v", cfg.Authorities, want)
+	}
+	for i, id := range want {
+		if cfg.Authorities[i] != id {
+			t.Fatalf("Authorities = %v, want %v", cfg.Authorities, want)
+		}
+	}
+	if cfg.Authority != 100 || cfg.QuorumMinAgree != 2 {
+		t.Errorf("Authority=%d QuorumMinAgree=%d", cfg.Authority, cfg.QuorumMinAgree)
+	}
+	for _, id := range want {
+		if cfg.Directory[id] == "" {
+			t.Errorf("authority %d missing from directory %v", id, cfg.Directory)
+		}
+	}
+
+	bad := []string{
+		// Duplicate id across authorities.
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `",
+		  "authorities": [{"id":100,"addr":"x:1"},{"id":100,"addr":"y:1"}],
+		  "nodes":[{"id":1,"addr":"z:1"}]}`,
+		// Authority id colliding with a node id.
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `",
+		  "authorities": [{"id":100,"addr":"x:1"},{"id":1,"addr":"y:1"}],
+		  "nodes":[{"id":1,"addr":"z:1"}]}`,
+		// Authority with no address.
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `",
+		  "authorities": [{"id":100,"addr":"x:1"},{"id":101,"addr":""}],
+		  "nodes":[{"id":1,"addr":"z:1"}]}`,
+		// MinAgree above the authority count.
+		`{"keyHex": "` + strings.Repeat("ab", 32) + `",
+		  "authorities": [{"id":100,"addr":"x:1"},{"id":101,"addr":"y:1"}],
+		  "quorumMinAgree": 3,
+		  "nodes":[{"id":1,"addr":"z:1"}]}`,
+	}
+	for i, content := range bad {
+		if _, err := LoadClusterFile(writeClusterFile(t, content)); err == nil {
+			t.Errorf("bad multi-authority cluster file %d accepted", i)
+		}
+	}
+
+	// Single-authority files keep the legacy shape: no quorum fields set.
+	cf, err = LoadClusterFile(writeClusterFile(t, validClusterJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = cf.NodeConfig(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Authorities) != 0 || cfg.QuorumMinAgree != 0 {
+		t.Errorf("single-authority file produced quorum config: %+v", cfg)
+	}
+}
+
 func TestNodeConfigUnknownID(t *testing.T) {
 	cf, err := LoadClusterFile(writeClusterFile(t, validClusterJSON()))
 	if err != nil {

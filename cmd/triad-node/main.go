@@ -10,6 +10,10 @@
 // The node prints its trusted time once per second. -hardened selects
 // the Section V resilient protocol; -aex injects synthetic AEXs at the
 // given period (standing in for the OS interrupts real enclaves see).
+// Repeating -authority enlists multiple Time Authorities: the node then
+// calibrates by Marzullo quorum consensus across the set and adopts a
+// reference only when a majority agrees (-min-agree overrides the
+// threshold, e.g. 1 for a two-authority deployment).
 // -serve (with -serve-key, distinct from -key) additionally exposes the
 // node's trusted clock to external clients as a sharded, batched,
 // admission-controlled UDP timestamp endpoint; drive it with
@@ -59,6 +63,36 @@ func (e endpointList) Set(v string) error {
 	return nil
 }
 
+// endpointSeq collects repeated "id=host:port" flags preserving order
+// (authority order is quorum order, so a map would scramble it).
+type endpointSeq struct {
+	ids   []triadtime.NodeID
+	addrs []string
+}
+
+func (e *endpointSeq) String() string {
+	var parts []string
+	for i, id := range e.ids {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, e.addrs[i]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (e *endpointSeq) Set(v string) error {
+	id, addr, err := parseEndpoint(v)
+	if err != nil {
+		return err
+	}
+	for _, seen := range e.ids {
+		if seen == id {
+			return fmt.Errorf("duplicate authority id %d", id)
+		}
+	}
+	e.ids = append(e.ids, id)
+	e.addrs = append(e.addrs, addr)
+	return nil
+}
+
 // parseEndpoint splits "id=host:port".
 func parseEndpoint(v string) (triadtime.NodeID, string, error) {
 	idStr, addr, ok := strings.Cut(v, "=")
@@ -79,7 +113,9 @@ func run(args []string) error {
 	keyHex := fs.String("key", "", "cluster pre-shared key, 64 hex characters")
 	peers := endpointList{}
 	fs.Var(peers, "peer", "peer endpoint id=host:port (repeatable)")
-	authorityFlag := fs.String("authority", "", "time authority endpoint id=host:port")
+	authorities := &endpointSeq{}
+	fs.Var(authorities, "authority", "time authority endpoint id=host:port (repeat for quorum calibration)")
+	minAgree := fs.Int("min-agree", 0, "quorum agreement threshold override (0 = strict majority; needs 2+ -authority)")
 	aexPeriod := fs.Duration("aex", 500*time.Millisecond, "synthetic AEX period (0 disables)")
 	hardened := fs.Bool("hardened", false, "run the Section V hardened protocol")
 	printEvery := fs.Duration("print", time.Second, "how often to print the trusted time")
@@ -110,14 +146,13 @@ func run(args []string) error {
 		if err != nil || len(key) != wire.KeySize {
 			return fmt.Errorf("-key must be %d hex characters", 2*wire.KeySize)
 		}
-		if *authorityFlag == "" {
+		if len(authorities.ids) == 0 {
 			return errors.New("-authority is required")
 		}
-		taID, taAddr, err := parseEndpoint(*authorityFlag)
-		if err != nil {
-			return err
+		directory := map[triadtime.NodeID]string{}
+		for i, taID := range authorities.ids {
+			directory[taID] = authorities.addrs[i]
 		}
-		directory := map[triadtime.NodeID]string{taID: taAddr}
 		var peerIDs []triadtime.NodeID
 		for pid, addr := range peers {
 			directory[pid] = addr
@@ -129,9 +164,13 @@ func run(args []string) error {
 			Listen:    *listen,
 			Directory: directory,
 			Peers:     peerIDs,
-			Authority: taID,
+			Authority: authorities.ids[0],
 			AEXPeriod: *aexPeriod,
 			Hardened:  *hardened,
+		}
+		if len(authorities.ids) >= 2 {
+			cfg.Authorities = authorities.ids
+			cfg.QuorumMinAgree = *minAgree
 		}
 	}
 

@@ -34,6 +34,25 @@ func TestEndpointListFlag(t *testing.T) {
 	}
 }
 
+func TestEndpointSeqFlag(t *testing.T) {
+	e := &endpointSeq{}
+	for _, v := range []string{"102=host:3", "100=host:1", "101=host:2"} {
+		if err := e.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Order of the repeated flag is preserved: it is the quorum order.
+	if got := e.String(); got != "102=host:3,100=host:1,101=host:2" {
+		t.Errorf("String() = %q", got)
+	}
+	if err := e.Set("100=again:9"); err == nil {
+		t.Error("duplicate authority id accepted")
+	}
+	if err := e.Set("broken"); err == nil {
+		t.Error("broken endpoint accepted")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-key", "nothex"}); err == nil {
 		t.Error("bad key accepted")

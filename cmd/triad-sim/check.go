@@ -96,6 +96,29 @@ func (r figRunner) check() error {
 	add("dvfs_inconly_rate", dvfs[0].FinalClockRate, 0.79, 0.81)
 	add("dvfs_dual_rate", dvfs[1].FinalClockRate, 0.99, 1.01)
 
+	// Multi-authority quorum: the suite's headline comparisons. The
+	// availability margins over the single-TA baselines must be
+	// strictly positive, a lying authority must zero the baseline's
+	// correctness without denting the quorum's, and split-brain must be
+	// ridden out in holdover.
+	quorum, err := experiment.RunQuorumFaults(r.seed, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	qr := make(map[string]experiment.QuorumRow, len(quorum))
+	for _, row := range quorum {
+		qr[row.Name] = row
+	}
+	add("quorum_3ta_1dark_margin",
+		qr["quorum-3ta-1dark"].RawAvailability-qr["baseline-1ta-outage"].RawAvailability, 1e-9, 1)
+	add("quorum_5ta_2dark_margin",
+		qr["quorum-5ta-2dark"].RawAvailability-qr["baseline-1ta-outage"].RawAvailability, 1e-9, 1)
+	add("quorum_lying_baseline_correct", qr["baseline-1ta-lying"].CorrectAvailability, 0, 0.01)
+	add("quorum_3ta_lying_correct", qr["quorum-3ta-lying-fixed"].CorrectAvailability, 0.95, 1)
+	add("quorum_3ta_lying_false_tickers", float64(qr["quorum-3ta-lying-fixed"].FalseTickers), 1, math.MaxFloat64)
+	add("quorum_splitbrain_holdovers", float64(qr["quorum-4ta-splitbrain-2v2"].Holdovers), 1, math.MaxFloat64)
+	add("quorum_splitbrain_avail", qr["quorum-4ta-splitbrain-2v2"].RawAvailability, 0.9, 1)
+
 	failures := 0
 	for _, row := range rows {
 		verdict := "ok"

@@ -39,10 +39,10 @@ import (
 // cacheVersion tags cache keys with the generation of the simulation
 // code. Bump it whenever experiment output changes shape or content,
 // or stale -cache entries would replay outdated results.
-const cacheVersion = 2
+const cacheVersion = 3
 
 // allFigures is the -fig all execution order (and flush order).
-var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "dvfs", "scale", "gossip", "calib", "latency", "load"}
+var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "quorum", "dvfs", "scale", "gossip", "calib", "latency", "load"}
 
 // figures maps figure ids to their generators.
 var figures = map[string]func(figRunner) error{
@@ -60,6 +60,7 @@ var figures = map[string]func(figRunner) error{
 	"t3e":     figRunner.t3e,
 	"loss":    figRunner.loss,
 	"outage":  figRunner.outage,
+	"quorum":  figRunner.quorum,
 	"dvfs":    figRunner.dualMonitor,
 	"scale":   figRunner.scale,
 	"gossip":  figRunner.gossip,
@@ -517,4 +518,42 @@ func (r figRunner) outage() error {
 	}
 	fmt.Fprintln(r.out, res.Summary())
 	return nil
+}
+
+func (r figRunner) quorum() error {
+	rows, err := experiment.RunQuorumFaults(r.seed, r.duration(5*time.Minute))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Multi-authority quorum fault suite (Marzullo consensus over N TAs):")
+	for _, row := range rows {
+		fmt.Fprintln(r.out, " ", row.Summary())
+	}
+	if err := r.writeCSV("quorum_rows.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "scenario,authorities,availability,correct_availability,quorum_accepts,quorum_no_majority,false_tickers,holdovers"); err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.6f,%.6f,%d,%d,%d,%d\n",
+				row.Name, row.Authorities, row.RawAvailability, row.CorrectAvailability,
+				row.QuorumAccepts, row.QuorumNoMajority, row.FalseTickers, row.Holdovers); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	fig, err := experiment.RunQuorumAttackFigure(r.seed, r.duration(5*time.Minute))
+	if err != nil {
+		return err
+	}
+	if err := r.writeCSV("quorum_attack_baseline_drift.csv", func(w io.Writer) error {
+		return metrics.WriteDriftCSV(w, fig.Baseline)
+	}); err != nil {
+		return err
+	}
+	return r.writeCSV("quorum_attack_quorum_drift.csv", func(w io.Writer) error {
+		return metrics.WriteDriftCSV(w, fig.Quorum)
+	})
 }

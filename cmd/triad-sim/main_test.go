@@ -114,6 +114,7 @@ func TestRunAllFigureRunnersSmoke(t *testing.T) {
 		{"-fig", "t3e"},
 		{"-fig", "loss", "-dur", "3m"},
 		{"-fig", "outage", "-dur", "10m"},
+		{"-fig", "quorum", "-dur", "3m"},
 		{"-fig", "dvfs"},
 		{"-fig", "scale", "-dur", "3m"},
 		{"-fig", "gossip", "-dur", "3m"},
@@ -148,6 +149,37 @@ func readDir(t *testing.T, dir string) map[string]string {
 		files[e.Name()] = string(data)
 	}
 	return files
+}
+
+// TestQuorumFigureSeedStable is the quorum suite's golden-trace gate
+// at the CLI layer: two runs at the same seed must produce
+// byte-identical console output and CSV artifacts (availability rows
+// and both attack drift series).
+func TestQuorumFigureSeedStable(t *testing.T) {
+	runQuorum := func() (string, map[string]string) {
+		dir := t.TempDir()
+		var b strings.Builder
+		if err := run([]string{"-fig", "quorum", "-dur", "3m", "-seed", "10", "-out", dir}, &b, io.Discard); err != nil {
+			t.Fatalf("%v\n%s", err, b.String())
+		}
+		return strings.ReplaceAll(b.String(), dir, "OUT"), readDir(t, dir)
+	}
+	text1, files1 := runQuorum()
+	text2, files2 := runQuorum()
+	if text1 != text2 {
+		t.Errorf("quorum figure output differs across same-seed runs:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+	if !strings.Contains(text1, "quorum-3ta-lying-fixed") {
+		t.Errorf("quorum rows missing:\n%s", text1)
+	}
+	for _, name := range []string{"quorum_rows.csv", "quorum_attack_baseline_drift.csv", "quorum_attack_quorum_drift.csv"} {
+		if files1[name] == "" {
+			t.Errorf("artifact %s missing or empty", name)
+		}
+		if files1[name] != files2[name] {
+			t.Errorf("artifact %s differs across same-seed runs", name)
+		}
+	}
 }
 
 // TestParallelMatchesSerial is the determinism contract of the

@@ -25,7 +25,14 @@ type Server struct {
 // NewServer creates a live TA bound to the given packet connection.
 // The server takes ownership of conn and closes it on Close.
 func NewServer(conn net.PacketConn, key []byte, senderID uint32) (*Server, error) {
-	auth, err := New(key, senderID, func() int64 { return time.Now().UnixNano() })
+	return NewServerClock(conn, key, senderID, func() int64 { return time.Now().UnixNano() })
+}
+
+// NewServerClock creates a live TA with an explicit reference clock —
+// the integration tests' hook for running a deliberately lying
+// authority against a quorum of honest ones.
+func NewServerClock(conn net.PacketConn, key []byte, senderID uint32, clock Clock) (*Server, error) {
+	auth, err := New(key, senderID, clock)
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,15 @@ type SimBinding struct {
 // authority's clock is the simulation's reference time; its wire sender
 // ID is the address.
 func NewSimBinding(sched *sim.Scheduler, net *simnet.Network, key []byte, addr simnet.Addr) (*SimBinding, error) {
-	auth, err := New(key, uint32(addr), func() int64 { return int64(sched.Now()) })
+	return NewSimBindingClock(sched, net, key, addr, func() int64 { return int64(sched.Now()) })
+}
+
+// NewSimBindingClock creates a simulated Time Authority with an
+// explicit reference clock. Multi-authority fault scenarios use it to
+// run lying authorities (fixed-offset or drifting clocks) alongside
+// honest ones; sleeps are still observed on the simulation scheduler.
+func NewSimBindingClock(sched *sim.Scheduler, net *simnet.Network, key []byte, addr simnet.Addr, clock Clock) (*SimBinding, error) {
+	auth, err := New(key, uint32(addr), clock)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"triadtime/internal/enclave"
 	"triadtime/internal/engine"
+	"triadtime/internal/simnet"
 	"triadtime/internal/stats"
 	"triadtime/internal/wire"
 )
@@ -69,8 +70,9 @@ func (p *policy) Start(e *engine.Engine) {
 }
 
 // OnTimeResponse claims Time Authority responses belonging to the
-// pending calibration sample.
-func (p *policy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+// pending calibration sample. The sender is already authenticated as
+// the single configured authority, so only the sequence matters here.
+func (p *policy) OnTimeResponse(e *engine.Engine, _ simnet.Addr, msg wire.Message) bool {
 	if p.calib != nil && msg.Seq == p.calib.pendingSeq {
 		p.onCalibSample(e, msg)
 		return true
@@ -239,7 +241,7 @@ func (p *policy) onRefCalibResponse(e *engine.Engine, msg wire.Message) {
 type recoveryPolicy struct{ *policy }
 
 // OnTimeResponse claims the pending reference calibration response.
-func (rp recoveryPolicy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+func (rp recoveryPolicy) OnTimeResponse(e *engine.Engine, _ simnet.Addr, msg wire.Message) bool {
 	p := rp.policy
 	if p.refSeq != 0 && msg.Seq == p.refSeq {
 		p.onRefCalibResponse(e, msg)

@@ -31,6 +31,25 @@ type Config struct {
 	Peers []simnet.Addr
 	// Authority is the Time Authority's address.
 	Authority simnet.Addr
+	// Authorities lists multiple independent Time Authorities. With two
+	// or more entries the node abandons the single-TA trust assumption:
+	// calibration fans out to every authority and a reference is
+	// adopted only when a quorum's Marzullo intervals agree
+	// (engine.QuorumCalibration); the sleep-regression calibration is
+	// not used. Authority may be left zero and defaults to
+	// Authorities[0].
+	Authorities []simnet.Addr
+	// QuorumMinAgree overrides the quorum's strict-majority agreement
+	// rule with an absolute count (e.g. 1 for a 2-authority deployment
+	// that must survive one authority loss). 0 keeps the majority rule.
+	QuorumMinAgree int
+	// QuorumRecheck is the steady-state quorum revalidation period
+	// (default 10s); failures degrade to holdover instead of going
+	// dark.
+	QuorumRecheck time.Duration
+	// QuorumErrBudget is the base half-width of each authority's
+	// confidence interval (default 10ms).
+	QuorumErrBudget time.Duration
 
 	// CalibSleeps are the sleep durations requested from the TA during
 	// speed calibration. Default: {0, 1s}, as in the paper's

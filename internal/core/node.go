@@ -37,11 +37,30 @@ func NewNode(platform enclave.Platform, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	pol := &policy{cfg: cfg}
+	pols := engine.Policies{
+		Calibration: pol,
+		Recovery:    recoveryPolicy{pol},
+		Filter:      engine.AdoptIfAhead{},
+	}
+	if len(cfg.Authorities) >= 2 {
+		// Multi-authority deployment: quorum calibration replaces the
+		// sleep-regression policy, and the authority side of recovery
+		// runs quorum reference rounds (peer untainting is unchanged).
+		q := engine.NewQuorumCalibration(engine.QuorumConfig{
+			TATimeout:       cfg.TATimeout,
+			ErrBudget:       cfg.QuorumErrBudget,
+			RecheckInterval: cfg.QuorumRecheck,
+			MinAgree:        cfg.QuorumMinAgree,
+		})
+		pols.Calibration = q
+		pols.Recovery = engine.QuorumRecovery{Inner: recoveryPolicy{pol}, Quorum: q}
+	}
 	eng, err := engine.New(platform, engine.Config{
 		Key:              cfg.Key,
 		Addr:             cfg.Addr,
 		Peers:            cfg.Peers,
 		Authority:        cfg.Authority,
+		Authorities:      cfg.Authorities,
 		PeerTimeout:      cfg.PeerTimeout,
 		MonitorTicks:     cfg.MonitorTicks,
 		MonitorTolerance: cfg.MonitorTolerance,
@@ -50,11 +69,7 @@ func NewNode(platform enclave.Platform, cfg Config) (*Node, error) {
 		MemTolerance:     cfg.MemTolerance,
 		FreqChangeEvents: true,
 		Events:           cfg.Events,
-	}, engine.Policies{
-		Calibration: pol,
-		Recovery:    recoveryPolicy{pol},
-		Filter:      engine.AdoptIfAhead{},
-	})
+	}, pols)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

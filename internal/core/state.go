@@ -39,6 +39,7 @@ const (
 	StateRefCalib  = engine.StateRefCalib
 	StateTainted   = engine.StateTainted
 	StateOK        = engine.StateOK
+	StateDegraded  = engine.StateDegraded
 )
 
 // Events are optional observation hooks, shared with every engine

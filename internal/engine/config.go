@@ -23,6 +23,12 @@ type Config struct {
 	Peers []simnet.Addr
 	// Authority is the Time Authority's address.
 	Authority simnet.Addr
+	// Authorities lists every Time Authority this node trusts, in a
+	// fixed order. Empty defaults to {Authority}: the single-authority
+	// protocol. With several entries, time responses from any listed
+	// authority reach the policies (the multi-authority quorum
+	// calibration), and Authority defaults to Authorities[0].
+	Authorities []simnet.Addr
 
 	// PeerTimeout bounds how long a tainted node waits for peer
 	// timestamps before falling back to the Time Authority.
@@ -68,8 +74,24 @@ func (c Config) withDefaults() (Config, error) {
 	if len(c.Key) != wire.KeySize {
 		return c, fmt.Errorf("key must be %d bytes, got %d", wire.KeySize, len(c.Key))
 	}
+	if len(c.Authorities) > 0 && c.Authority == 0 {
+		c.Authority = c.Authorities[0]
+	}
 	if c.Authority == c.Addr {
 		return c, errors.New("node address equals authority address")
+	}
+	if len(c.Authorities) == 0 {
+		c.Authorities = []simnet.Addr{c.Authority}
+	}
+	for i, a := range c.Authorities {
+		if a == c.Addr {
+			return c, errors.New("node address listed as an authority")
+		}
+		for _, b := range c.Authorities[:i] {
+			if a == b {
+				return c, fmt.Errorf("authority %d listed twice", a)
+			}
+		}
 	}
 	for _, p := range c.Peers {
 		if p == c.Addr {

@@ -31,4 +31,16 @@ type Counters struct {
 	GossipSent      int
 	GossipReceived  int
 	GossipAdoptions int
+
+	// QuorumAccepts counts multi-authority rounds whose interval
+	// intersection met the agreement rule and was adopted;
+	// QuorumNoMajority counts rounds that found no agreeing quorum.
+	// FalseTickers accumulates, over accepted rounds, the responding
+	// authorities whose interval fell outside the adopted intersection
+	// (lying or badly delayed). Holdovers counts entries into the
+	// Degraded holdover state. All stay zero on single-authority nodes.
+	QuorumAccepts    int
+	QuorumNoMajority int
+	FalseTickers     int
+	Holdovers        int
 }

@@ -139,8 +139,26 @@ func (e *Engine) Start() {
 // Addr reports the node's network address.
 func (e *Engine) Addr() simnet.Addr { return e.cfg.Addr }
 
-// Authority reports the Time Authority's address.
+// Authority reports the Time Authority's address (the first configured
+// authority on multi-authority nodes).
 func (e *Engine) Authority() simnet.Addr { return e.cfg.Authority }
+
+// Authorities returns every configured Time Authority in trust order
+// (length 1 on single-authority nodes). The slice is shared; callers
+// must not mutate it.
+func (e *Engine) Authorities() []simnet.Addr { return e.cfg.Authorities }
+
+// isAuthority reports whether a is a configured Time Authority. The
+// authority list is at most a handful of entries, so a linear scan
+// beats a map (and keeps dispatch allocation- and map-iteration-free).
+func (e *Engine) isAuthority(a simnet.Addr) bool {
+	for _, auth := range e.cfg.Authorities {
+		if auth == a {
+			return true
+		}
+	}
+	return false
+}
 
 // PeerAddrs returns the configured peers in broadcast order. The
 // slice is shared; callers must not mutate it.
@@ -193,7 +211,7 @@ func (e *Engine) TimeJumps() []int64 {
 // Authority's timeline). It fails with ErrUnavailable while the node
 // is tainted or calibrating. Served timestamps are strictly monotonic.
 func (e *Engine) TrustedNow() (int64, error) {
-	if e.state != StateOK {
+	if !e.state.Serving() {
 		return 0, fmt.Errorf("%w: state %s", ErrUnavailable, e.state)
 	}
 	return e.serveTimestamp(), nil
@@ -328,11 +346,12 @@ func (e *Engine) onDatagram(_ simnet.Addr, payload []byte) {
 	}
 	switch msg.Kind {
 	case wire.KindTimeResponse:
-		if simnet.Addr(sender) != e.cfg.Authority {
+		from := simnet.Addr(sender)
+		if !e.isAuthority(from) {
 			return
 		}
-		if !e.calibration.OnTimeResponse(e, msg) {
-			e.recovery.OnTimeResponse(e, msg)
+		if !e.calibration.OnTimeResponse(e, from, msg) {
+			e.recovery.OnTimeResponse(e, from, msg)
 		}
 	case wire.KindPeerTimeRequest:
 		if !e.peers[simnet.Addr(sender)] {
@@ -378,7 +397,7 @@ func (e *Engine) onPeerTimeRequest(from simnet.Addr, msg wire.Message) {
 func (e *Engine) onAEX() {
 	e.aexEpoch++
 	switch e.state {
-	case StateOK:
+	case StateOK, StateDegraded:
 		e.recovery.OnTaint(e)
 	case StateFullCalib:
 		e.calibration.OnAEX(e)

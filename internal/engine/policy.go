@@ -1,6 +1,9 @@
 package engine
 
-import "triadtime/internal/wire"
+import (
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
 
 // The engine calls out to small policy interfaces at exactly the
 // decision points where the original protocol (internal/core) and the
@@ -19,9 +22,11 @@ type CalibrationPolicy interface {
 	// already set StateFullCalib; the policy must cancel its own stale
 	// exchanges and any engine gather (Engine.CancelGather) first.
 	Start(e *Engine)
-	// OnTimeResponse offers a Time Authority response. It returns true
-	// if the response belonged to a calibration exchange (consumed).
-	OnTimeResponse(e *Engine, msg wire.Message) bool
+	// OnTimeResponse offers a Time Authority response; from is the
+	// authenticated authority identity, so multi-authority policies can
+	// attribute the response. It returns true if the response belonged
+	// to a calibration exchange (consumed).
+	OnTimeResponse(e *Engine, from simnet.Addr, msg wire.Message) bool
 	// OnAEX notifies the policy that an AEX fired while calibrating:
 	// any in-flight measurement window was severed.
 	OnAEX(e *Engine)
@@ -41,9 +46,10 @@ type RecoveryPolicy interface {
 	// Engine.BeginPeerGather).
 	OnTaint(e *Engine)
 	// OnTimeResponse offers a Time Authority response not claimed by
-	// the calibration policy (reference calibration, probes). It
-	// returns true if consumed.
-	OnTimeResponse(e *Engine, msg wire.Message) bool
+	// the calibration policy (reference calibration, probes); from is
+	// the authenticated authority identity. It returns true if
+	// consumed.
+	OnTimeResponse(e *Engine, from simnet.Addr, msg wire.Message) bool
 	// OnPeerSample offers a peer time response that did not match the
 	// engine's gather (e.g. hardened probe responses).
 	OnPeerSample(e *Engine, seq uint64, s PeerSample)

@@ -1,0 +1,563 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"triadtime/internal/enclave"
+	"triadtime/internal/marzullo"
+	"triadtime/internal/simnet"
+	"triadtime/internal/wire"
+)
+
+// Multi-authority quorum calibration (ROADMAP item 2, following
+// TriHaRd's hardening of the single-Time-Authority trust assumption).
+// Instead of trusting one TA, the node fans every calibration exchange
+// out to N independent authorities, converts each response into a
+// confidence interval on reference time, and adopts a reference only
+// when the Marzullo intersection of those intervals is supported by an
+// agreeing quorum — by default a strict majority of the configured
+// authorities. One lying, delaying, or dark authority in a minority
+// cannot move the adopted time; it merely shows up in the FalseTickers
+// counter. When a steady-state recheck finds no quorum (split-brain,
+// or a majority outage), the node enters the Degraded holdover state:
+// it keeps serving on its last agreed calibration — bounded only by
+// local TSC drift — while retrying, rather than going dark or trusting
+// a disputed reference.
+
+// QuorumConfig parameterizes the multi-authority quorum policies.
+type QuorumConfig struct {
+	// TATimeout is each round's response deadline: a round closes when
+	// every authority answered or the deadline passes. Default: 250ms.
+	TATimeout time.Duration
+	// ErrBudget is the base half-width of the confidence interval
+	// assigned to each authority reading (authority clock error + local
+	// extrapolation error); half the observed roundtrip is added on
+	// top. Default: 10ms.
+	ErrBudget time.Duration
+	// CalibWindow is the TSC window between the two reference rounds of
+	// a rate calibration (as in the hardened windowed calibration, but
+	// fanned out). An AEX inside the window halves it, down to
+	// MinCalibWindow. Defaults: 2s / 250ms.
+	CalibWindow    time.Duration
+	MinCalibWindow time.Duration
+	// RecheckInterval is the steady-state quorum revalidation period:
+	// while serving, the node re-runs a reference round and degrades to
+	// holdover if the quorum is gone. Default: 10s.
+	RecheckInterval time.Duration
+	// DisableRecheck turns steady-state revalidation off (the node then
+	// only consults the quorum at calibration and taint recovery).
+	DisableRecheck bool
+	// RetryBackoff is the pause before retrying after a failed or
+	// under-responded quorum round. Default: 250ms.
+	RetryBackoff time.Duration
+	// MinAgree overrides the agreement rule: accept an intersection
+	// supported by at least MinAgree authorities instead of a strict
+	// majority of all configured ones. 0 keeps the majority rule. A
+	// 2-authority deployment sets MinAgree=1 to survive one authority
+	// loss (trading Byzantine protection for availability).
+	MinAgree int
+}
+
+func (c QuorumConfig) withDefaults() QuorumConfig {
+	if c.TATimeout <= 0 {
+		c.TATimeout = 250 * time.Millisecond
+	}
+	if c.ErrBudget <= 0 {
+		c.ErrBudget = 10 * time.Millisecond
+	}
+	if c.CalibWindow <= 0 {
+		c.CalibWindow = 2 * time.Second
+	}
+	if c.MinCalibWindow <= 0 {
+		c.MinCalibWindow = 250 * time.Millisecond
+	}
+	if c.MinCalibWindow > c.CalibWindow {
+		c.MinCalibWindow = c.CalibWindow
+	}
+	if c.RecheckInterval <= 0 {
+		c.RecheckInterval = 10 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	return c
+}
+
+// QuorumDecide applies the quorum agreement rule to per-authority
+// confidence intervals: the Marzullo intersection is adopted when
+// supported by at least minAgree authorities (minAgree > 0) or by a
+// strict majority of the total configured authorities (minAgree == 0).
+// It returns the best intersection, how many intervals support it, and
+// the verdict.
+func QuorumDecide(intervals []marzullo.Interval, total, minAgree int) (marzullo.Interval, int, bool) {
+	best, count := marzullo.Intersect(intervals)
+	if minAgree > 0 {
+		return best, count, count >= minAgree
+	}
+	return best, count, count*2 > total
+}
+
+// quorumSample is one authority's slot in a round.
+type quorumSample struct {
+	addr    simnet.Addr
+	seq     uint64
+	sentTSC uint64
+	recvTSC uint64
+	t       int64 // authority reference time, valid when have
+	have    bool
+}
+
+// quorumRound is one fan-out: a sleep-0 TimeRequest to every
+// configured authority, closing when all answered or the deadline
+// passed. Slots stay in authority config order, so iteration is
+// deterministic.
+type quorumRound struct {
+	slots   []quorumSample
+	pending int
+	epoch   uint64 // AEX epoch at send; a mismatch at close severs the round
+	timer   enclave.CancelFunc
+	done    func() // close handler: fired once, by deadline or last response
+}
+
+func (r *quorumRound) cancel() {
+	if r.timer != nil {
+		r.timer()
+		r.timer = nil
+	}
+}
+
+// offer matches a response to its slot (authenticated sender identity
+// and sequence number both must match) and reports whether the round
+// is now complete.
+func (r *quorumRound) offer(e *Engine, from simnet.Addr, msg wire.Message) (claimed, complete bool) {
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.addr != from || s.seq != msg.Seq || s.have {
+			continue
+		}
+		s.have = true
+		s.t = msg.TimeNanos
+		s.recvTSC = e.Platform().ReadTSC()
+		r.pending--
+		return true, r.pending == 0
+	}
+	return false, false
+}
+
+// Reference-round kinds.
+const (
+	refNone = iota
+	// refRecalib: post-taint recovery (peers failed); the node is in
+	// StateRefCalib and cannot serve until a quorum anchors it.
+	refRecalib
+	// refRecheck: steady-state revalidation while serving; failure
+	// degrades to holdover instead of going dark.
+	refRecheck
+)
+
+// QuorumCalibration is the multi-authority CalibrationPolicy: a
+// windowed two-round rate calibration fanned out over every configured
+// authority, with the reference adopted from the quorum intersection.
+// Pair it with QuorumRecovery wrapping the variant's recovery policy.
+type QuorumCalibration struct {
+	cfg QuorumConfig
+
+	// Full-calibration state machine: round A, window wait, round B.
+	windowSec  float64
+	calRound   *quorumRound
+	roundA     []quorumSample // responded round-A slots
+	waitTimer  enclave.CancelFunc
+	retryTimer enclave.CancelFunc
+
+	// Reference rounds (taint recovery and steady-state rechecks).
+	refRound     *quorumRound
+	refKind      int
+	refRetry     enclave.CancelFunc
+	recheckTimer enclave.CancelFunc
+
+	rates []float64 // scratch for the per-round rate median
+}
+
+// NewQuorumCalibration creates the quorum calibration policy. The
+// authority set comes from the engine's config at run time.
+func NewQuorumCalibration(cfg QuorumConfig) *QuorumCalibration {
+	return &QuorumCalibration{cfg: cfg.withDefaults()}
+}
+
+// needed returns the response count required by the agreement rule
+// over n configured authorities.
+func (q *QuorumCalibration) needed(n int) int {
+	if q.cfg.MinAgree > 0 {
+		return q.cfg.MinAgree
+	}
+	return n/2 + 1
+}
+
+// beginRound fans one sleep-0 request out to every authority.
+func (q *QuorumCalibration) beginRound(e *Engine, onDone func()) *quorumRound {
+	auths := e.Authorities()
+	r := &quorumRound{
+		slots:   make([]quorumSample, len(auths)),
+		pending: len(auths),
+		epoch:   e.AEXEpoch(),
+		done:    onDone,
+	}
+	for i, a := range auths {
+		r.slots[i] = quorumSample{addr: a, seq: e.NextSeq(), sentTSC: e.Platform().ReadTSC()}
+		e.SendSealed(a, wire.Message{Kind: wire.KindTimeRequest, Seq: r.slots[i].seq})
+	}
+	r.timer = e.Platform().AfterTicks(e.TicksFor(q.cfg.TATimeout), func() {
+		r.timer = nil
+		r.done()
+	})
+	return r
+}
+
+// Start begins (or restarts) a full quorum calibration.
+func (q *QuorumCalibration) Start(e *Engine) {
+	e.CancelGather()
+	q.cancelCal()
+	q.cancelRef()
+	q.windowSec = q.cfg.CalibWindow.Seconds()
+	q.startCalRoundA(e)
+}
+
+func (q *QuorumCalibration) startCalRoundA(e *Engine) {
+	q.calRound = q.beginRound(e, func() { q.onCalRoundA(e) })
+}
+
+func (q *QuorumCalibration) startCalRoundB(e *Engine) {
+	q.calRound = q.beginRound(e, func() { q.onCalRoundB(e) })
+}
+
+// retryCal restarts the calibration from round A after the backoff —
+// the pacing that keeps retries bounded while authorities are dark.
+func (q *QuorumCalibration) retryCal(e *Engine) {
+	q.roundA = q.roundA[:0]
+	q.retryTimer = e.Platform().AfterTicks(e.TicksFor(q.cfg.RetryBackoff), func() {
+		q.retryTimer = nil
+		q.startCalRoundA(e)
+	})
+}
+
+func (q *QuorumCalibration) onCalRoundA(e *Engine) {
+	r := q.calRound
+	q.calRound = nil
+	r.cancel()
+	if e.AEXEpoch() != r.epoch {
+		// Severed by an AEX that raced the close; OnAEX normally
+		// restarts first, but never trust a severed window.
+		q.startCalRoundA(e)
+		return
+	}
+	q.roundA = q.roundA[:0]
+	for _, s := range r.slots {
+		if s.have {
+			q.roundA = append(q.roundA, s)
+		}
+	}
+	if len(q.roundA) < q.needed(len(r.slots)) {
+		q.retryCal(e)
+		return
+	}
+	q.waitTimer = e.Platform().AfterTicks(e.TicksForSeconds(q.windowSec), func() {
+		q.waitTimer = nil
+		q.startCalRoundB(e)
+	})
+}
+
+// midTSC is the roundtrip midpoint, the instant the authority's
+// reading is anchored at (the TA reads its clock one one-way before
+// the receive).
+func (s quorumSample) midTSC() float64 {
+	return float64(s.sentTSC) + float64(s.recvTSC-s.sentTSC)/2
+}
+
+func (q *QuorumCalibration) onCalRoundB(e *Engine) {
+	r := q.calRound
+	q.calRound = nil
+	r.cancel()
+	if e.AEXEpoch() != r.epoch {
+		q.startCalRoundA(e)
+		return
+	}
+
+	// Per-authority rate over the window, for authorities that answered
+	// both rounds; the median defangs a minority of rate-lying clocks.
+	q.rates = q.rates[:0]
+	for _, sb := range r.slots {
+		if !sb.have {
+			continue
+		}
+		for _, sa := range q.roundA {
+			if sa.addr != sb.addr {
+				continue
+			}
+			dt := float64(sb.t-sa.t) / 1e9
+			dticks := sb.midTSC() - sa.midTSC()
+			if dt > 0 && dticks > 0 {
+				q.rates = append(q.rates, dticks/dt)
+			}
+			break
+		}
+	}
+	if len(q.rates) == 0 {
+		q.retryCal(e)
+		return
+	}
+	sort.Float64s(q.rates)
+	rate := q.rates[len(q.rates)/2]
+	if len(q.rates)%2 == 0 {
+		rate = (q.rates[len(q.rates)/2-1] + q.rates[len(q.rates)/2]) / 2
+	}
+
+	refTSC := e.Platform().ReadTSC()
+	intervals := q.intervals(r, refTSC, rate)
+	best, count, ok := QuorumDecide(intervals, len(r.slots), q.cfg.MinAgree)
+	if !ok {
+		if len(intervals) >= q.needed(len(r.slots)) {
+			e.Counters().QuorumNoMajority++
+		}
+		q.retryCal(e)
+		return
+	}
+	e.Counters().QuorumAccepts++
+	e.Counters().FalseTickers += len(intervals) - count
+	q.roundA = q.roundA[:0]
+	e.CompleteCalibration(rate, best.Midpoint(), refTSC)
+}
+
+// intervals converts a round's responses into confidence intervals on
+// reference time, all extrapolated to the common instant refTSC using
+// rate. Each interval's half-width is the error budget plus half the
+// observed roundtrip (the one-way ambiguity a delaying attacker can
+// exploit, bounded per response).
+func (q *QuorumCalibration) intervals(r *quorumRound, refTSC uint64, rate float64) []marzullo.Interval {
+	out := make([]marzullo.Interval, 0, len(r.slots))
+	for _, s := range r.slots {
+		if !s.have {
+			continue
+		}
+		est := s.t + int64((float64(refTSC)-s.midTSC())/rate*1e9)
+		rttNanos := int64(float64(s.recvTSC-s.sentTSC) / rate * 1e9)
+		err := q.cfg.ErrBudget.Nanoseconds() + rttNanos/2
+		out = append(out, marzullo.Interval{Lo: est - err, Hi: est + err})
+	}
+	return out
+}
+
+// OnTimeResponse claims responses belonging to the calibration rounds.
+// The last outstanding response closes the round immediately instead
+// of waiting out the deadline.
+func (q *QuorumCalibration) OnTimeResponse(e *Engine, from simnet.Addr, msg wire.Message) bool {
+	r := q.calRound
+	if r == nil {
+		return false
+	}
+	claimed, complete := r.offer(e, from, msg)
+	if complete {
+		r.cancel()
+		r.done()
+	}
+	return claimed
+}
+
+// OnAEX severs the calibration in flight: cancel everything, halve the
+// window (AEXs are arriving faster than it) and restart from round A.
+func (q *QuorumCalibration) OnAEX(e *Engine) {
+	q.cancelCal()
+	q.windowSec /= 2
+	if min := q.cfg.MinCalibWindow.Seconds(); q.windowSec < min {
+		q.windowSec = min
+	}
+	q.startCalRoundA(e)
+}
+
+func (q *QuorumCalibration) cancelCal() {
+	if q.calRound != nil {
+		q.calRound.cancel()
+		q.calRound = nil
+	}
+	if q.waitTimer != nil {
+		q.waitTimer()
+		q.waitTimer = nil
+	}
+	if q.retryTimer != nil {
+		q.retryTimer()
+		q.retryTimer = nil
+	}
+	q.roundA = q.roundA[:0]
+}
+
+func (q *QuorumCalibration) cancelRef() {
+	if q.refRound != nil {
+		q.refRound.cancel()
+		q.refRound = nil
+	}
+	if q.refRetry != nil {
+		q.refRetry()
+		q.refRetry = nil
+	}
+	q.refKind = refNone
+}
+
+// startRefCalib begins quorum taint recovery: the node re-anchors its
+// reference from a round's quorum intersection, keeping its calibrated
+// rate.
+func (q *QuorumCalibration) startRefCalib(e *Engine) {
+	e.SetState(StateRefCalib)
+	q.cancelRef()
+	q.refKind = refRecalib
+	q.beginRefRound(e)
+}
+
+func (q *QuorumCalibration) beginRefRound(e *Engine) {
+	q.refRound = q.beginRound(e, func() { q.onRefRound(e) })
+}
+
+// armRecheck schedules the periodic steady-state quorum revalidation.
+// The timer re-arms itself every period regardless of outcome; ticks
+// while the node is not serving (or while another reference round is
+// in flight) are skipped.
+func (q *QuorumCalibration) armRecheck(e *Engine) {
+	if q.cfg.DisableRecheck {
+		return
+	}
+	q.recheckTimer = e.Platform().AfterTicks(e.TicksFor(q.cfg.RecheckInterval), func() {
+		q.recheckTimer = nil
+		q.armRecheck(e)
+		if !e.State().Serving() || q.refKind != refNone || q.refRound != nil {
+			return
+		}
+		q.refKind = refRecheck
+		q.beginRefRound(e)
+	})
+}
+
+func (q *QuorumCalibration) onRefRound(e *Engine) {
+	r := q.refRound
+	q.refRound = nil
+	r.cancel()
+	kind := q.refKind
+
+	if e.AEXEpoch() != r.epoch {
+		switch kind {
+		case refRecalib:
+			// Still tainted and unanchored: retry the round.
+			q.beginRefRound(e)
+		case refRecheck:
+			// A taint interrupted the recheck; recovery owns the flow
+			// now. The periodic timer will check again.
+			q.refKind = refNone
+		}
+		return
+	}
+	if kind == refRecheck && !e.State().Serving() {
+		q.refKind = refNone
+		return
+	}
+
+	rate := e.FCalib()
+	refTSC := e.Platform().ReadTSC()
+	intervals := q.intervals(r, refTSC, rate)
+	best, count, ok := QuorumDecide(intervals, len(r.slots), q.cfg.MinAgree)
+	disagreed := len(intervals) >= q.needed(len(r.slots)) && !ok
+
+	switch kind {
+	case refRecalib:
+		if !ok {
+			if disagreed {
+				e.Counters().QuorumNoMajority++
+			}
+			q.refRetry = e.Platform().AfterTicks(e.TicksFor(q.cfg.RetryBackoff), func() {
+				q.refRetry = nil
+				q.beginRefRound(e)
+			})
+			return
+		}
+		e.Counters().QuorumAccepts++
+		e.Counters().FalseTickers += len(intervals) - count
+		q.refKind = refNone
+		e.AdoptTAReference(best.Midpoint(), refTSC)
+	case refRecheck:
+		q.refKind = refNone
+		if !ok {
+			// No validated quorum: hold over on the last agreed
+			// calibration rather than going dark or adopting a disputed
+			// reference. The next periodic tick retries.
+			if disagreed {
+				e.Counters().QuorumNoMajority++
+			}
+			if e.State() == StateOK {
+				e.Counters().Holdovers++
+				e.SetState(StateDegraded)
+			}
+			return
+		}
+		e.Counters().QuorumAccepts++
+		e.Counters().FalseTickers += len(intervals) - count
+		// Re-anchoring on every validated recheck bounds holdover drift
+		// and recovers from Degraded the moment the quorum heals.
+		e.AdoptTAReference(best.Midpoint(), refTSC)
+	}
+}
+
+// onRefResponse claims responses belonging to the reference round.
+func (q *QuorumCalibration) onRefResponse(e *Engine, from simnet.Addr, msg wire.Message) bool {
+	r := q.refRound
+	if r == nil {
+		return false
+	}
+	claimed, complete := r.offer(e, from, msg)
+	if complete {
+		r.cancel()
+		r.done()
+	}
+	return claimed
+}
+
+// QuorumRecovery wraps a variant's RecoveryPolicy for multi-authority
+// operation: taint recovery still tries peers first (the inner
+// policy's ladder), but the authority fallback and the steady-state
+// revalidation run quorum reference rounds instead of trusting one TA.
+type QuorumRecovery struct {
+	// Inner is the wrapped single-authority recovery behaviour (peer
+	// gathering, probes, deadlines).
+	Inner RecoveryPolicy
+	// Quorum is the calibration policy sharing the round machinery.
+	Quorum *QuorumCalibration
+}
+
+// OnStart arms the inner machinery and the periodic quorum recheck.
+func (qr QuorumRecovery) OnStart(e *Engine) {
+	qr.Inner.OnStart(e)
+	qr.Quorum.armRecheck(e)
+}
+
+// OnTaint delegates to the inner policy's recovery ladder.
+func (qr QuorumRecovery) OnTaint(e *Engine) { qr.Inner.OnTaint(e) }
+
+// OnTimeResponse claims quorum reference-round responses, then offers
+// the rest to the inner policy (e.g. hardened probe responses).
+func (qr QuorumRecovery) OnTimeResponse(e *Engine, from simnet.Addr, msg wire.Message) bool {
+	if qr.Quorum.onRefResponse(e, from, msg) {
+		return true
+	}
+	return qr.Inner.OnTimeResponse(e, from, msg)
+}
+
+// OnPeerSample delegates to the inner policy.
+func (qr QuorumRecovery) OnPeerSample(e *Engine, seq uint64, s PeerSample) {
+	qr.Inner.OnPeerSample(e, seq, s)
+}
+
+// StartRefCalib re-anchors from a quorum of authorities instead of the
+// single TA.
+func (qr QuorumRecovery) StartRefCalib(e *Engine) { qr.Quorum.startRefCalib(e) }
+
+// Cancel aborts inner recovery machinery and quorum reference rounds.
+func (qr QuorumRecovery) Cancel(e *Engine) {
+	qr.Inner.Cancel(e)
+	qr.Quorum.cancelRef()
+}

@@ -21,6 +21,13 @@ const (
 	StateTainted
 	// StateOK: serving trusted timestamps.
 	StateOK
+	// StateDegraded: quorum holdover. A steady-state quorum recheck
+	// found no agreeing majority among the configured Time Authorities
+	// (split-brain or a lying majority), so the node keeps serving on
+	// its last agreed calibration while retrying. Only the
+	// multi-authority quorum policy enters this state; it is appended
+	// after StateOK so existing states keep their values.
+	StateDegraded
 )
 
 // String names the state as in the paper's figures.
@@ -36,10 +43,17 @@ func (s State) String() string {
 		return "Tainted"
 	case StateOK:
 		return "OK"
+	case StateDegraded:
+		return "Degraded"
 	default:
 		return "State(?)"
 	}
 }
+
+// Serving reports whether trusted timestamps are served in this state:
+// OK, or the quorum variant's Degraded holdover (still serving, on the
+// last majority-agreed calibration).
+func (s State) Serving() bool { return s == StateOK || s == StateDegraded }
 
 // Events are optional observation hooks. They fire synchronously from
 // within platform callbacks; handlers must not block and must not call

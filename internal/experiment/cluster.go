@@ -43,7 +43,8 @@ var (
 	_ TimeNode = (*resilient.Node)(nil)
 )
 
-// TAAddr is the Time Authority's address in all experiments.
+// TAAddr is the (first) Time Authority's address in all experiments;
+// multi-authority clusters occupy TAAddr, TAAddr+1, ....
 const TAAddr simnet.Addr = 100
 
 // ClusterKey is the experiments' pre-shared AES-256 cluster key.
@@ -100,6 +101,18 @@ type ClusterConfig struct {
 	// Trace, when set, receives every node's protocol events as
 	// structured records (JSONL if the recorder has a sink).
 	Trace *trace.Recorder
+	// Authorities is the number of independent Time Authorities, at
+	// addresses TAAddr..TAAddr+N-1. Default: 1 (the single-TA paper
+	// setup). With two or more, nodes run quorum calibration.
+	Authorities int
+	// AuthorityClocks, when set, supplies authority i's clock given the
+	// simulation's reference clock — the hook the fault scenarios use to
+	// run lying (fixed-offset or drifting) authorities. Returning nil
+	// keeps the honest reference clock.
+	AuthorityClocks func(i int, ref authority.Clock) authority.Clock
+	// QuorumMinAgree overrides the quorum agreement rule on every node
+	// (0 = strict majority of configured authorities).
+	QuorumMinAgree int
 }
 
 // defaultExperimentLink reproduces the paper's effective calibration
@@ -113,10 +126,13 @@ func defaultExperimentLink() simnet.Link {
 // Cluster is a fully wired experiment: scheduler, network, Time
 // Authority, nodes with instrumentation, and interrupt processes.
 type Cluster struct {
-	Sched     *sim.Scheduler
-	RNG       *sim.RNG
-	Net       *simnet.Network
+	Sched *sim.Scheduler
+	RNG   *sim.RNG
+	Net   *simnet.Network
+	// TA is the first (or only) Time Authority; TAs holds all of them
+	// in address order for multi-authority clusters.
 	TA        *authority.SimBinding
+	TAs       []*authority.SimBinding
 	Nodes     []TimeNode
 	Platforms []*enclave.SimPlatform
 
@@ -147,20 +163,37 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Link != nil {
 		link = *cfg.Link
 	}
+	if cfg.Authorities == 0 {
+		cfg.Authorities = 1
+	}
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(cfg.Seed)
 	network := simnet.New(sched, rng.Fork(1), link)
-	ta, err := authority.NewSimBinding(sched, network, ClusterKey(), TAAddr)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: %w", err)
-	}
 	c := &Cluster{
 		Sched:    sched,
 		RNG:      rng,
 		Net:      network,
-		TA:       ta,
 		sampleEv: cfg.SampleEvery,
 	}
+	// The extra authorities consume no RNG forks, so a single-authority
+	// run stays byte-identical to the pre-quorum rig.
+	refClock := authority.Clock(func() int64 { return int64(sched.Now()) })
+	taAddrs := make([]simnet.Addr, cfg.Authorities)
+	for i := range taAddrs {
+		taAddrs[i] = TAAddr + simnet.Addr(i)
+		clock := refClock
+		if cfg.AuthorityClocks != nil {
+			if ck := cfg.AuthorityClocks(i, refClock); ck != nil {
+				clock = ck
+			}
+		}
+		ta, err := authority.NewSimBindingClock(sched, network, ClusterKey(), taAddrs[i], clock)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		c.TAs = append(c.TAs, ta)
+	}
+	c.TA = c.TAs[0]
 	if cfg.Trace != nil {
 		cfg.Trace.SetNow(sched.Now)
 	}
@@ -217,6 +250,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				MonitorTicks: cfg.MonitorTicks,
 				Events:       events,
 			}
+			if cfg.Authorities >= 2 {
+				nodeCfg.Authorities = taAddrs
+				nodeCfg.QuorumMinAgree = cfg.QuorumMinAgree
+			}
 			if cfg.HardenedTweak != nil {
 				cfg.HardenedTweak(i, &nodeCfg)
 			}
@@ -237,6 +274,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				CalibSamplesPerSleep: 2,
 				MonitorTicks:         cfg.MonitorTicks,
 				Events:               events,
+			}
+			if cfg.Authorities >= 2 {
+				nodeCfg.Authorities = taAddrs
+				nodeCfg.QuorumMinAgree = cfg.QuorumMinAgree
 			}
 			if cfg.Tweak != nil {
 				cfg.Tweak(i, &nodeCfg)

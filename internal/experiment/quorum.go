@@ -1,0 +1,365 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"triadtime/internal/authority"
+	"triadtime/internal/experiment/runner"
+	"triadtime/internal/metrics"
+	"triadtime/internal/simnet"
+	"triadtime/internal/simtime"
+	"triadtime/internal/trace"
+)
+
+// This file holds the multi-authority quorum fault scenarios: lying
+// minorities (fixed-offset and drifting clocks), delaying authorities,
+// staggered and simultaneous authority outages, and split-brain
+// partitions of the authority set. Every scenario has a single-TA
+// baseline so the rows show what the quorum buys.
+
+// CorrectDriftTolerance is the drift bound under which a served
+// timestamp counts as correct: wide enough for calibration noise and
+// bounded holdover drift, far below the scenarios' injected lies
+// (hundreds of ms).
+const CorrectDriftTolerance = 50 * time.Millisecond
+
+// QuorumRow reports one fault scenario.
+type QuorumRow struct {
+	Name        string
+	Authorities int
+	// RawAvailability is the worst node's state-based serving
+	// availability (OK or Degraded) — what a client sees as uptime.
+	RawAvailability float64
+	// CorrectAvailability is the worst node's fraction of samples that
+	// were both served and within CorrectDriftTolerance of reference
+	// time. A node calibrated against a lying authority is available
+	// but not correct; this is the paper-style security metric.
+	CorrectAvailability float64
+	// Cluster-wide counter sums.
+	QuorumAccepts    int
+	QuorumNoMajority int
+	FalseTickers     int
+	Holdovers        int
+}
+
+// Summary renders the row.
+func (r QuorumRow) Summary() string {
+	return fmt.Sprintf("%-26s TAs=%d  avail %7.3f%%  correct %7.3f%%  accepts=%d no_majority=%d false_tickers=%d holdovers=%d",
+		r.Name, r.Authorities, r.RawAvailability*100, r.CorrectAvailability*100,
+		r.QuorumAccepts, r.QuorumNoMajority, r.FalseTickers, r.Holdovers)
+}
+
+// quorumScenario scripts one cluster run: the authority set, optional
+// lying clocks, and a fault hook installed before Start.
+type quorumScenario struct {
+	name        string
+	authorities int
+	minAgree    int
+	clocks      func(i int, ref authority.Clock) authority.Clock
+	// install wires middleboxes / scheduled faults onto the cluster.
+	install func(c *Cluster)
+	// noAEX runs without any interrupt injection (no Triad-like storm,
+	// no machine-wide residuals). The split-brain scenario uses it: a
+	// taint while every peer is in Degraded holdover strands the node in
+	// RefCalib until the partition heals (Degraded peers do not vouch,
+	// and neither side of the split has a quorum), so an interrupt-free
+	// run is the one that isolates holdover behaviour itself. Split
+	// behaviour under interrupts is covered by quorum-5ta-split-3v2,
+	// where the honest majority keeps recovery available.
+	noAEX bool
+}
+
+// addrFault is a middlebox dropping or delaying traffic of selected
+// authority addresses while active. Address sets are tiny fixed
+// arrays, keeping Process allocation-free on the hot path.
+type addrFault struct {
+	active bool
+	drop   bool
+	extra  time.Duration
+	addrs  []simnet.Addr
+}
+
+func (f *addrFault) Process(_ simtime.Instant, p simnet.Packet) simnet.Verdict {
+	if !f.active {
+		return simnet.Verdict{}
+	}
+	hit := false
+	for _, a := range f.addrs {
+		if p.From == a || p.To == a {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return simnet.Verdict{}
+	}
+	if f.drop {
+		return simnet.Verdict{Drop: true}
+	}
+	return simnet.Verdict{ExtraDelay: f.extra}
+}
+
+// blackholeWindow drops an authority set's traffic during [from, to).
+func blackholeWindow(c *Cluster, addrs []simnet.Addr, from, to time.Duration) {
+	hole := &addrFault{drop: true, addrs: addrs}
+	c.Net.AttachMiddlebox(hole)
+	c.At(from, func() { hole.active = true })
+	c.At(to, func() { hole.active = false })
+}
+
+// lieOffset returns a clock lying by a fixed offset.
+func lieOffset(ref authority.Clock, offset time.Duration) authority.Clock {
+	return func() int64 { return ref() + offset.Nanoseconds() }
+}
+
+// lieDrift returns a clock drifting from reference at ppb parts per
+// billion (2e6 ppb = 2ms/s).
+func lieDrift(ref authority.Clock, ppb int64) authority.Clock {
+	return func() int64 {
+		t := ref()
+		return t + t/1e9*ppb
+	}
+}
+
+// lieOffsetWindow returns a clock lying by offset only during
+// [from, to) of reference time — the split-brain partition that heals.
+func lieOffsetWindow(ref authority.Clock, offset, from, to time.Duration) authority.Clock {
+	return func() int64 {
+		t := ref()
+		if t >= from.Nanoseconds() && t < to.Nanoseconds() {
+			return t + offset.Nanoseconds()
+		}
+		return t
+	}
+}
+
+// quorumScenarios is the fault suite. TA addresses are TAAddr + i; the
+// liar / victim choices are fixed so runs are reproducible.
+func quorumScenarios() []quorumScenario {
+	const lie = 300 * time.Millisecond
+	return []quorumScenario{
+		{
+			name:        "baseline-1ta-outage",
+			authorities: 1,
+			install: func(c *Cluster) {
+				blackholeWindow(c, []simnet.Addr{TAAddr}, 60*time.Second, 180*time.Second)
+			},
+		},
+		{
+			name:        "quorum-3ta-1dark",
+			authorities: 3,
+			install: func(c *Cluster) {
+				blackholeWindow(c, []simnet.Addr{TAAddr + 1}, 60*time.Second, 180*time.Second)
+			},
+		},
+		{
+			name:        "quorum-5ta-2dark",
+			authorities: 5,
+			install: func(c *Cluster) {
+				blackholeWindow(c, []simnet.Addr{TAAddr + 3, TAAddr + 4}, 60*time.Second, 180*time.Second)
+			},
+		},
+		{
+			name:        "baseline-1ta-lying",
+			authorities: 1,
+			clocks: func(i int, ref authority.Clock) authority.Clock {
+				return lieOffset(ref, lie)
+			},
+		},
+		{
+			name:        "quorum-3ta-lying-fixed",
+			authorities: 3,
+			clocks: func(i int, ref authority.Clock) authority.Clock {
+				if i == 2 {
+					return lieOffset(ref, lie)
+				}
+				return nil
+			},
+		},
+		{
+			name:        "quorum-3ta-lying-drift",
+			authorities: 3,
+			clocks: func(i int, ref authority.Clock) authority.Clock {
+				if i == 2 {
+					return lieDrift(ref, 2_000_000) // 2ms/s
+				}
+				return nil
+			},
+		},
+		{
+			name:        "quorum-3ta-delaying",
+			authorities: 3,
+			install: func(c *Cluster) {
+				slow := &addrFault{active: true, extra: 50 * time.Millisecond, addrs: []simnet.Addr{TAAddr + 2}}
+				c.Net.AttachMiddlebox(slow)
+			},
+		},
+		{
+			name:        "quorum-4ta-splitbrain-2v2",
+			authorities: 4,
+			// Two of four authorities jump +500ms during [60s, 180s): no
+			// strict majority on either side, so rechecks degrade nodes to
+			// holdover until the partition heals.
+			clocks: func(i int, ref authority.Clock) authority.Clock {
+				if i >= 2 {
+					return lieOffsetWindow(ref, 500*time.Millisecond, 60*time.Second, 180*time.Second)
+				}
+				return nil
+			},
+			noAEX: true,
+		},
+		{
+			name:        "quorum-5ta-split-3v2",
+			authorities: 5,
+			clocks: func(i int, ref authority.Clock) authority.Clock {
+				if i >= 3 {
+					return lieOffset(ref, 500*time.Millisecond)
+				}
+				return nil
+			},
+		},
+		{
+			name:        "quorum-3ta-staggered-dark",
+			authorities: 3,
+			install: func(c *Cluster) {
+				blackholeWindow(c, []simnet.Addr{TAAddr + 1}, 60*time.Second, 120*time.Second)
+				blackholeWindow(c, []simnet.Addr{TAAddr + 2}, 120*time.Second, 180*time.Second)
+			},
+		},
+	}
+}
+
+// correctAvailability computes node i's fraction of sampling instants
+// at which it served a timestamp within tol of reference time. The
+// denominator is every sampling instant (TACounts records one point
+// per sample regardless of node state), so time spent dark or
+// calibrated against a liar both count against the node.
+func correctAvailability(c *Cluster, i int, tol time.Duration) float64 {
+	total := len(c.TACounts[i].Points)
+	if total == 0 {
+		return 0
+	}
+	good := 0
+	for _, p := range c.Drift[i].Points {
+		if p.State.Serving() && math.Abs(p.DriftSeconds) <= tol.Seconds() {
+			good++
+		}
+	}
+	return float64(good) / float64(total)
+}
+
+// runQuorumScenario executes one scenario for duration and reduces it
+// to a row. rec, when non-nil, receives the run's protocol trace (the
+// golden-trace seed-stability tests diff these byte-for-byte).
+func runQuorumScenario(seed uint64, duration time.Duration, sc quorumScenario, rec *trace.Recorder) (QuorumRow, error) {
+	c, err := NewCluster(ClusterConfig{
+		Seed:              seed,
+		Authorities:       sc.authorities,
+		QuorumMinAgree:    sc.minAgree,
+		MonitorTicks:      longRunMonitorTicks,
+		AuthorityClocks:   sc.clocks,
+		DisableMachineAEX: sc.noAEX,
+		Trace:             rec,
+	})
+	if err != nil {
+		return QuorumRow{}, err
+	}
+	if !sc.noAEX {
+		for i := range c.Nodes {
+			c.SetEnv(i, EnvTriadLike)
+		}
+	}
+	if sc.install != nil {
+		sc.install(c)
+	}
+	c.Start()
+	c.RunFor(duration)
+
+	row := QuorumRow{Name: sc.name, Authorities: sc.authorities, RawAvailability: 1, CorrectAvailability: 1}
+	for i := range c.Nodes {
+		row.RawAvailability = math.Min(row.RawAvailability, c.Availability(i))
+		row.CorrectAvailability = math.Min(row.CorrectAvailability, correctAvailability(c, i, CorrectDriftTolerance))
+		cnt := c.Nodes[i].Counters()
+		row.QuorumAccepts += cnt.QuorumAccepts
+		row.QuorumNoMajority += cnt.QuorumNoMajority
+		row.FalseTickers += cnt.FalseTickers
+		row.Holdovers += cnt.Holdovers
+	}
+	return row, nil
+}
+
+// RunQuorumFaults runs the full multi-authority fault suite: authority
+// outages (single, minority, staggered), lying minorities (fixed and
+// drifting), a delaying authority, and split-brain partitions — each
+// against the single-TA baselines. Rows are returned in scenario
+// order.
+func RunQuorumFaults(seed uint64, duration time.Duration) ([]QuorumRow, error) {
+	if duration == 0 {
+		duration = 5 * time.Minute
+	}
+	scenarios := quorumScenarios()
+	tasks := make([]runner.Task[QuorumRow], len(scenarios))
+	for t, sc := range scenarios {
+		sc := sc
+		tasks[t] = runner.Task[QuorumRow]{
+			Name: sc.name,
+			Run: func(context.Context) (QuorumRow, error) {
+				return runQuorumScenario(seed, duration, sc, nil)
+			},
+		}
+	}
+	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+}
+
+// QuorumAttackFigure is the lying-authority attack figure: per-node
+// drift series under a +300ms lying authority, for the single-TA
+// baseline (the node follows the liar) and a 3-authority quorum (the
+// liar is outvoted).
+type QuorumAttackFigure struct {
+	Baseline []*metrics.DriftSeries // 1 TA, lying
+	Quorum   []*metrics.DriftSeries // 3 TAs, one lying
+}
+
+// RunQuorumAttackFigure produces the attack figure's drift series.
+func RunQuorumAttackFigure(seed uint64, duration time.Duration) (*QuorumAttackFigure, error) {
+	if duration == 0 {
+		duration = 5 * time.Minute
+	}
+	run := func(authorities int, clocks func(i int, ref authority.Clock) authority.Clock) ([]*metrics.DriftSeries, error) {
+		c, err := NewCluster(ClusterConfig{
+			Seed:            seed,
+			Authorities:     authorities,
+			MonitorTicks:    longRunMonitorTicks,
+			AuthorityClocks: clocks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range c.Nodes {
+			c.SetEnv(i, EnvTriadLike)
+		}
+		c.Start()
+		c.RunFor(duration)
+		return c.Drift, nil
+	}
+	const lie = 300 * time.Millisecond
+	baseline, err := run(1, func(i int, ref authority.Clock) authority.Clock {
+		return lieOffset(ref, lie)
+	})
+	if err != nil {
+		return nil, err
+	}
+	quorum, err := run(3, func(i int, ref authority.Clock) authority.Clock {
+		if i == 2 {
+			return lieOffset(ref, lie)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QuorumAttackFigure{Baseline: baseline, Quorum: quorum}, nil
+}

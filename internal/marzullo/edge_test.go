@@ -1,0 +1,161 @@
+package marzullo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntersectEmptyAndInvalidInputs(t *testing.T) {
+	cases := [][]Interval{
+		nil,
+		{},
+		{{Lo: 5, Hi: 3}},
+		{{Lo: 1, Hi: 0}, {Lo: math.MaxInt64, Hi: math.MinInt64}},
+	}
+	for _, ivs := range cases {
+		best, count := Intersect(ivs)
+		if count != 0 || best != (Interval{}) {
+			t.Errorf("Intersect(%v) = (%v, %d), want zero result", ivs, best, count)
+		}
+		if chimers := TrueChimers(ivs); chimers != nil {
+			t.Errorf("TrueChimers(%v) = %v, want nil", ivs, chimers)
+		}
+		if _, ok := MajorityAgrees(ivs, len(ivs)); ok {
+			t.Errorf("MajorityAgrees(%v) agreed with no valid interval", ivs)
+		}
+	}
+}
+
+func TestIntersectSingleInterval(t *testing.T) {
+	for _, iv := range []Interval{
+		{Lo: 10, Hi: 20},
+		{Lo: -3, Hi: -3}, // single point
+		{Lo: math.MinInt64, Hi: math.MaxInt64},
+	} {
+		best, count := Intersect([]Interval{iv})
+		if count != 1 || best != iv {
+			t.Errorf("Intersect([%v]) = (%v, %d), want the interval itself, count 1", iv, best, count)
+		}
+	}
+}
+
+func TestIntersectAllDisjoint(t *testing.T) {
+	ivs := []Interval{{Lo: 30, Hi: 40}, {Lo: 0, Hi: 10}, {Lo: 15, Hi: 25}}
+	best, count := Intersect(ivs)
+	if count != 1 {
+		t.Fatalf("disjoint intervals: count = %d, want 1", count)
+	}
+	// Ties resolve toward the earliest interval in sweep order.
+	if best.Lo != 0 {
+		t.Errorf("disjoint tie broke to Lo=%d, want earliest (0)", best.Lo)
+	}
+}
+
+func TestIntersectTouchingEndpointChain(t *testing.T) {
+	// Closed intervals: sharing exactly one point counts as overlap.
+	ivs := []Interval{{Lo: 0, Hi: 10}, {Lo: 10, Hi: 20}}
+	best, count := Intersect(ivs)
+	if count != 2 {
+		t.Fatalf("touching endpoints: count = %d, want 2", count)
+	}
+	if best != (Interval{Lo: 10, Hi: 10}) {
+		t.Errorf("touching endpoints: best = %v, want the shared point [10,10]", best)
+	}
+	if mid := best.Midpoint(); mid != 10 {
+		t.Errorf("point-interval midpoint = %d, want 10", mid)
+	}
+
+	// A three-way chain touching at both seams still peaks at 2.
+	ivs = append(ivs, Interval{Lo: 20, Hi: 30})
+	if _, count = Intersect(ivs); count != 2 {
+		t.Errorf("chained touching intervals: count = %d, want 2", count)
+	}
+}
+
+func TestIntersectInt64Extremes(t *testing.T) {
+	full := Interval{Lo: math.MinInt64, Hi: math.MaxInt64}
+	hiHalf := Interval{Lo: 0, Hi: math.MaxInt64}
+	best, count := Intersect([]Interval{full, hiHalf})
+	if count != 2 || best != hiHalf {
+		t.Errorf("extreme overlap: (%v, %d), want (%v, 2)", best, count, hiHalf)
+	}
+
+	loEdge := Interval{Lo: math.MinInt64, Hi: math.MinInt64}
+	hiEdge := Interval{Lo: math.MaxInt64, Hi: math.MaxInt64}
+	if _, count := Intersect([]Interval{loEdge, hiEdge}); count != 1 {
+		t.Errorf("disjoint extremes: count = %d, want 1", count)
+	}
+	if !full.Overlaps(loEdge) || !full.Overlaps(hiEdge) {
+		t.Error("full-range interval must overlap both extreme points")
+	}
+}
+
+func TestMidpointOverflowAdjacent(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int64
+	}{
+		{Interval{Lo: math.MinInt64, Hi: math.MaxInt64}, -1}, // true midpoint -0.5, rounded toward Lo
+		{Interval{Lo: math.MinInt64, Hi: 0}, -(1 << 62)},
+		{Interval{Lo: 0, Hi: math.MaxInt64}, math.MaxInt64 / 2},
+		{Interval{Lo: math.MaxInt64 - 4, Hi: math.MaxInt64}, math.MaxInt64 - 2},
+		{Interval{Lo: math.MinInt64, Hi: math.MinInt64 + 4}, math.MinInt64 + 2},
+		{Interval{Lo: math.MaxInt64, Hi: math.MaxInt64}, math.MaxInt64},
+		{Interval{Lo: math.MinInt64, Hi: math.MinInt64}, math.MinInt64},
+		{Interval{Lo: -7, Hi: 8}, 0},
+	}
+	for _, c := range cases {
+		if got := c.iv.Midpoint(); got != c.want {
+			t.Errorf("Midpoint(%v) = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+// TestMidpointProperty checks, over random intervals spanning the whole
+// int64 range, that the midpoint lies inside the interval and splits it
+// evenly (the two halves differ by at most one).
+func TestMidpointProperty(t *testing.T) {
+	prop := func(a, b int64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := Interval{Lo: lo, Hi: hi}
+		mid := iv.Midpoint()
+		if !iv.Contains(mid) {
+			return false
+		}
+		left := uint64(mid) - uint64(lo)   // distances fit in uint64 even
+		right := uint64(hi) - uint64(mid)  // when the width overflows int64
+		return right-left <= 1 && right >= left
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntersectMatchesOracleProperty cross-checks the sweep line against
+// the O(n²) oracle over random interval sets (the non-fuzz twin of
+// FuzzMarzulloIntersect, so `go test` alone exercises the oracle).
+func TestIntersectMatchesOracleProperty(t *testing.T) {
+	prop := func(raw [][2]int64) bool {
+		intervals := make([]Interval, len(raw))
+		for i, r := range raw {
+			intervals[i] = Interval{Lo: r[0], Hi: r[1]}
+		}
+		// Mix in some overlap-prone small intervals so the random wide
+		// spread doesn't dominate.
+		for i := range intervals {
+			if i%2 == 0 {
+				intervals[i].Lo %= 100
+				intervals[i].Hi = intervals[i].Lo + (intervals[i].Hi%100+100)%100
+			}
+		}
+		_, count := Intersect(intervals)
+		return count == bruteIntersect(intervals)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

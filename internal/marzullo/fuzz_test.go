@@ -1,0 +1,142 @@
+package marzullo
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// bruteIntersect is the O(n²) oracle the fuzz targets and property
+// tests check the sweep line against: the maximum overlap count is
+// achieved at some interval's Lo endpoint, so scanning every endpoint
+// against every interval finds it.
+func bruteIntersect(intervals []Interval) int {
+	best := 0
+	for _, cand := range intervals {
+		if !cand.Valid() {
+			continue
+		}
+		n := 0
+		for _, iv := range intervals {
+			if iv.Valid() && iv.Contains(cand.Lo) {
+				n++
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// coverage counts the valid intervals containing t.
+func coverage(intervals []Interval, t int64) int {
+	n := 0
+	for _, iv := range intervals {
+		if iv.Valid() && iv.Contains(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// decodeIntervals turns fuzz bytes into intervals, 16 bytes each. No
+// normalization: invalid (Lo > Hi) intervals are part of the input
+// space both implementations must ignore.
+func decodeIntervals(data []byte) []Interval {
+	const maxIntervals = 24
+	var out []Interval
+	for len(data) >= 16 && len(out) < maxIntervals {
+		out = append(out, Interval{
+			Lo: int64(binary.LittleEndian.Uint64(data[0:8])),
+			Hi: int64(binary.LittleEndian.Uint64(data[8:16])),
+		})
+		data = data[16:]
+	}
+	return out
+}
+
+// reversed returns a reversed copy (a cheap deterministic permutation).
+func reversed(intervals []Interval) []Interval {
+	out := make([]Interval, len(intervals))
+	for i, iv := range intervals {
+		out[len(intervals)-1-i] = iv
+	}
+	return out
+}
+
+func seedCorpus(f *testing.F) {
+	enc := func(ivs ...int64) []byte {
+		b := make([]byte, 8*len(ivs))
+		for i, v := range ivs {
+			binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add(enc(0, 10, 5, 15, 12, 20))                                     // chained overlaps
+	f.Add(enc(0, 10, 10, 20))                                            // touching endpoints
+	f.Add(enc(5, 3, 0, 1))                                               // invalid + valid
+	f.Add(enc(math.MinInt64, math.MaxInt64, 0, math.MaxInt64))           // extremes
+	f.Add(enc(math.MinInt64, math.MinInt64, math.MaxInt64, math.MaxInt64)) // degenerate extremes
+}
+
+func FuzzMarzulloIntersect(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		intervals := decodeIntervals(data)
+		best, count := Intersect(intervals)
+
+		want := bruteIntersect(intervals)
+		if count != want {
+			t.Fatalf("Intersect count = %d, oracle = %d (intervals %v)", count, want, intervals)
+		}
+		if count == 0 {
+			if best != (Interval{}) {
+				t.Fatalf("no-coverage result must be the zero interval, got %v", best)
+			}
+			return
+		}
+		if !best.Valid() {
+			t.Fatalf("Intersect returned invalid interval %v with count %d", best, count)
+		}
+		// The reported interval must actually be covered that many times
+		// at its start.
+		if got := coverage(intervals, best.Lo); got != count {
+			t.Fatalf("coverage at best.Lo=%d is %d, want %d (intervals %v)", best.Lo, got, count, intervals)
+		}
+		// Permutation invariance: the sweep depends only on the edge
+		// multiset.
+		permBest, permCount := Intersect(reversed(intervals))
+		if permBest != best || permCount != count {
+			t.Fatalf("permutation changed result: (%v,%d) vs (%v,%d)", best, count, permBest, permCount)
+		}
+	})
+}
+
+func FuzzMajorityAgrees(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		intervals := decodeIntervals(data)
+		n := len(intervals)
+		best, ok := MajorityAgrees(intervals, n)
+
+		oracleCount := bruteIntersect(intervals)
+		if want := oracleCount*2 > n; ok != want {
+			t.Fatalf("MajorityAgrees(n=%d) = %v, oracle count %d wants %v", n, ok, oracleCount, want)
+		}
+		wantBest, _ := Intersect(intervals)
+		if best != wantBest {
+			t.Fatalf("MajorityAgrees interval %v differs from Intersect %v", best, wantBest)
+		}
+		if ok {
+			mid := best.Midpoint()
+			if !best.Contains(mid) {
+				t.Fatalf("midpoint %d outside agreed interval %v", mid, best)
+			}
+			if got := coverage(intervals, mid); got*2 <= n {
+				t.Fatalf("midpoint %d covered by %d of %d clocks: not a majority point", mid, got, n)
+			}
+		}
+	})
+}

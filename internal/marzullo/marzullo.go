@@ -31,10 +31,13 @@ func (iv Interval) Overlaps(other Interval) bool {
 }
 
 // Midpoint returns the interval's midpoint (the consensus timestamp a
-// caller typically adopts).
+// caller typically adopts), rounded toward Lo.
 func (iv Interval) Midpoint() int64 {
-	// Average without overflow.
-	return iv.Lo + (iv.Hi-iv.Lo)/2
+	// Average without overflow: the width Hi-Lo can exceed MaxInt64
+	// (e.g. Lo near MinInt64, Hi near MaxInt64), but it always fits in
+	// a uint64, and adding half of it back to Lo wraps modulo 2^64
+	// straight to the right two's-complement answer.
+	return int64(uint64(iv.Lo) + (uint64(iv.Hi)-uint64(iv.Lo))/2)
 }
 
 // Intersect finds the interval covered by the maximum number of input

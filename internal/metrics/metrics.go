@@ -39,19 +39,24 @@ func (s CounterSnapshot) Summary() string {
 		fmt.Fprintf(&b, " gossip_sent=%d gossip_received=%d gossip_adoptions=%d",
 			s.GossipSent, s.GossipReceived, s.GossipAdoptions)
 	}
+	if s.QuorumAccepts != 0 || s.QuorumNoMajority != 0 || s.FalseTickers != 0 || s.Holdovers != 0 {
+		fmt.Fprintf(&b, " quorum_accepts=%d quorum_no_majority=%d false_tickers=%d holdovers=%d",
+			s.QuorumAccepts, s.QuorumNoMajority, s.FalseTickers, s.Holdovers)
+	}
 	return b.String()
 }
 
 // WriteCountersCSV emits counter snapshots as CSV, one row per node.
 func WriteCountersCSV(w io.Writer, snaps []CounterSnapshot) error {
-	if _, err := fmt.Fprintln(w, "node,ta_refs,peer_untaints,served,rejected_peers,rtt_rejections,probes,probe_failures,gossip_sent,gossip_received,gossip_adoptions"); err != nil {
+	if _, err := fmt.Fprintln(w, "node,ta_refs,peer_untaints,served,rejected_peers,rtt_rejections,probes,probe_failures,gossip_sent,gossip_received,gossip_adoptions,quorum_accepts,quorum_no_majority,false_tickers,holdovers"); err != nil {
 		return err
 	}
 	for _, s := range snaps {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			s.Node, s.TAReferences, s.PeerUntaints, s.Served,
 			s.RejectedPeers, s.RTTRejections, s.Probes, s.ProbeFailures,
-			s.GossipSent, s.GossipReceived, s.GossipAdoptions); err != nil {
+			s.GossipSent, s.GossipReceived, s.GossipAdoptions,
+			s.QuorumAccepts, s.QuorumNoMajority, s.FalseTickers, s.Holdovers); err != nil {
 			return err
 		}
 	}
@@ -80,11 +85,12 @@ type DriftSeries struct {
 func (s *DriftSeries) Add(p DriftPoint) { s.Points = append(s.Points, p) }
 
 // Available returns only the samples taken while the node was serving
-// (state OK) — the points the paper's figures plot.
+// (state OK, or the quorum variant's Degraded holdover) — the points
+// the paper's figures plot.
 func (s *DriftSeries) Available() []DriftPoint {
 	out := make([]DriftPoint, 0, len(s.Points))
 	for _, p := range s.Points {
-		if p.State == core.StateOK {
+		if p.State.Serving() {
 			out = append(out, p)
 		}
 	}
@@ -180,14 +186,15 @@ func (tl *StateTimeline) Segments(from, to simtime.Instant) []Segment {
 }
 
 // Availability is the fraction of [from, to] spent serving timestamps
-// (state OK) — the paper's §IV-A.2 availability metric.
+// (state OK, or the quorum holdover state Degraded) — the paper's
+// §IV-A.2 availability metric.
 func (tl *StateTimeline) Availability(from, to simtime.Instant) float64 {
 	if to <= from {
 		return 0
 	}
 	var ok time.Duration
 	for _, seg := range tl.Segments(from, to) {
-		if seg.State == core.StateOK {
+		if seg.State.Serving() {
 			ok += seg.To.Sub(seg.From)
 		}
 	}
@@ -263,7 +270,7 @@ func WriteDriftCSV(w io.Writer, series []*DriftSeries) error {
 		}
 		for i := range series {
 			p, ok := idx[i][tm]
-			if !ok || p.State != core.StateOK {
+			if !ok || !p.State.Serving() {
 				if _, err := fmt.Fprint(w, ","); err != nil {
 					return err
 				}

@@ -4,6 +4,7 @@ import (
 	"triadtime/internal/core"
 	"triadtime/internal/enclave"
 	"triadtime/internal/engine"
+	"triadtime/internal/simnet"
 	"triadtime/internal/wire"
 )
 
@@ -56,8 +57,10 @@ func (p *policy) Start(e *engine.Engine) {
 }
 
 // OnTimeResponse claims Time Authority responses belonging to the
-// pending calibration exchange.
-func (p *policy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+// pending calibration exchange. The sender is already authenticated as
+// a configured authority; single-authority exchanges match by
+// sequence.
+func (p *policy) OnTimeResponse(e *engine.Engine, _ simnet.Addr, msg wire.Message) bool {
 	if p.calib != nil && msg.Seq == p.calib.pendingSeq {
 		p.onCalibResponse(e, msg)
 		return true
@@ -217,7 +220,7 @@ func (p *policy) cancelRef() {
 type recoveryPolicy struct{ *policy }
 
 // OnTimeResponse claims reference calibration and probe TA responses.
-func (rp recoveryPolicy) OnTimeResponse(e *engine.Engine, msg wire.Message) bool {
+func (rp recoveryPolicy) OnTimeResponse(e *engine.Engine, _ simnet.Addr, msg wire.Message) bool {
 	p := rp.policy
 	switch {
 	case p.refSeq != 0 && msg.Seq == p.refSeq:

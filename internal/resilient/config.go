@@ -56,6 +56,19 @@ type Config struct {
 	Peers []simnet.Addr
 	// Authority is the Time Authority's address.
 	Authority simnet.Addr
+	// Authorities lists multiple independent Time Authorities. With two
+	// or more entries the node runs multi-authority quorum calibration
+	// (engine.QuorumCalibration) instead of the single-TA windowed
+	// calibration: every exchange fans out to all authorities and a
+	// reference is adopted only when a quorum's Marzullo intervals
+	// agree. Authority may be left zero and defaults to Authorities[0].
+	Authorities []simnet.Addr
+	// QuorumMinAgree overrides the quorum's strict-majority agreement
+	// rule with an absolute count. 0 keeps the majority rule.
+	QuorumMinAgree int
+	// QuorumRecheck is the steady-state quorum revalidation period
+	// (default 10s).
+	QuorumRecheck time.Duration
 
 	// CalibWindow is the target TSC window between the two calibration
 	// exchanges, expressed as wall time via the boot hint. Longer

@@ -39,23 +39,41 @@ func NewNode(platform enclave.Platform, cfg Config) (*Node, error) {
 	if cfg.EnableGossip {
 		gossip = gossipHook{pol}
 	}
+	pols := engine.Policies{
+		Calibration: pol,
+		Recovery:    recoveryPolicy{pol},
+		Filter:      filter,
+		Gossip:      gossip,
+	}
+	if len(cfg.Authorities) >= 2 {
+		// Multi-authority deployment: quorum calibration replaces the
+		// windowed single-TA calibration, reusing the hardened window
+		// and error-budget tuning; probes, deadlines, and Marzullo peer
+		// untainting stay the inner policy's.
+		q := engine.NewQuorumCalibration(engine.QuorumConfig{
+			TATimeout:       cfg.TATimeout,
+			ErrBudget:       cfg.ErrBudget,
+			CalibWindow:     cfg.CalibWindow,
+			MinCalibWindow:  cfg.MinCalibWindow,
+			RecheckInterval: cfg.QuorumRecheck,
+			MinAgree:        cfg.QuorumMinAgree,
+		})
+		pols.Calibration = q
+		pols.Recovery = engine.QuorumRecovery{Inner: recoveryPolicy{pol}, Quorum: q}
+	}
 	eng, err := engine.New(platform, engine.Config{
 		Key:              cfg.Key,
 		Addr:             cfg.Addr,
 		Peers:            cfg.Peers,
 		Authority:        cfg.Authority,
+		Authorities:      cfg.Authorities,
 		PeerTimeout:      cfg.PeerTimeout,
 		MonitorTicks:     cfg.MonitorTicks,
 		MonitorTolerance: cfg.MonitorTolerance,
 		DisableMonitor:   cfg.DisableMonitor,
 		EnableMemMonitor: !cfg.DisableMemMonitor,
 		Events:           cfg.Events,
-	}, engine.Policies{
-		Calibration: pol,
-		Recovery:    recoveryPolicy{pol},
-		Filter:      filter,
-		Gossip:      gossip,
-	})
+	}, pols)
 	if err != nil {
 		return nil, fmt.Errorf("resilient: %w", err)
 	}

@@ -32,6 +32,21 @@ type LiveConfig struct {
 	Peers []NodeID
 	// Authority is the Time Authority's identity.
 	Authority NodeID
+	// Authorities lists the Time Authorities for multi-authority quorum
+	// calibration (Marzullo consensus over per-authority confidence
+	// intervals). With two or more entries the node accepts a reference
+	// only when a quorum of authorities agrees; Authority may then be
+	// left zero (the first entry is the default). Every entry must
+	// appear in Directory.
+	Authorities []NodeID
+	// QuorumMinAgree overrides the quorum agreement rule: accept an
+	// intersection supported by at least this many authorities instead
+	// of a strict majority. 0 keeps the majority rule. A 2-authority
+	// deployment sets 1 to survive one authority loss.
+	QuorumMinAgree int
+	// QuorumRecheck overrides the steady-state quorum revalidation
+	// period (default 10s). Only meaningful with multiple Authorities.
+	QuorumRecheck time.Duration
 	// AEXPeriod optionally delivers synthetic AEXs at this period (a
 	// stand-in for the OS interrupts real enclaves observe through
 	// AEX-Notify). Zero disables them.
@@ -97,11 +112,14 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	ok := platform.Do(func() {
 		if cfg.Hardened {
 			ln.node, buildErr = resilient.NewNode(platform, resilient.Config{
-				Key:         cfg.Key,
-				Addr:        cfg.ID,
-				Peers:       cfg.Peers,
-				Authority:   cfg.Authority,
-				CalibWindow: cfg.CalibWindow,
+				Key:            cfg.Key,
+				Addr:           cfg.ID,
+				Peers:          cfg.Peers,
+				Authority:      cfg.Authority,
+				Authorities:    cfg.Authorities,
+				QuorumMinAgree: cfg.QuorumMinAgree,
+				QuorumRecheck:  cfg.QuorumRecheck,
+				CalibWindow:    cfg.CalibWindow,
 			})
 		} else {
 			ln.node, buildErr = core.NewNode(platform, core.Config{
@@ -109,6 +127,9 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 				Addr:                 cfg.ID,
 				Peers:                cfg.Peers,
 				Authority:            cfg.Authority,
+				Authorities:          cfg.Authorities,
+				QuorumMinAgree:       cfg.QuorumMinAgree,
+				QuorumRecheck:        cfg.QuorumRecheck,
 				CalibSleeps:          cfg.CalibSleeps,
 				CalibSamplesPerSleep: cfg.CalibSamplesPerSleep,
 			})
@@ -348,11 +369,18 @@ type AuthorityServer struct {
 // NewAuthorityServer binds a UDP socket and starts serving reference
 // time to the cluster identified by key.
 func NewAuthorityServer(listen string, key []byte, id NodeID) (*AuthorityServer, error) {
+	return NewAuthorityServerClock(listen, key, id, func() int64 { return time.Now().UnixNano() })
+}
+
+// NewAuthorityServerClock is NewAuthorityServer with an explicit
+// reference clock — the hook security experiments use to stand up a
+// deliberately lying authority against a quorum of honest ones.
+func NewAuthorityServerClock(listen string, key []byte, id NodeID, clock func() int64) (*AuthorityServer, error) {
 	conn, err := net.ListenPacket("udp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("triadtime: listen %q: %w", listen, err)
 	}
-	srv, err := authority.NewServer(conn, key, uint32(id))
+	srv, err := authority.NewServerClock(conn, key, uint32(id), clock)
 	if err != nil {
 		conn.Close()
 		return nil, err

@@ -42,6 +42,10 @@ const (
 	StateRefCalib  = core.StateRefCalib
 	StateTainted   = core.StateTainted
 	StateOK        = core.StateOK
+	// StateDegraded is the multi-authority holdover state: the node
+	// keeps serving on its last quorum-validated calibration while the
+	// authority quorum is unavailable (split-brain or majority outage).
+	StateDegraded = core.StateDegraded
 )
 
 // ErrUnavailable is returned while a node cannot serve trusted time.

@@ -318,6 +318,154 @@ func TestLiveClusterLoopback(t *testing.T) {
 	}
 }
 
+// TestLiveQuorumOutvotesLyingAuthority stands up three live Time
+// Authorities, one serving time 300ms in the future, and checks both
+// protocol variants calibrate by quorum onto the honest majority: the
+// trusted clock lands near the wall clock (not near the lie), the
+// quorum tallies record accepted rounds, and the liar is counted as a
+// false ticker.
+func TestLiveQuorumOutvotesLyingAuthority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	const lie = 300 * time.Millisecond
+	for _, hardened := range []bool{false, true} {
+		name := "original"
+		if hardened {
+			name = "hardened"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tas := make([]*AuthorityServer, 3)
+			dir := map[NodeID]string{}
+			for i := range tas {
+				id := NodeID(100 + i)
+				clock := func() int64 { return time.Now().UnixNano() }
+				if i == 2 {
+					clock = func() int64 { return time.Now().Add(lie).UnixNano() }
+				}
+				ta, err := NewAuthorityServerClock("127.0.0.1:0", labKey(), id, clock)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ta.Close()
+				tas[i] = ta
+				dir[id] = ta.LocalAddr().String()
+			}
+
+			cfg := LiveConfig{
+				Key:         labKey(),
+				ID:          1,
+				Listen:      "127.0.0.1:0",
+				Directory:   dir,
+				Authority:   100,
+				Authorities: []NodeID{100, 101, 102},
+				Hardened:    hardened,
+			}
+			if hardened {
+				cfg.CalibWindow = 500 * time.Millisecond
+			}
+			node, err := NewLiveNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer node.Close()
+
+			deadline := time.Now().Add(30 * time.Second)
+			for node.State() != StateOK {
+				if time.Now().After(deadline) {
+					t.Fatalf("quorum node never calibrated (state %v)", node.State())
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			ts, err := node.TrustedNow()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off := time.Since(ts.Time()); off < -lie/2 || off > lie/2 {
+				t.Errorf("trusted time off wall clock by %v — quorum followed the liar?", off)
+			}
+			snap := node.Snapshot()
+			if snap.Counters.QuorumAccepts == 0 {
+				t.Errorf("no quorum rounds accepted: %+v", snap.Counters)
+			}
+			if snap.Counters.FalseTickers == 0 {
+				t.Errorf("lying authority never flagged as false ticker: %+v", snap.Counters)
+			}
+		})
+	}
+}
+
+// TestLiveQuorumSurvivesAuthorityLoss runs a node against two live
+// authorities with MinAgree=1 and kills the primary mid-run: the node
+// must keep recovering from taints through the surviving authority.
+func TestLiveQuorumSurvivesAuthorityLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	tas := make([]*AuthorityServer, 2)
+	dir := map[NodeID]string{}
+	for i := range tas {
+		id := NodeID(100 + i)
+		ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ta.Close()
+		tas[i] = ta
+		dir[id] = ta.LocalAddr().String()
+	}
+
+	node, err := NewLiveNode(LiveConfig{
+		Key:            labKey(),
+		ID:             1,
+		Listen:         "127.0.0.1:0",
+		Directory:      dir,
+		Authority:      100,
+		Authorities:    []NodeID{100, 101},
+		QuorumMinAgree: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	waitOK := func(what string, d time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for node.State() != StateOK {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: node stuck in state %v", what, node.State())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitOK("initial calibration", 30*time.Second)
+	before := node.Snapshot().Counters.QuorumAccepts
+	if before == 0 {
+		t.Fatalf("calibrated without a quorum round: %+v", node.Snapshot().Counters)
+	}
+
+	// Kill the primary authority. With MinAgree=1 the survivor alone
+	// still satisfies the quorum rule, so a taint must remain
+	// recoverable (no peers exist to vouch — the reference round is the
+	// only path back to OK).
+	tas[0].Close()
+	node.InjectAEX()
+	waitOK("recovery after authority loss", 20*time.Second)
+	after := node.Snapshot().Counters
+	if after.QuorumAccepts <= before {
+		t.Errorf("no quorum round accepted after primary loss: before=%d counters=%+v", before, after)
+	}
+	ts, err := node.TrustedNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off := time.Since(ts.Time()); off < -2*time.Second || off > 2*time.Second {
+		t.Errorf("trusted time off wall clock by %v after failover", off)
+	}
+}
+
 func TestNewLiveNodeErrors(t *testing.T) {
 	if _, err := NewLiveNode(LiveConfig{Listen: "256.256.256.256:99999"}); err == nil {
 		t.Error("bad listen address accepted")
