@@ -242,7 +242,7 @@ func BenchmarkFig6bAEXCounts(b *testing.B) {
 // calibration), up to 99.9% over 8 low-AEX hours.
 func BenchmarkTableAvailability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunAvailabilityTable(uint64(i)+1, 30*time.Minute, 8*time.Hour)
+		rows, err := experiment.RunAvailabilityTable(context.Background(), uint64(i)+1, 30*time.Minute, 8*time.Hour)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func BenchmarkExtResilientUnderAttack(b *testing.B) {
 // mechanism toggled under the F- propagation scenario.
 func BenchmarkExtAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		results, err := experiment.RunExtensionComparison(uint64(i)+1, 7*time.Minute)
+		results, err := experiment.RunExtensionComparison(context.Background(), uint64(i)+1, 7*time.Minute)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,7 +343,7 @@ func BenchmarkBaselineT3E(b *testing.B) {
 // accuracy.
 func BenchmarkExtLossResilience(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunLossResilience(uint64(i)+1, 10*time.Minute, nil)
+		rows, err := experiment.RunLossResilience(context.Background(), uint64(i)+1, 10*time.Minute, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +379,7 @@ func BenchmarkExtTAOutage(b *testing.B) {
 // lying/delaying authorities, split-brain, and staggered failures.
 func BenchmarkExtQuorumFaults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunQuorumFaults(uint64(i)+10, 5*time.Minute)
+		rows, err := experiment.RunQuorumFaults(context.Background(), uint64(i)+10, 5*time.Minute)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -429,7 +429,7 @@ func BenchmarkExtDualMonitor(b *testing.B) {
 // every size.
 func BenchmarkExtClusterScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunClusterScale(uint64(i)+1, nil, 5*time.Minute)
+		rows, err := experiment.RunClusterScale(context.Background(), uint64(i)+1, nil, 0, 5*time.Minute)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -440,6 +440,26 @@ func BenchmarkExtClusterScale(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(rows[len(rows)-1].InfectedHonest), "n9_infected")
+	}
+}
+
+// BenchmarkExtThousandNode runs the scale1k topology: 20 partitions of
+// 5 regions x 10 nodes (1000 nodes total) with per-region TAs, an
+// asymmetric WAN delay matrix, 10% churn, and a region-isolation
+// window — the streaming-stats/pooled-probe memory model's headline
+// workload. allocs/op here is the regression gate for the fixed-memory
+// claim: per-tick accumulation must not allocate, so allocations stay
+// proportional to node count, not to simulated duration.
+func BenchmarkExtThousandNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTopology(context.Background(), experiment.DefaultScale1K(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, "Thousand-node partitioned topology:\n"+res.Summary())
+		b.ReportMetric(res.MinAvailability*100, "min_avail_pct")
+		b.ReportMetric(float64(res.Holdovers), "holdovers")
+		b.ReportMetric(res.Rollup.Drift.Quantile(0.99)*1e3, "drift_p99_ms")
 	}
 }
 
@@ -462,7 +482,7 @@ func BenchmarkTableServingLatency(b *testing.B) {
 // Figure 2 headline quantities across independent seeds.
 func BenchmarkTableSeedSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunSeedSweep(uint64(i)*100+1, 5, 10*time.Minute)
+		res, err := experiment.RunSeedSweep(context.Background(), uint64(i)*100+1, 5, 10*time.Minute)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -478,7 +498,7 @@ func BenchmarkTableSeedSweep(b *testing.B) {
 // the compromised node only.
 func BenchmarkExtAttackLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunAttackLatency(uint64(i)+1, 5*time.Minute)
+		rows, err := experiment.RunAttackLatency(context.Background(), uint64(i)+1, 5*time.Minute)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -517,7 +537,7 @@ func BenchmarkExtChimerGossip(b *testing.B) {
 // distributions per protocol and interrupt environment.
 func BenchmarkTableCalibrationTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiment.RunCalibrationTime(uint64(i)*50+300, 10)
+		rows, err := experiment.RunCalibrationTime(context.Background(), uint64(i)*50+300, 10)
 		if err != nil {
 			b.Fatal(err)
 		}

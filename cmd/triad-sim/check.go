@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -24,7 +25,7 @@ func (r checkRow) ok() bool { return r.measured >= r.lo && r.measured <= r.hi }
 // headline quantities against the paper's shapes — a one-command
 // reproduction audit. It returns an error (non-zero exit) if any
 // quantity falls outside its admitted range.
-func (r figRunner) check() error {
+func (r figRunner) check(ctx context.Context) error {
 	fmt.Fprintln(r.out, "reproduction self-check (fast subset, seed", r.seed, ")")
 	var rows []checkRow
 	add := func(name string, measured, lo, hi float64) {
@@ -101,7 +102,7 @@ func (r figRunner) check() error {
 	// strictly positive, a lying authority must zero the baseline's
 	// correctness without denting the quorum's, and split-brain must be
 	// ridden out in holdover.
-	quorum, err := experiment.RunQuorumFaults(r.seed, 5*time.Minute)
+	quorum, err := experiment.RunQuorumFaults(ctx, r.seed, 5*time.Minute)
 	if err != nil {
 		return err
 	}
@@ -118,6 +119,32 @@ func (r figRunner) check() error {
 	add("quorum_3ta_lying_false_tickers", float64(qr["quorum-3ta-lying-fixed"].FalseTickers), 1, math.MaxFloat64)
 	add("quorum_splitbrain_holdovers", float64(qr["quorum-4ta-splitbrain-2v2"].Holdovers), 1, math.MaxFloat64)
 	add("quorum_splitbrain_avail", qr["quorum-4ta-splitbrain-2v2"].RawAvailability, 0.9, 1)
+
+	// Thousand-node harness, shrunk: a partitioned region topology with
+	// per-region TAs, a WAN delay matrix, churn, and a region-isolation
+	// window. Every node must calibrate over the WAN, the isolated
+	// region must ride its window out in holdover (not serve a minority
+	// view), and availability/correctness must show the dent without
+	// collapsing.
+	topo, err := experiment.RunTopology(ctx, experiment.TopologyConfig{
+		Seed:           r.seed,
+		Partitions:     2,
+		Regions:        3,
+		NodesPerRegion: 3,
+		Duration:       2 * time.Minute,
+		Churn:          0.25,
+		IsolateRegion:  0,
+		IsolateFrom:    60 * time.Second,
+		IsolateTo:      90 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	add("topo_calibrated_frac", float64(topo.Calibrated)/float64(topo.Nodes), 1, 1)
+	add("topo_holdovers", float64(topo.Holdovers), 1, math.MaxFloat64)
+	add("topo_min_avail", topo.MinAvailability, 0.5, 0.98)
+	add("topo_worst_correct", topo.WorstCorrect, 0.5, 0.98)
+	add("topo_drift_p99_s", topo.Rollup.Drift.Quantile(0.99), 1e-6, 0.05)
 
 	failures := 0
 	for _, row := range rows {

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,13 +40,15 @@ import (
 // cacheVersion tags cache keys with the generation of the simulation
 // code. Bump it whenever experiment output changes shape or content,
 // or stale -cache entries would replay outdated results.
-const cacheVersion = 3
+const cacheVersion = 4
 
 // allFigures is the -fig all execution order (and flush order).
-var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "quorum", "dvfs", "scale", "gossip", "calib", "latency", "load"}
+var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "quorum", "dvfs", "scale", "gossip", "calib", "latency", "load", "scale1k"}
 
-// figures maps figure ids to their generators.
-var figures = map[string]func(figRunner) error{
+// figures maps figure ids to their generators. Each receives the
+// caller's context, which the sweep-style experiments propagate into
+// their worker pools.
+var figures = map[string]func(figRunner, context.Context) error{
 	"1a":      figRunner.fig1a,
 	"1b":      figRunner.fig1b,
 	"inc":     figRunner.incTable,
@@ -67,6 +70,7 @@ var figures = map[string]func(figRunner) error{
 	"calib":   figRunner.calibTime,
 	"latency": figRunner.latency,
 	"load":    figRunner.load,
+	"scale1k": figRunner.scale1k,
 	"check":   figRunner.check,
 }
 
@@ -101,8 +105,17 @@ func run(args []string, out, errOut io.Writer) error {
 	traceFile := fs.String("trace", "", "write structured protocol events (JSONL) for traced figures (currently: 6)")
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0 = all CPUs, 1 = serial)")
 	cacheDir := fs.String("cache", "", "result cache directory; re-runs replay unchanged figures from disk")
+	nodesFlag := fs.String("nodes", "", "comma-separated cluster sizes for -fig scale (default 3,5,7,9)")
+	churn := fs.Float64("churn", 0, "fraction of honest nodes cycling offline in -fig scale (0..1)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	nodes, err := parseSizes(*nodesFlag)
+	if err != nil {
+		return err
+	}
+	if *churn < 0 || *churn > 1 {
+		return fmt.Errorf("-churn must be in [0,1], got %g", *churn)
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -138,11 +151,11 @@ func run(args []string, out, errOut io.Writer) error {
 			Key: runner.Key{
 				// Everything besides the seed that shapes the output,
 				// including the output paths embedded in the text.
-				Scenario: fmt.Sprintf("triad-sim|v%d|fig=%s|dur=%s|outdir=%s|trace=%s",
-					cacheVersion, id, *dur, *outDir, *traceFile),
+				Scenario: fmt.Sprintf("triad-sim|v%d|fig=%s|dur=%s|outdir=%s|trace=%s|nodes=%s|churn=%g",
+					cacheVersion, id, *dur, *outDir, *traceFile, *nodesFlag, *churn),
 				Seed: *seed,
 			},
-			Run: func(context.Context) (figOutput, error) {
+			Run: func(ctx context.Context) (figOutput, error) {
 				var buf bytes.Buffer
 				var files []artifact
 				r := figRunner{
@@ -152,8 +165,10 @@ func run(args []string, out, errOut io.Writer) error {
 					out:       &buf,
 					traceFile: *traceFile,
 					files:     &files,
+					nodes:     nodes,
+					churn:     *churn,
 				}
-				err := figures[id](r)
+				err := figures[id](r, ctx)
 				return figOutput{Text: buf.String(), Files: files}, err
 			},
 		}
@@ -198,6 +213,27 @@ type figRunner struct {
 	out       io.Writer
 	traceFile string
 	files     *[]artifact
+	// nodes/churn parameterize the scale sweep (-nodes, -churn).
+	nodes []int
+	churn float64
+}
+
+// parseSizes parses the -nodes flag: comma-separated positive cluster
+// sizes ("" keeps the experiment's default sweep).
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-nodes: %q is not a cluster size >= 2", p)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 func (r figRunner) duration(def time.Duration) time.Duration {
@@ -295,7 +331,7 @@ func (r figRunner) figure(base string, res *experiment.FigureResult) error {
 	})
 }
 
-func (r figRunner) fig1a() error {
+func (r figRunner) fig1a(ctx context.Context) error {
 	res, err := experiment.RunFig1a(r.seed, r.duration(2*time.Hour))
 	if err != nil {
 		return err
@@ -303,7 +339,7 @@ func (r figRunner) fig1a() error {
 	return r.cdf("fig1a_cdf.csv", res)
 }
 
-func (r figRunner) fig1b() error {
+func (r figRunner) fig1b(ctx context.Context) error {
 	res, err := experiment.RunFig1b(r.seed, r.duration(24*time.Hour))
 	if err != nil {
 		return err
@@ -311,7 +347,7 @@ func (r figRunner) fig1b() error {
 	return r.cdf("fig1b_cdf.csv", res)
 }
 
-func (r figRunner) incTable() error {
+func (r figRunner) incTable(ctx context.Context) error {
 	res, err := experiment.RunINCTable(r.seed, 10000)
 	if err != nil {
 		return err
@@ -320,7 +356,7 @@ func (r figRunner) incTable() error {
 	return nil
 }
 
-func (r figRunner) fig2() error {
+func (r figRunner) fig2(ctx context.Context) error {
 	res, err := experiment.RunFig2(r.seed, r.duration(30*time.Minute))
 	if err != nil {
 		return err
@@ -328,7 +364,7 @@ func (r figRunner) fig2() error {
 	return r.figure("fig2", res)
 }
 
-func (r figRunner) fig3() error {
+func (r figRunner) fig3(ctx context.Context) error {
 	res, err := experiment.RunFig3(r.seed, r.duration(8*time.Hour))
 	if err != nil {
 		return err
@@ -336,7 +372,7 @@ func (r figRunner) fig3() error {
 	return r.figure("fig3", res)
 }
 
-func (r figRunner) fig4() error {
+func (r figRunner) fig4(ctx context.Context) error {
 	res, err := experiment.RunFig4(r.seed, r.duration(10*time.Minute))
 	if err != nil {
 		return err
@@ -344,7 +380,7 @@ func (r figRunner) fig4() error {
 	return r.figure("fig4", res)
 }
 
-func (r figRunner) fig5() error {
+func (r figRunner) fig5(ctx context.Context) error {
 	res, err := experiment.RunFig5(r.seed, r.duration(10*time.Minute))
 	if err != nil {
 		return err
@@ -352,7 +388,7 @@ func (r figRunner) fig5() error {
 	return r.figure("fig5", res)
 }
 
-func (r figRunner) fig6() error {
+func (r figRunner) fig6(ctx context.Context) error {
 	var rec *trace.Recorder
 	var traceBuf bytes.Buffer
 	if r.traceFile != "" {
@@ -369,8 +405,8 @@ func (r figRunner) fig6() error {
 	return r.figure("fig6", res)
 }
 
-func (r figRunner) availability() error {
-	rows, err := experiment.RunAvailabilityTable(r.seed, r.duration(30*time.Minute), 8*time.Hour)
+func (r figRunner) availability(ctx context.Context) error {
+	rows, err := experiment.RunAvailabilityTable(ctx, r.seed, r.duration(30*time.Minute), 8*time.Hour)
 	if err != nil {
 		return err
 	}
@@ -381,8 +417,8 @@ func (r figRunner) availability() error {
 	return nil
 }
 
-func (r figRunner) extension() error {
-	results, err := experiment.RunExtensionComparison(r.seed, r.duration(7*time.Minute))
+func (r figRunner) extension(ctx context.Context) error {
+	results, err := experiment.RunExtensionComparison(ctx, r.seed, r.duration(7*time.Minute))
 	if err != nil {
 		return err
 	}
@@ -391,7 +427,7 @@ func (r figRunner) extension() error {
 	return nil
 }
 
-func (r figRunner) driftQuality() error {
+func (r figRunner) driftQuality(ctx context.Context) error {
 	rows, err := experiment.RunDriftQuality(r.seed, r.duration(2*time.Hour))
 	if err != nil {
 		return err
@@ -403,7 +439,7 @@ func (r figRunner) driftQuality() error {
 	return nil
 }
 
-func (r figRunner) t3e() error {
+func (r figRunner) t3e(ctx context.Context) error {
 	sweep, err := experiment.RunT3ETradeoff(r.seed, 2000, 10*time.Millisecond)
 	if err != nil {
 		return err
@@ -416,8 +452,8 @@ func (r figRunner) t3e() error {
 	return nil
 }
 
-func (r figRunner) loss() error {
-	rows, err := experiment.RunLossResilience(r.seed, r.duration(10*time.Minute), nil)
+func (r figRunner) loss(ctx context.Context) error {
+	rows, err := experiment.RunLossResilience(ctx, r.seed, r.duration(10*time.Minute), nil)
 	if err != nil {
 		return err
 	}
@@ -428,7 +464,7 @@ func (r figRunner) loss() error {
 	return nil
 }
 
-func (r figRunner) dualMonitor() error {
+func (r figRunner) dualMonitor(ctx context.Context) error {
 	rows, err := experiment.RunDualMonitorAblation(r.seed)
 	if err != nil {
 		return err
@@ -440,8 +476,8 @@ func (r figRunner) dualMonitor() error {
 	return nil
 }
 
-func (r figRunner) scale() error {
-	rows, err := experiment.RunClusterScale(r.seed, nil, r.duration(5*time.Minute))
+func (r figRunner) scale(ctx context.Context) error {
+	rows, err := experiment.RunClusterScale(ctx, r.seed, r.nodes, r.churn, r.duration(5*time.Minute))
 	if err != nil {
 		return err
 	}
@@ -452,8 +488,22 @@ func (r figRunner) scale() error {
 	return nil
 }
 
-func (r figRunner) calibTime() error {
-	rows, err := experiment.RunCalibrationTime(r.seed*50+300, 10)
+func (r figRunner) scale1k(ctx context.Context) error {
+	cfg := experiment.DefaultScale1K(r.seed)
+	if r.dur != 0 {
+		cfg.Duration = r.dur
+	}
+	res, err := experiment.RunTopology(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.out, "Thousand-node partitioned topology (per-region TAs, WAN matrix, churn, region isolation):")
+	fmt.Fprint(r.out, res.Summary())
+	return r.writeCSV("scale1k_partitions.csv", res.WritePartitionsCSV)
+}
+
+func (r figRunner) calibTime(ctx context.Context) error {
+	rows, err := experiment.RunCalibrationTime(ctx, r.seed*50+300, 10)
 	if err != nil {
 		return err
 	}
@@ -464,7 +514,7 @@ func (r figRunner) calibTime() error {
 	return nil
 }
 
-func (r figRunner) latency() error {
+func (r figRunner) latency(ctx context.Context) error {
 	res, err := experiment.RunServingLatency(r.seed, r.duration(10*time.Minute), 50*time.Millisecond, time.Millisecond)
 	if err != nil {
 		return err
@@ -474,12 +524,12 @@ func (r figRunner) latency() error {
 	return nil
 }
 
-func (r figRunner) load() error {
+func (r figRunner) load(ctx context.Context) error {
 	// The sweep's 2s-per-point window is fixed (not -dur scaled): load
 	// points cost one simulation event per request, so minutes-long
 	// windows at 64k req/s would be prohibitive, and 2s of steady state
 	// already resolves the throughput plateau and shed shares.
-	res, err := experiment.RunLoadSweep(r.seed, experiment.LoadConfig{})
+	res, err := experiment.RunLoadSweep(ctx, r.seed, experiment.LoadConfig{})
 	if err != nil {
 		return err
 	}
@@ -499,7 +549,7 @@ func (r figRunner) load() error {
 	})
 }
 
-func (r figRunner) gossip() error {
+func (r figRunner) gossip(ctx context.Context) error {
 	rows, err := experiment.RunGossipComparison(r.seed, r.duration(10*time.Minute))
 	if err != nil {
 		return err
@@ -511,7 +561,7 @@ func (r figRunner) gossip() error {
 	return nil
 }
 
-func (r figRunner) outage() error {
+func (r figRunner) outage(ctx context.Context) error {
 	res, err := experiment.RunTAOutage(r.seed, r.duration(15*time.Minute), 5*time.Minute, 8*time.Minute)
 	if err != nil {
 		return err
@@ -520,8 +570,8 @@ func (r figRunner) outage() error {
 	return nil
 }
 
-func (r figRunner) quorum() error {
-	rows, err := experiment.RunQuorumFaults(r.seed, r.duration(5*time.Minute))
+func (r figRunner) quorum(ctx context.Context) error {
+	rows, err := experiment.RunQuorumFaults(ctx, r.seed, r.duration(5*time.Minute))
 	if err != nil {
 		return err
 	}

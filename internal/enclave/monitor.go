@@ -38,6 +38,12 @@ type RateMonitor struct {
 	// frequency change is identified: INC moved, memory steady.
 	onFreqChange func(rel float64)
 
+	// incDoneFn/memDoneFn are the per-window completion callbacks,
+	// built once at construction so the measurement loop never
+	// allocates a fresh closure per monitoring tick.
+	incDoneFn func(count float64, interrupted bool)
+	memDoneFn func(count float64, interrupted bool)
+
 	started bool
 }
 
@@ -126,7 +132,7 @@ func NewRateMonitor(platform Platform, cfg MonitorConfig) *RateMonitor {
 	if memTol <= 0 {
 		memTol = 0.08
 	}
-	return &RateMonitor{
+	m := &RateMonitor{
 		platform:      platform,
 		incTicks:      cfg.INCTicks,
 		incTol:        cfg.INCTol,
@@ -136,6 +142,19 @@ func NewRateMonitor(platform Platform, cfg MonitorConfig) *RateMonitor {
 		onDiscrepancy: cfg.OnDiscrepancy,
 		onFreqChange:  cfg.OnFreqChange,
 	}
+	m.incDoneFn = func(count float64, interrupted bool) {
+		if !interrupted {
+			m.onINC(count)
+		}
+		m.nextINC()
+	}
+	m.memDoneFn = func(count float64, interrupted bool) {
+		if !interrupted {
+			m.onMem(count)
+		}
+		m.nextMem()
+	}
+	return m
 }
 
 // Start launches the measurement loops. Idempotent.
@@ -157,22 +176,14 @@ func (m *RateMonitor) Reset() {
 	m.memState.reset()
 }
 
+//triad:hotpath
 func (m *RateMonitor) nextINC() {
-	m.platform.StartINCCheck(m.incTicks, func(count float64, interrupted bool) {
-		if !interrupted {
-			m.onINC(count)
-		}
-		m.nextINC()
-	})
+	m.platform.StartINCCheck(m.incTicks, m.incDoneFn)
 }
 
+//triad:hotpath
 func (m *RateMonitor) nextMem() {
-	m.platform.StartMemCheck(m.memTicks, func(count float64, interrupted bool) {
-		if !interrupted {
-			m.onMem(count)
-		}
-		m.nextMem()
-	})
+	m.platform.StartMemCheck(m.memTicks, m.memDoneFn)
 }
 
 func (m *RateMonitor) onINC(count float64) {

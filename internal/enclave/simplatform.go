@@ -42,6 +42,14 @@ type SimPlatform struct {
 	memStart  simtime.Instant
 	memTarget uint64
 
+	// finishINCFn/finishMemFn are the completion callbacks handed to the
+	// scheduler. Bound once at construction: a fresh method value per
+	// measurement window would allocate on every monitoring tick, which
+	// at thousand-node scale was the experiment harness's top allocation
+	// site.
+	finishINCFn func()
+	finishMemFn func()
+
 	// AEX bookkeeping for Figure 1's CDFs and Figure 6b's counts.
 	aexCount  int
 	lastAEXAt simtime.Instant
@@ -109,6 +117,8 @@ func NewSimPlatform(sched *sim.Scheduler, rng *sim.RNG, net *simnet.Network, cfg
 		memModel:  memModel,
 		recordGap: cfg.RecordAEXGaps,
 	}
+	p.finishINCFn = p.finishINC
+	p.finishMemFn = p.finishMem
 	net.Register(cfg.Addr, func(pkt simnet.Packet) {
 		if p.msgHandler != nil {
 			p.msgHandler(pkt.From, pkt.Payload)
@@ -125,11 +135,11 @@ func NewSimPlatform(sched *sim.Scheduler, rng *sim.RNG, net *simnet.Network, cfg
 func (p *SimPlatform) onTSCManipulated(at simtime.Instant) {
 	if p.incDone != nil {
 		p.sched.Cancel(p.incCancel)
-		p.incCancel = p.sched.At(p.tsc.TimeOfReaching(p.incTarget, at), p.finishINC)
+		p.incCancel = p.sched.At(p.tsc.TimeOfReaching(p.incTarget, at), p.finishINCFn)
 	}
 	if p.memDone != nil {
 		p.sched.Cancel(p.memCancel)
-		p.memCancel = p.sched.At(p.tsc.TimeOfReaching(p.memTarget, at), p.finishMem)
+		p.memCancel = p.sched.At(p.tsc.TimeOfReaching(p.memTarget, at), p.finishMemFn)
 	}
 }
 
@@ -175,6 +185,8 @@ func (p *SimPlatform) SetMessageHandler(fn func(from simnet.Addr, payload []byte
 // reported as 0). The executed iteration count reflects the *real*
 // time the window spans, which is what makes the loop a detector: any
 // manipulation that bends guest-ticks-per-real-second shifts the count.
+//
+//triad:hotpath
 func (p *SimPlatform) StartINCCheck(ticks uint64, done func(count float64, interrupted bool)) {
 	if p.incDone != nil {
 		panic("enclave: overlapping INC measurements on one monitoring thread")
@@ -182,9 +194,10 @@ func (p *SimPlatform) StartINCCheck(ticks uint64, done func(count float64, inter
 	p.incDone = done
 	p.incStart = p.sched.Now()
 	p.incTarget = p.ReadTSC() + ticks
-	p.incCancel = p.sched.At(p.tsc.TimeOfReaching(p.incTarget, p.incStart), p.finishINC)
+	p.incCancel = p.sched.At(p.tsc.TimeOfReaching(p.incTarget, p.incStart), p.finishINCFn)
 }
 
+//triad:hotpath
 func (p *SimPlatform) finishINC() {
 	cb := p.incDone
 	p.incDone = nil
@@ -204,6 +217,8 @@ func (p *SimPlatform) finishINC() {
 // ticks. Its count depends on the memory subsystem's rate and the real
 // time the window spans — but not the core frequency, which is what
 // lets it catch TSC-scaling masked by a matching DVFS change.
+//
+//triad:hotpath
 func (p *SimPlatform) StartMemCheck(ticks uint64, done func(count float64, interrupted bool)) {
 	if p.memDone != nil {
 		panic("enclave: overlapping memory measurements on one monitoring thread")
@@ -211,9 +226,10 @@ func (p *SimPlatform) StartMemCheck(ticks uint64, done func(count float64, inter
 	p.memDone = done
 	p.memStart = p.sched.Now()
 	p.memTarget = p.ReadTSC() + ticks
-	p.memCancel = p.sched.At(p.tsc.TimeOfReaching(p.memTarget, p.memStart), p.finishMem)
+	p.memCancel = p.sched.At(p.tsc.TimeOfReaching(p.memTarget, p.memStart), p.finishMemFn)
 }
 
+//triad:hotpath
 func (p *SimPlatform) finishMem() {
 	cb := p.memDone
 	p.memDone = nil

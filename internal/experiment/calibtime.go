@@ -35,7 +35,8 @@ func (r CalibTimeRow) Summary() string {
 // trial) combination is an independent single-node simulation; the
 // whole grid fans across the runner's worker pool, with samples
 // regrouped in trial order so quantiles match a serial run exactly.
-func RunCalibrationTime(baseSeed uint64, trials int) ([]CalibTimeRow, error) {
+// Cancelling ctx abandons unstarted trials and returns its error.
+func RunCalibrationTime(ctx context.Context, baseSeed uint64, trials int) ([]CalibTimeRow, error) {
 	if trials <= 0 {
 		trials = 10
 	}
@@ -63,7 +64,7 @@ func RunCalibrationTime(baseSeed uint64, trials int) ([]CalibTimeRow, error) {
 			})
 		}
 	}
-	samplesByTask, err := runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	samplesByTask, err := runner.Run(ctx, runner.Config{}, tasks).Values()
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 )
 
 func TestCalibrationTimeDistribution(t *testing.T) {
-	rows, err := RunCalibrationTime(300, 6)
+	rows, err := RunCalibrationTime(context.Background(), 300, 6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,6 +113,19 @@ type ClusterConfig struct {
 	// QuorumMinAgree overrides the quorum agreement rule on every node
 	// (0 = strict majority of configured authorities).
 	QuorumMinAgree int
+	// Streaming replaces the retained per-node sample series (Drift,
+	// TACounts, AEXCounts, FCalibs) with pooled fixed-memory probes —
+	// the thousand-node mode. Timelines survive (state transitions are
+	// few) so Availability still works; figures that plot full series
+	// must leave it unset. Sampling reads the same node state either
+	// way, so a streaming run's dynamics are byte-identical to a
+	// retained run of the same seed.
+	Streaming bool
+	// StreamCorrectTol is the streaming probes' correctness tolerance
+	// (default CorrectDriftTolerance); StreamInfectTol the signed-drift
+	// infection threshold (default 1s, the scale sweep's detector).
+	StreamCorrectTol time.Duration
+	StreamInfectTol  time.Duration
 }
 
 // defaultExperimentLink reproduces the paper's effective calibration
@@ -136,17 +149,22 @@ type Cluster struct {
 	Nodes     []TimeNode
 	Platforms []*enclave.SimPlatform
 
-	// Per-node instrumentation.
+	// Per-node instrumentation. In streaming mode the series slices stay
+	// nil and Probes carries the fixed-memory accumulators instead.
 	Timelines []*metrics.StateTimeline
 	Drift     []*metrics.DriftSeries
 	TACounts  []*metrics.CountSeries
 	AEXCounts []*metrics.CountSeries
-	FCalibs   [][]float64 // every calibrated rate, per node
+	FCalibs   [][]float64  // every calibrated rate, per node (retained mode)
+	Probes    []*NodeProbe // per-node streaming accumulators (streaming mode)
 
 	machineAEX *aex.Injector
 	sporadic   []*aex.Injector
 	perNode    []*aex.Injector
 	sampleEv   time.Duration
+	sampleFn   func()
+	streaming  bool
+	lastFCalib []float64
 	started    bool
 }
 
@@ -170,10 +188,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	rng := sim.NewRNG(cfg.Seed)
 	network := simnet.New(sched, rng.Fork(1), link)
 	c := &Cluster{
-		Sched:    sched,
-		RNG:      rng,
-		Net:      network,
-		sampleEv: cfg.SampleEvery,
+		Sched:     sched,
+		RNG:       rng,
+		Net:       network,
+		sampleEv:  cfg.SampleEvery,
+		streaming: cfg.Streaming,
+	}
+	// One sampling closure for the whole run: rebuilding it per tick
+	// would allocate on every sample of a thousand-node sweep.
+	c.sampleFn = func() {
+		c.sampleOnce()
+		c.scheduleSample()
+	}
+	correctTol := CorrectDriftTolerance.Seconds()
+	if cfg.StreamCorrectTol != 0 {
+		correctTol = cfg.StreamCorrectTol.Seconds()
+	}
+	infectTol := 1.0
+	if cfg.StreamInfectTol != 0 {
+		infectTol = cfg.StreamInfectTol.Seconds()
 	}
 	// The extra authorities consume no RNG forks, so a single-authority
 	// run stays byte-identical to the pre-quorum rig.
@@ -222,7 +255,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				timeline.Record(sched.Now(), s)
 			},
 			Calibrated: func(f float64) {
-				c.FCalibs[idx] = append(c.FCalibs[idx], f)
+				c.lastFCalib[idx] = f
+				if !c.streaming {
+					c.FCalibs[idx] = append(c.FCalibs[idx], f)
+				}
 			},
 		}
 		if cfg.Trace != nil {
@@ -288,14 +324,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			node = original
 		}
-		name := fmt.Sprintf("node%d", i+1)
 		c.Nodes = append(c.Nodes, node)
 		c.Platforms = append(c.Platforms, platform)
 		c.Timelines = append(c.Timelines, timeline)
-		c.Drift = append(c.Drift, &metrics.DriftSeries{Node: name})
-		c.TACounts = append(c.TACounts, &metrics.CountSeries{Node: name})
-		c.AEXCounts = append(c.AEXCounts, &metrics.CountSeries{Node: name})
-		c.FCalibs = append(c.FCalibs, nil)
+		if cfg.Streaming {
+			c.Probes = append(c.Probes, AcquireProbe(correctTol, infectTol))
+		} else {
+			name := fmt.Sprintf("node%d", i+1)
+			c.Drift = append(c.Drift, &metrics.DriftSeries{Node: name})
+			c.TACounts = append(c.TACounts, &metrics.CountSeries{Node: name})
+			c.AEXCounts = append(c.AEXCounts, &metrics.CountSeries{Node: name})
+			c.FCalibs = append(c.FCalibs, nil)
+		}
+		c.lastFCalib = append(c.lastFCalib, 0)
 		c.perNode = append(c.perNode, nil)
 	}
 
@@ -366,15 +407,23 @@ func (c *Cluster) Start() {
 }
 
 func (c *Cluster) scheduleSample() {
-	c.Sched.After(simtime.FromDuration(c.sampleEv), func() {
-		c.sampleOnce()
-		c.scheduleSample()
-	})
+	c.Sched.After(simtime.FromDuration(c.sampleEv), c.sampleFn)
 }
 
 func (c *Cluster) sampleOnce() {
 	now := c.Sched.Now()
 	refSec := now.Seconds()
+	if c.streaming {
+		for i, n := range c.Nodes {
+			reading, ok := n.ClockReading()
+			var drift float64
+			if ok {
+				drift = float64(reading-int64(now)) / 1e9
+			}
+			c.Probes[i].Observe(refSec, drift, n.State(), ok)
+		}
+		return
+	}
 	for i, n := range c.Nodes {
 		if reading, ok := n.ClockReading(); ok {
 			c.Drift[i].Add(metrics.DriftPoint{
@@ -415,9 +464,16 @@ func (c *Cluster) Availability(i int) float64 {
 // FinalFCalib reports node i's most recent calibrated rate (0 if never
 // calibrated).
 func (c *Cluster) FinalFCalib(i int) float64 {
-	fs := c.FCalibs[i]
-	if len(fs) == 0 {
-		return 0
+	return c.lastFCalib[i]
+}
+
+// ReleaseProbes returns a streaming cluster's probes to the pool once
+// their numbers have been read out. The cluster must not be sampled
+// afterwards.
+func (c *Cluster) ReleaseProbes() {
+	for i, p := range c.Probes {
+		ReleaseProbe(p)
+		c.Probes[i] = nil
 	}
-	return fs[len(fs)-1]
+	c.Probes = nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -266,7 +267,7 @@ func TestFig6FMinusPropagation(t *testing.T) {
 }
 
 func TestAvailabilityTable(t *testing.T) {
-	rows, err := RunAvailabilityTable(9, 10*time.Minute, 30*time.Minute)
+	rows, err := RunAvailabilityTable(context.Background(), 9, 10*time.Minute, 30*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

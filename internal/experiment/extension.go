@@ -148,7 +148,8 @@ func RunExtensionVariant(seed uint64, v Variant, mode attack.Mode, duration time
 // RunExtensionComparison runs the F- propagation scenario across all
 // protocol variants — the headline Section V result: the hardened
 // protocol keeps honest nodes safe where the original gets infected.
-func RunExtensionComparison(seed uint64, duration time.Duration) ([]*ExtensionResult, error) {
+// Cancelling ctx abandons unstarted variants and returns its error.
+func RunExtensionComparison(ctx context.Context, seed uint64, duration time.Duration) ([]*ExtensionResult, error) {
 	variants := []Variant{VariantOriginal, VariantHardened, VariantNoChimer, VariantNoDeadline}
 	tasks := make([]runner.Task[*ExtensionResult], len(variants))
 	for i, v := range variants {
@@ -164,7 +165,7 @@ func RunExtensionComparison(seed uint64, duration time.Duration) ([]*ExtensionRe
 			},
 		}
 	}
-	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	return runner.Run(ctx, runner.Config{}, tasks).Values()
 }
 
 // ComparisonSummary renders the variant table.

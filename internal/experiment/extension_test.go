@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func TestExtensionHardenedStaysSafe(t *testing.T) {
 }
 
 func TestExtensionComparisonTable(t *testing.T) {
-	results, err := RunExtensionComparison(12, 4*time.Minute)
+	results, err := RunExtensionComparison(context.Background(), 12, 4*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

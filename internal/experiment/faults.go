@@ -31,8 +31,9 @@ func (r LossRow) Summary() string {
 // RunLossResilience sweeps UDP loss rates over the fault-free
 // Triad-like scenario: the protocol's request/timeout/retry machinery
 // must keep the cluster calibrated and available as the network
-// degrades (loss only costs retries, never correctness).
-func RunLossResilience(seed uint64, duration time.Duration, lossProbs []float64) ([]LossRow, error) {
+// degrades (loss only costs retries, never correctness). Cancelling
+// ctx abandons unstarted loss points and returns its error.
+func RunLossResilience(ctx context.Context, seed uint64, duration time.Duration, lossProbs []float64) ([]LossRow, error) {
 	if len(lossProbs) == 0 {
 		lossProbs = []float64{0, 0.01, 0.05, 0.20}
 	}
@@ -44,7 +45,9 @@ func RunLossResilience(seed uint64, duration time.Duration, lossProbs []float64)
 			Run: func(context.Context) (LossRow, error) {
 				link := defaultExperimentLink()
 				link.LossProb = loss
-				c, err := NewCluster(ClusterConfig{Seed: seed, Link: &link})
+				// Streaming: the row reduces to final calibrated rates and
+				// timeline availability, so no sample series is retained.
+				c, err := NewCluster(ClusterConfig{Seed: seed, Link: &link, Streaming: true})
 				if err != nil {
 					return LossRow{}, err
 				}
@@ -65,11 +68,12 @@ func RunLossResilience(seed uint64, duration time.Duration, lossProbs []float64)
 					row.WorstDriftPPM = math.Max(row.WorstDriftPPM, ppm)
 					row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
 				}
+				c.ReleaseProbes()
 				return row, nil
 			},
 		}
 	}
-	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	return runner.Run(ctx, runner.Config{}, tasks).Values()
 }
 
 // OutageResult reports cluster behaviour across a Time Authority

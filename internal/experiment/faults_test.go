@@ -1,13 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 )
 
 func TestLossResilienceSweep(t *testing.T) {
-	rows, err := RunLossResilience(31, 5*time.Minute, nil)
+	rows, err := RunLossResilience(context.Background(), 31, 5*time.Minute, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

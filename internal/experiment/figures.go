@@ -389,35 +389,50 @@ func RunHardenedAvailability(seed uint64, duration time.Duration) (*FigureResult
 	return collectResult("Hardened fault-free, Triad-like AEXs", c, duration), nil
 }
 
+// runAvailabilityRow runs one availability scenario in streaming mode:
+// the row reduces to timeline availability and final counters, neither
+// of which needs retained sample series, so even the 8-hour low-AEX
+// run costs fixed instrumentation memory. Sampling performs the same
+// node reads either way, so the numbers are identical to the retained
+// figure runs the table used to share.
+func runAvailabilityRow(scenario string, seed uint64, d time.Duration, hardened bool, env Env, monitorTicks uint64) (AvailabilityRow, error) {
+	c, err := NewCluster(ClusterConfig{
+		Seed:         seed,
+		Hardened:     hardened,
+		MonitorTicks: monitorTicks,
+		Streaming:    true,
+	})
+	if err != nil {
+		return AvailabilityRow{}, err
+	}
+	for i := range c.Nodes {
+		c.SetEnv(i, env)
+	}
+	c.Start()
+	c.RunFor(d)
+	row := AvailabilityRow{Scenario: scenario, Duration: d, Counters: c.CounterSnapshots()}
+	for i := range c.Nodes {
+		row.Availability = append(row.Availability, c.Availability(i))
+	}
+	c.ReleaseProbes()
+	return row, nil
+}
+
 // RunAvailabilityTable reproduces §IV-A.2's availability numbers — the
 // 30-minute Triad-like run (≥98% including initial calibration) and a
 // long low-AEX run (up to 99.9%) — plus a hardened-variant row whose
 // counters show the §V machinery (RTT rejections, probes) at work.
-func RunAvailabilityTable(seed uint64, shortRun, longRun time.Duration) ([]AvailabilityRow, error) {
-	rowFrom := func(scenario string, d time.Duration, res *FigureResult) AvailabilityRow {
-		return AvailabilityRow{Scenario: scenario, Duration: d, Availability: res.Availability, Counters: res.Counters}
-	}
-	rows, err := runner.Run(context.Background(), runner.Config{}, []runner.Task[AvailabilityRow]{
+// Cancelling ctx abandons unstarted rows and returns its error.
+func RunAvailabilityTable(ctx context.Context, seed uint64, shortRun, longRun time.Duration) ([]AvailabilityRow, error) {
+	rows, err := runner.Run(ctx, runner.Config{}, []runner.Task[AvailabilityRow]{
 		{Name: "availability triad-like", Run: func(context.Context) (AvailabilityRow, error) {
-			fig2, err := RunFig2(seed, shortRun)
-			if err != nil {
-				return AvailabilityRow{}, err
-			}
-			return rowFrom("Triad-like AEXs", shortRun, fig2), nil
+			return runAvailabilityRow("Triad-like AEXs", seed, shortRun, false, EnvTriadLike, 0)
 		}},
 		{Name: "availability low-AEX", Run: func(context.Context) (AvailabilityRow, error) {
-			fig3, err := RunFig3(seed+1, longRun)
-			if err != nil {
-				return AvailabilityRow{}, err
-			}
-			return rowFrom("low-AEX environment", longRun, fig3), nil
+			return runAvailabilityRow("low-AEX environment", seed+1, longRun, false, EnvNone, longRunMonitorTicks)
 		}},
 		{Name: "availability hardened", Run: func(context.Context) (AvailabilityRow, error) {
-			hard, err := RunHardenedAvailability(seed+2, shortRun)
-			if err != nil {
-				return AvailabilityRow{}, err
-			}
-			return rowFrom("hardened (§V), Triad-like AEXs", shortRun, hard), nil
+			return runAvailabilityRow("hardened (§V), Triad-like AEXs", seed+2, shortRun, true, EnvTriadLike, 0)
 		}},
 	}).Values()
 	if err != nil {

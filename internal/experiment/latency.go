@@ -2,10 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"triadtime/internal/simtime"
-	"triadtime/internal/stats"
 )
 
 // LatencyResult is the client's view of a Triad node's availability:
@@ -30,6 +30,62 @@ func (r LatencyResult) Summary() string {
 		r.Node, r.FirstTry*100, r.P50, r.P99, r.Max, r.Requests)
 }
 
+// retryGrid accumulates retry-until-success latencies in streaming
+// form. Every latency is an exact multiple of the retry interval
+// (retries are scheduled at fixed offsets from the request), so a
+// count per multiple loses nothing: quantiles computed from the grid
+// are byte-identical to sorting the retained samples, at O(max
+// retries) memory instead of O(requests).
+type retryGrid struct {
+	step   time.Duration
+	counts []int
+	n      int
+}
+
+// add records one latency of k retry steps.
+func (g *retryGrid) add(k int) {
+	for len(g.counts) <= k {
+		g.counts = append(g.counts, 0)
+	}
+	g.counts[k]++
+	g.n++
+}
+
+// orderStat returns the i-th (0-indexed) latency in sorted order.
+func (g *retryGrid) orderStat(i int) float64 {
+	cum := 0
+	for k, c := range g.counts {
+		cum += c
+		if i < cum {
+			return float64(int64(k) * int64(g.step))
+		}
+	}
+	return 0 // unreachable for i < n
+}
+
+// quantile mirrors stats.CDF.Quantile over the grid: nearest-rank
+// interpolation at pos = q·(n-1), so results match the retained-slice
+// implementation exactly.
+func (g *retryGrid) quantile(q float64) float64 {
+	if g.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return g.orderStat(0)
+	}
+	if q >= 1 {
+		return g.orderStat(g.n - 1)
+	}
+	pos := q * float64(g.n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return g.orderStat(lo)
+	}
+	frac := pos - float64(lo)
+	return g.orderStat(lo)*(1-frac) + g.orderStat(hi)*frac
+}
+
 // RunServingLatency drives a client workload against node 1 of a
 // fault-free Triad-like cluster: one request per period, retrying
 // every retryEvery until served.
@@ -43,7 +99,7 @@ func RunServingLatency(seed uint64, duration, period, retryEvery time.Duration) 
 	}
 
 	res := &LatencyResult{Node: "node1"}
-	var latencies []float64
+	grid := &retryGrid{step: retryEvery}
 	node := c.Nodes[0]
 
 	var issue func()
@@ -54,7 +110,7 @@ func RunServingLatency(seed uint64, duration, period, retryEvery time.Duration) 
 		attempt = func() {
 			if _, err := node.TrustedNow(); err == nil {
 				waited := c.Sched.Now().Sub(start)
-				latencies = append(latencies, float64(waited))
+				grid.add(int(waited / retryEvery))
 				if waited == 0 {
 					res.FirstTry++
 				}
@@ -75,9 +131,8 @@ func RunServingLatency(seed uint64, duration, period, retryEvery time.Duration) 
 	if res.Requests > 0 {
 		res.FirstTry /= float64(res.Requests)
 	}
-	cdf := stats.NewCDF(latencies)
-	res.P50 = time.Duration(cdf.Quantile(0.5))
-	res.P99 = time.Duration(cdf.Quantile(0.99))
-	res.Max = time.Duration(cdf.Quantile(1))
+	res.P50 = time.Duration(grid.quantile(0.5))
+	res.P99 = time.Duration(grid.quantile(0.99))
+	res.Max = time.Duration(grid.quantile(1))
 	return res, nil
 }

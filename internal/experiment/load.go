@@ -136,8 +136,9 @@ func (r *LoadResult) Summary() string {
 // count. Past the rig's nominal capacity the bounded queues engage:
 // shed share rises with offered load while served-request p99 stays
 // bounded by queue depth over drain rate — the shape that distinguishes
-// load shedding from collapse.
-func RunLoadSweep(seed uint64, cfg LoadConfig) (*LoadResult, error) {
+// load shedding from collapse. Cancelling ctx abandons unstarted load
+// points and returns its error.
+func RunLoadSweep(ctx context.Context, seed uint64, cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	tasks := make([]runner.Task[LoadPoint], len(cfg.OfferedRPS))
 	for i, offered := range cfg.OfferedRPS {
@@ -149,7 +150,7 @@ func RunLoadSweep(seed uint64, cfg LoadConfig) (*LoadResult, error) {
 			},
 		}
 	}
-	points, err := runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	points, err := runner.Run(ctx, runner.Config{}, tasks).Values()
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -15,7 +16,7 @@ func testLoadConfig() LoadConfig {
 }
 
 func TestLoadSweepAdmissionControlEngages(t *testing.T) {
-	res, err := RunLoadSweep(1, testLoadConfig())
+	res, err := RunLoadSweep(context.Background(), 1, testLoadConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestLoadSweepAdmissionControlEngages(t *testing.T) {
 // TestLoadSweepSeedStable guards the acceptance requirement that the
 // load table is reproducible byte-for-byte for a fixed seed.
 func TestLoadSweepSeedStable(t *testing.T) {
-	a, err := RunLoadSweep(7, testLoadConfig())
+	a, err := RunLoadSweep(context.Background(), 7, testLoadConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunLoadSweep(7, testLoadConfig())
+	b, err := RunLoadSweep(context.Background(), 7, testLoadConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

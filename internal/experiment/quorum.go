@@ -232,28 +232,13 @@ func quorumScenarios() []quorumScenario {
 	}
 }
 
-// correctAvailability computes node i's fraction of sampling instants
-// at which it served a timestamp within tol of reference time. The
-// denominator is every sampling instant (TACounts records one point
-// per sample regardless of node state), so time spent dark or
-// calibrated against a liar both count against the node.
-func correctAvailability(c *Cluster, i int, tol time.Duration) float64 {
-	total := len(c.TACounts[i].Points)
-	if total == 0 {
-		return 0
-	}
-	good := 0
-	for _, p := range c.Drift[i].Points {
-		if p.State.Serving() && math.Abs(p.DriftSeconds) <= tol.Seconds() {
-			good++
-		}
-	}
-	return float64(good) / float64(total)
-}
-
 // runQuorumScenario executes one scenario for duration and reduces it
 // to a row. rec, when non-nil, receives the run's protocol trace (the
-// golden-trace seed-stability tests diff these byte-for-byte).
+// golden-trace seed-stability tests diff these byte-for-byte). The
+// cluster runs in streaming mode: correct-availability is accumulated
+// per sampling tick by the node probes (same condition the retained
+// Drift/TACounts reduction applied — served, Serving state, within
+// CorrectDriftTolerance — over the same tick denominator).
 func runQuorumScenario(seed uint64, duration time.Duration, sc quorumScenario, rec *trace.Recorder) (QuorumRow, error) {
 	c, err := NewCluster(ClusterConfig{
 		Seed:              seed,
@@ -263,6 +248,7 @@ func runQuorumScenario(seed uint64, duration time.Duration, sc quorumScenario, r
 		AuthorityClocks:   sc.clocks,
 		DisableMachineAEX: sc.noAEX,
 		Trace:             rec,
+		Streaming:         true,
 	})
 	if err != nil {
 		return QuorumRow{}, err
@@ -281,13 +267,14 @@ func runQuorumScenario(seed uint64, duration time.Duration, sc quorumScenario, r
 	row := QuorumRow{Name: sc.name, Authorities: sc.authorities, RawAvailability: 1, CorrectAvailability: 1}
 	for i := range c.Nodes {
 		row.RawAvailability = math.Min(row.RawAvailability, c.Availability(i))
-		row.CorrectAvailability = math.Min(row.CorrectAvailability, correctAvailability(c, i, CorrectDriftTolerance))
+		row.CorrectAvailability = math.Min(row.CorrectAvailability, c.Probes[i].CorrectAvailability())
 		cnt := c.Nodes[i].Counters()
 		row.QuorumAccepts += cnt.QuorumAccepts
 		row.QuorumNoMajority += cnt.QuorumNoMajority
 		row.FalseTickers += cnt.FalseTickers
 		row.Holdovers += cnt.Holdovers
 	}
+	c.ReleaseProbes()
 	return row, nil
 }
 
@@ -295,8 +282,9 @@ func runQuorumScenario(seed uint64, duration time.Duration, sc quorumScenario, r
 // outages (single, minority, staggered), lying minorities (fixed and
 // drifting), a delaying authority, and split-brain partitions — each
 // against the single-TA baselines. Rows are returned in scenario
-// order.
-func RunQuorumFaults(seed uint64, duration time.Duration) ([]QuorumRow, error) {
+// order. Cancelling ctx abandons unstarted scenarios and returns its
+// error.
+func RunQuorumFaults(ctx context.Context, seed uint64, duration time.Duration) ([]QuorumRow, error) {
 	if duration == 0 {
 		duration = 5 * time.Minute
 	}
@@ -311,7 +299,7 @@ func RunQuorumFaults(seed uint64, duration time.Duration) ([]QuorumRow, error) {
 			},
 		}
 	}
-	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	return runner.Run(ctx, runner.Config{}, tasks).Values()
 }
 
 // QuorumAttackFigure is the lying-authority attack figure: per-node

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -19,7 +20,7 @@ const quorumSuiteDuration = 5 * time.Minute
 
 func quorumRowsByName(t *testing.T) map[string]QuorumRow {
 	t.Helper()
-	rows, err := RunQuorumFaults(quorumSuiteSeed, quorumSuiteDuration)
+	rows, err := RunQuorumFaults(context.Background(), quorumSuiteSeed, quorumSuiteDuration)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestQuorumFaultSuite(t *testing.T) {
 // TestQuorumSuiteDeterministic: the whole suite is a pure function of
 // its seed.
 func TestQuorumSuiteDeterministic(t *testing.T) {
-	a, err := RunQuorumFaults(quorumSuiteSeed, quorumSuiteDuration)
+	a, err := RunQuorumFaults(context.Background(), quorumSuiteSeed, quorumSuiteDuration)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunQuorumFaults(quorumSuiteSeed, quorumSuiteDuration)
+	b, err := RunQuorumFaults(context.Background(), quorumSuiteSeed, quorumSuiteDuration)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,17 @@ import (
 
 	"triadtime/internal/attack"
 	"triadtime/internal/experiment/runner"
+	"triadtime/internal/simnet"
+)
+
+// Churn schedule for the scale sweeps: churned honest nodes go dark
+// for churnDark each, staggered churnGap apart from churnStart, so
+// windows are deterministic and non-overlapping at small sizes while
+// overlapping progressively in large clusters.
+const (
+	churnStart = 60 * time.Second
+	churnGap   = 20 * time.Second
+	churnDark  = 15 * time.Second
 )
 
 // ScaleRow reports one cluster size's behaviour under the F-
@@ -39,10 +50,15 @@ func (r ScaleRow) Summary() string {
 }
 
 // RunClusterScale sweeps cluster sizes through the F- scenario with
-// node N compromised and everyone under Triad-like AEXs from the start.
-// Each size is an independent simulation; the sweep fans across the
-// runner's worker pool with rows collected in size order.
-func RunClusterScale(seed uint64, sizes []int, duration time.Duration) ([]ScaleRow, error) {
+// node N compromised and everyone under Triad-like AEXs from the
+// start. churn is the fraction of honest nodes that additionally cycle
+// offline mid-run (0 = none, the paper-style fault-free sweep): each
+// churned node's traffic is blackholed for churnDark on a staggered
+// deterministic schedule. Each size is an independent streaming-mode
+// simulation; the sweep fans across the runner's worker pool with rows
+// collected in size order. Cancelling ctx abandons unstarted sizes and
+// returns its error.
+func RunClusterScale(ctx context.Context, seed uint64, sizes []int, churn float64, duration time.Duration) ([]ScaleRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{3, 5, 7, 9}
 	}
@@ -52,16 +68,30 @@ func RunClusterScale(seed uint64, sizes []int, duration time.Duration) ([]ScaleR
 		tasks[t] = runner.Task[ScaleRow]{
 			Name: fmt.Sprintf("cluster scale n=%d", n),
 			Run: func(context.Context) (ScaleRow, error) {
-				return runClusterScaleOne(seed, n, duration)
+				return runClusterScaleOne(seed, n, churn, duration)
 			},
 		}
 	}
-	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	return runner.Run(ctx, runner.Config{}, tasks).Values()
+}
+
+// scheduleChurn installs staggered blackhole windows over the first
+// round(churn·honest) honest nodes. Exposed to the topology driver,
+// which churns region members with the same schedule.
+func scheduleChurn(c *Cluster, churn float64, honest int) {
+	k := int(math.Round(churn * float64(honest)))
+	for j := 0; j < k; j++ {
+		from := churnStart + time.Duration(j)*churnGap
+		blackholeWindow(c, []simnet.Addr{c.Nodes[j].Addr()}, from, from+churnDark)
+	}
 }
 
 // runClusterScaleOne measures one cluster size under the F- scenario.
-func runClusterScaleOne(seed uint64, n int, duration time.Duration) (ScaleRow, error) {
-	c, err := NewCluster(ClusterConfig{Seed: seed, Nodes: n})
+// The cluster runs in streaming mode: infection detection and
+// availability reduce per-tick into the node probes, so memory stays
+// fixed per node no matter how long or large the run.
+func runClusterScaleOne(seed uint64, n int, churn float64, duration time.Duration) (ScaleRow, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed, Nodes: n, Streaming: true})
 	if err != nil {
 		return ScaleRow{}, err
 	}
@@ -74,29 +104,24 @@ func runClusterScaleOne(seed uint64, n int, duration time.Duration) (ScaleRow, e
 		Authority: TAAddr,
 		Mode:      attack.ModeFMinus,
 	}))
+	scheduleChurn(c, churn, n-1)
 	c.Start()
 	c.RunFor(duration)
 
 	row := ScaleRow{Nodes: n, MinAvailability: 1}
 	var taSum float64
 	for i := 0; i < n-1; i++ {
-		infected := false
-		for _, p := range c.Drift[i].Available() {
-			if p.DriftSeconds > 1 {
-				infected = true
-				at := time.Duration(p.RefSeconds * float64(time.Second))
-				if row.FirstInfection == 0 || at < row.FirstInfection {
-					row.FirstInfection = at
-				}
-				break
-			}
-		}
-		if infected {
+		if p := c.Probes[i]; p.Infected {
 			row.InfectedHonest++
+			at := p.FirstInfection()
+			if row.FirstInfection == 0 || at < row.FirstInfection {
+				row.FirstInfection = at
+			}
 		}
 		row.MinAvailability = math.Min(row.MinAvailability, c.Availability(i))
 		taSum += float64(c.Nodes[i].TAReferences())
 	}
 	row.TARefsPerNode = taSum / float64(n-1)
+	c.ReleaseProbes()
 	return row, nil
 }

@@ -1,13 +1,15 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 )
 
 func TestClusterScaleInfectionPersists(t *testing.T) {
-	rows, err := RunClusterScale(41, []int{3, 5, 7}, 5*time.Minute)
+	rows, err := RunClusterScale(context.Background(), 41, []int{3, 5, 7}, 0, 5*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,5 +28,117 @@ func TestClusterScaleInfectionPersists(t *testing.T) {
 		if !strings.Contains(r.Summary(), "infected honest") {
 			t.Error("summary malformed")
 		}
+	}
+}
+
+func TestClusterScaleChurnDeterminism(t *testing.T) {
+	// Same seed, same churn fraction: byte-identical rows at different
+	// worker interleavings (each size is an independent simulation, so
+	// the runner's scheduling cannot leak into results).
+	run := func() string {
+		rows, err := RunClusterScale(context.Background(), 17, []int{3, 5}, 0.5, 4*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range rows {
+			fmt.Fprintln(&b, r.Summary())
+		}
+		return b.String()
+	}
+	a := run()
+	if b := run(); a != b {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	// Churn must actually dent availability relative to the fault-free
+	// sweep (half the honest nodes go dark for 15s each).
+	noChurn, err := RunClusterScale(context.Background(), 17, []int{5}, 0, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := RunClusterScale(context.Background(), 17, []int{5}, 0.5, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churned[0].MinAvailability >= noChurn[0].MinAvailability {
+		t.Errorf("churn did not reduce min availability: %v >= %v",
+			churned[0].MinAvailability, noChurn[0].MinAvailability)
+	}
+}
+
+func testTopologyConfig(seed uint64) TopologyConfig {
+	return TopologyConfig{
+		Seed:           seed,
+		Partitions:     2,
+		Regions:        3,
+		NodesPerRegion: 3,
+		Duration:       2 * time.Minute,
+		Churn:          0.25,
+		IsolateRegion:  0,
+		IsolateFrom:    60 * time.Second,
+		IsolateTo:      90 * time.Second,
+	}
+}
+
+func TestTopologyPartitionDeterminism(t *testing.T) {
+	// The partitioned topology must be reproducible byte for byte: same
+	// seed, same CSV rows and summary, independent of the worker pool's
+	// interleaving (partitions share no state).
+	run := func() (string, string) {
+		res, err := RunTopology(context.Background(), testTopologyConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv strings.Builder
+		if err := res.WritePartitionsCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary(), csv.String()
+	}
+	sumA, csvA := run()
+	sumB, csvB := run()
+	if sumA != sumB {
+		t.Fatalf("summary diverged:\n%s\nvs\n%s", sumA, sumB)
+	}
+	if csvA != csvB {
+		t.Fatalf("partition CSV diverged:\n%s\nvs\n%s", csvA, csvB)
+	}
+}
+
+func TestTopologyIsolationForcesHoldover(t *testing.T) {
+	res, err := RunTopology(context.Background(), testTopologyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 18 {
+		t.Fatalf("nodes = %d", res.Nodes)
+	}
+	if res.Calibrated != res.Nodes {
+		t.Errorf("calibrated %d/%d nodes", res.Calibrated, res.Nodes)
+	}
+	// Region 0's nodes lose 2 of 3 authorities for 30s: quorum must
+	// enter holdover rather than serve a minority view.
+	if res.Holdovers == 0 {
+		t.Error("region isolation produced no holdovers")
+	}
+	if res.MinAvailability <= 0 || res.MinAvailability >= 1 {
+		t.Errorf("min availability = %v, want in (0,1) under isolation+churn", res.MinAvailability)
+	}
+	if res.WorstCorrect <= 0 || res.WorstCorrect >= 1 {
+		t.Errorf("worst correct = %v, want in (0,1) under isolation+churn", res.WorstCorrect)
+	}
+	if res.Rollup.Samples != res.Nodes*int(testTopologyConfig(7).Duration/time.Second) {
+		t.Errorf("rollup samples = %d", res.Rollup.Samples)
+	}
+	if q50, q99 := res.Rollup.Drift.Quantile(0.5), res.Rollup.Drift.Quantile(0.99); !(q50 <= q99) {
+		t.Errorf("drift quantiles not monotone: p50=%v p99=%v", q50, q99)
+	}
+}
+
+func TestTopologyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunTopology(ctx, testTopologyConfig(7)); err == nil {
+		t.Fatal("cancelled context did not propagate an error")
 	}
 }

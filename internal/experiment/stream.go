@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"triadtime/internal/core"
+	"triadtime/internal/stats"
+)
+
+// This file holds the streaming instrumentation behind
+// ClusterConfig.Streaming: fixed-memory per-node probes that replace
+// the retained DriftSeries/CountSeries sample slices. A probe folds
+// each sampling tick into counters, a quantile sketch, and online
+// moments, so a node's whole run costs ~8KB regardless of duration —
+// the memory model that makes thousand-node sweeps tractable. Probes
+// are pooled: partition-parallel drivers recycle them across the many
+// short-lived clusters a sweep builds.
+
+// NodeProbe accumulates one node's sampling ticks in fixed memory.
+// The counters mirror the retained-series reductions byte for byte:
+// Samples matches len(CountSeries.Points), Correct the
+// correctAvailability numerator, Infected/FirstInfectedRef the scale
+// sweep's first-serving-sample-beyond-threshold detection.
+type NodeProbe struct {
+	// Samples counts sampling ticks; Served those with a clock reading.
+	Samples int
+	Served  int
+	// Correct counts served ticks in a Serving state within CorrectTol
+	// of reference time (the quorum suite's security metric).
+	Correct int
+	// Infected latches on the first serving tick whose signed drift
+	// exceeds InfectTol; FirstInfectedRef is that tick's reference time
+	// in seconds (the F- propagation detector).
+	Infected         bool
+	FirstInfectedRef float64
+	// MaxAbsDrift is the worst served |drift| seen, in seconds.
+	MaxAbsDrift float64
+	// Drift sketches the served drift distribution (quantiles/CDF);
+	// Moments tracks its exact mean and variance.
+	Drift   stats.Sketch
+	Moments stats.Welford
+
+	// CorrectTol and InfectTol are thresholds in seconds, fixed at
+	// acquisition.
+	CorrectTol float64
+	InfectTol  float64
+}
+
+// Observe folds one sampling tick into the probe. ok reports whether
+// the node produced a clock reading this tick; driftSec is its signed
+// offset from reference time in seconds (ignored when !ok).
+//
+//triad:hotpath
+func (p *NodeProbe) Observe(refSec, driftSec float64, state core.State, ok bool) {
+	p.Samples++
+	if !ok {
+		return
+	}
+	p.Served++
+	abs := math.Abs(driftSec)
+	if abs > p.MaxAbsDrift {
+		p.MaxAbsDrift = abs
+	}
+	if state.Serving() {
+		if abs <= p.CorrectTol {
+			p.Correct++
+		}
+		if driftSec > p.InfectTol && !p.Infected {
+			p.Infected = true
+			p.FirstInfectedRef = refSec
+		}
+	}
+	p.Drift.Add(driftSec)
+	p.Moments.Add(driftSec)
+}
+
+// CorrectAvailability is the fraction of sampling ticks served
+// correctly — the streaming counterpart of the retained-series
+// correctAvailability reduction.
+func (p *NodeProbe) CorrectAvailability() float64 {
+	if p.Samples == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Samples)
+}
+
+// FirstInfection converts the latched infection tick to a duration
+// from simulation start (0 if never infected).
+func (p *NodeProbe) FirstInfection() time.Duration {
+	if !p.Infected {
+		return 0
+	}
+	return time.Duration(p.FirstInfectedRef * float64(time.Second))
+}
+
+// Merge folds another probe's ticks into this one (sketch merge is
+// exact), aggregating per-node probes into region or cluster rollups.
+func (p *NodeProbe) Merge(o *NodeProbe) {
+	p.Samples += o.Samples
+	p.Served += o.Served
+	p.Correct += o.Correct
+	if o.Infected && (!p.Infected || o.FirstInfectedRef < p.FirstInfectedRef) {
+		p.Infected = true
+		p.FirstInfectedRef = o.FirstInfectedRef
+	}
+	if o.MaxAbsDrift > p.MaxAbsDrift {
+		p.MaxAbsDrift = o.MaxAbsDrift
+	}
+	p.Drift.Merge(&o.Drift)
+	p.Moments.Merge(o.Moments)
+}
+
+// probePool recycles NodeProbes across the short-lived clusters a
+// sweep builds; a probe is ~8KB of bucket arrays, worth reusing when a
+// thousand-node sweep churns through thousands of them.
+var probePool = sync.Pool{New: func() any { return new(NodeProbe) }}
+
+// AcquireProbe returns a reset probe with the given thresholds (in
+// seconds). Release it when its numbers have been read out.
+func AcquireProbe(correctTol, infectTol float64) *NodeProbe {
+	p := probePool.Get().(*NodeProbe)
+	p.Reset()
+	p.CorrectTol = correctTol
+	p.InfectTol = infectTol
+	return p
+}
+
+// ReleaseProbe returns a probe to the pool. The probe must not be used
+// afterwards.
+func ReleaseProbe(p *NodeProbe) { probePool.Put(p) }
+
+// Reset clears all accumulated state and thresholds.
+func (p *NodeProbe) Reset() { *p = NodeProbe{} }

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"triadtime/internal/core"
+)
+
+func TestProbeObserveMirrorsRetainedReductions(t *testing.T) {
+	p := AcquireProbe(CorrectDriftTolerance.Seconds(), 1.0)
+	defer ReleaseProbe(p)
+	// Tick 1: no reading.
+	p.Observe(1, 0, core.StateFullCalib, false)
+	// Tick 2: served, serving, correct.
+	p.Observe(2, 0.001, core.StateOK, true)
+	// Tick 3: served, serving, incorrect but not infected (negative).
+	p.Observe(3, -0.9, core.StateOK, true)
+	// Tick 4: served but tainted — neither correct nor infectable.
+	p.Observe(4, 5.0, core.StateTainted, true)
+	// Tick 5: served, serving, infected.
+	p.Observe(5, 2.5, core.StateOK, true)
+	// Tick 6: infected again — the first latch must win.
+	p.Observe(6, 3.5, core.StateOK, true)
+
+	if p.Samples != 6 || p.Served != 5 || p.Correct != 1 {
+		t.Fatalf("samples/served/correct = %d/%d/%d, want 6/5/1", p.Samples, p.Served, p.Correct)
+	}
+	if !p.Infected || p.FirstInfection() != 5*time.Second {
+		t.Fatalf("infection = %v at %v, want latched at 5s", p.Infected, p.FirstInfection())
+	}
+	if p.MaxAbsDrift != 5.0 {
+		t.Fatalf("max |drift| = %v, want 5.0", p.MaxAbsDrift)
+	}
+	if got := p.CorrectAvailability(); got != 1.0/6 {
+		t.Fatalf("correct availability = %v, want 1/6", got)
+	}
+	if p.Drift.N() != 5 || p.Moments.N() != 5 {
+		t.Fatalf("sketch/moments n = %d/%d, want 5 served ticks", p.Drift.N(), p.Moments.N())
+	}
+}
+
+func TestProbeMergeAggregates(t *testing.T) {
+	a := AcquireProbe(0.05, 1.0)
+	b := AcquireProbe(0.05, 1.0)
+	defer ReleaseProbe(a)
+	defer ReleaseProbe(b)
+	a.Observe(1, 0.01, core.StateOK, true)
+	a.Observe(2, 3.0, core.StateOK, true) // infected at 2s
+	b.Observe(1, 0.02, core.StateOK, true)
+	b.Observe(2, 2.0, core.StateOK, true) // infected at 2s too
+	b.FirstInfectedRef = 1.5              // earlier latch must win the merge
+
+	a.Merge(b)
+	if a.Samples != 4 || a.Served != 4 || a.Correct != 2 {
+		t.Fatalf("merged samples/served/correct = %d/%d/%d", a.Samples, a.Served, a.Correct)
+	}
+	if !a.Infected || a.FirstInfectedRef != 1.5 {
+		t.Fatalf("merged infection ref = %v, want the earlier 1.5", a.FirstInfectedRef)
+	}
+	if a.MaxAbsDrift != 3.0 {
+		t.Fatalf("merged max |drift| = %v", a.MaxAbsDrift)
+	}
+	if a.Drift.N() != 4 {
+		t.Fatalf("merged sketch n = %d", a.Drift.N())
+	}
+	if mean := a.Moments.Mean(); math.Abs(mean-(0.01+3.0+0.02+2.0)/4) > 1e-12 {
+		t.Fatalf("merged mean = %v", mean)
+	}
+}
+
+// TestProbeObserveZeroAllocSteadyState is the fixed-memory gate behind
+// the thousand-node mode: folding a sampling tick into a probe must
+// never allocate, so a streaming run's footprint is set by node count
+// alone, not by how long it runs.
+func TestProbeObserveZeroAllocSteadyState(t *testing.T) {
+	p := AcquireProbe(0.05, 1.0)
+	defer ReleaseProbe(p)
+	p.Observe(0, 0.001, core.StateOK, true)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Observe(1, 0.002, core.StateOK, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per tick, want 0", allocs)
+	}
+}

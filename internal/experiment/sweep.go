@@ -42,8 +42,9 @@ func (r *SweepResult) Summary() string {
 // seed, not one lucky draw. The seeds are independent simulations, so
 // they fan across the runner's worker pool; aggregation happens in
 // seed order afterwards, keeping the result bit-identical to a serial
-// sweep at any worker count.
-func RunSeedSweep(baseSeed uint64, seeds int, duration time.Duration) (*SweepResult, error) {
+// sweep at any worker count. Cancelling ctx abandons unstarted seeds
+// and returns its error.
+func RunSeedSweep(ctx context.Context, baseSeed uint64, seeds int, duration time.Duration) (*SweepResult, error) {
 	if seeds <= 0 {
 		seeds = 5
 	}
@@ -61,7 +62,7 @@ func RunSeedSweep(baseSeed uint64, seeds int, duration time.Duration) (*SweepRes
 			},
 		}
 	}
-	results, err := runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	results, err := runner.Run(ctx, runner.Config{}, tasks).Values()
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +106,8 @@ func (r AttackLatencyRow) Summary() string {
 // RunAttackLatency measures request success rates under the Figure 6
 // F- scenario for the original and hardened protocols. The two variant
 // runs are independent simulations and execute on the worker pool.
-func RunAttackLatency(seed uint64, duration time.Duration) ([]AttackLatencyRow, error) {
+// Cancelling ctx abandons unstarted variants and returns its error.
+func RunAttackLatency(ctx context.Context, seed uint64, duration time.Duration) ([]AttackLatencyRow, error) {
 	variants := []Variant{VariantOriginal, VariantHardened}
 	tasks := make([]runner.Task[AttackLatencyRow], len(variants))
 	for i, v := range variants {
@@ -145,7 +147,7 @@ func RunAttackLatency(seed uint64, duration time.Duration) ([]AttackLatencyRow, 
 			},
 		}
 	}
-	return runner.Run(context.Background(), runner.Config{}, tasks).Values()
+	return runner.Run(ctx, runner.Config{}, tasks).Values()
 }
 
 type probeCounts struct {

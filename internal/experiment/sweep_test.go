@@ -1,13 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 )
 
 func TestSeedSweepStability(t *testing.T) {
-	res, err := RunSeedSweep(100, 4, 5*time.Minute)
+	res, err := RunSeedSweep(context.Background(), 100, 4, 5*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestSeedSweepStability(t *testing.T) {
 }
 
 func TestAttackLatencyContrast(t *testing.T) {
-	rows, err := RunAttackLatency(9, 4*time.Minute)
+	rows, err := RunAttackLatency(context.Background(), 9, 4*time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,6 +90,7 @@ type Network struct {
 	handlers    map[Addr]Handler
 	defaultLink Link
 	links       map[[2]Addr]Link
+	policy      LinkPolicy
 	boxes       []Middlebox
 
 	sent       int
@@ -143,6 +144,17 @@ func (n *Network) SetLink(from, to Addr, l Link) {
 	n.links[[2]Addr{from, to}] = l
 }
 
+// LinkPolicy computes a link model for a directed endpoint pair.
+// Returning ok=false falls through to the network's default link.
+type LinkPolicy func(from, to Addr) (Link, bool)
+
+// SetLinkPolicy installs a computed link model, consulted for pairs
+// without an explicit SetLink override. This is how region-structured
+// topologies model O(n²) endpoint pairs without materializing a
+// per-pair map: the policy derives the delay from the pair's region
+// coordinates at send time.
+func (n *Network) SetLinkPolicy(p LinkPolicy) { n.policy = p }
+
 // AttachMiddlebox adds a middlebox. Boxes see every packet on the
 // network in attach order; a box interested in one node's traffic
 // filters by Packet endpoints.
@@ -160,6 +172,9 @@ func (n *Network) Send(from, to Addr, payload []byte) {
 	pkt := Packet{From: from, To: to, Payload: payload, SentAt: now}
 
 	link, ok := n.links[[2]Addr{from, to}]
+	if !ok && n.policy != nil {
+		link, ok = n.policy(from, to)
+	}
 	if !ok {
 		link = n.defaultLink
 	}

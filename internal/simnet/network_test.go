@@ -355,3 +355,35 @@ func TestMiddleboxDuplicate(t *testing.T) {
 		t.Errorf("stats delivered = %d", delivered)
 	}
 }
+
+func TestLinkPolicyPrecedence(t *testing.T) {
+	// Precedence: explicit SetLink pair beats the policy, the policy
+	// beats the default link, and a policy miss (ok=false) falls back
+	// to the default.
+	sched, net := newNet(t, fixedLink(time.Millisecond))
+	net.SetLink(1, 2, fixedLink(5*time.Millisecond))
+	net.SetLinkPolicy(func(from, to Addr) (Link, bool) {
+		if from == 3 {
+			return fixedLink(20 * time.Millisecond), true
+		}
+		return Link{}, false
+	})
+	deliveredAt := map[Addr]simtime.Instant{}
+	for _, a := range []Addr{2, 4} {
+		a := a
+		net.Register(a, func(p Packet) { deliveredAt[p.From] = sched.Now() })
+	}
+	net.Send(1, 2, []byte("pair override"))
+	net.Send(3, 4, []byte("policy"))
+	net.Send(5, 4, []byte("policy miss, default"))
+	sched.RunUntilIdle()
+	if got := deliveredAt[1]; got != simtime.FromDuration(5*time.Millisecond) {
+		t.Errorf("pair-override delivery at %v, want 5ms", got)
+	}
+	if got := deliveredAt[3]; got != simtime.FromDuration(20*time.Millisecond) {
+		t.Errorf("policy delivery at %v, want 20ms", got)
+	}
+	if got := deliveredAt[5]; got != simtime.FromDuration(time.Millisecond) {
+		t.Errorf("policy-miss delivery at %v, want default 1ms", got)
+	}
+}

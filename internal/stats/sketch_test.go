@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// sketchWidthAt returns the width of the bucket covering v — the
+// sketch's advertised quantile resolution at that value.
+func sketchWidthAt(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	lo, hi := sketchBounds(sketchBucket(math.Abs(v)))
+	return hi - lo
+}
+
+// TestSketchQuantileOracle is the sketch's accuracy contract: the
+// estimate for quantile q lands within one bucket width of the exact
+// order statistic its rank selects (rank = q·n clamped ≥ 1, the
+// metrics.Histogram convention — the covering bucket provably holds
+// the ⌈rank⌉-th order statistic), across distributions spanning the
+// shapes the experiments produce (latency tails, drift values around
+// zero, constants, grids). The exact order statistic is read from the
+// stats.CDF oracle: CDF.Quantile((k-1)/(n-1)) is exactly the k-th
+// order statistic.
+func TestSketchQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	dists := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() }},
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64() * 2) }},
+		{"signed", func() float64 { return rng.NormFloat64() * 1e-3 }},
+		{"grid-ms", func() float64 { return float64(rng.IntN(40)) * 1e-3 }},
+		{"mixed", func() float64 {
+			if rng.IntN(3) == 0 {
+				return 0
+			}
+			return rng.NormFloat64() * math.Exp(float64(rng.IntN(20))-10)
+		}},
+		{"constant", func() float64 { return 0.532 }},
+	}
+	for _, d := range dists {
+		name, draw := d.name, d.draw
+		var sk Sketch
+		xs := make([]float64, 5000)
+		for i := range xs {
+			xs[i] = draw()
+			sk.Add(xs[i])
+		}
+		exact := NewCDF(xs)
+		if sk.N() != len(xs) {
+			t.Fatalf("%s: N = %d, want %d", name, sk.N(), len(xs))
+		}
+		n := float64(len(xs))
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			got := sk.Quantile(q)
+			rank := q * n
+			if rank < 1 {
+				rank = 1
+			}
+			// Float noise in q*n can tip ceil across an integer; accept
+			// either adjacent order statistic in that case.
+			ok := false
+			var want, tol float64
+			for _, k := range []float64{math.Ceil(rank - 1e-9), math.Ceil(rank + 1e-9)} {
+				want = exact.Quantile((k - 1) / (n - 1))
+				tol = sketchWidthAt(want) + 1e-12
+				if math.Abs(got-want) <= tol {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s: Quantile(%.2f) = %g, exact order stat %g, |err| %g > bucket width %g",
+					name, q, got, want, math.Abs(got-want), tol)
+			}
+		}
+		if sk.Min() != exact.Quantile(0) || sk.Max() != exact.Quantile(1) {
+			t.Errorf("%s: min/max %g/%g, want %g/%g", name, sk.Min(), sk.Max(), exact.Quantile(0), exact.Quantile(1))
+		}
+	}
+}
+
+// TestSketchAtOracle checks the CDF view against the exact CDF at the
+// sample points themselves: bucket-uniform interpolation may smear
+// probability by at most one bucket's worth of count.
+func TestSketchAtOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	var sk Sketch
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		sk.Add(xs[i])
+	}
+	exact := NewCDF(xs)
+	prev := -1.0
+	for _, x := range []float64{-3, -1, -0.1, 0, 0.1, 1, 3} {
+		got := sk.At(x)
+		if got < prev {
+			t.Errorf("At not monotone at %v: %v < %v", x, got, prev)
+		}
+		prev = got
+		if want := exact.At(x); math.Abs(got-want) > 0.05 {
+			t.Errorf("At(%v) = %v, exact %v", x, got, want)
+		}
+	}
+}
+
+func TestSketchMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	var a, b, all Sketch
+	for i := 0; i < 2000; i++ {
+		x := rng.NormFloat64() * math.Exp(float64(rng.IntN(10))-5)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge N/min/max mismatch: %d/%g/%g vs %d/%g/%g",
+			a.N(), a.Min(), a.Max(), all.N(), all.Min(), all.Max())
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("Quantile(%.2f): merged %g, combined-stream %g", q, got, want)
+		}
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("mean: merged %g, combined %g", a.Mean(), all.Mean())
+	}
+}
+
+func TestSketchEmptyAndReset(t *testing.T) {
+	var sk Sketch
+	if sk.Quantile(0.5) != 0 || sk.N() != 0 || sk.Min() != 0 || sk.Max() != 0 || sk.Mean() != 0 {
+		t.Fatal("empty sketch should report zeros")
+	}
+	if !math.IsNaN(sk.At(1)) {
+		t.Fatal("empty At should be NaN like CDF.At")
+	}
+	sk.Add(5)
+	sk.Add(math.NaN()) // ignored
+	if sk.N() != 1 {
+		t.Fatalf("NaN not ignored: N = %d", sk.N())
+	}
+	sk.Reset()
+	if sk.N() != 0 || sk.Quantile(1) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// TestSketchAddZeroAllocSteadyState gates the accumulation path the
+// thousand-node harness leans on: Add must not allocate.
+func TestSketchAddZeroAllocSteadyState(t *testing.T) {
+	sk := new(Sketch)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sk.Add(0.5)
+		sk.Add(-1.25e-6)
+		sk.Add(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sketch.Add allocates: %v allocs/op", allocs)
+	}
+}
+
+// FuzzSketch feeds arbitrary float64 streams and checks structural
+// invariants: count bookkeeping, quantile monotonicity and range,
+// CDF bounds, and merge consistency.
+func FuzzSketch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(-1.5)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sk, sk2 Sketch
+		n := 0
+		for i := 0; i+8 <= len(data) && n < 4096; i += 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(data[i : i+8]))
+			if math.IsNaN(x) {
+				continue
+			}
+			if math.IsInf(x, 0) {
+				x = math.Copysign(math.MaxFloat64, x)
+			}
+			sk.Add(x)
+			sk2.Add(x)
+			n++
+		}
+		if sk.N() != n {
+			t.Fatalf("N = %d, want %d", sk.N(), n)
+		}
+		if n == 0 {
+			return
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := sk.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile not monotone: Q(%v)=%g < %g", q, v, prev)
+			}
+			if v < sk.Min() || v > sk.Max() {
+				t.Fatalf("Q(%v)=%g outside [%g, %g]", q, v, sk.Min(), sk.Max())
+			}
+			prev = v
+		}
+		for _, x := range []float64{sk.Min(), 0, sk.Max()} {
+			p := sk.At(x)
+			if p < 0 || p > 1+1e-9 {
+				t.Fatalf("At(%g) = %g outside [0,1]", x, p)
+			}
+		}
+		if sk.At(sk.Max()) < 1-1e-9 {
+			t.Fatalf("At(max) = %g, want 1", sk.At(sk.Max()))
+		}
+		var merged Sketch
+		merged.Merge(&sk)
+		merged.Merge(&sk2)
+		if merged.N() != 2*n {
+			t.Fatalf("merged N = %d, want %d", merged.N(), 2*n)
+		}
+		if merged.Quantile(0.5) != sk.Quantile(0.5) {
+			t.Fatalf("self-merge shifted median: %g vs %g", merged.Quantile(0.5), sk.Quantile(0.5))
+		}
+	})
+}

@@ -37,6 +37,27 @@ func (w *Welford) AddAll(xs []float64) {
 	}
 }
 
+// Merge folds another accumulator's observations into this one (Chan
+// et al.'s pairwise combination), so moments accumulated in parallel
+// partitions reduce to the same mean/variance as a single pass, up to
+// floating-point rounding.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.min = math.Min(w.min, o.min)
+	w.max = math.Max(w.max, o.max)
+	w.n = n
+}
+
 // N reports the number of observations seen so far.
 func (w *Welford) N() int { return w.n }
 
