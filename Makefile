@@ -34,17 +34,18 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Tracked performance baseline: the four hot-path micro-benchmarks at
-# full benchtime plus one iteration of every figure-regeneration
-# benchmark, converted to JSON. The output (BENCH_pr7.json) is checked
-# in so later PRs can diff ns/op, allocs/op, and events/sec against it
-# (BENCH_pr4.json is the pre-streaming baseline the PR-7 allocation
-# drop is measured against).
-BENCH_JSON_OUT ?= BENCH_pr7.json
+# Tracked performance baseline: the hot-path micro-benchmarks plus the
+# end-to-end live serving throughput benchmark at full benchtime, and
+# one iteration of every figure-regeneration benchmark, converted to
+# JSON. The output (BENCH_pr8.json) is checked in so later PRs can
+# diff ns/op, allocs/op, events/sec, and req/s against it
+# (BENCH_pr7.json is the pre-sharding baseline the PR-8 throughput
+# gain is measured against; BENCH_pr4.json predates streaming stats).
+BENCH_JSON_OUT ?= BENCH_pr8.json
 
 bench-json:
 	{ $(GO) test ./internal/sim ./internal/simnet ./internal/wire ./internal/serve -run='^$$' \
-		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip|BenchmarkServeDispatch)$$' -benchmem \
+		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip|BenchmarkServeDispatch|BenchmarkLiveServeThroughput)$$' -benchmem \
 	  && $(GO) test . -run='^$$' -bench=. -benchtime=1x -benchmem ; } \
 	| $(GO) run ./cmd/bench-json -out $(BENCH_JSON_OUT)
 

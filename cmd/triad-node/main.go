@@ -125,6 +125,7 @@ func run(args []string) error {
 	serveKeyHex := fs.String("serve-key", "", "client-traffic pre-shared key, 64 hex characters (required with -serve; distinct from -key)")
 	serveTSAKeyHex := fs.String("serve-tsa-key", "", "timestamp-token key in hex (optional; enables token issuance)")
 	serveRate := fs.Float64("serve-rate", 0, "per-client admission rate in req/s (0 disables rate limiting)")
+	serveSockets := fs.Int("serve-sockets", 1, "SO_REUSEPORT sockets sharing the -serve port (Linux; scales request authentication across cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,6 +201,7 @@ func run(args []string) error {
 		addr, err := node.ServeClients(triadtime.ClientServeConfig{
 			Listen:        *serveAddr,
 			Key:           serveKey,
+			Sockets:       *serveSockets,
 			TSAKey:        tsaKey,
 			RatePerClient: *serveRate,
 		})

@@ -1,12 +1,14 @@
 // Package lockflow defines the lock-discipline analyzer for the live
 // serving and transport layers: a sync mutex must not be held across a
-// channel send or a TrustedNow call. Channel sends can block
-// indefinitely against a full or undrained channel, and TrustedNow
-// fans into the protocol engine (and in live bindings marshals through
-// the platform's dispatch queue) — holding a shard or sealer lock
-// across either turns backpressure into a server-wide stall, the
-// availability failure mode the serving layer's admission control
-// exists to prevent.
+// channel send, a TrustedNow call, or a datagram transmit (SendBatch,
+// Sendmmsg, WriteTo). Channel sends can block indefinitely against a
+// full or undrained channel, TrustedNow fans into the protocol engine
+// (and in live bindings marshals through the platform's dispatch
+// queue), and a socket write parks in the kernel whenever the send
+// buffer is full — holding a shard or sealer lock across any of them
+// turns backpressure into a server-wide stall, the availability
+// failure mode the serving layer's admission control exists to
+// prevent.
 //
 // The analysis is a conservative intra-procedural scan: it tracks
 // Lock/RLock...Unlock/RUnlock pairs in statement order (a deferred
@@ -32,8 +34,8 @@ var guardedPkgs = map[string]bool{"serve": true, "transport": true}
 // Analyzer is the lockflow analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockflow",
-	Doc: "flags mutexes held across channel sends or TrustedNow calls in " +
-		"the live serving/transport packages",
+	Doc: "flags mutexes held across channel sends, TrustedNow calls, or " +
+		"datagram transmits in the live serving/transport packages",
 	Run: run,
 }
 
@@ -164,6 +166,16 @@ func inspectExpr(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
 	})
 }
 
+// blockingSends are method names that transmit datagrams and can park
+// in the kernel against a full socket buffer: the batched syscall
+// paths (SendBatch, and the raw Sendmmsg should one ever be called
+// directly) and the stdlib per-datagram write (WriteTo).
+var blockingSends = map[string]bool{
+	"SendBatch": true,
+	"Sendmmsg":  true,
+	"WriteTo":   true,
+}
+
 // inspectExprShallow checks one expression node (non-recursively).
 func inspectExprShallow(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
 	call, ok := e.(*ast.CallExpr)
@@ -174,8 +186,11 @@ func inspectExprShallow(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
 	if !ok {
 		return
 	}
-	if sel.Sel.Name == "TrustedNow" {
+	switch {
+	case sel.Sel.Name == "TrustedNow":
 		reportHeld(pass, call.Pos(), "TrustedNow call", held)
+	case blockingSends[sel.Sel.Name]:
+		reportHeld(pass, call.Pos(), sel.Sel.Name+" call", held)
 	}
 }
 

@@ -9,6 +9,10 @@ type clock interface {
 	TrustedNow() (int64, error)
 }
 
+type sender interface {
+	WriteTo(p []byte, addr string) (int, error)
+}
+
 type box struct {
 	mu  sync.Mutex
 	out chan int64
@@ -18,5 +22,11 @@ func HeldSend(b *box, c clock) {
 	b.mu.Lock()
 	n, _ := c.TrustedNow()
 	b.out <- n
+	b.mu.Unlock()
+}
+
+func HeldWrite(b *box, s sender, p []byte) {
+	b.mu.Lock()
+	s.WriteTo(p, "peer")
 	b.mu.Unlock()
 }

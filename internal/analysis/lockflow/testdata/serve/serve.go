@@ -9,6 +9,14 @@ type clock interface {
 	TrustedNow() (int64, error)
 }
 
+// batch mirrors the transport layer's batched-send surface: methods
+// that park in the kernel against a full socket buffer.
+type batch interface {
+	SendBatch(n int) (int, error)
+	Sendmmsg(n int) (int, error)
+	WriteTo(p []byte, addr string) (int, error)
+}
+
 type shard struct {
 	mu  sync.Mutex
 	rw  sync.RWMutex
@@ -48,6 +56,38 @@ func SelectSend(s *shard, done chan struct{}) {
 	case <-done:
 	}
 	s.mu.Unlock()
+}
+
+// SendBatchBad transmits a batch while holding the shard lock — the
+// exact shape the sharded serving path must never regress into.
+func SendBatchBad(s *shard, b batch) {
+	s.mu.Lock()
+	b.SendBatch(len(s.q)) // want `SendBatch call while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// SendmmsgBad covers a raw batched syscall wrapper under a deferred
+// unlock (held to function end).
+func SendmmsgBad(s *shard, b batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.Sendmmsg(1) // want `Sendmmsg call while holding s\.mu`
+}
+
+// WriteToBad covers the stdlib per-datagram path under a reader lock.
+func WriteToBad(s *shard, b batch, p []byte) {
+	s.rw.RLock()
+	b.WriteTo(p, "client") // want `WriteTo call while holding s\.rw`
+	s.rw.RUnlock()
+}
+
+// SendBatchGood is the discipline the drain loops follow: snapshot
+// under the lock, release, then transmit.
+func SendBatchGood(s *shard, b batch) {
+	s.mu.Lock()
+	n := len(s.q)
+	s.mu.Unlock()
+	b.SendBatch(n)
 }
 
 // Good is the repo's own discipline: collect under the lock, release,

@@ -5,21 +5,52 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"triadtime/internal/transport"
 	"triadtime/internal/wire"
 )
 
+// Sealed client datagram sizes. Requests are fixed-size, so the
+// receive path can right-size its buffers to the only legal datagram
+// and reject anything larger before paying for authentication.
+const (
+	// SealedRequestSize is the exact wire size of a sealed TimeRequest.
+	SealedRequestSize = wire.TimeRequestSize + wire.SealedOverhead
+	// SealedResponseSize is the exact wire size of a sealed TimeResponse.
+	SealedResponseSize = wire.TimeResponseSize + wire.SealedOverhead
+)
+
+// recvSlots is how many datagrams one batched receive can return: one
+// recvmmsg pulls up to this many requests out of the socket buffer per
+// kernel crossing.
+const recvSlots = 256
+
 // LiveConfig parameterizes a live (UDP) serving endpoint.
 type LiveConfig struct {
-	// Conn is the endpoint's packet socket. The server takes ownership
-	// and closes it on Close. Required.
+	// Conn, when set, is a caller-supplied packet socket (the
+	// compatibility and test-stub path, one datagram per syscall unless
+	// it is a *net.UDPConn). The server takes ownership and closes it on
+	// Close. Mutually exclusive with Listen.
 	Conn net.PacketConn
+	// Listen, when set, is a UDP address ("127.0.0.1:0", "0.0.0.0:7201")
+	// the server binds itself — as a SO_REUSEPORT group of Sockets
+	// members on Linux, so the kernel spreads client flows across
+	// receive goroutines. Mutually exclusive with Conn.
+	Listen string
+	// Sockets is the reuseport group size for Listen mode. Default 1;
+	// values above 1 require Linux.
+	Sockets int
 	// Key seals client traffic — a separate credential from the
 	// protocol cluster key, so client datagrams cannot masquerade as
 	// protocol traffic (and vice versa).
 	Key []byte
-	// SenderID is the endpoint's wire identity in response datagrams.
+	// SenderID is the base of the endpoint's wire-identity range. The
+	// endpoint seals concurrently from every drain shard and every
+	// receive goroutine, each under its own identity so AES-GCM nonces
+	// stay unique without a shared counter: it reserves
+	// [SenderID, SenderID+Shards+Sockets). See PROTOCOL.md.
 	SenderID uint32
 	// Tick is the per-shard drain period. Default 1ms.
 	Tick time.Duration
@@ -27,90 +58,215 @@ type LiveConfig struct {
 	Server Config
 }
 
-// LiveServer runs a Server over UDP: a receive goroutine decodes,
-// authenticates and admits requests; one drain goroutine per shard
-// batches responses on the configured tick. The engine, admission
-// behavior and wire format are identical to the simulated binding.
+// LiveServer runs a Server over UDP with nothing shared on the hot
+// path: each socket has a receive goroutine owning its own
+// wire.Opener, receive batch and shed sealer; each engine shard has a
+// drain goroutine owning its own sealer and send batch. Responses are
+// sealed straight into batch buffers and flushed with one sendmmsg per
+// batch (Linux), so steady-state serving performs no allocation and
+// takes no lock beyond the engine's per-shard queue mutex. The engine,
+// admission behavior and wire format are identical to the simulated
+// binding.
 type LiveServer struct {
-	srv   *Server[net.Addr]
-	conn  net.PacketConn
-	tick  time.Duration
-	start time.Time
+	srv    *Server[transport.Sockaddr]
+	conns  []net.PacketConn
+	dconns []transport.DatagramConn
+	tick   time.Duration
+	start  time.Time
 
-	opener *wire.Opener
-	sealer *wire.Sealer
-	// sealMu serializes sealer state (the nonce counter): shed
-	// responses on the receive goroutine and batch responses on the
-	// drain goroutines share one sending identity.
-	sealMu sync.Mutex
+	// sendErrors counts responses discarded because the socket write
+	// failed; oversize counts received datagrams larger than any legal
+	// request, dropped before authentication.
+	sendErrors atomic.Uint64
+	oversize   atomic.Uint64
 
 	done     chan struct{}
 	drainWG  sync.WaitGroup
-	recvDone chan struct{}
+	recvWG   sync.WaitGroup
 	stopOnce sync.Once
+	closeErr error
+}
+
+// LiveCounters extends the engine's admission/serving tallies with the
+// endpoint's transport-level ones.
+type LiveCounters struct {
+	Counters
+	// SendErrors counts responses discarded because the socket write
+	// failed (client indistinguishable from datagram loss; see
+	// triad_serve_send_errors_total).
+	SendErrors uint64
+	// OversizeDrops counts received datagrams exceeding
+	// SealedRequestSize, dropped before any AEAD work.
+	OversizeDrops uint64
 }
 
 // NewLiveServer creates the endpoint and starts its goroutines.
 func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
-	if cfg.Conn == nil {
-		return nil, errors.New("serve: Conn is required")
+	if (cfg.Conn == nil) == (cfg.Listen == "") {
+		return nil, errors.New("serve: exactly one of Conn and Listen is required")
+	}
+	if cfg.Sockets <= 0 {
+		cfg.Sockets = 1
+	}
+	if cfg.Conn != nil && cfg.Sockets != 1 {
+		return nil, errors.New("serve: Sockets requires Listen mode (a caller-supplied Conn is one socket)")
 	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = time.Millisecond
 	}
-	srv, err := New[net.Addr](cfg.Server)
+	srv, err := New[transport.Sockaddr](cfg.Server)
 	if err != nil {
 		return nil, err
 	}
-	opener, err := wire.NewOpener(cfg.Key)
-	if err != nil {
-		return nil, fmt.Errorf("serve: client key: %w", err)
+
+	var conns []net.PacketConn
+	if cfg.Conn != nil {
+		conns = []net.PacketConn{cfg.Conn}
+	} else {
+		group, err := transport.ListenReusePortGroup("udp", cfg.Listen, cfg.Sockets)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		conns = make([]net.PacketConn, len(group))
+		for i, c := range group {
+			conns[i] = c
+		}
 	}
-	sealer, err := wire.NewSealer(cfg.Key, cfg.SenderID)
-	if err != nil {
-		return nil, fmt.Errorf("serve: client key: %w", err)
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
 	}
+	dconns := make([]transport.DatagramConn, len(conns))
+	for i, c := range conns {
+		if uc, ok := c.(*net.UDPConn); ok {
+			// Request bursts at hundreds of kreq/s overflow default
+			// socket buffers long before the recv loop falls behind;
+			// match the sizing ListenReusePortGroup applies.
+			_ = uc.SetReadBuffer(1 << 20)
+			_ = uc.SetWriteBuffer(1 << 20)
+			bc, err := transport.NewBatchConn(uc)
+			if err != nil {
+				closeConns()
+				return nil, fmt.Errorf("serve: batch socket: %w", err)
+			}
+			// Best-effort UDP GSO: every response is exactly
+			// SealedResponseSize, so same-client runs in a drained batch
+			// collapse into segmented sends. Kernels without UDP_SEGMENT
+			// just keep the one-header-per-datagram path.
+			if g, ok := transport.DatagramConn(bc).(interface{ EnableGSO(int) error }); ok {
+				_ = g.EnableGSO(SealedResponseSize)
+			}
+			dconns[i] = bc
+		} else {
+			dconns[i] = transport.NewPacketBatchConn(c)
+		}
+	}
+
+	// Identity range: drain shard i seals as SenderID+i, receive
+	// goroutine j (shed responses) as SenderID+Shards+j. Disjoint
+	// identities keep every concurrent sealer's nonce space disjoint
+	// under the shared key.
+	idents := srv.Shards() + len(dconns)
+	drainSealers := make([]*wire.Sealer, srv.Shards())
+	for i := range drainSealers {
+		if drainSealers[i], err = wire.NewSealerShard(cfg.Key, cfg.SenderID, i, idents); err != nil {
+			closeConns()
+			return nil, fmt.Errorf("serve: client key: %w", err)
+		}
+	}
+	shedSealers := make([]*wire.Sealer, len(dconns))
+	openers := make([]*wire.Opener, len(dconns))
+	for j := range dconns {
+		if shedSealers[j], err = wire.NewSealerShard(cfg.Key, cfg.SenderID, srv.Shards()+j, idents); err != nil {
+			closeConns()
+			return nil, fmt.Errorf("serve: client key: %w", err)
+		}
+		if openers[j], err = wire.NewOpener(cfg.Key); err != nil {
+			closeConns()
+			return nil, fmt.Errorf("serve: client key: %w", err)
+		}
+	}
+
 	s := &LiveServer{
-		srv:      srv,
-		conn:     cfg.Conn,
-		tick:     cfg.Tick,
-		start:    time.Now(),
-		opener:   opener,
-		sealer:   sealer,
-		done:     make(chan struct{}),
-		recvDone: make(chan struct{}),
+		srv:    srv,
+		conns:  conns,
+		dconns: dconns,
+		tick:   cfg.Tick,
+		start:  time.Now(),
+		done:   make(chan struct{}),
 	}
 	for i := 0; i < srv.Shards(); i++ {
 		s.drainWG.Add(1)
-		go s.drainLoop(i)
+		go s.drainLoop(i, dconns[i%len(dconns)], drainSealers[i])
 	}
-	go s.recvLoop()
+	for j := range dconns {
+		s.recvWG.Add(1)
+		go s.recvLoop(dconns[j], openers[j], shedSealers[j])
+	}
 	return s, nil
 }
 
-// Server exposes the underlying engine (counters, metrics).
-func (s *LiveServer) Server() *Server[net.Addr] { return s.srv }
+// Server exposes the underlying engine (shard layout, engine counters).
+func (s *LiveServer) Server() *Server[transport.Sockaddr] { return s.srv }
 
-// LocalAddr reports the bound UDP address.
-func (s *LiveServer) LocalAddr() net.Addr { return s.conn.LocalAddr() }
+// Counters snapshots the endpoint's cumulative tallies: the engine's
+// plus the transport-level ones only this layer sees.
+func (s *LiveServer) Counters() LiveCounters {
+	return LiveCounters{
+		Counters:      s.srv.Counters(),
+		SendErrors:    s.sendErrors.Load(),
+		OversizeDrops: s.oversize.Load(),
+	}
+}
+
+// LocalAddr reports the bound UDP address (shared by every socket in a
+// reuseport group).
+func (s *LiveServer) LocalAddr() net.Addr { return s.conns[0].LocalAddr() }
+
+// Sockets reports how many UDP sockets serve the address.
+func (s *LiveServer) Sockets() int { return len(s.dconns) }
 
 // nowNanos is the endpoint's monotonic clock for admission and
 // queue-wait accounting (not trusted time).
 func (s *LiveServer) nowNanos() int64 { return int64(time.Since(s.start)) }
 
-func (s *LiveServer) recvLoop() {
-	defer close(s.recvDone)
-	buf := make([]byte, 64*1024)
+// recvLoop drains one socket: each batched receive authenticates and
+// admits its datagrams, and shed (overload) responses are sealed under
+// this goroutine's own identity and flushed back in one batched send.
+// All state — opener replay windows, batches, seal scratch — is owned
+// by this goroutine; the only shared structure touched is the engine
+// shard a request hashes onto.
+func (s *LiveServer) recvLoop(conn transport.DatagramConn, opener *wire.Opener, shedSealer *wire.Sealer) {
+	defer s.recvWG.Done()
+	// One byte above the only legal size: a full read at cap is an
+	// oversize (possibly kernel-truncated) datagram, not a request.
+	in := transport.NewBatch(recvSlots, SealedRequestSize+1)
+	out := transport.NewBatch(recvSlots, SealedResponseSize)
 	scratch := make([]byte, 0, wire.TimeRequestSize)
 	var plain [wire.TimeResponseSize]byte
-	sealBuf := make([]byte, 0, wire.TimeResponseSize+wire.SealedOverhead)
 	for {
-		n, from, err := s.conn.ReadFrom(buf)
+		n, err := conn.RecvBatch(in)
 		if err != nil {
-			return // closed
+			return // closed, or reads interrupted for shutdown
 		}
-		// Opener replay state is only touched here, on one goroutine.
-		pt, _, err := s.opener.OpenDatagramInto(scratch, buf[:n])
+		s.admitBatch(conn, in, n, out, opener, shedSealer, &plain, scratch)
+	}
+}
+
+// admitBatch processes one received batch and sends any shed
+// responses.
+//
+//triad:hotpath
+func (s *LiveServer) admitBatch(conn transport.DatagramConn, in *transport.Batch, n int, out *transport.Batch, opener *wire.Opener, shedSealer *wire.Sealer, plain *[wire.TimeResponseSize]byte, scratch []byte) {
+	now := s.nowNanos()
+	shed := 0
+	for i := 0; i < n; i++ {
+		if in.Len(i) > SealedRequestSize {
+			s.oversize.Add(1)
+			continue
+		}
+		pt, _, err := opener.OpenDatagramInto(scratch, in.Payload(i))
 		if err != nil {
 			continue // forged, replayed, or protocol-keyed: drop
 		}
@@ -118,57 +274,114 @@ func (s *LiveServer) recvLoop() {
 		if err != nil {
 			continue
 		}
-		if resp, shed := s.srv.Submit(s.nowNanos(), req, from); shed {
-			s.send(from, resp, &plain, &sealBuf)
+		if resp, shedNow := s.srv.Submit(now, req, in.Addr(i)); shedNow {
+			resp.MarshalInto(plain[:])
+			sealed := shedSealer.SealDatagramAppend(out.Buffer(shed), plain[:])
+			out.Set(shed, len(sealed), in.Addr(i))
+			shed++
+		}
+	}
+	if shed > 0 {
+		sent, _ := conn.SendBatch(out, shed)
+		if sent < shed {
+			s.sendErrors.Add(uint64(shed - sent))
 		}
 	}
 }
 
-func (s *LiveServer) drainLoop(i int) {
+// drainLoop serves one engine shard on the configured tick, sealing
+// under the shard's own identity and flushing each drained batch with
+// one batched send on the shard's assigned socket. (Reuseport group
+// members share the bound address, so responses carry the same source
+// address regardless of which socket sends them.)
+func (s *LiveServer) drainLoop(i int, conn transport.DatagramConn, sealer *wire.Sealer) {
 	defer s.drainWG.Done()
 	t := time.NewTicker(s.tick)
 	defer t.Stop()
-	out := make([]Delivery[net.Addr], 0, s.srv.BatchMax())
+	deliveries := make([]Delivery[transport.Sockaddr], 0, s.srv.BatchMax())
+	out := transport.NewBatch(s.srv.BatchMax(), SealedResponseSize)
 	var plain [wire.TimeResponseSize]byte
-	sealBuf := make([]byte, 0, wire.TimeResponseSize+wire.SealedOverhead)
-	deliver := func() {
-		out = s.srv.Drain(i, s.nowNanos(), out[:0])
-		for k := range out {
-			s.send(out[k].To, out[k].Resp, &plain, &sealBuf)
-		}
-	}
 	for {
 		select {
 		case <-t.C:
-			deliver()
+			// Drain until the shard is empty, not once per tick: a
+			// backlog above BatchMax would otherwise be throttled to
+			// BatchMax responses per tick regardless of capacity.
+			for {
+				deliveries = s.srv.Drain(i, s.nowNanos(), deliveries[:0])
+				if len(deliveries) == 0 {
+					break
+				}
+				s.sendDeliveries(conn, sealer, deliveries, out, &plain)
+			}
 		case <-s.done:
-			deliver() // answer what was already admitted
-			return
+			// Answer everything already admitted: reads are interrupted
+			// before done closes, so the backlog only shrinks — but it
+			// can exceed one BatchMax drain, so drain until empty.
+			for {
+				deliveries = s.srv.Drain(i, s.nowNanos(), deliveries[:0])
+				if len(deliveries) == 0 {
+					return
+				}
+				s.sendDeliveries(conn, sealer, deliveries, out, &plain)
+			}
 		}
 	}
 }
 
-// send seals one response and writes it. plain and sealBuf are the
-// caller's scratch; only the sealer's nonce counter is shared state.
-func (s *LiveServer) send(to net.Addr, resp wire.TimeResponse, plain *[wire.TimeResponseSize]byte, sealBuf *[]byte) {
-	resp.MarshalInto(plain[:])
-	s.sealMu.Lock()
-	*sealBuf = s.sealer.SealDatagramAppend((*sealBuf)[:0], plain[:])
-	s.sealMu.Unlock()
-	// Write errors are indistinguishable from loss for the client.
-	_, _ = s.conn.WriteTo(*sealBuf, to)
+// sendDeliveries seals a drained batch into out and flushes it,
+// chunking in the (config-dependent) case that BatchMax exceeds the
+// batch's slot count.
+//
+//triad:hotpath
+func (s *LiveServer) sendDeliveries(conn transport.DatagramConn, sealer *wire.Sealer, deliveries []Delivery[transport.Sockaddr], out *transport.Batch, plain *[wire.TimeResponseSize]byte) {
+	k := 0
+	for d := range deliveries {
+		deliveries[d].Resp.MarshalInto(plain[:])
+		sealed := sealer.SealDatagramAppend(out.Buffer(k), plain[:])
+		out.Set(k, len(sealed), deliveries[d].To)
+		k++
+		if k == out.Size() {
+			s.flush(conn, out, k)
+			k = 0
+		}
+	}
+	if k > 0 {
+		s.flush(conn, out, k)
+	}
 }
 
-// Close shuts the endpoint down gracefully: drain goroutines answer
-// every already-admitted request and exit, then the socket closes and
-// the receive goroutine exits. Safe to call multiple times.
+// flush sends out's first k slots, counting responses the socket
+// refused. Write errors are indistinguishable from loss for the
+// client; the counter is the server operator's signal.
+//
+//triad:hotpath
+func (s *LiveServer) flush(conn transport.DatagramConn, out *transport.Batch, k int) {
+	sent, _ := conn.SendBatch(out, k)
+	if sent < k {
+		s.sendErrors.Add(uint64(k - sent))
+	}
+}
+
+// Close shuts the endpoint down gracefully: socket reads are
+// interrupted and the receive goroutines join (no further admissions),
+// then each drain goroutine answers everything already admitted on its
+// still-open socket and exits, and only then do the sockets close.
+// Every request admitted before Close is answered. Safe to call
+// multiple times.
 func (s *LiveServer) Close() error {
-	var err error
 	s.stopOnce.Do(func() {
+		for _, c := range s.conns {
+			_ = transport.InterruptReads(c)
+		}
+		s.recvWG.Wait()
 		close(s.done)
 		s.drainWG.Wait()
-		err = s.conn.Close()
-		<-s.recvDone
+		for _, c := range s.conns {
+			if err := c.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 	})
-	return err
+	return s.closeErr
 }

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"triadtime/internal/transport"
+	"triadtime/internal/wire"
+)
+
+// failingConn is a net.PacketConn stub whose writes always fail: the
+// SendErrors counter's unit-test harness. Reads deliver queued
+// datagrams and honor deadline interrupts the way a real socket does.
+type failingConn struct {
+	reqs      chan []byte
+	interrupt chan struct{}
+	closed    chan struct{}
+	intOnce   sync.Once
+	closeOnce sync.Once
+	writes    atomic.Uint64
+}
+
+func newFailingConn() *failingConn {
+	return &failingConn{
+		reqs:      make(chan []byte, 16),
+		interrupt: make(chan struct{}),
+		closed:    make(chan struct{}),
+	}
+}
+
+func (c *failingConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	select {
+	case b := <-c.reqs:
+		return copy(p, b), &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}, nil
+	case <-c.interrupt:
+		return 0, nil, os.ErrDeadlineExceeded
+	case <-c.closed:
+		return 0, nil, net.ErrClosed
+	}
+}
+
+func (c *failingConn) WriteTo(p []byte, a net.Addr) (int, error) {
+	c.writes.Add(1)
+	return 0, errors.New("stub: transmit ring gone")
+}
+
+func (c *failingConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *failingConn) LocalAddr() net.Addr {
+	return &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 7201}
+}
+
+func (c *failingConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+func (c *failingConn) SetReadDeadline(t time.Time) error {
+	if !t.IsZero() && t.Before(time.Now()) {
+		c.intOnce.Do(func() { close(c.interrupt) })
+	}
+	return nil
+}
+
+func (c *failingConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestLiveServerCountsSendErrors: responses the socket refuses are
+// discarded (the client sees loss) but tallied in SendErrors.
+func TestLiveServerCountsSendErrors(t *testing.T) {
+	key := liveTestKey()
+	conn := newFailingConn()
+	srv, err := NewLiveServer(LiveConfig{
+		Conn:     conn,
+		Key:      key,
+		SenderID: 150,
+		Tick:     time.Millisecond,
+		Server: Config{
+			Clock: ClockFunc(func() (int64, error) { return 42, nil }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sealer, err := wire.NewSealer(key, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain [wire.TimeRequestSize]byte
+	wire.TimeRequest{ClientID: 9001, Seq: 1}.MarshalInto(plain[:])
+	conn.reqs <- sealer.SealDatagramAppend(nil, plain[:])
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Counters().SendErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("send error never counted: %+v", srv.Counters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c := srv.Counters()
+	if c.Served != 1 || c.SendErrors != 1 || conn.writes.Load() != 1 {
+		t.Fatalf("served=%d sendErrors=%d writes=%d, want 1/1/1", c.Served, c.SendErrors, conn.writes.Load())
+	}
+}
+
+// TestLiveServerDropsOversize: datagrams above the only legal sealed
+// request size are dropped before any authentication work and tallied;
+// well-formed requests on the same socket keep being served.
+func TestLiveServerDropsOversize(t *testing.T) {
+	key := liveTestKey()
+	srv, err := NewLiveServer(LiveConfig{
+		Conn:     listenUDP(t),
+		Key:      key,
+		SenderID: 150,
+		Tick:     time.Millisecond,
+		Server: Config{
+			Clock: ClockFunc(func() (int64, error) { return 42, nil }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := listenUDP(t)
+	defer client.Close()
+	if _, err := client.WriteTo(make([]byte, SealedRequestSize+37), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Counters().OversizeDrops == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("oversize datagram never counted: %+v", srv.Counters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c := srv.Counters(); c.Received != 0 {
+		t.Fatalf("oversize datagram reached the engine: %s", c.Summary())
+	}
+
+	sealer, err := wire.NewSealer(key, 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain [wire.TimeRequestSize]byte
+	wire.TimeRequest{ClientID: 9001, Seq: 1}.MarshalInto(plain[:])
+	if _, err := client.WriteTo(sealer.SealDatagramAppend(nil, plain[:]), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	if _, _, err := client.ReadFrom(buf); err != nil {
+		t.Fatalf("no response after oversize drop: %v", err)
+	}
+}
+
+// liveClient is one test client flow: its own socket, sealer identity
+// and opener.
+type liveClient struct {
+	conn   *net.UDPConn
+	sealer *wire.Sealer
+	opener *wire.Opener
+	id     uint64
+}
+
+func dialLiveClient(t testing.TB, key []byte, addr net.Addr, id uint64) *liveClient {
+	t.Helper()
+	conn, err := net.DialUDP("udp", nil, addr.(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	sealer, err := wire.NewSealer(key, uint32(8000+id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := wire.NewOpener(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &liveClient{conn: conn, sealer: sealer, opener: opener, id: id}
+}
+
+func (c *liveClient) send(seq uint64) error {
+	var plain [wire.TimeRequestSize]byte
+	wire.TimeRequest{ClientID: c.id, Seq: seq}.MarshalInto(plain[:])
+	_, err := c.conn.Write(c.sealer.SealDatagramAppend(nil, plain[:]))
+	return err
+}
+
+// recv reads one response, returning it decoded and authenticated.
+func (c *liveClient) recv(timeout time.Duration) (wire.TimeResponse, error) {
+	buf := make([]byte, SealedResponseSize+1)
+	c.conn.SetReadDeadline(time.Now().Add(timeout))
+	n, err := c.conn.Read(buf)
+	if err != nil {
+		return wire.TimeResponse{}, err
+	}
+	pt, _, err := c.opener.OpenDatagramInto(nil, buf[:n])
+	if err != nil {
+		return wire.TimeResponse{}, err
+	}
+	return wire.UnmarshalTimeResponse(pt)
+}
+
+// TestLiveServerMultiSocket: a reuseport group serves many client
+// flows — the kernel spreads flows across sockets, every request is
+// answered, and every response authenticates under some identity in
+// the server's range.
+func TestLiveServerMultiSocket(t *testing.T) {
+	sockets := 1
+	if transport.ReusePortSockets {
+		sockets = 4
+	}
+	key := liveTestKey()
+	srv, err := NewLiveServer(LiveConfig{
+		Listen:   "127.0.0.1:0",
+		Sockets:  sockets,
+		Key:      key,
+		SenderID: 150,
+		Tick:     time.Millisecond,
+		Server: Config{
+			Clock: ClockFunc(func() (int64, error) { return 1234567890, nil }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Sockets() != sockets {
+		t.Fatalf("Sockets() = %d, want %d", srv.Sockets(), sockets)
+	}
+
+	const flows, perFlow = 16, 5
+	for f := 0; f < flows; f++ {
+		c := dialLiveClient(t, key, srv.LocalAddr(), uint64(f+1))
+		for seq := uint64(0); seq < perFlow; seq++ {
+			if err := c.send(seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := map[uint64]bool{}
+		for len(got) < perFlow {
+			resp, err := c.recv(5 * time.Second)
+			if err != nil {
+				t.Fatalf("flow %d after %d responses: %v", f, len(got), err)
+			}
+			if resp.Status != wire.StatusOK || resp.ClientID != c.id || resp.Nanos != 1234567890 {
+				t.Fatalf("flow %d bad response: %+v", f, resp)
+			}
+			got[resp.Seq] = true
+		}
+	}
+	c := srv.Counters()
+	if c.Served != flows*perFlow || c.SendErrors != 0 || c.OversizeDrops != 0 {
+		t.Fatalf("counters: %s sendErrors=%d oversize=%d", c.Summary(), c.SendErrors, c.OversizeDrops)
+	}
+}
+
+// TestLiveServerCloseUnderLoad closes the endpoint while concurrent
+// clients are firing at it across multiple sockets, and asserts the
+// graceful-shutdown contract: every admitted request is answered
+// (served or unavailable, never silently dropped), no send hits a
+// closed socket, all goroutines exit, and double-Close is safe.
+func TestLiveServerCloseUnderLoad(t *testing.T) {
+	sockets := 1
+	if transport.ReusePortSockets {
+		sockets = 3
+	}
+	key := liveTestKey()
+	baseline := runtime.NumGoroutine()
+	srv, err := NewLiveServer(LiveConfig{
+		Listen:   "127.0.0.1:0",
+		Sockets:  sockets,
+		Key:      key,
+		SenderID: 150,
+		Tick:     time.Millisecond,
+		Server: Config{
+			Shards: 4,
+			Clock:  ClockFunc(func() (int64, error) { return 42, nil }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const senders = 4
+	stop := make(chan struct{})
+	var senderWG sync.WaitGroup
+	for w := 0; w < senders; w++ {
+		c := dialLiveClient(t, key, srv.LocalAddr(), uint64(w+1))
+		senderWG.Add(1)
+		go func(c *liveClient) {
+			defer senderWG.Done()
+			for seq := uint64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.send(seq); err != nil {
+					return // socket closed under us at test end
+				}
+			}
+		}(c)
+	}
+
+	// Let load build, then close mid-stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Counters().Queued < 100 {
+		if time.Now().After(deadline) {
+			t.Fatalf("load never built: %+v", srv.Counters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(stop)
+	senderWG.Wait()
+
+	c := srv.Counters()
+	if c.Queued == 0 {
+		t.Fatal("no requests admitted")
+	}
+	if answered := c.Served + c.Unavailable; answered != c.Queued {
+		t.Fatalf("admitted %d but answered %d: %s", c.Queued, answered, c.Summary())
+	}
+	if c.SendErrors != 0 {
+		t.Fatalf("%d responses hit a closed or failing socket", c.SendErrors)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// All serving goroutines must be gone (allow unrelated runtime
+	// goroutines a moment to settle).
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLiveSendPathZeroAllocSteadyState gates the drain-side hot path:
+// marshaling, sealing and batch-flushing a full batch of responses
+// must not allocate once batches and sealers exist.
+func TestLiveSendPathZeroAllocSteadyState(t *testing.T) {
+	if !transport.BatchSyscalls {
+		t.Skip("fallback transport: per-datagram WriteToUDP may allocate in the runtime")
+	}
+	key := liveTestKey()
+	sink := listenUDP(t) // absorbs the sealed responses
+	conn, err := net.DialUDP("udp", nil, sink.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bc, err := transport.NewBatchConn(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealer, err := wire.NewSealerShard(key, 500, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, ok := transport.SockaddrFromUDP(sink.LocalAddr().(*net.UDPAddr))
+	if !ok {
+		t.Fatal("bad sink addr")
+	}
+	const batch = 64
+	deliveries := make([]Delivery[transport.Sockaddr], batch)
+	for i := range deliveries {
+		deliveries[i] = Delivery[transport.Sockaddr]{
+			To:   to,
+			Resp: wire.TimeResponse{ClientID: uint64(i), Seq: uint64(i), Status: wire.StatusOK, Nanos: 42},
+		}
+	}
+	out := transport.NewBatch(batch, SealedResponseSize)
+	var plain [wire.TimeResponseSize]byte
+	s := &LiveServer{}
+	run := func() { s.sendDeliveries(bc, sealer, deliveries, out, &plain) }
+	run() // warm
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("steady-state send path allocated %.1f times per run", allocs)
+	}
+	if n := s.sendErrors.Load(); n != 0 {
+		t.Fatalf("%d send errors on loopback", n)
+	}
+}

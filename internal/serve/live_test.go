@@ -73,8 +73,11 @@ func TestLiveServerRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("bad response datagram: %v", err)
 		}
-		if sender != 150 {
-			t.Fatalf("response sender %d, want 150", sender)
+		// Each drain shard (and each receive goroutine's shed path)
+		// seals under its own identity from the base-anchored range.
+		idents := uint32(srv.Server().Shards() + srv.Sockets())
+		if sender < 150 || sender >= 150+idents {
+			t.Fatalf("response sender %d outside identity range [150,%d)", sender, 150+idents)
 		}
 		resp, err := wire.UnmarshalTimeResponse(pt)
 		if err != nil {

@@ -1,0 +1,32 @@
+//go:build !linux
+
+package transport
+
+import (
+	"fmt"
+	"net"
+)
+
+// ReusePortSockets reports whether this platform can bind several
+// sockets to one UDP address. Callers clamp their socket fan-out to 1
+// where it cannot.
+const ReusePortSockets = false
+
+// ListenReusePortGroup on platforms without SO_REUSEPORT support binds
+// a single ordinary socket; asking for more is an explicit error
+// rather than a silently-degraded group.
+func ListenReusePortGroup(network, addr string, n int) ([]*net.UDPConn, error) {
+	if n > 1 {
+		return nil, fmt.Errorf("transport: %d reuseport sockets requested; SO_REUSEPORT groups are Linux-only", n)
+	}
+	pc, err := net.ListenPacket(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return nil, fmt.Errorf("transport: %q is not a UDP network", network)
+	}
+	return []*net.UDPConn{uc}, nil
+}

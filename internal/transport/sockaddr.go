@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+)
+
+// Sockaddr is a fixed-size, value-type UDP address. The batched serving
+// path stores one per pending request — inline in the shard ring, not
+// behind a net.Addr interface — so admitting a request and addressing
+// its response never allocates. The zero value is "no address"
+// (IsZero); batch sends skip such slots on unconnected sockets and use
+// the connected peer on connected ones.
+type Sockaddr struct {
+	// IP holds the address: the first 4 bytes for IPv4, all 16 for
+	// IPv6. IPv4-mapped IPv6 sources are stored as plain IPv4.
+	IP [16]byte
+	// Port is the UDP port in host byte order.
+	Port uint16
+	// V6 selects the IPv6 interpretation of IP.
+	V6 bool
+}
+
+// IsZero reports whether a is the zero ("no address") value.
+func (a Sockaddr) IsZero() bool { return a == Sockaddr{} }
+
+// String renders the address for logs and errors (allocates; not for
+// hot paths).
+func (a Sockaddr) String() string {
+	if a.V6 {
+		return fmt.Sprintf("[%s]:%d", net.IP(a.IP[:]).String(), a.Port)
+	}
+	return fmt.Sprintf("%d.%d.%d.%d:%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3], a.Port)
+}
+
+// SockaddrFromUDP converts a resolved UDP address. Allocation-free; ok
+// is false when u is nil or carries an IP of unexpected length.
+//
+//triad:hotpath
+func SockaddrFromUDP(u *net.UDPAddr) (a Sockaddr, ok bool) {
+	if u == nil {
+		return Sockaddr{}, false
+	}
+	switch len(u.IP) {
+	case net.IPv4len:
+		copy(a.IP[:4], u.IP)
+	case net.IPv6len:
+		if isV4Mapped(u.IP) {
+			copy(a.IP[:4], u.IP[12:])
+		} else {
+			copy(a.IP[:], u.IP)
+			a.V6 = true
+		}
+	default:
+		return Sockaddr{}, false
+	}
+	a.Port = uint16(u.Port)
+	return a, true
+}
+
+// PutUDP fills a reusable *net.UDPAddr (with its reusable 16-byte IP
+// backing slice) from a, so fallback send paths can address packets
+// without per-send allocation.
+//
+//triad:hotpath
+func (a Sockaddr) PutUDP(u *net.UDPAddr, ipBuf []byte) {
+	n := 4
+	if a.V6 {
+		n = 16
+	}
+	ipBuf = ipBuf[:n]
+	copy(ipBuf, a.IP[:n])
+	u.IP = ipBuf
+	u.Port = int(a.Port)
+	u.Zone = ""
+}
+
+// isV4Mapped reports whether a 16-byte IP is ::ffff:a.b.c.d.
+func isV4Mapped(ip net.IP) bool {
+	for i := 0; i < 10; i++ {
+		if ip[i] != 0 {
+			return false
+		}
+	}
+	return ip[10] == 0xff && ip[11] == 0xff
+}

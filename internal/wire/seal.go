@@ -67,6 +67,29 @@ func NewSealer(key []byte, senderID uint32) (*Sealer, error) {
 // SenderID reports the sealer's sender identity.
 func (s *Sealer) SenderID() uint32 { return s.senderID }
 
+// NewSealerShard creates one of a node's concurrent sealers. A node
+// that seals from several goroutines (drain shards, shed paths) gives
+// each its own sealer under the shared key; nonce uniqueness then
+// requires each sealer to own a disjoint nonce space, which this
+// constructor provides by deriving the sender identity base+shard.
+// The caller reserves a contiguous identity range [base, base+shards)
+// for the node — identities are cheap (32-bit space) and receivers
+// track replay windows per identity, so shards neither collide with
+// each other nor perturb one another's windows. shard must be below
+// shards and base+shard must not wrap the 32-bit identity space.
+func NewSealerShard(key []byte, base uint32, shard, shards int) (*Sealer, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("wire: sealer shard count %d must be positive", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("wire: sealer shard %d out of range [0,%d)", shard, shards)
+	}
+	if uint64(base)+uint64(shards-1) > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("wire: sealer shard range [%d,%d+%d) wraps the 32-bit sender-ID space", base, base, shards)
+	}
+	return NewSealer(key, base+uint32(shard))
+}
+
 // Seal encrypts and authenticates a message. The output is
 // nonce || ciphertext || tag, self-contained for datagram transport.
 // It allocates a fresh buffer per call; hot paths that can recycle a

@@ -430,3 +430,54 @@ func BenchmarkMarshal(b *testing.B) {
 		msg.Marshal()
 	}
 }
+
+func TestNewSealerShardDisjointNonces(t *testing.T) {
+	key := testKey()
+	const base, shards = 40, 3
+	opener, _ := NewOpener(key)
+	ids := map[uint32]bool{}
+	for shard := 0; shard < shards; shard++ {
+		s, err := NewSealerShard(key, base, shard, shards)
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if ids[s.SenderID()] {
+			t.Fatalf("shard %d reuses sender ID %d", shard, s.SenderID())
+		}
+		ids[s.SenderID()] = true
+		if want := uint32(base + shard); s.SenderID() != want {
+			t.Fatalf("shard %d sender ID = %d, want %d", shard, s.SenderID(), want)
+		}
+		// Each shard's stream opens independently: same key, per-sender
+		// replay windows, so counter 1 from every shard is accepted.
+		sealed := s.SealDatagramAppend(nil, []byte("shard payload"))
+		plain, sender, err := opener.OpenDatagramInto(nil, sealed)
+		if err != nil || sender != s.SenderID() || string(plain) != "shard payload" {
+			t.Fatalf("shard %d open: plain=%q sender=%d err=%v", shard, plain, sender, err)
+		}
+	}
+}
+
+func TestNewSealerShardValidation(t *testing.T) {
+	key := testKey()
+	cases := []struct {
+		name          string
+		base          uint32
+		shard, shards int
+	}{
+		{"zero shards", 1, 0, 0},
+		{"negative shard", 1, -1, 4},
+		{"shard at count", 1, 4, 4},
+		{"range wraps uint32", ^uint32(0), 1, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewSealerShard(key, c.base, c.shard, c.shards); err == nil {
+				t.Fatalf("NewSealerShard(%d, %d, %d) accepted", c.base, c.shard, c.shards)
+			}
+		})
+	}
+	if _, err := NewSealerShard(key[:5], 1, 0, 1); err == nil {
+		t.Fatal("short key accepted")
+	}
+}

@@ -248,7 +248,7 @@ func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
 		fmt.Fprintf(w, "triad_node_rtt_rejections_total %d\n", s.Counters.RTTRejections)
 		fmt.Fprintf(w, "triad_node_probes_total %d\n", s.Counters.Probes)
 		if ln.clientSrv != nil {
-			c := ln.clientSrv.Server().Counters()
+			c := ln.clientSrv.Counters()
 			fmt.Fprintf(w, "triad_serve_received_total %d\n", c.Received)
 			fmt.Fprintf(w, "triad_serve_served_total %d\n", c.Served)
 			fmt.Fprintf(w, "triad_serve_shed_queue_total %d\n", c.ShedQueueFull)
@@ -256,6 +256,8 @@ func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
 			fmt.Fprintf(w, "triad_serve_unavailable_total %d\n", c.Unavailable)
 			fmt.Fprintf(w, "triad_serve_tokens_issued_total %d\n", c.TokensIssued)
 			fmt.Fprintf(w, "triad_serve_batches_total %d\n", c.Batches)
+			fmt.Fprintf(w, "triad_serve_send_errors_total %d\n", c.SendErrors)
+			fmt.Fprintf(w, "triad_serve_oversize_drops_total %d\n", c.OversizeDrops)
 			snap := ln.clientWait.Snapshot()
 			fmt.Fprintf(w, "triad_serve_queue_wait_count %d\n", snap.Count)
 			for _, q := range []float64{0.5, 0.9, 0.99} {
@@ -283,6 +285,11 @@ type ClientServeConfig struct {
 	// Key seals client traffic. Deliberately distinct from the cluster
 	// key: client credentials must not open protocol datagrams.
 	Key []byte
+	// Sockets is how many SO_REUSEPORT sockets share the client port —
+	// one receive goroutine each, so request authentication scales
+	// across cores. 0 or 1 binds a single socket; values above 1
+	// require platform support (Linux).
+	Sockets int
 	// TSAKey, when set, enables RFC3161-style token issuance for
 	// requests carrying wire.FlagWantToken.
 	TSAKey []byte
@@ -302,22 +309,19 @@ func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
 	if ln.clientSrv != nil {
 		return nil, fmt.Errorf("triadtime: ServeClients called twice")
 	}
-	conn, err := net.ListenPacket("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("triadtime: serve listen %q: %w", cfg.Listen, err)
-	}
 	clock := serve.ClockFunc(ln.TrustedNanos)
 	var stamper *tsa.Stamper
+	var err error
 	if cfg.TSAKey != nil {
 		stamper, err = tsa.New(tsa.ClockFunc(ln.TrustedNanos), cfg.TSAKey)
 		if err != nil {
-			conn.Close()
 			return nil, err
 		}
 	}
 	wait := metrics.NewLatencyHistogram()
 	srv, err := serve.NewLiveServer(serve.LiveConfig{
-		Conn:     conn,
+		Listen:   cfg.Listen,
+		Sockets:  cfg.Sockets,
 		Key:      cfg.Key,
 		SenderID: uint32(ln.id),
 		Tick:     cfg.Tick,
@@ -332,7 +336,6 @@ func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
 		},
 	})
 	if err != nil {
-		conn.Close()
 		return nil, err
 	}
 	ln.clientSrv = srv
@@ -340,13 +343,13 @@ func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
 	return srv.LocalAddr(), nil
 }
 
-// ServeCounters snapshots the client-serving tallies (zero value if
-// ServeClients was not started).
-func (ln *LiveNode) ServeCounters() serve.Counters {
+// ServeCounters snapshots the client-serving tallies, engine and
+// transport level (zero value if ServeClients was not started).
+func (ln *LiveNode) ServeCounters() serve.LiveCounters {
 	if ln.clientSrv == nil {
-		return serve.Counters{}
+		return serve.LiveCounters{}
 	}
-	return ln.clientSrv.Server().Counters()
+	return ln.clientSrv.Counters()
 }
 
 // Close shuts the node down (including its status server and client
