@@ -34,18 +34,19 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Tracked performance baseline: the hot-path micro-benchmarks plus the
-# end-to-end live serving throughput benchmark at full benchtime, and
-# one iteration of every figure-regeneration benchmark, converted to
-# JSON. The output (BENCH_pr8.json) is checked in so later PRs can
+# Tracked performance baseline: the hot-path micro-benchmarks (now
+# including the commit vault's lock/unlock path) plus the end-to-end
+# live serving throughput benchmark at full benchtime, and one
+# iteration of every figure-regeneration benchmark, converted to
+# JSON. The output (BENCH_pr9.json) is checked in so later PRs can
 # diff ns/op, allocs/op, events/sec, and req/s against it
-# (BENCH_pr7.json is the pre-sharding baseline the PR-8 throughput
-# gain is measured against; BENCH_pr4.json predates streaming stats).
-BENCH_JSON_OUT ?= BENCH_pr8.json
+# (BENCH_pr8.json is the pre-commit-subsystem baseline; BENCH_pr7.json
+# predates serve sharding; BENCH_pr4.json predates streaming stats).
+BENCH_JSON_OUT ?= BENCH_pr9.json
 
 bench-json:
-	{ $(GO) test ./internal/sim ./internal/simnet ./internal/wire ./internal/serve -run='^$$' \
-		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip|BenchmarkServeDispatch|BenchmarkLiveServeThroughput)$$' -benchmem \
+	{ $(GO) test ./internal/sim ./internal/simnet ./internal/wire ./internal/serve ./internal/commit -run='^$$' \
+		-bench='^(BenchmarkSchedulerThroughput|BenchmarkNetworkDelivery|BenchmarkSealOpenRoundtrip|BenchmarkServeDispatch|BenchmarkLiveServeThroughput|BenchmarkCommitUnlockThroughput|BenchmarkCommitLock)$$' -benchmem \
 	  && $(GO) test . -run='^$$' -bench=. -benchtime=1x -benchmem ; } \
 	| $(GO) run ./cmd/bench-json -out $(BENCH_JSON_OUT)
 
@@ -69,8 +70,10 @@ fuzz-smoke:
 # Full pre-merge gate: vet, lint, build, tests, and the race detector.
 check: vet lint build test test-race
 
-# 28-assertion reproduction audit (non-zero exit on any mismatch),
-# preceded by the static-analysis gate.
+# 37-assertion reproduction audit (non-zero exit on any mismatch),
+# preceded by the static-analysis gate. Covers the paper figures, the
+# quorum fault matrix, the commit attack suite, and the thousand-node
+# topology shrink.
 audit: lint
 	$(GO) run ./cmd/triad-sim -fig check -seed 1
 

@@ -20,6 +20,20 @@ type TimeResponse = wire.TimeResponse
 // StampStatus is a TimeResponse's outcome code.
 type StampStatus = wire.StampStatus
 
+// CommitRequest is a client's commitment operation (lock, unlock, or
+// status — see Kind).
+type CommitRequest = wire.CommitRequest
+
+// CommitResponse is the endpoint's answer to a commitment operation.
+type CommitResponse = wire.CommitResponse
+
+// CommitVerdict is a CommitResponse's outcome code.
+type CommitVerdict = wire.CommitVerdict
+
+// Kind discriminates serving-protocol messages (the commit operation
+// kinds below; timestamp requests carry their kind implicitly).
+type Kind = wire.Kind
+
 // Serving protocol constants, re-exported from the wire layer.
 const (
 	// FlagWantToken asks the endpoint to stamp the request's document
@@ -33,14 +47,45 @@ const (
 	// StatusUnavailable: the node cannot serve trusted time right now
 	// (tainted or calibrating).
 	StatusUnavailable = wire.StatusUnavailable
+
+	// KindCommitLock mints a time-locked commitment token.
+	KindCommitLock = wire.KindCommitLock
+	// KindCommitUnlock asks the endpoint to vouch that the token's
+	// unlock time has passed.
+	KindCommitUnlock = wire.KindCommitUnlock
+	// KindCommitStatus is the read-only form of unlock.
+	KindCommitStatus = wire.KindCommitStatus
+	// FlagCommitLease marks a lock as lease-mode: the token is fenced
+	// by the vault's restart epoch instead of surviving restarts.
+	FlagCommitLease = wire.FlagLease
+
+	// CommitOK: the operation was granted (lock minted, unlock vouched).
+	CommitOK = wire.CommitOK
+	// CommitSealed: trusted time has not reached the unlock time.
+	CommitSealed = wire.CommitSealed
+	// CommitFenced: the token's epoch was fenced by a restart.
+	CommitFenced = wire.CommitFenced
+	// CommitBadToken: the token failed authentication.
+	CommitBadToken = wire.CommitBadToken
+	// CommitUnavailable: the clock cannot vouch right now (tainted,
+	// calibrating, rolled back, or Degraded holdover), or the endpoint
+	// has no commitment vault.
+	CommitUnavailable = wire.CommitUnavailable
+	// CommitOverloaded: the request was shed by admission control.
+	CommitOverloaded = wire.CommitOverloaded
+
+	// CommitTokenSize is the size of a serialized commitment token
+	// (the CommitRequest/CommitResponse Token field; triad-seal's hex
+	// I/O is twice this many characters).
+	CommitTokenSize = wire.CommitTokenSize
 )
 
-// ClientSealer seals timestamp requests under the endpoint's client
-// key. Not safe for concurrent use; one sealer per sending goroutine
-// with a distinct senderID each.
+// ClientSealer seals timestamp and commitment requests under the
+// endpoint's client key. Not safe for concurrent use; one sealer per
+// sending goroutine with a distinct senderID each.
 type ClientSealer struct {
 	s     *wire.Sealer
-	plain [wire.TimeRequestSize]byte
+	plain [wire.CommitRequestSize]byte
 }
 
 // NewClientSealer creates a sealer with the given wire identity.
@@ -55,14 +100,23 @@ func NewClientSealer(key []byte, senderID uint32) (*ClientSealer, error) {
 // SealRequest appends the sealed request datagram to dst.
 func (c *ClientSealer) SealRequest(dst []byte, req TimeRequest) []byte {
 	req.MarshalInto(c.plain[:])
-	return c.s.SealDatagramAppend(dst, c.plain[:])
+	return c.s.SealDatagramAppend(dst, c.plain[:wire.TimeRequestSize])
+}
+
+// SealCommitRequest appends the sealed commit-operation datagram to
+// dst. The endpoint must run a commitment vault; one without answers
+// CommitUnavailable (or, vault-less live endpoints, drops the datagram
+// as oversize).
+func (c *ClientSealer) SealCommitRequest(dst []byte, req CommitRequest) []byte {
+	req.MarshalInto(c.plain[:])
+	return c.s.SealDatagramAppend(dst, c.plain[:wire.CommitRequestSize])
 }
 
 // ClientOpener authenticates and decodes response datagrams. Not safe
 // for concurrent use (it tracks a replay window).
 type ClientOpener struct {
 	o       *wire.Opener
-	scratch [wire.TimeResponseSize + wire.SealedOverhead]byte
+	scratch [wire.CommitResponseSize + wire.SealedOverhead]byte
 }
 
 // NewClientOpener creates an opener for the endpoint's client key.
@@ -83,6 +137,20 @@ func (c *ClientOpener) OpenResponse(datagram []byte) (TimeResponse, error) {
 	resp, err := wire.UnmarshalTimeResponse(plain)
 	if err != nil {
 		return TimeResponse{}, fmt.Errorf("triadtime: %w", err)
+	}
+	return resp, nil
+}
+
+// OpenCommitResponse authenticates one datagram and decodes the
+// commit-operation response.
+func (c *ClientOpener) OpenCommitResponse(datagram []byte) (CommitResponse, error) {
+	plain, _, err := c.o.OpenDatagramInto(c.scratch[:0], datagram)
+	if err != nil {
+		return CommitResponse{}, fmt.Errorf("triadtime: %w", err)
+	}
+	resp, err := wire.UnmarshalCommitResponse(plain)
+	if err != nil {
+		return CommitResponse{}, fmt.Errorf("triadtime: %w", err)
 	}
 	return resp, nil
 }

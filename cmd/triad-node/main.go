@@ -17,7 +17,10 @@
 // -serve (with -serve-key, distinct from -key) additionally exposes the
 // node's trusted clock to external clients as a sharded, batched,
 // admission-controlled UDP timestamp endpoint; drive it with
-// cmd/triad-loadgen.
+// cmd/triad-loadgen. -serve-anchor (with -serve-tsa-key) further
+// enables time-locked commitments on that endpoint, with the lease
+// epoch and trusted high-water mark persisted in the named anchor
+// file across restarts; drive those with cmd/triad-seal.
 package main
 
 import (
@@ -124,6 +127,7 @@ func run(args []string) error {
 	serveAddr := fs.String("serve", "", "serve client timestamp requests over UDP at this address (optional)")
 	serveKeyHex := fs.String("serve-key", "", "client-traffic pre-shared key, 64 hex characters (required with -serve; distinct from -key)")
 	serveTSAKeyHex := fs.String("serve-tsa-key", "", "timestamp-token key in hex (optional; enables token issuance)")
+	serveAnchor := fs.String("serve-anchor", "", "commitment-vault anchor file (optional; enables time-locked commitments — needs -serve-tsa-key; drive with cmd/triad-seal)")
 	serveRate := fs.Float64("serve-rate", 0, "per-client admission rate in req/s (0 disables rate limiting)")
 	serveSockets := fs.Int("serve-sockets", 1, "SO_REUSEPORT sockets sharing the -serve port (Linux; scales request authentication across cores)")
 	if err := fs.Parse(args); err != nil {
@@ -203,6 +207,7 @@ func run(args []string) error {
 			Key:           serveKey,
 			Sockets:       *serveSockets,
 			TSAKey:        tsaKey,
+			CommitAnchor:  *serveAnchor,
 			RatePerClient: *serveRate,
 		})
 		if err != nil {

@@ -1,0 +1,331 @@
+// Command triad-seal drives the time-locked commitment service of a
+// running triad-node (one started with -serve and -serve-anchor): it
+// locks a document hash until a trusted unlock time, asks the node to
+// vouch for an unlock, or queries a token's status.
+//
+//	TOKEN=$(triad-seal -target localhost:7201 -key $SERVE_KEY \
+//	    lock -file release.tar.gz -for 24h)
+//	triad-seal -target localhost:7201 -key $SERVE_KEY unlock -token $TOKEN
+//
+// lock resolves -for against the node's own trusted clock (one
+// timestamp round-trip), so the unlock time lives on the trusted
+// timeline, not this machine's wall clock, and prints the minted token
+// as one hex line on stdout. unlock and status print the node's
+// verdict and exit 0 only when the node vouches CommitOK; a refusal
+// (still sealed, fenced by a restart, degraded holdover, overloaded)
+// exits 3, transport and usage errors exit 1.
+package main
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"triadtime"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errRefused):
+		fmt.Fprintln(os.Stderr, "triad-seal:", err)
+		os.Exit(3)
+	default:
+		fmt.Fprintln(os.Stderr, "triad-seal:", err)
+		os.Exit(1)
+	}
+}
+
+// errRefused marks a node's explicit refusal (as opposed to transport
+// failure): the caller's request was heard and denied.
+var errRefused = errors.New("refused")
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("triad-seal", flag.ContinueOnError)
+	target := fs.String("target", "", "serving endpoint host:port (required)")
+	keyHex := fs.String("key", "", "client-traffic pre-shared key, 64 hex characters (required)")
+	id := fs.Uint("id", 0, "wire sender identity (0 picks a random one per invocation)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-attempt response timeout")
+	retries := fs.Int("retries", 2, "resend attempts after a lost datagram")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return errors.New("-target is required")
+	}
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || len(key) != triadtime.KeySize {
+		return fmt.Errorf("-key must be %d hex characters", 2*triadtime.KeySize)
+	}
+	if fs.NArg() == 0 {
+		return errors.New("want a subcommand: lock, unlock, or status")
+	}
+	op, opArgs := fs.Arg(0), fs.Args()[1:]
+
+	// Every invocation is a fresh process whose sealer counts nonces
+	// from 1, so reusing a sender identity across invocations would
+	// both repeat AEAD nonces and trip the endpoint's per-identity
+	// anti-replay window. A random identity per invocation keeps each
+	// run in its own nonce space; -id pins it for the rare caller that
+	// manages identities explicitly.
+	senderID := uint32(*id)
+	if senderID == 0 {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return err
+		}
+		senderID = binary.BigEndian.Uint32(b[:]) | 1<<31
+	}
+
+	c, err := dial(*target, key, senderID, *timeout, *retries)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+
+	switch op {
+	case "lock":
+		return c.lock(opArgs, out)
+	case "unlock":
+		return c.query(triadtime.KindCommitUnlock, opArgs, out)
+	case "status":
+		return c.query(triadtime.KindCommitStatus, opArgs, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q: want lock, unlock, or status", op)
+	}
+}
+
+// client is one connected flow: a socket, a sealing identity, and the
+// matching opener.
+type client struct {
+	conn    *net.UDPConn
+	sealer  *triadtime.ClientSealer
+	opener  *triadtime.ClientOpener
+	timeout time.Duration
+	retries int
+	id      uint64
+	seq     uint64
+}
+
+func dial(target string, key []byte, senderID uint32, timeout time.Duration, retries int) (*client, error) {
+	raddr, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", target, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	sealer, err := triadtime.NewClientSealer(key, senderID)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	opener, err := triadtime.NewClientOpener(key)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &client{conn: conn, sealer: sealer, opener: opener,
+		timeout: timeout, retries: retries, id: uint64(senderID)}, nil
+}
+
+// exchange sends one sealed datagram and waits for one openable
+// response, retrying lost round-trips with fresh datagrams.
+func (c *client) exchange(seal func() []byte, open func([]byte) error) error {
+	buf := make([]byte, 2048)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(seal()); err != nil {
+			return err
+		}
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			lastErr = fmt.Errorf("no response from %s: %w", c.conn.RemoteAddr(), err)
+			continue
+		}
+		return open(buf[:n])
+	}
+	return lastErr
+}
+
+// trustedNow fetches the node's trusted time with one timestamp
+// round-trip.
+func (c *client) trustedNow() (int64, error) {
+	var nanos int64
+	c.seq++
+	req := triadtime.TimeRequest{ClientID: c.id, Seq: c.seq}
+	err := c.exchange(
+		func() []byte { req.Seq = c.seq; return c.sealer.SealRequest(nil, req) },
+		func(datagram []byte) error {
+			resp, err := c.opener.OpenResponse(datagram)
+			if err != nil {
+				return err
+			}
+			if resp.Status != triadtime.StatusOK {
+				return fmt.Errorf("%w: node cannot serve trusted time (%v)", errRefused, resp.Status)
+			}
+			nanos = resp.Nanos
+			return nil
+		})
+	return nanos, err
+}
+
+// commitOp runs one commit-operation round-trip.
+func (c *client) commitOp(req triadtime.CommitRequest) (triadtime.CommitResponse, error) {
+	var resp triadtime.CommitResponse
+	err := c.exchange(
+		func() []byte {
+			c.seq++
+			req.ClientID, req.Seq = c.id, c.seq
+			return c.sealer.SealCommitRequest(nil, req)
+		},
+		func(datagram []byte) error {
+			var err error
+			resp, err = c.opener.OpenCommitResponse(datagram)
+			return err
+		})
+	return resp, err
+}
+
+func (c *client) lock(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("triad-seal lock", flag.ContinueOnError)
+	file := fs.String("file", "", "document to commit (SHA-256 of its contents)")
+	hashHex := fs.String("hash", "", "document hash, 64 hex characters (alternative to -file)")
+	lockFor := fs.Duration("for", 0, "seal duration from the node's trusted now")
+	until := fs.String("until", "", "absolute unlock time, RFC3339 (alternative to -for)")
+	lease := fs.Bool("lease", false, "lease mode: the token is fenced by the node's restart epoch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var req triadtime.CommitRequest
+	req.Kind = triadtime.KindCommitLock
+	switch {
+	case *file != "" && *hashHex == "":
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		h := sha256.New()
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		h.Sum(req.Hash[:0])
+	case *hashHex != "" && *file == "":
+		b, err := hex.DecodeString(*hashHex)
+		if err != nil || len(b) != len(req.Hash) {
+			return fmt.Errorf("-hash must be %d hex characters", 2*len(req.Hash))
+		}
+		copy(req.Hash[:], b)
+	default:
+		return errors.New("want exactly one of -file and -hash")
+	}
+	if *lease {
+		req.Flags |= triadtime.FlagCommitLease
+	}
+
+	switch {
+	case *lockFor > 0 && *until == "":
+		now, err := c.trustedNow()
+		if err != nil {
+			return err
+		}
+		req.UnlockNanos = now + int64(*lockFor)
+	case *until != "" && *lockFor == 0:
+		t, err := time.Parse(time.RFC3339, *until)
+		if err != nil {
+			return fmt.Errorf("-until: %w", err)
+		}
+		req.UnlockNanos = t.UnixNano()
+	default:
+		return errors.New("want exactly one of -for and -until")
+	}
+
+	resp, err := c.commitOp(req)
+	if err != nil {
+		return err
+	}
+	if resp.Verdict != triadtime.CommitOK {
+		return fmt.Errorf("%w: lock %s", errRefused, describe(resp))
+	}
+	fmt.Fprintf(os.Stderr, "locked until %s (epoch %d)\n",
+		time.Unix(0, resp.UnlockNanos).UTC().Format(time.RFC3339Nano), resp.Epoch)
+	fmt.Fprintf(out, "%s\n", hex.EncodeToString(resp.Token[:]))
+	return nil
+}
+
+func (c *client) query(kind triadtime.Kind, args []string, out io.Writer) error {
+	name := "unlock"
+	if kind == triadtime.KindCommitStatus {
+		name = "status"
+	}
+	fs := flag.NewFlagSet("triad-seal "+name, flag.ContinueOnError)
+	tokenArg := fs.String("token", "", "commitment token: hex, or @path to a file holding it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tok := strings.TrimSpace(*tokenArg)
+	if path, ok := strings.CutPrefix(tok, "@"); ok {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		tok = strings.TrimSpace(string(b))
+	}
+	req := triadtime.CommitRequest{Kind: kind}
+	b, err := hex.DecodeString(tok)
+	if err != nil || len(b) != len(req.Token) {
+		return fmt.Errorf("-token must be %d hex characters", 2*len(req.Token))
+	}
+	copy(req.Token[:], b)
+
+	resp, err := c.commitOp(req)
+	if err != nil {
+		return err
+	}
+	if resp.Verdict != triadtime.CommitOK {
+		return fmt.Errorf("%w: %s %s", errRefused, name, describe(resp))
+	}
+	verb := "unlocked"
+	if kind == triadtime.KindCommitStatus {
+		verb = "unlockable"
+	}
+	fmt.Fprintf(out, "%s at trusted %s (epoch %d)\n",
+		verb, time.Unix(0, resp.Nanos).UTC().Format(time.RFC3339Nano), resp.Epoch)
+	return nil
+}
+
+// describe renders a refusal's cause with whatever timing context the
+// response carries.
+func describe(resp triadtime.CommitResponse) string {
+	switch resp.Verdict {
+	case triadtime.CommitSealed:
+		remain := time.Duration(resp.UnlockNanos - resp.Nanos)
+		return fmt.Sprintf("refused: sealed until trusted %s (another %v)",
+			time.Unix(0, resp.UnlockNanos).UTC().Format(time.RFC3339Nano), remain.Round(time.Millisecond))
+	case triadtime.CommitFenced:
+		return fmt.Sprintf("refused: token's lease epoch fenced by a restart (node epoch %d)", resp.Epoch)
+	case triadtime.CommitBadToken:
+		return "refused: token failed authentication"
+	case triadtime.CommitUnavailable:
+		return "refused: node cannot vouch right now (tainted, calibrating, degraded holdover, or no commitment vault)"
+	case triadtime.CommitOverloaded:
+		return "refused: shed by admission control; back off and retry"
+	default:
+		return fmt.Sprintf("refused: verdict %v", resp.Verdict)
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"triadtime"
+)
+
+// startServingNode stands up a live authority and a calibrated node
+// with the commitment subsystem enabled, and returns the serving
+// endpoint's address and the client key in hex.
+func startServingNode(t *testing.T) (target, keyHex string) {
+	t.Helper()
+	clusterKey := make([]byte, triadtime.KeySize)
+	for i := range clusterKey {
+		clusterKey[i] = byte(i + 1)
+	}
+	ta, err := triadtime.NewAuthorityServer("127.0.0.1:0", clusterKey, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ta.Close() })
+	node, err := triadtime.NewLiveNode(triadtime.LiveConfig{
+		Key:         clusterKey,
+		ID:          1,
+		Listen:      "127.0.0.1:0",
+		Directory:   map[triadtime.NodeID]string{100: ta.LocalAddr().String()},
+		Authority:   100,
+		CalibSleeps: []time.Duration{0, 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	serveKey := make([]byte, triadtime.KeySize)
+	for i := range serveKey {
+		serveKey[i] = byte(i + 77)
+	}
+	addr, err := node.ServeClients(triadtime.ClientServeConfig{
+		Listen:       "127.0.0.1:0",
+		Key:          serveKey,
+		TSAKey:       serveKey,
+		CommitAnchor: filepath.Join(t.TempDir(), "anchor"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for node.State() != triadtime.StateOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("live node never calibrated (state %v)", node.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return addr.String(), hex.EncodeToString(serveKey)
+}
+
+// TestSealLockUnlockStatus drives the CLI end to end over live UDP:
+// lock a file hash, watch unlock refused while sealed, then unlock
+// once trusted time passes the lock.
+func TestSealLockUnlockStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	target, keyHex := startServingNode(t)
+
+	doc := filepath.Join(t.TempDir(), "doc.txt")
+	if err := os.WriteFile(doc, []byte("the sealed document"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	base := []string{"-target", target, "-key", keyHex}
+	if err := run(append(base, "lock", "-file", doc, "-for", "1500ms"), &out); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	token := strings.TrimSpace(out.String())
+	if len(token) != 2*triadtime.CommitTokenSize {
+		t.Fatalf("lock printed %q, want %d hex characters", token, 2*triadtime.CommitTokenSize)
+	}
+
+	// Still sealed: both unlock and status are refused, distinguishably.
+	err := run(append(base, "unlock", "-token", token), &out)
+	if !errors.Is(err, errRefused) || !strings.Contains(err.Error(), "sealed until") {
+		t.Fatalf("early unlock: %v", err)
+	}
+	if err := run(append(base, "status", "-token", token), &out); !errors.Is(err, errRefused) {
+		t.Fatalf("early status: %v", err)
+	}
+
+	// Trusted time is the authority's Unix time: wait out the lock.
+	time.Sleep(2 * time.Second)
+	out.Reset()
+	if err := run(append(base, "status", "-token", "@"+writeToken(t, token)), &out); err != nil {
+		t.Fatalf("ripe status: %v", err)
+	}
+	if !strings.Contains(out.String(), "unlockable at trusted") {
+		t.Fatalf("status output %q", out.String())
+	}
+	out.Reset()
+	if err := run(append(base, "unlock", "-token", token), &out); err != nil {
+		t.Fatalf("ripe unlock: %v", err)
+	}
+	if !strings.Contains(out.String(), "unlocked at trusted") || !strings.Contains(out.String(), "epoch 1") {
+		t.Fatalf("unlock output %q", out.String())
+	}
+
+	// A corrupted token is rejected as forged, not sealed.
+	bad := "00" + token[2:]
+	if err := run(append(base, "unlock", "-token", bad), &out); !errors.Is(err, errRefused) ||
+		!strings.Contains(err.Error(), "authentication") {
+		t.Fatalf("forged unlock: %v", err)
+	}
+}
+
+// writeToken stores the token in a file to exercise the @path form.
+func writeToken(t *testing.T, token string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "token.hex")
+	if err := os.WriteFile(p, []byte(token+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSealUsageErrors exercises the argument contract without a
+// server.
+func TestSealUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-key", "00"}, &out); err == nil || !strings.Contains(err.Error(), "-target") {
+		t.Fatalf("missing target: %v", err)
+	}
+	if err := run([]string{"-target", "localhost:1", "-key", "zz"}, &out); err == nil || !strings.Contains(err.Error(), "-key") {
+		t.Fatalf("bad key: %v", err)
+	}
+	key := strings.Repeat("ab", triadtime.KeySize)
+	if err := run([]string{"-target", "localhost:1", "-key", key}, &out); err == nil || !strings.Contains(err.Error(), "subcommand") {
+		t.Fatalf("missing subcommand: %v", err)
+	}
+	if err := run([]string{"-target", "localhost:1", "-key", key, "melt"}, &out); err == nil || !strings.Contains(err.Error(), "melt") {
+		t.Fatalf("unknown subcommand: %v", err)
+	}
+	if err := run([]string{"-target", "localhost:1", "-key", key, "lock"}, &out); err == nil || !strings.Contains(err.Error(), "-file") {
+		t.Fatalf("lock without hash: %v", err)
+	}
+	if err := run([]string{"-target", "localhost:1", "-key", key, "unlock", "-token", "beef"}, &out); err == nil || !strings.Contains(err.Error(), "-token") {
+		t.Fatalf("short token: %v", err)
+	}
+}

@@ -120,6 +120,32 @@ func (r figRunner) check(ctx context.Context) error {
 	add("quorum_splitbrain_holdovers", float64(qr["quorum-4ta-splitbrain-2v2"].Holdovers), 1, math.MaxFloat64)
 	add("quorum_splitbrain_avail", qr["quorum-4ta-splitbrain-2v2"].RawAvailability, 0.9, 1)
 
+	// Time-locked commitments: the attack suite's security claims. The
+	// early-unlock storm must be refused Sealed on every pre-ripe
+	// attempt, forged tokens must fail authentication, Degraded
+	// holdover must not vouch, clock rollbacks must be detected
+	// against the persisted high-water mark, a restart must fence
+	// lease-mode tokens while durable ones survive, and a rolled-back
+	// anchor must be detected and re-fenced past the evidence.
+	commitRows, err := experiment.RunCommitAttacks(ctx, r.seed)
+	if err != nil {
+		return err
+	}
+	cr := make(map[string]experiment.CommitRow, len(commitRows))
+	for _, row := range commitRows {
+		cr[row.Name] = row
+	}
+	add("commit_storm_early_refusals", float64(cr["early-unlock-storm"].Early), 10, math.MaxFloat64)
+	add("commit_storm_early_grants",
+		float64(cr["early-unlock-storm"].Ops-cr["early-unlock-storm"].Granted-cr["early-unlock-storm"].Early), 0, 0)
+	add("commit_forged_rejected", float64(cr["forged-token"].Forged), 3, 3)
+	add("commit_degraded_no_vouch", float64(cr["degraded-holdover"].Unavailable), 2, 2)
+	add("commit_clock_rollbacks", float64(cr["clock-rollback"].ClockRollbacks), 1, math.MaxFloat64)
+	add("commit_lease_fenced", float64(cr["restart-lease-fence"].Fenced), 1, 1)
+	add("commit_durable_survives", float64(cr["restart-lease-fence"].Granted), 1, 1)
+	add("commit_anchor_rollbacks", float64(cr["anchor-rollback"].AnchorRollbacks), 1, math.MaxFloat64)
+	add("commit_refence_epoch", float64(cr["anchor-rollback"].FinalEpoch), 4, math.MaxFloat64)
+
 	// Thousand-node harness, shrunk: a partitioned region topology with
 	// per-region TAs, a WAN delay matrix, churn, and a region-isolation
 	// window. Every node must calibrate over the WAN, the isolated

@@ -16,7 +16,8 @@
 //	triad-sim -fig all -parallel 8 -cache .simcache
 //	triad-sim -fig 6 -dur 7m
 //
-// Figure ids: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, all.
+// Figure ids: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, commit, all
+// (plus the sweep/audit ids listed in -fig's usage text).
 package main
 
 import (
@@ -40,10 +41,10 @@ import (
 // cacheVersion tags cache keys with the generation of the simulation
 // code. Bump it whenever experiment output changes shape or content,
 // or stale -cache entries would replay outdated results.
-const cacheVersion = 4
+const cacheVersion = 5
 
 // allFigures is the -fig all execution order (and flush order).
-var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "quorum", "dvfs", "scale", "gossip", "calib", "latency", "load", "scale1k"}
+var allFigures = []string{"1a", "1b", "inc", "2", "3", "4", "5", "6", "avail", "ext", "ntp", "t3e", "loss", "outage", "quorum", "dvfs", "scale", "gossip", "calib", "latency", "load", "scale1k", "commit"}
 
 // figures maps figure ids to their generators. Each receives the
 // caller's context, which the sweep-style experiments propagate into
@@ -71,6 +72,7 @@ var figures = map[string]func(figRunner, context.Context) error{
 	"latency": figRunner.latency,
 	"load":    figRunner.load,
 	"scale1k": figRunner.scale1k,
+	"commit":  figRunner.commit,
 	"check":   figRunner.check,
 }
 
@@ -98,7 +100,7 @@ type figOutput struct {
 
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("triad-sim", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, all")
+	fig := fs.String("fig", "all", "figure to regenerate: 1a, 1b, inc, 2, 3, 4, 5, 6, avail, ext, commit, all")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same run)")
 	outDir := fs.String("out", "", "directory for CSV data series (optional)")
 	dur := fs.Duration("dur", 0, "override the experiment's simulated duration")
@@ -568,6 +570,27 @@ func (r figRunner) outage(ctx context.Context) error {
 	}
 	fmt.Fprintln(r.out, res.Summary())
 	return nil
+}
+
+func (r figRunner) commit(ctx context.Context) error {
+	rows, err := experiment.RunCommitAttacks(ctx, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(r.out, experiment.CommitAttackSummary(rows))
+	return r.writeCSV("commit_rows.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "scenario,ops,granted,early,fenced,forged,unavailable,anchor_rollbacks,clock_rollbacks,final_epoch"); err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				row.Name, row.Ops, row.Granted, row.Early, row.Fenced, row.Forged,
+				row.Unavailable, row.AnchorRollbacks, row.ClockRollbacks, row.FinalEpoch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func (r figRunner) quorum(ctx context.Context) error {

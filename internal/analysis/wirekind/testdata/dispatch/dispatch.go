@@ -4,14 +4,48 @@ package dispatch
 
 import "wirekinddata/wire"
 
-// Missing drops KindC on the floor: the bug class the analyzer exists
-// to catch.
+// Missing drops KindC and the whole commit family on the floor: the
+// bug class the analyzer exists to catch, every absent kind named.
 func Missing(k wire.Kind) int {
-	switch k { // want `does not handle KindC`
+	switch k { // want `does not handle KindC, KindLock, KindStatus, KindUnlock`
 	case wire.KindA:
 		return 1
 	case wire.KindB:
 		return 2
+	}
+	return 0
+}
+
+// PartialCommit adopted the first new kind but not its siblings: a
+// half-finished migration is still a diagnostic.
+func PartialCommit(k wire.Kind) int {
+	switch k { // want `does not handle KindStatus, KindUnlock`
+	case wire.KindA, wire.KindB, wire.KindC, wire.KindLock:
+		return 1
+	}
+	return 0
+}
+
+// DropFamily consciously ignores the commit family in one clause — the
+// engine's posture for serving-layer kinds on the protocol port: no
+// diagnostic, because the drop is visible in the dispatch.
+func DropFamily(k wire.Kind) int {
+	switch k {
+	case wire.KindA, wire.KindB, wire.KindC:
+		return 1
+	case wire.KindLock, wire.KindUnlock, wire.KindStatus:
+		// Another subsystem's traffic: deliberately not dispatched.
+		return 0
+	}
+	return -1
+}
+
+// VerdictMissing drops VerdictFenced: every wire enum is checked on
+// its own, not just Kind.
+func VerdictMissing(v wire.Verdict) int {
+	switch v { // want `does not handle VerdictFenced`
+	case wire.VerdictOK, wire.VerdictSealed:
+		return 1
 	}
 	return 0
 }
@@ -29,7 +63,8 @@ func Defaulted(k wire.Kind) int {
 // MultiCase covers kinds in one clause: fine.
 func MultiCase(k wire.Kind) int {
 	switch k {
-	case wire.KindA, wire.KindB, wire.KindC:
+	case wire.KindA, wire.KindB, wire.KindC,
+		wire.KindLock, wire.KindUnlock, wire.KindStatus:
 		return 1
 	}
 	return 0

@@ -14,6 +14,27 @@ const (
 	KindCAlias = KindC
 )
 
+// The commit-family extension (the kinds-8-10 analogue): constants
+// appended to the enum in a later const block, after dispatch sites
+// were already written — exactly the change the analyzer must surface
+// at every switch that predates it.
+const (
+	KindLock Kind = iota + 4
+	KindUnlock
+	KindStatus
+)
+
+// Verdict mimics the commit response verdict: a second integer enum in
+// the same package, checked independently of Kind.
+type Verdict uint8
+
+// Verdicts.
+const (
+	VerdictOK Verdict = iota + 1
+	VerdictSealed
+	VerdictFenced
+)
+
 // Name is exhaustive without a default: every kind has a case.
 func Name(k Kind) string {
 	switch k {
@@ -23,6 +44,12 @@ func Name(k Kind) string {
 		return "b"
 	case KindC:
 		return "c"
+	case KindLock:
+		return "lock"
+	case KindUnlock:
+		return "unlock"
+	case KindStatus:
+		return "status"
 	}
 	return "?"
 }

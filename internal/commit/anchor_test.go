@@ -1,0 +1,132 @@
+package commit
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	store := NewFileStore(filepath.Join(dir, "anchor"))
+	if _, err := store.Load(); !errors.Is(err, ErrNoAnchor) {
+		t.Fatalf("empty store: %v", err)
+	}
+	clk := &scriptClock{nanos: 1000}
+	v1, err := Open(Config{Clock: clk, Key: testVaultKey(), Store: store, Rand: detRand(), RollbackSlack: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaseTok, _ := v1.Lock(testHash(), 2000, FlagLease)
+
+	// A real reopen from disk fences the lease holder.
+	clk.nanos = 3000
+	v2, err := Open(Config{Clock: clk, Key: testVaultKey(), Store: NewFileStore(store.Path()), Rand: detRand(), RollbackSlack: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Epoch() != 2 {
+		t.Fatalf("epoch %d after reopen", v2.Epoch())
+	}
+	if _, vd := v2.Unlock(leaseTok); vd != Fenced {
+		t.Fatalf("stale lease verdict %v", vd)
+	}
+}
+
+// TestFileStoreTornTempWrite simulates a crash mid-Save: the temp file
+// holds a partial write, the rename never happened. Load must still
+// return the previous anchor, and the next Save must clean up.
+func TestFileStoreTornTempWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "anchor")
+	store := NewFileStore(path)
+
+	var good [anchorSize]byte
+	encodeAnchor(&good, anchorState{Epoch: 7, LastNanos: 123, Restarts: 3}, testVaultKey())
+	if err := store.Save(good[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: a torn temp file next to the good anchor.
+	if err := os.WriteFile(path+".tmp", good[:10], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := decodeAnchor(raw, testVaultKey())
+	if err != nil || st.Epoch != 7 || st.LastNanos != 123 {
+		t.Fatalf("post-crash load: %+v, %v", st, err)
+	}
+
+	// And a vault opens fine over the torn remnant.
+	clk := &scriptClock{nanos: 1000}
+	v, err := Open(Config{Clock: clk, Key: testVaultKey(), Store: store, Rand: detRand(), RollbackSlack: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch() != 8 {
+		t.Fatalf("epoch %d, want 8", v.Epoch())
+	}
+}
+
+// TestTornAnchorRefused covers the other crash mode — a non-atomic
+// store that exposes a torn or tampered anchor. The vault must refuse
+// to guess an epoch.
+func TestTornAnchorRefused(t *testing.T) {
+	var good [anchorSize]byte
+	encodeAnchor(&good, anchorState{Epoch: 7, LastNanos: 123}, testVaultKey())
+	clk := &scriptClock{nanos: 1000}
+
+	cases := map[string][]byte{
+		"truncated":   good[:anchorSize-5],
+		"extended":    append(append([]byte(nil), good[:]...), 0),
+		"flipped mac": func() []byte { b := append([]byte(nil), good[:]...); b[anchorSize-1] ^= 1; return b }(),
+		"flipped body": func() []byte {
+			b := append([]byte(nil), good[:]...)
+			b[6] ^= 1
+			return b
+		}(),
+		"bad magic": func() []byte { b := append([]byte(nil), good[:]...); b[0] = 'X'; return b }(),
+		"empty":     {},
+	}
+	for name, raw := range cases {
+		store := &MemStore{}
+		store.Restore(raw)
+		_, err := Open(Config{Clock: clk, Key: testVaultKey(), Store: store, Rand: detRand()})
+		if !errors.Is(err, ErrAnchorCorrupt) {
+			t.Errorf("%s anchor: %v, want ErrAnchorCorrupt", name, err)
+		}
+	}
+
+	// An anchor written under a different key is equally refused.
+	otherKey := testVaultKey()
+	otherKey[0] ^= 0xFF
+	var foreign [anchorSize]byte
+	encodeAnchor(&foreign, anchorState{Epoch: 1}, otherKey)
+	store := &MemStore{}
+	store.Restore(foreign[:])
+	if _, err := Open(Config{Clock: clk, Key: testVaultKey(), Store: store, Rand: detRand()}); !errors.Is(err, ErrAnchorCorrupt) {
+		t.Errorf("foreign-key anchor: %v, want ErrAnchorCorrupt", err)
+	}
+}
+
+func TestAnchorEncodeDecodeRoundtrip(t *testing.T) {
+	states := []anchorState{
+		{},
+		{Epoch: 1},
+		{Epoch: ^uint64(0), LastNanos: -1, Restarts: ^uint64(0)},
+		{Epoch: 42, LastNanos: 1719412345678901234, Restarts: 7},
+	}
+	for _, st := range states {
+		var b [anchorSize]byte
+		encodeAnchor(&b, st, testVaultKey())
+		got, err := decodeAnchor(b[:], testVaultKey())
+		if err != nil || got != st {
+			t.Errorf("roundtrip %+v: got %+v, %v", st, got, err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package commit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzCommitTokenRoundtrip: the token parser must never panic, every
+// accepted buffer must re-encode to the same bytes, and — the part
+// that matters — no parse/re-encode path may ever launder a mutated
+// token past the vault's MAC check.
+func FuzzCommitTokenRoundtrip(f *testing.F) {
+	clk := &scriptClock{nanos: 1000}
+	v, err := Open(Config{Clock: clk, Key: testVaultKey(), Rand: detRand(), RollbackSlack: time.Millisecond})
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine, vd := v.Lock(testHash(), 2000, FlagLease)
+	if vd != OK {
+		f.Fatal("seed lock failed")
+	}
+	clk.nanos = 3000
+
+	f.Add(genuine.Marshal(), uint32(0), byte(0))
+	f.Add(genuine.Marshal(), uint32(40), byte(0xFF))
+	f.Add(make([]byte, TokenSize), uint32(0), byte(1))
+	f.Add([]byte{}, uint32(0), byte(0))
+	f.Add(genuine.Marshal()[:TokenSize-1], uint32(0), byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, corruptAt uint32, flip byte) {
+		tok, err := UnmarshalToken(data)
+		if err != nil {
+			if !errors.Is(err, ErrTokenEncoding) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if len(data) == TokenSize {
+				t.Fatalf("exact-size buffer rejected: %v", err)
+			}
+			return
+		}
+		round := tok.Marshal()
+		if !bytes.Equal(round, data) {
+			t.Fatalf("roundtrip not canonical: %x vs %x", round, data)
+		}
+		tok2, err := UnmarshalToken(round)
+		if err != nil || tok2 != tok {
+			t.Fatalf("re-decode broke: %+v vs %+v (%v)", tok2, tok, err)
+		}
+
+		// Whatever the bytes decoded to, the vault grants an unlock only
+		// to its own mint: anything that differs from the genuine token
+		// in any authenticated field must be refused as forged or fenced,
+		// never unlocked.
+		_, verdict := v.Unlock(tok)
+		if verdict == OK || verdict == Sealed {
+			if tok != genuine {
+				t.Fatalf("mutated token got verdict %v: %+v", verdict, tok)
+			}
+		}
+
+		// Single-byte corruption of the genuine token must never verify.
+		if flip != 0 {
+			c := genuine.Marshal()
+			c[int(corruptAt)%len(c)] ^= flip
+			ct, err := UnmarshalToken(c)
+			if err != nil {
+				t.Fatalf("exact-size corrupted buffer rejected by parser: %v", err)
+			}
+			if ct != genuine {
+				if _, verdict := v.Unlock(ct); verdict == OK || verdict == Sealed {
+					t.Fatalf("corrupted token got verdict %v", verdict)
+				}
+			}
+		}
+	})
+}

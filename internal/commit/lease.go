@@ -1,0 +1,98 @@
+package commit
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"triadtime/lease"
+)
+
+// ErrFencedEpoch is returned when a lease from a previous vault
+// incarnation is presented: the node restarted since the grant, the
+// anchor epoch was bumped, and the old holder must not be allowed to
+// renew or release as if nothing happened (T-Lease's stale-holder
+// fence).
+var ErrFencedEpoch = errors.New("commit: lease epoch fenced by restart")
+
+// EpochLease is a lease.Lease pinned to the vault epoch it was granted
+// in. Holders present the whole value on renew/release; a restart
+// between grant and renew fences it.
+type EpochLease struct {
+	lease.Lease
+	Epoch uint64
+}
+
+// LeaseStore grants restart-fenced leases: lease.Manager's exclusive
+// expiring grants, made crash-safe by the vault's persisted anchor.
+// The in-memory lease table does not survive a restart — it does not
+// have to: the epoch bump guarantees every pre-crash holder is fenced,
+// so the fresh table can never double-grant against a stale holder.
+type LeaseStore struct {
+	mgr   *lease.Manager
+	vault *Vault
+}
+
+// NewLeaseStore builds a lease store over the vault's clock and epoch.
+// maxTTL bounds lease duration (0 means 1 hour, as in lease.NewManager).
+func NewLeaseStore(v *Vault, maxTTL time.Duration) (*LeaseStore, error) {
+	if v == nil {
+		return nil, errors.New("commit: vault is required")
+	}
+	mgr, err := lease.NewManager(lease.Clock(ClockFunc(func() (int64, error) {
+		// Route the manager's clock reads through the vault so its
+		// expiry decisions share the high-water rollback check: a
+		// rolled-back clock stops lease grants too.
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		now, ok := v.nowLocked()
+		if !ok {
+			return 0, fmt.Errorf("commit: clock cannot vouch")
+		}
+		return now, nil
+	})), maxTTL)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaseStore{mgr: mgr, vault: v}, nil
+}
+
+// Acquire grants resource to holder for ttl, pinned to the current
+// epoch.
+func (s *LeaseStore) Acquire(resource, holder string, ttl time.Duration) (EpochLease, error) {
+	epoch := s.vault.Epoch()
+	l, err := s.mgr.Acquire(resource, holder, ttl)
+	if err != nil {
+		return EpochLease{}, err
+	}
+	return EpochLease{Lease: l, Epoch: epoch}, nil
+}
+
+// Renew extends a lease granted in the current epoch. A lease from an
+// earlier epoch is fenced (ErrFencedEpoch) — its holder must
+// re-Acquire and observe whatever state changed across the restart.
+func (s *LeaseStore) Renew(l EpochLease, ttl time.Duration) (EpochLease, error) {
+	if epoch := s.vault.Epoch(); l.Epoch != epoch {
+		return EpochLease{}, fmt.Errorf("%w: lease epoch %d, vault epoch %d", ErrFencedEpoch, l.Epoch, epoch)
+	}
+	nl, err := s.mgr.Renew(l.Lease, ttl)
+	if err != nil {
+		return EpochLease{}, err
+	}
+	return EpochLease{Lease: nl, Epoch: l.Epoch}, nil
+}
+
+// Release ends a current-epoch lease early. Fenced leases cannot be
+// released either — they no longer guard anything, and accepting the
+// call would let a stale holder confuse a post-restart successor.
+func (s *LeaseStore) Release(l EpochLease) error {
+	if epoch := s.vault.Epoch(); l.Epoch != epoch {
+		return fmt.Errorf("%w: lease epoch %d, vault epoch %d", ErrFencedEpoch, l.Epoch, epoch)
+	}
+	return s.mgr.Release(l.Lease)
+}
+
+// Holder reports the resource's current holder, if any.
+func (s *LeaseStore) Holder(resource string) (string, bool, error) {
+	return s.mgr.Holder(resource)
+}

@@ -370,9 +370,11 @@ func (e *Engine) onDatagram(_ simnet.Addr, payload []byte) {
 		e.gossipHook.OnChimerReport(e, sender, msg)
 	case wire.KindTimeRequest:
 		// Nodes are not the Time Authority; ignore.
-	case wire.KindStampRequest, wire.KindStampResponse:
-		// Serving-layer traffic rides its own client channel (wire
-		// client framing), never the engine's datagram path; drop.
+	case wire.KindStampRequest, wire.KindStampResponse,
+		wire.KindCommitLock, wire.KindCommitUnlock, wire.KindCommitStatus:
+		// Serving-layer traffic — timestamp and commitment families —
+		// rides its own client channel (wire client framing), never the
+		// engine's datagram path; drop.
 	default:
 		// Unknown kind: Unmarshal bounds-checks kinds, but an explicit
 		// drop keeps the dispatch total if new kinds are added.

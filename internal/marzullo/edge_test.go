@@ -126,8 +126,8 @@ func TestMidpointProperty(t *testing.T) {
 		if !iv.Contains(mid) {
 			return false
 		}
-		left := uint64(mid) - uint64(lo)   // distances fit in uint64 even
-		right := uint64(hi) - uint64(mid)  // when the width overflows int64
+		left := uint64(mid) - uint64(lo)  // distances fit in uint64 even
+		right := uint64(hi) - uint64(mid) // when the width overflows int64
 		return right-left <= 1 && right >= left
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {

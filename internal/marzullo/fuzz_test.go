@@ -74,10 +74,10 @@ func seedCorpus(f *testing.F) {
 		return b
 	}
 	f.Add([]byte{})
-	f.Add(enc(0, 10, 5, 15, 12, 20))                                     // chained overlaps
-	f.Add(enc(0, 10, 10, 20))                                            // touching endpoints
-	f.Add(enc(5, 3, 0, 1))                                               // invalid + valid
-	f.Add(enc(math.MinInt64, math.MaxInt64, 0, math.MaxInt64))           // extremes
+	f.Add(enc(0, 10, 5, 15, 12, 20))                                       // chained overlaps
+	f.Add(enc(0, 10, 10, 20))                                              // touching endpoints
+	f.Add(enc(5, 3, 0, 1))                                                 // invalid + valid
+	f.Add(enc(math.MinInt64, math.MaxInt64, 0, math.MaxInt64))             // extremes
 	f.Add(enc(math.MinInt64, math.MinInt64, math.MaxInt64, math.MaxInt64)) // degenerate extremes
 }
 

@@ -20,6 +20,13 @@ const (
 	SealedRequestSize = wire.TimeRequestSize + wire.SealedOverhead
 	// SealedResponseSize is the exact wire size of a sealed TimeResponse.
 	SealedResponseSize = wire.TimeResponseSize + wire.SealedOverhead
+	// SealedCommitRequestSize is the exact wire size of a sealed
+	// CommitRequest (kinds 8-10). Only legal when the endpoint has a
+	// commitment vault; without one these datagrams are oversize drops.
+	SealedCommitRequestSize = wire.CommitRequestSize + wire.SealedOverhead
+	// SealedCommitResponseSize is the exact wire size of a sealed
+	// CommitResponse.
+	SealedCommitResponseSize = wire.CommitResponseSize + wire.SealedOverhead
 )
 
 // recvSlots is how many datagrams one batched receive can return: one
@@ -74,6 +81,13 @@ type LiveServer struct {
 	tick   time.Duration
 	start  time.Time
 
+	// maxReq/maxResp are the largest legal sealed datagram in each
+	// direction: the stamp sizes normally, the commit sizes when a
+	// vault is configured. Receive buffers, the pre-auth oversize
+	// threshold, send slots and the GSO segment all derive from them.
+	maxReq  int
+	maxResp int
+
 	// sendErrors counts responses discarded because the socket write
 	// failed; oversize counts received datagrams larger than any legal
 	// request, dropped before authentication.
@@ -118,6 +132,13 @@ func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With a commitment vault the endpoint speaks two request families;
+	// without one, buffers stay right-sized to stamp traffic and
+	// commit-sized datagrams are dropped before authentication.
+	maxReq, maxResp := SealedRequestSize, SealedResponseSize
+	if cfg.Server.Vault != nil {
+		maxReq, maxResp = SealedCommitRequestSize, SealedCommitResponseSize
+	}
 
 	var conns []net.PacketConn
 	if cfg.Conn != nil {
@@ -150,12 +171,15 @@ func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
 				closeConns()
 				return nil, fmt.Errorf("serve: batch socket: %w", err)
 			}
-			// Best-effort UDP GSO: every response is exactly
-			// SealedResponseSize, so same-client runs in a drained batch
-			// collapse into segmented sends. Kernels without UDP_SEGMENT
-			// just keep the one-header-per-datagram path.
+			// Best-effort UDP GSO at the largest response size: stamp-only
+			// endpoints segment at SealedResponseSize as before; with a
+			// vault the segment grows to SealedCommitResponseSize, under
+			// which equal-size same-client runs still collapse and the
+			// smaller stamp responses simply terminate runs (groupGSO only
+			// rejects slots *exceeding* the segment). Kernels without
+			// UDP_SEGMENT keep the one-header-per-datagram path.
 			if g, ok := transport.DatagramConn(bc).(interface{ EnableGSO(int) error }); ok {
-				_ = g.EnableGSO(SealedResponseSize)
+				_ = g.EnableGSO(maxResp)
 			}
 			dconns[i] = bc
 		} else {
@@ -189,12 +213,14 @@ func NewLiveServer(cfg LiveConfig) (*LiveServer, error) {
 	}
 
 	s := &LiveServer{
-		srv:    srv,
-		conns:  conns,
-		dconns: dconns,
-		tick:   cfg.Tick,
-		start:  time.Now(),
-		done:   make(chan struct{}),
+		srv:     srv,
+		conns:   conns,
+		dconns:  dconns,
+		tick:    cfg.Tick,
+		start:   time.Now(),
+		maxReq:  maxReq,
+		maxResp: maxResp,
+		done:    make(chan struct{}),
 	}
 	for i := 0; i < srv.Shards(); i++ {
 		s.drainWG.Add(1)
@@ -239,12 +265,12 @@ func (s *LiveServer) nowNanos() int64 { return int64(time.Since(s.start)) }
 // shard a request hashes onto.
 func (s *LiveServer) recvLoop(conn transport.DatagramConn, opener *wire.Opener, shedSealer *wire.Sealer) {
 	defer s.recvWG.Done()
-	// One byte above the only legal size: a full read at cap is an
+	// One byte above the largest legal size: a full read at cap is an
 	// oversize (possibly kernel-truncated) datagram, not a request.
-	in := transport.NewBatch(recvSlots, SealedRequestSize+1)
-	out := transport.NewBatch(recvSlots, SealedResponseSize)
-	scratch := make([]byte, 0, wire.TimeRequestSize)
-	var plain [wire.TimeResponseSize]byte
+	in := transport.NewBatch(recvSlots, s.maxReq+1)
+	out := transport.NewBatch(recvSlots, s.maxResp)
+	scratch := make([]byte, 0, wire.CommitRequestSize)
+	var plain [wire.CommitResponseSize]byte
 	for {
 		n, err := conn.RecvBatch(in)
 		if err != nil {
@@ -258,11 +284,11 @@ func (s *LiveServer) recvLoop(conn transport.DatagramConn, opener *wire.Opener, 
 // responses.
 //
 //triad:hotpath
-func (s *LiveServer) admitBatch(conn transport.DatagramConn, in *transport.Batch, n int, out *transport.Batch, opener *wire.Opener, shedSealer *wire.Sealer, plain *[wire.TimeResponseSize]byte, scratch []byte) {
+func (s *LiveServer) admitBatch(conn transport.DatagramConn, in *transport.Batch, n int, out *transport.Batch, opener *wire.Opener, shedSealer *wire.Sealer, plain *[wire.CommitResponseSize]byte, scratch []byte) {
 	now := s.nowNanos()
 	shed := 0
 	for i := 0; i < n; i++ {
-		if in.Len(i) > SealedRequestSize {
+		if in.Len(i) > s.maxReq {
 			s.oversize.Add(1)
 			continue
 		}
@@ -270,15 +296,31 @@ func (s *LiveServer) admitBatch(conn transport.DatagramConn, in *transport.Batch
 		if err != nil {
 			continue // forged, replayed, or protocol-keyed: drop
 		}
-		req, err := wire.UnmarshalTimeRequest(pt)
-		if err != nil {
-			continue
-		}
-		if resp, shedNow := s.srv.Submit(now, req, in.Addr(i)); shedNow {
-			resp.MarshalInto(plain[:])
-			sealed := shedSealer.SealDatagramAppend(out.Buffer(shed), plain[:])
-			out.Set(shed, len(sealed), in.Addr(i))
-			shed++
+		// The request families are fixed-size and distinct, so the
+		// authenticated plaintext length is the demultiplexer.
+		switch len(pt) {
+		case wire.TimeRequestSize:
+			req, err := wire.UnmarshalTimeRequest(pt)
+			if err != nil {
+				continue
+			}
+			if resp, shedNow := s.srv.Submit(now, req, in.Addr(i)); shedNow {
+				resp.MarshalInto(plain[:])
+				sealed := shedSealer.SealDatagramAppend(out.Buffer(shed), plain[:wire.TimeResponseSize])
+				out.Set(shed, len(sealed), in.Addr(i))
+				shed++
+			}
+		case wire.CommitRequestSize:
+			req, err := wire.UnmarshalCommitRequest(pt)
+			if err != nil {
+				continue
+			}
+			if resp, decided := s.srv.SubmitCommit(now, req, in.Addr(i)); decided {
+				resp.MarshalInto(plain[:])
+				sealed := shedSealer.SealDatagramAppend(out.Buffer(shed), plain[:wire.CommitResponseSize])
+				out.Set(shed, len(sealed), in.Addr(i))
+				shed++
+			}
 		}
 	}
 	if shed > 0 {
@@ -299,8 +341,8 @@ func (s *LiveServer) drainLoop(i int, conn transport.DatagramConn, sealer *wire.
 	t := time.NewTicker(s.tick)
 	defer t.Stop()
 	deliveries := make([]Delivery[transport.Sockaddr], 0, s.srv.BatchMax())
-	out := transport.NewBatch(s.srv.BatchMax(), SealedResponseSize)
-	var plain [wire.TimeResponseSize]byte
+	out := transport.NewBatch(s.srv.BatchMax(), s.maxResp)
+	var plain [wire.CommitResponseSize]byte
 	for {
 		select {
 		case <-t.C:
@@ -334,11 +376,18 @@ func (s *LiveServer) drainLoop(i int, conn transport.DatagramConn, sealer *wire.
 // batch's slot count.
 //
 //triad:hotpath
-func (s *LiveServer) sendDeliveries(conn transport.DatagramConn, sealer *wire.Sealer, deliveries []Delivery[transport.Sockaddr], out *transport.Batch, plain *[wire.TimeResponseSize]byte) {
+func (s *LiveServer) sendDeliveries(conn transport.DatagramConn, sealer *wire.Sealer, deliveries []Delivery[transport.Sockaddr], out *transport.Batch, plain *[wire.CommitResponseSize]byte) {
 	k := 0
 	for d := range deliveries {
-		deliveries[d].Resp.MarshalInto(plain[:])
-		sealed := sealer.SealDatagramAppend(out.Buffer(k), plain[:])
+		var pt []byte
+		if deliveries[d].IsCommit {
+			deliveries[d].Commit.MarshalInto(plain[:])
+			pt = plain[:wire.CommitResponseSize]
+		} else {
+			deliveries[d].Resp.MarshalInto(plain[:])
+			pt = plain[:wire.TimeResponseSize]
+		}
+		sealed := sealer.SealDatagramAppend(out.Buffer(k), pt)
 		out.Set(k, len(sealed), deliveries[d].To)
 		k++
 		if k == out.Size() {

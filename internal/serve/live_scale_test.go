@@ -386,7 +386,7 @@ func TestLiveSendPathZeroAllocSteadyState(t *testing.T) {
 		}
 	}
 	out := transport.NewBatch(batch, SealedResponseSize)
-	var plain [wire.TimeResponseSize]byte
+	var plain [wire.CommitResponseSize]byte
 	s := &LiveServer{}
 	run := func() { s.sendDeliveries(bc, sealer, deliveries, out, &plain) }
 	run() // warm

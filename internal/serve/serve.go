@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"triadtime/internal/commit"
 	"triadtime/internal/metrics"
 	"triadtime/internal/wire"
 	"triadtime/tsa"
@@ -36,6 +37,24 @@ import (
 const (
 	_ = uint(tsa.TokenSize - wire.StampTokenSize)
 	_ = uint(wire.StampTokenSize - tsa.TokenSize)
+)
+
+// Likewise for commitment tokens, and for the verdict enums: commit
+// responses carry the vault's verdict as a direct cast, so the two
+// packages' values must agree pairwise.
+const (
+	_ = uint(commit.TokenSize - wire.CommitTokenSize)
+	_ = uint(wire.CommitTokenSize - commit.TokenSize)
+	_ = uint(uint8(commit.OK) - uint8(wire.CommitOK))
+	_ = uint(uint8(wire.CommitOK) - uint8(commit.OK))
+	_ = uint(uint8(commit.Sealed) - uint8(wire.CommitSealed))
+	_ = uint(uint8(wire.CommitSealed) - uint8(commit.Sealed))
+	_ = uint(uint8(commit.Fenced) - uint8(wire.CommitFenced))
+	_ = uint(uint8(wire.CommitFenced) - uint8(commit.Fenced))
+	_ = uint(uint8(commit.BadToken) - uint8(wire.CommitBadToken))
+	_ = uint(uint8(wire.CommitBadToken) - uint8(commit.BadToken))
+	_ = uint(uint8(commit.Unavailable) - uint8(wire.CommitUnavailable))
+	_ = uint(uint8(wire.CommitUnavailable) - uint8(commit.Unavailable))
 )
 
 // Clock supplies trusted timestamps in nanoseconds. Both protocol
@@ -78,6 +97,13 @@ type Config struct {
 	// Stamper, when set, issues tsa tokens for requests carrying
 	// FlagWantToken, stamped against the batch's single trusted read.
 	Stamper *tsa.Stamper
+	// Vault, when set, serves commit operations (wire kinds 8–10):
+	// time-locked commitment locks, unlocks, and status queries,
+	// decided per-request by the vault (which reads the clock itself —
+	// an unlock decision must see the vault's rollback checks, so it is
+	// not amortized over the batch read). nil answers every commit
+	// request CommitUnavailable.
+	Vault *commit.Vault
 	// QueueWait, when set, records each served request's queue wait
 	// (admission to drain, in the binding's monotonic nanoseconds).
 	QueueWait *metrics.Histogram
@@ -116,7 +142,9 @@ type Counters struct {
 	Received uint64
 	// Queued counts requests admitted into a shard queue.
 	Queued uint64
-	// Served counts requests answered with StatusOK.
+	// Served counts requests answered with StatusOK, plus commit
+	// operations the vault decided (any verdict but CommitUnavailable —
+	// a refusal is a decision).
 	Served uint64
 	// ShedQueueFull counts requests shed because their shard's queue
 	// was full.
@@ -147,17 +175,29 @@ func (c Counters) Summary() string {
 // Delivery pairs a built response with the address it goes back to.
 // The type parameter is the binding's reply-address type: simnet.Addr
 // in simulation, net.Addr live, or anything cheap in benchmarks.
+// Exactly one of Resp and Commit is populated, selected by IsCommit.
 type Delivery[T any] struct {
 	To   T
 	Resp wire.TimeResponse
+	// IsCommit marks Commit as the populated response: commit
+	// operations share the shard queues and drain cycle with timestamp
+	// requests but answer on their own wire format.
+	IsCommit bool
+	Commit   wire.CommitResponse
 }
 
-// pending is one admitted request waiting in a shard queue.
+// pending is one admitted request waiting in a shard queue. op selects
+// the family: 0 is a timestamp request; the commit kinds carry their
+// operation in op, the lock parameters in hash/unlockNanos/flags, and
+// the presented token (unlock/status) pre-parsed in ctok.
 type pending[T any] struct {
 	to            T
+	op            wire.Kind
 	clientID, seq uint64
 	flags         uint8
 	hash          [wire.StampHashSize]byte
+	unlockNanos   int64
+	ctok          commit.Token
 	enqueuedNanos int64
 }
 
@@ -254,6 +294,7 @@ func (s *Server[T]) Submit(nowNanos int64, req wire.TimeRequest, to T) (wire.Tim
 	}
 	p := &sh.ring[idx]
 	p.to = to
+	p.op = 0
 	p.clientID = req.ClientID
 	p.seq = req.Seq
 	p.flags = req.Flags
@@ -265,9 +306,63 @@ func (s *Server[T]) Submit(nowNanos int64, req wire.TimeRequest, to T) (wire.Tim
 	return wire.TimeResponse{}, false
 }
 
+// SubmitCommit runs admission control for one decoded commit request —
+// the same shard queues, token buckets, and shedding as Submit, so a
+// client cannot dodge its rate limit by switching request families. A
+// shed or immediately-decided request returns (response, true); an
+// admitted one returns (zero, false) and is answered by a later Drain.
+// With no Vault configured, every commit request is answered
+// CommitUnavailable up front.
+//
+//triad:hotpath
+func (s *Server[T]) SubmitCommit(nowNanos int64, req wire.CommitRequest, to T) (wire.CommitResponse, bool) {
+	s.received.Add(1)
+	if s.cfg.Vault == nil {
+		s.unavailable.Add(1)
+		return wire.CommitResponse{Kind: req.Kind, ClientID: req.ClientID, Seq: req.Seq, Verdict: wire.CommitUnavailable}, true
+	}
+	sh := s.shards[s.ShardOf(req.ClientID)]
+	sh.mu.Lock()
+	if s.cfg.RatePerClient > 0 && !sh.takeToken(req.ClientID, nowNanos, s.cfg.RatePerClient, s.cfg.RateBurst) {
+		sh.mu.Unlock()
+		s.shedRate.Add(1)
+		return shedCommitResponse(req), true
+	}
+	if sh.n == len(sh.ring) {
+		sh.mu.Unlock()
+		s.shedQueue.Add(1)
+		return shedCommitResponse(req), true
+	}
+	idx := sh.head + sh.n
+	if idx >= len(sh.ring) {
+		idx -= len(sh.ring)
+	}
+	p := &sh.ring[idx]
+	p.to = to
+	p.op = req.Kind
+	p.clientID = req.ClientID
+	p.seq = req.Seq
+	p.flags = req.Flags
+	p.hash = req.Hash
+	p.unlockNanos = req.UnlockNanos
+	// Parse the presented token once at admission; a malformed length
+	// is impossible (the wire field is exactly TokenSize).
+	p.ctok, _ = commit.UnmarshalToken(req.Token[:])
+	p.enqueuedNanos = nowNanos
+	sh.n++
+	sh.mu.Unlock()
+	s.queued.Add(1)
+	return wire.CommitResponse{}, false
+}
+
 // shedResponse builds the explicit early-shed answer.
 func shedResponse(req wire.TimeRequest) wire.TimeResponse {
 	return wire.TimeResponse{ClientID: req.ClientID, Seq: req.Seq, Status: wire.StatusOverloaded}
+}
+
+// shedCommitResponse is its commit-family counterpart.
+func shedCommitResponse(req wire.CommitRequest) wire.CommitResponse {
+	return wire.CommitResponse{Kind: req.Kind, ClientID: req.ClientID, Seq: req.Seq, Verdict: wire.CommitOverloaded}
 }
 
 // takeToken refills and debits one client's bucket; called under the
@@ -333,6 +428,17 @@ func (s *Server[T]) Drain(i int, nowNanos int64, out []Delivery[T]) []Delivery[T
 	s.batches.Add(1)
 	for k := range batch {
 		p := &batch[k]
+		if p.op >= wire.KindCommitLock {
+			// Commit operations are decided by the vault, which reads
+			// the clock itself: an unlock must see the vault's
+			// high-water rollback checks, so the batch read above does
+			// not apply.
+			if s.cfg.QueueWait != nil {
+				s.cfg.QueueWait.Record(nowNanos - p.enqueuedNanos)
+			}
+			out = append(out, Delivery[T]{To: p.to, IsCommit: true, Commit: s.serveCommit(p)})
+			continue
+		}
 		resp := wire.TimeResponse{ClientID: p.clientID, Seq: p.seq}
 		if err != nil {
 			resp.Status = wire.StatusUnavailable
@@ -355,6 +461,49 @@ func (s *Server[T]) Drain(i int, nowNanos int64, out []Delivery[T]) []Delivery[T
 		out = append(out, Delivery[T]{To: p.to, Resp: resp})
 	}
 	return out
+}
+
+// serveCommit answers one drained commit operation against the vault.
+// Verdict-specific fields follow the wire contract: an OK lock carries
+// the minted token; unlock/status answers echo the token's unlock time
+// and report the deciding trusted now; every answer carries the
+// vault's current epoch. Decided operations count as Served,
+// clock-undecidable ones as Unavailable.
+//
+//triad:hotpath
+func (s *Server[T]) serveCommit(p *pending[T]) wire.CommitResponse {
+	v := s.cfg.Vault
+	resp := wire.CommitResponse{Kind: p.op, ClientID: p.clientID, Seq: p.seq}
+	switch p.op {
+	case wire.KindCommitLock:
+		tok, vd := v.Lock(p.hash, p.unlockNanos, p.flags)
+		resp.Verdict = wire.CommitVerdict(vd)
+		if vd == commit.OK {
+			tok.MarshalInto(resp.Token[:])
+			resp.Nanos = tok.IssuedNanos
+			resp.UnlockNanos = tok.UnlockNanos
+		}
+	case wire.KindCommitUnlock:
+		now, vd := v.Unlock(p.ctok)
+		resp.Verdict = wire.CommitVerdict(vd)
+		resp.Nanos = now
+		resp.UnlockNanos = p.ctok.UnlockNanos
+	case wire.KindCommitStatus:
+		now, vd := v.Status(p.ctok)
+		resp.Verdict = wire.CommitVerdict(vd)
+		resp.Nanos = now
+		resp.UnlockNanos = p.ctok.UnlockNanos
+	default:
+		// Unreachable: SubmitCommit only queues decoded commit kinds.
+		resp.Verdict = wire.CommitBadToken
+	}
+	resp.Epoch = v.Epoch()
+	if resp.Verdict == wire.CommitUnavailable {
+		s.unavailable.Add(1)
+	} else {
+		s.served.Add(1)
+	}
+	return resp
 }
 
 // Pending reports shard i's current queue length.

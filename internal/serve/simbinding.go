@@ -40,9 +40,10 @@ type SimBinding struct {
 	sealer *wire.Sealer
 
 	// Reused scratch: the per-packet and per-tick paths allocate only
-	// what simnet itself copies.
+	// what simnet itself copies. plain/sealBuf are sized for the larger
+	// commit responses; stamp responses use a prefix.
 	openBuf []byte
-	plain   [wire.TimeResponseSize]byte
+	plain   [wire.CommitResponseSize]byte
 	sealBuf []byte
 	out     []Delivery[simnet.Addr]
 }
@@ -73,8 +74,8 @@ func NewSimBinding(sched *sim.Scheduler, net *simnet.Network, cfg SimConfig) (*S
 		tick:    simtime.FromDuration(cfg.Tick),
 		opener:  opener,
 		sealer:  sealer,
-		openBuf: make([]byte, 0, wire.TimeRequestSize),
-		sealBuf: make([]byte, 0, wire.TimeResponseSize+wire.SealedOverhead),
+		openBuf: make([]byte, 0, wire.CommitRequestSize),
+		sealBuf: make([]byte, 0, wire.CommitResponseSize+wire.SealedOverhead),
 		out:     make([]Delivery[simnet.Addr], 0, cfg.Server.BatchMax*cfg.Server.Shards),
 	}
 	net.Register(cfg.Addr, b.handle)
@@ -97,12 +98,25 @@ func (b *SimBinding) handle(pkt simnet.Packet) {
 	if err != nil {
 		return // forged, replayed, or protocol-keyed traffic: drop silently
 	}
-	req, err := wire.UnmarshalTimeRequest(plain)
-	if err != nil {
-		return
-	}
-	if resp, shed := b.srv.Submit(int64(b.sched.Now()), req, pkt.From); shed {
-		b.send(pkt.From, resp)
+	// The two request families are fixed-size and distinct, so the
+	// plaintext length is the demultiplexer — same as the live path.
+	switch len(plain) {
+	case wire.TimeRequestSize:
+		req, err := wire.UnmarshalTimeRequest(plain)
+		if err != nil {
+			return
+		}
+		if resp, shed := b.srv.Submit(int64(b.sched.Now()), req, pkt.From); shed {
+			b.send(pkt.From, resp)
+		}
+	case wire.CommitRequestSize:
+		req, err := wire.UnmarshalCommitRequest(plain)
+		if err != nil {
+			return
+		}
+		if resp, decided := b.srv.SubmitCommit(int64(b.sched.Now()), req, pkt.From); decided {
+			b.sendCommit(pkt.From, resp)
+		}
 	}
 }
 
@@ -111,7 +125,11 @@ func (b *SimBinding) drainTick() {
 	for i := 0; i < b.srv.Shards(); i++ {
 		b.out = b.srv.Drain(i, now, b.out[:0])
 		for k := range b.out {
-			b.send(b.out[k].To, b.out[k].Resp)
+			if b.out[k].IsCommit {
+				b.sendCommit(b.out[k].To, b.out[k].Commit)
+			} else {
+				b.send(b.out[k].To, b.out[k].Resp)
+			}
 		}
 	}
 	b.sched.After(b.tick, b.drainTick)
@@ -119,6 +137,12 @@ func (b *SimBinding) drainTick() {
 
 func (b *SimBinding) send(to simnet.Addr, resp wire.TimeResponse) {
 	resp.MarshalInto(b.plain[:])
-	b.sealBuf = b.sealer.SealDatagramAppend(b.sealBuf[:0], b.plain[:])
+	b.sealBuf = b.sealer.SealDatagramAppend(b.sealBuf[:0], b.plain[:wire.TimeResponseSize])
 	b.net.Send(b.addr, to, b.sealBuf) // simnet copies the payload
+}
+
+func (b *SimBinding) sendCommit(to simnet.Addr, resp wire.CommitResponse) {
+	resp.MarshalInto(b.plain[:])
+	b.sealBuf = b.sealer.SealDatagramAppend(b.sealBuf[:0], b.plain[:wire.CommitResponseSize])
+	b.net.Send(b.addr, to, b.sealBuf)
 }

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Commitment serving messages. The commit subsystem (internal/commit,
+// served by internal/serve) lets clients seal data until a trusted
+// time T: a Lock mints a time-locked commitment token, an Unlock
+// presents it back once trusted time has passed T, and a Status query
+// inspects it without consuming it. Each operation is one sealed
+// request/response exchange on the client channel.
+//
+// Like the stamp messages (kinds 6/7), these are NOT protocol Message
+// values: they travel under the client pre-shared key, their kinds are
+// rejected by Unmarshal, and every commit datagram of a given
+// direction has one exact size, so operations are indistinguishable by
+// length on the wire (request kinds share CommitRequestSize; response
+// kinds share CommitResponseSize).
+const (
+	// KindCommitLock asks the node to mint a commitment token sealed
+	// until the requested trusted time.
+	KindCommitLock Kind = 8
+	// KindCommitUnlock presents a token for unlocking once trusted time
+	// has reached its unlock time.
+	KindCommitUnlock Kind = 9
+	// KindCommitStatus inspects a token (unlockable yet? fenced?)
+	// without attempting the unlock.
+	KindCommitStatus Kind = 10
+)
+
+// CommitTokenSize is the serialized commitment token carried by commit
+// datagrams (hash 32 + unlock 8 + issued 8 + epoch 8 + flags 1 +
+// nonce 16 + MAC 32, matching commit.TokenSize; internal/serve asserts
+// the two agree at compile time).
+const CommitTokenSize = 105
+
+// CommitRequest flags.
+const (
+	// FlagLease marks the lock as a lease-style exclusive grant: the
+	// minted token is fenced to the anchor epoch it was issued in, so a
+	// node restart invalidates it (T-Lease-style epoch fencing). Plain
+	// commitments stay unlockable across restarts.
+	FlagLease uint8 = 1 << 0
+)
+
+// CommitVerdict is a CommitResponse's disposition.
+type CommitVerdict uint8
+
+// CommitResponse verdicts.
+const (
+	// CommitOK: the operation succeeded — a Lock minted Token, an
+	// Unlock was granted, a Status found the token unlockable now.
+	CommitOK CommitVerdict = 1
+	// CommitSealed: the token is authentic but trusted time has not
+	// reached its unlock time; UnlockNanos says when it will.
+	CommitSealed CommitVerdict = 2
+	// CommitFenced: the token's epoch is fenced — it was minted in an
+	// earlier anchor epoch (node restarted since; lease-mode tokens
+	// only) or in a later one (a rolled-back anchor was detected and
+	// re-fenced). The token will never unlock.
+	CommitFenced CommitVerdict = 3
+	// CommitBadToken: the token failed authentication or the request
+	// was malformed (e.g. a lock time not in the future).
+	CommitBadToken CommitVerdict = 4
+	// CommitUnavailable: the node cannot decide — the trusted clock is
+	// unavailable, still calibrating, or in Degraded holdover (which
+	// serves timestamps but never vouches for an unlock).
+	CommitUnavailable CommitVerdict = 5
+	// CommitOverloaded: the request was shed by admission control.
+	CommitOverloaded CommitVerdict = 6
+)
+
+// String names the verdict for logs and tables.
+func (v CommitVerdict) String() string {
+	switch v {
+	case CommitOK:
+		return "ok"
+	case CommitSealed:
+		return "sealed"
+	case CommitFenced:
+		return "fenced"
+	case CommitBadToken:
+		return "bad-token"
+	case CommitUnavailable:
+		return "unavailable"
+	case CommitOverloaded:
+		return "overloaded"
+	default:
+		return fmt.Sprintf("CommitVerdict(%d)", uint8(v))
+	}
+}
+
+// CommitRequest is one commit operation: the Kind selects lock,
+// unlock, or status; Hash/UnlockNanos/Flags parameterize a lock and
+// Token carries the presented token for unlock/status.
+type CommitRequest struct {
+	// Kind is KindCommitLock, KindCommitUnlock or KindCommitStatus.
+	Kind Kind
+	// ClientID and Seq play the same roles as in TimeRequest: shard
+	// dispatch / rate-limit key and response matching.
+	ClientID uint64
+	Seq      uint64
+	// Flags modifies a lock (FlagLease).
+	Flags uint8
+	// Hash is the commitment hash a lock seals (SHA-256 of the sealed
+	// data; the node never sees the data itself).
+	Hash [StampHashSize]byte
+	// UnlockNanos is the trusted time the lock seals until.
+	UnlockNanos int64
+	// Token is the serialized commitment token an unlock or status
+	// request presents.
+	Token [CommitTokenSize]byte
+}
+
+// CommitRequestSize is the fixed encoded size of every commit request:
+// kind(1) + clientID(8) + seq(8) + flags(1) + hash(32) + unlock(8) +
+// token(105).
+const CommitRequestSize = 1 + 8 + 8 + 1 + StampHashSize + 8 + CommitTokenSize
+
+// MarshalInto encodes the request into b, which must be at least
+// CommitRequestSize bytes. Allocation-free.
+func (r CommitRequest) MarshalInto(b []byte) {
+	_ = b[CommitRequestSize-1] // bounds hint
+	b[0] = byte(r.Kind)
+	binary.BigEndian.PutUint64(b[1:], r.ClientID)
+	binary.BigEndian.PutUint64(b[9:], r.Seq)
+	b[17] = r.Flags
+	copy(b[18:], r.Hash[:])
+	binary.BigEndian.PutUint64(b[18+StampHashSize:], uint64(r.UnlockNanos))
+	copy(b[26+StampHashSize:], r.Token[:])
+}
+
+// Marshal encodes the request into a fresh buffer.
+func (r CommitRequest) Marshal() []byte {
+	b := make([]byte, CommitRequestSize)
+	r.MarshalInto(b)
+	return b
+}
+
+// UnmarshalCommitRequest decodes a request produced by Marshal. Like
+// the stamp messages, the encoding is exact-size so kinds and lengths
+// stay in 1:1 correspondence.
+func UnmarshalCommitRequest(b []byte) (CommitRequest, error) {
+	if len(b) < CommitRequestSize {
+		return CommitRequest{}, ErrTruncated
+	}
+	k := Kind(b[0])
+	if len(b) != CommitRequestSize || k < KindCommitLock || k > KindCommitStatus {
+		return CommitRequest{}, fmt.Errorf("%w: %d (len %d)", ErrBadKind, b[0], len(b))
+	}
+	r := CommitRequest{
+		Kind:     k,
+		ClientID: binary.BigEndian.Uint64(b[1:]),
+		Seq:      binary.BigEndian.Uint64(b[9:]),
+		Flags:    b[17],
+	}
+	copy(r.Hash[:], b[18:])
+	r.UnlockNanos = int64(binary.BigEndian.Uint64(b[18+StampHashSize:]))
+	copy(r.Token[:], b[26+StampHashSize:])
+	return r, nil
+}
+
+// CommitResponse answers (or sheds) a CommitRequest. The Kind echoes
+// the request's, so one client socket can multiplex all three
+// operations.
+type CommitResponse struct {
+	Kind     Kind
+	ClientID uint64
+	Seq      uint64
+	// Verdict is the disposition; the remaining fields are meaningful
+	// as the verdict admits (a CommitOK lock carries Token; CommitSealed
+	// carries UnlockNanos; every decided response carries Nanos and
+	// Epoch).
+	Verdict CommitVerdict
+	// Nanos is trusted time at the decision (0 when undecidable).
+	Nanos int64
+	// UnlockNanos echoes the token's unlock time.
+	UnlockNanos int64
+	// Epoch is the node's current anchor epoch — the fencing generation
+	// a lease-mode token must match.
+	Epoch uint64
+	// Token is the minted commitment token (CommitOK locks only).
+	Token [CommitTokenSize]byte
+}
+
+// CommitResponseSize is the fixed encoded size of every commit
+// response: kind(1) + clientID(8) + seq(8) + verdict(1) + nanos(8) +
+// unlock(8) + epoch(8) + token(105).
+const CommitResponseSize = 1 + 8 + 8 + 1 + 8 + 8 + 8 + CommitTokenSize
+
+// MarshalInto encodes the response into b, which must be at least
+// CommitResponseSize bytes. Allocation-free.
+func (r CommitResponse) MarshalInto(b []byte) {
+	_ = b[CommitResponseSize-1] // bounds hint
+	b[0] = byte(r.Kind)
+	binary.BigEndian.PutUint64(b[1:], r.ClientID)
+	binary.BigEndian.PutUint64(b[9:], r.Seq)
+	b[17] = byte(r.Verdict)
+	binary.BigEndian.PutUint64(b[18:], uint64(r.Nanos))
+	binary.BigEndian.PutUint64(b[26:], uint64(r.UnlockNanos))
+	binary.BigEndian.PutUint64(b[34:], r.Epoch)
+	copy(b[42:], r.Token[:])
+}
+
+// Marshal encodes the response into a fresh buffer.
+func (r CommitResponse) Marshal() []byte {
+	b := make([]byte, CommitResponseSize)
+	r.MarshalInto(b)
+	return b
+}
+
+// UnmarshalCommitResponse decodes a response produced by Marshal.
+func UnmarshalCommitResponse(b []byte) (CommitResponse, error) {
+	if len(b) < CommitResponseSize {
+		return CommitResponse{}, ErrTruncated
+	}
+	k := Kind(b[0])
+	if len(b) != CommitResponseSize || k < KindCommitLock || k > KindCommitStatus {
+		return CommitResponse{}, fmt.Errorf("%w: %d (len %d)", ErrBadKind, b[0], len(b))
+	}
+	v := CommitVerdict(b[17])
+	if v < CommitOK || v > CommitOverloaded {
+		return CommitResponse{}, fmt.Errorf("%w: verdict %d", ErrBadKind, b[17])
+	}
+	r := CommitResponse{
+		Kind:        k,
+		ClientID:    binary.BigEndian.Uint64(b[1:]),
+		Seq:         binary.BigEndian.Uint64(b[9:]),
+		Verdict:     v,
+		Nanos:       int64(binary.BigEndian.Uint64(b[18:])),
+		UnlockNanos: int64(binary.BigEndian.Uint64(b[26:])),
+		Epoch:       binary.BigEndian.Uint64(b[34:]),
+	}
+	copy(r.Token[:], b[42:])
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCommitRequestRoundtrip(t *testing.T) {
+	for _, k := range []Kind{KindCommitLock, KindCommitUnlock, KindCommitStatus} {
+		req := CommitRequest{
+			Kind:        k,
+			ClientID:    1234,
+			Seq:         1 << 40,
+			Flags:       FlagLease,
+			UnlockNanos: 1719412345678901234,
+		}
+		for i := range req.Hash {
+			req.Hash[i] = byte(i * 5)
+		}
+		for i := range req.Token {
+			req.Token[i] = byte(200 - i)
+		}
+		got, err := UnmarshalCommitRequest(req.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != req {
+			t.Fatalf("%v roundtrip mismatch: %+v vs %+v", k, got, req)
+		}
+	}
+}
+
+func TestCommitResponseRoundtrip(t *testing.T) {
+	resp := CommitResponse{
+		Kind:        KindCommitUnlock,
+		ClientID:    9,
+		Seq:         42,
+		Verdict:     CommitSealed,
+		Nanos:       1719412345678901234,
+		UnlockNanos: 1719412399999999999,
+		Epoch:       7,
+	}
+	for i := range resp.Token {
+		resp.Token[i] = byte(i * 7)
+	}
+	got, err := UnmarshalCommitResponse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != resp {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, resp)
+	}
+}
+
+func TestCommitDecodeRejectsMalformed(t *testing.T) {
+	req := CommitRequest{Kind: KindCommitLock, ClientID: 1, Seq: 2}.Marshal()
+	resp := CommitResponse{Kind: KindCommitStatus, Verdict: CommitOK, Seq: 3}.Marshal()
+
+	cases := []struct {
+		name string
+		data []byte
+		dec  func([]byte) error
+		want error
+	}{
+		{"request truncated", req[:CommitRequestSize-1],
+			func(b []byte) error { _, err := UnmarshalCommitRequest(b); return err }, ErrTruncated},
+		{"request oversize", append(append([]byte(nil), req...), 0),
+			func(b []byte) error { _, err := UnmarshalCommitRequest(b); return err }, ErrBadKind},
+		{"request wrong kind", append([]byte{byte(KindStampRequest)}, req[1:]...),
+			func(b []byte) error { _, err := UnmarshalCommitRequest(b); return err }, ErrBadKind},
+		{"response truncated", resp[:CommitResponseSize-1],
+			func(b []byte) error { _, err := UnmarshalCommitResponse(b); return err }, ErrTruncated},
+		{"response oversize", append(append([]byte(nil), resp...), 0),
+			func(b []byte) error { _, err := UnmarshalCommitResponse(b); return err }, ErrBadKind},
+		{"response wrong kind", append([]byte{byte(KindTimeResponse)}, resp[1:]...),
+			func(b []byte) error { _, err := UnmarshalCommitResponse(b); return err }, ErrBadKind},
+	}
+	for _, tc := range cases {
+		if err := tc.dec(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	bad := CommitResponse{Kind: KindCommitLock, Verdict: CommitOK}.Marshal()
+	bad[17] = 99 // out-of-range verdict
+	if _, err := UnmarshalCommitResponse(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad verdict accepted: %v", err)
+	}
+	bad[17] = 0 // zero verdict
+	if _, err := UnmarshalCommitResponse(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("zero verdict accepted: %v", err)
+	}
+}
+
+// TestProtocolUnmarshalRejectsCommitKinds mirrors the stamp-kind
+// separation test: a commit datagram replayed at a protocol endpoint
+// must not decode as protocol traffic.
+func TestProtocolUnmarshalRejectsCommitKinds(t *testing.T) {
+	for _, k := range []Kind{KindCommitLock, KindCommitUnlock, KindCommitStatus} {
+		req := CommitRequest{Kind: k, ClientID: 5, Seq: 6}.Marshal()
+		if _, err := Unmarshal(req[:MarshaledSize]); !errors.Is(err, ErrBadKind) {
+			t.Errorf("protocol decoder accepted a %v prefix: %v", k, err)
+		}
+	}
+}
+
+// TestCommitSizesDistinctFromStamp guards the size-based demultiplexing
+// in the serving path: commit datagrams must not collide with the stamp
+// sizes (or each other's direction) once sealed.
+func TestCommitSizesDistinctFromStamp(t *testing.T) {
+	sizes := map[int]string{
+		TimeRequestSize:  "TimeRequest",
+		TimeResponseSize: "TimeResponse",
+	}
+	for sz, name := range map[int]string{
+		CommitRequestSize:  "CommitRequest",
+		CommitResponseSize: "CommitResponse",
+	} {
+		if prev, dup := sizes[sz]; dup {
+			t.Errorf("%s size %d collides with %s", name, sz, prev)
+		}
+		sizes[sz] = name
+	}
+}
+
+func TestCommitVerdictString(t *testing.T) {
+	for v, want := range map[CommitVerdict]string{
+		CommitOK: "ok", CommitSealed: "sealed", CommitFenced: "fenced",
+		CommitBadToken: "bad-token", CommitUnavailable: "unavailable",
+		CommitOverloaded: "overloaded", CommitVerdict(0): "CommitVerdict(0)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("CommitVerdict(%d).String() = %q, want %q", uint8(v), got, want)
+		}
+	}
+}
+
+func TestCommitKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCommitLock: "CommitLock", KindCommitUnlock: "CommitUnlock",
+		KindCommitStatus: "CommitStatus",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}

@@ -56,6 +56,12 @@ func (k Kind) String() string {
 		return "StampRequest"
 	case KindStampResponse:
 		return "StampResponse"
+	case KindCommitLock:
+		return "CommitLock"
+	case KindCommitUnlock:
+		return "CommitUnlock"
+	case KindCommitStatus:
+		return "CommitStatus"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -14,6 +14,7 @@ package lease
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -55,12 +56,16 @@ var (
 	ErrClockUnavailable = errors.New("lease: trusted clock unavailable")
 )
 
-// Manager grants leases against a trusted clock. It is not safe for
-// concurrent use; callers in concurrent settings serialize access the
-// same way they serialize access to the Triad node itself.
+// Manager grants leases against a trusted clock. Safe for concurrent
+// use: the serving layer drives one manager from every shard. The
+// clock is read outside the lease table lock, so a slow trusted read
+// never serializes unrelated resources; the grant decision itself is
+// atomic under the internal mutex.
 type Manager struct {
 	clock  Clock
 	maxTTL time.Duration
+
+	mu     sync.Mutex
 	leases map[string]Lease
 	nextID uint64
 
@@ -90,6 +95,8 @@ func (m *Manager) Acquire(resource, holder string, ttl time.Duration) (Lease, er
 	if err != nil {
 		return Lease{}, fmt.Errorf("%w: %w", ErrClockUnavailable, err)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if cur, ok := m.leases[resource]; ok {
 		if cur.ExpiryNanos > now {
 			m.denied++
@@ -121,6 +128,8 @@ func (m *Manager) Renew(l Lease, ttl time.Duration) (Lease, error) {
 	if err != nil {
 		return Lease{}, fmt.Errorf("%w: %w", ErrClockUnavailable, err)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cur, ok := m.leases[l.Resource]
 	if !ok || cur.Token != l.Token || cur.ExpiryNanos <= now {
 		return Lease{}, ErrNotHeld
@@ -133,6 +142,8 @@ func (m *Manager) Renew(l Lease, ttl time.Duration) (Lease, error) {
 // Release ends a lease early. Releasing an expired or superseded lease
 // returns ErrNotHeld (it no longer guards anything).
 func (m *Manager) Release(l Lease) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cur, ok := m.leases[l.Resource]
 	if !ok || cur.Token != l.Token {
 		return ErrNotHeld
@@ -148,6 +159,8 @@ func (m *Manager) Holder(resource string) (string, bool, error) {
 	if err != nil {
 		return "", false, fmt.Errorf("%w: %w", ErrClockUnavailable, err)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cur, ok := m.leases[resource]
 	if !ok || cur.ExpiryNanos <= now {
 		return "", false, nil
@@ -157,5 +170,7 @@ func (m *Manager) Holder(resource string) (string, bool, error) {
 
 // Stats reports grant/denial/expiry-takeover counts.
 func (m *Manager) Stats() (granted, denied, expiredTakeovers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.granted, m.denied, m.expired
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"triadtime/internal/authority"
+	"triadtime/internal/commit"
 	"triadtime/internal/core"
 	"triadtime/internal/engine"
 	"triadtime/internal/metrics"
@@ -89,6 +90,7 @@ type LiveNode struct {
 
 	clientSrv  *serve.LiveServer
 	clientWait *metrics.Histogram
+	vault      *commit.Vault
 }
 
 // NewLiveNode binds the socket, builds the node (original or hardened)
@@ -264,6 +266,21 @@ func (ln *LiveNode) ServeStatus(listen string) (net.Addr, error) {
 				fmt.Fprintf(w, "triad_serve_queue_wait_nanos{quantile=\"%g\"} %d\n", q, snap.Quantile(q))
 			}
 		}
+		if ln.vault != nil {
+			cc := ln.vault.Counters()
+			fmt.Fprintf(w, "triad_commit_epoch %d\n", ln.vault.Epoch())
+			fmt.Fprintf(w, "triad_commit_locks_issued_total %d\n", cc.LocksIssued)
+			fmt.Fprintf(w, "triad_commit_unlocks_granted_total %d\n", cc.UnlocksGranted)
+			fmt.Fprintf(w, "triad_commit_unlocks_refused_early_total %d\n", cc.UnlocksRefusedEarly)
+			fmt.Fprintf(w, "triad_commit_unlocks_refused_fenced_total %d\n", cc.UnlocksRefusedFenced)
+			fmt.Fprintf(w, "triad_commit_unlocks_refused_degraded_total %d\n", cc.UnlocksRefusedDegraded)
+			fmt.Fprintf(w, "triad_commit_unlocks_refused_unavailable_total %d\n", cc.UnlocksRefusedUnavailable)
+			fmt.Fprintf(w, "triad_commit_forged_tokens_total %d\n", cc.UnlocksRefusedForged)
+			fmt.Fprintf(w, "triad_commit_anchor_rollbacks_total %d\n", cc.AnchorRollbacks)
+			fmt.Fprintf(w, "triad_commit_clock_rollbacks_total %d\n", cc.ClockRollbacks)
+			fmt.Fprintf(w, "triad_commit_persist_errors_total %d\n", cc.PersistErrors)
+			fmt.Fprintf(w, "triad_commit_restarts_total %d\n", cc.Restarts)
+		}
 	})
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(l) }()
@@ -293,6 +310,15 @@ type ClientServeConfig struct {
 	// TSAKey, when set, enables RFC3161-style token issuance for
 	// requests carrying wire.FlagWantToken.
 	TSAKey []byte
+	// CommitAnchor, when set, enables the time-locked commitment
+	// subsystem (wire kinds 8-10): the path names the vault's persisted
+	// monotonic anchor file, which carries the lease epoch and trusted
+	// high-water mark across restarts. Requires TSAKey — commitment
+	// tokens are HMAC-bound to it (domain-separated, so sharing the key
+	// with the stamper is safe). The vault vouches for unlocks only
+	// while the node's state is OK: Degraded holdover serves timestamps
+	// but never vouches.
+	CommitAnchor string
 	// RatePerClient, Shards, QueueDepth, BatchMax and Tick tune
 	// admission control and batching; zero values use serve's defaults.
 	RatePerClient        float64
@@ -318,6 +344,21 @@ func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
 			return nil, err
 		}
 	}
+	var vault *commit.Vault
+	if cfg.CommitAnchor != "" {
+		if cfg.TSAKey == nil {
+			return nil, fmt.Errorf("triadtime: CommitAnchor requires TSAKey (commitment tokens are bound to it)")
+		}
+		vault, err = commit.Open(commit.Config{
+			Clock: commit.ClockFunc(ln.TrustedNanos),
+			Vouch: func() bool { return ln.State() == StateOK },
+			Key:   cfg.TSAKey,
+			Store: commit.NewFileStore(cfg.CommitAnchor),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("triadtime: commit vault: %w", err)
+		}
+	}
 	wait := metrics.NewLatencyHistogram()
 	srv, err := serve.NewLiveServer(serve.LiveConfig{
 		Listen:   cfg.Listen,
@@ -332,6 +373,7 @@ func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
 			RatePerClient: cfg.RatePerClient,
 			Clock:         clock,
 			Stamper:       stamper,
+			Vault:         vault,
 			QueueWait:     wait,
 		},
 	})
@@ -340,7 +382,28 @@ func (ln *LiveNode) ServeClients(cfg ClientServeConfig) (net.Addr, error) {
 	}
 	ln.clientSrv = srv
 	ln.clientWait = wait
+	ln.vault = vault
 	return srv.LocalAddr(), nil
+}
+
+// CommitCounters snapshots the commitment vault's cumulative tallies
+// (zero value if ServeClients did not enable the commit subsystem).
+func (ln *LiveNode) CommitCounters() commit.Counters {
+	if ln.vault == nil {
+		return commit.Counters{}
+	}
+	return ln.vault.Counters()
+}
+
+// CommitEpoch reports the vault's current lease epoch (0 without a
+// commit subsystem). The epoch increases on every restart and on every
+// detected anchor rollback; lease-mode tokens from older epochs are
+// fenced.
+func (ln *LiveNode) CommitEpoch() uint64 {
+	if ln.vault == nil {
+		return 0
+	}
+	return ln.vault.Epoch()
 }
 
 // ServeCounters snapshots the client-serving tallies, engine and
@@ -360,6 +423,12 @@ func (ln *LiveNode) Close() error {
 	}
 	if ln.clientSrv != nil {
 		_ = ln.clientSrv.Close()
+	}
+	if ln.vault != nil {
+		// Persist the trusted high-water mark one last time: the next
+		// incarnation's rollback detection is only as fresh as the
+		// anchor on disk.
+		_ = ln.vault.Flush()
 	}
 	return ln.platform.Close()
 }

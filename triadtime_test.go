@@ -7,6 +7,8 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -642,4 +644,245 @@ func TestLiveServeClients(t *testing.T) {
 		!strings.Contains(text, "triad_serve_queue_wait_nanos{quantile=\"0.99\"}") {
 		t.Errorf("metrics missing serving series:\n%s", text)
 	}
+}
+
+// liveCommitIncarnation is one serving-node incarnation in the restart
+// tests: the node, its commitment endpoint, and a connected client.
+type liveCommitIncarnation struct {
+	t      *testing.T
+	node   *LiveNode
+	conn   net.Conn
+	sealer *ClientSealer
+	opener *ClientOpener
+	status net.Addr
+	seq    uint64
+}
+
+// bootCommitNode starts a node serving commitments from the given
+// anchor file and waits for it to calibrate. Node and client sender
+// identities are unique per incarnation so nothing trips the
+// authority's or endpoint's per-identity replay windows.
+func bootCommitNode(t *testing.T, taAddr string, serveKey []byte, anchor string, id NodeID) *liveCommitIncarnation {
+	t.Helper()
+	node, err := NewLiveNode(LiveConfig{
+		Key:         labKey(),
+		ID:          id,
+		Listen:      "127.0.0.1:0",
+		Directory:   map[NodeID]string{100: taAddr},
+		Authority:   100,
+		CalibSleeps: []time.Duration{0, 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveAddr, err := node.ServeClients(ClientServeConfig{
+		Listen:       "127.0.0.1:0",
+		Key:          serveKey,
+		TSAKey:       serveKey,
+		CommitAnchor: anchor,
+	})
+	if err != nil {
+		node.Close()
+		t.Fatal(err)
+	}
+	statusAddr, err := node.ServeStatus("127.0.0.1:0")
+	if err != nil {
+		node.Close()
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for node.State() != StateOK {
+		if time.Now().After(deadline) {
+			node.Close()
+			t.Fatalf("incarnation %d never calibrated (state %v)", id, node.State())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	conn, err := net.Dial("udp", serveAddr.String())
+	if err != nil {
+		node.Close()
+		t.Fatal(err)
+	}
+	sealer, err := NewClientSealer(serveKey, 9500+uint32(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opener, err := NewClientOpener(serveKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &liveCommitIncarnation{t: t, node: node, conn: conn,
+		sealer: sealer, opener: opener, status: statusAddr}
+}
+
+func (inc *liveCommitIncarnation) shutdown() {
+	inc.conn.Close()
+	if err := inc.node.Close(); err != nil {
+		inc.t.Errorf("close: %v", err)
+	}
+}
+
+// commitOp runs one commit round-trip against the incarnation.
+func (inc *liveCommitIncarnation) commitOp(req CommitRequest) CommitResponse {
+	inc.t.Helper()
+	inc.seq++
+	req.ClientID, req.Seq = uint64(inc.sealer.s.SenderID()), inc.seq
+	if _, err := inc.conn.Write(inc.sealer.SealCommitRequest(nil, req)); err != nil {
+		inc.t.Fatal(err)
+	}
+	inc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	n, err := inc.conn.Read(buf)
+	if err != nil {
+		inc.t.Fatalf("no commit response: %v", err)
+	}
+	resp, err := inc.opener.OpenCommitResponse(buf[:n])
+	if err != nil {
+		inc.t.Fatal(err)
+	}
+	return resp
+}
+
+// lock mints a token sealing a document for dur of trusted time.
+func (inc *liveCommitIncarnation) lock(tag byte, dur time.Duration, flags uint8) CommitResponse {
+	inc.t.Helper()
+	ts, err := inc.node.TrustedNow()
+	if err != nil {
+		inc.t.Fatal(err)
+	}
+	var req CommitRequest
+	req.Kind = KindCommitLock
+	req.Flags = flags
+	req.Hash[0] = tag
+	req.UnlockNanos = ts.Nanos + int64(dur)
+	resp := inc.commitOp(req)
+	if resp.Verdict != CommitOK {
+		inc.t.Fatalf("lock %d refused: verdict %d", tag, resp.Verdict)
+	}
+	return resp
+}
+
+func (inc *liveCommitIncarnation) unlock(token [CommitTokenSize]byte) CommitResponse {
+	var req CommitRequest
+	req.Kind = KindCommitUnlock
+	req.Token = token
+	return inc.commitOp(req)
+}
+
+// TestLiveCommitRestartFencing is the persistence acceptance test: a
+// lease epoch provably survives a process restart. Incarnation 1 mints
+// a lease-mode and a durable token; after a restart the lease token is
+// fenced by the epoch bump while the durable commitment still unlocks.
+// Then the anchor file is rolled back to a pre-restart copy: the next
+// incarnation reopens on the stale epoch, detects the rollback from an
+// authentic future-epoch token, re-fences past it, and keeps serving.
+func TestLiveCommitRestartFencing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock bound")
+	}
+	ta, err := NewAuthorityServer("127.0.0.1:0", labKey(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	taAddr := ta.LocalAddr().String()
+	serveKey := make([]byte, KeySize)
+	for i := range serveKey {
+		serveKey[i] = byte(i + 77)
+	}
+	anchor := filepath.Join(t.TempDir(), "anchor")
+
+	// Incarnation 1, epoch 1: one lease-mode token, one durable.
+	inc1 := bootCommitNode(t, taAddr, serveKey, anchor, 1)
+	leaseResp := inc1.lock(1, 3*time.Second, FlagCommitLease)
+	durableResp := inc1.lock(2, 3*time.Second, 0)
+	if leaseResp.Epoch != 1 || durableResp.Epoch != 1 || inc1.node.CommitEpoch() != 1 {
+		t.Fatalf("first incarnation epochs: lease=%d durable=%d vault=%d",
+			leaseResp.Epoch, durableResp.Epoch, inc1.node.CommitEpoch())
+	}
+	staleAnchor, err := os.ReadFile(anchor)
+	if err != nil {
+		t.Fatalf("anchor not persisted: %v", err)
+	}
+	inc1.shutdown()
+
+	// Incarnation 2, epoch 2: the restart fences the lease token; the
+	// durable commitment survives and unlocks once ripe.
+	inc2 := bootCommitNode(t, taAddr, serveKey, anchor, 2)
+	if got := inc2.node.CommitEpoch(); got != 2 {
+		t.Fatalf("epoch after restart = %d, want 2", got)
+	}
+	if wait := time.Until(time.Unix(0, durableResp.UnlockNanos).Add(300 * time.Millisecond)); wait > 0 {
+		time.Sleep(wait)
+	}
+	if resp := inc2.unlock(leaseResp.Token); resp.Verdict != CommitFenced {
+		t.Fatalf("stale lease holder not fenced: verdict %d", resp.Verdict)
+	}
+	if resp := inc2.unlock(durableResp.Token); resp.Verdict != CommitOK || resp.Epoch != 2 {
+		t.Fatalf("durable token did not survive restart: verdict %d epoch %d", resp.Verdict, resp.Epoch)
+	}
+	inc2.shutdown()
+
+	// Incarnation 3, epoch 3: mint the token that will prove the
+	// rollback.
+	inc3 := bootCommitNode(t, taAddr, serveKey, anchor, 3)
+	proofResp := inc3.lock(3, time.Second, 0)
+	if proofResp.Epoch != 3 {
+		t.Fatalf("third incarnation epoch = %d, want 3", proofResp.Epoch)
+	}
+	inc3.shutdown()
+
+	// Roll the anchor back to the epoch-1 copy and restart: the vault
+	// reopens on the stale epoch, and the authentic epoch-3 token is
+	// proof of the rollback — refused, detected, re-fenced past it.
+	if err := os.WriteFile(anchor, staleAnchor, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	inc4 := bootCommitNode(t, taAddr, serveKey, anchor, 4)
+	if got := inc4.node.CommitEpoch(); got != 2 {
+		t.Fatalf("epoch from rolled-back anchor = %d, want 2", got)
+	}
+	if resp := inc4.unlock(proofResp.Token); resp.Verdict != CommitFenced {
+		t.Fatalf("future-epoch token not refused: verdict %d", resp.Verdict)
+	}
+	if got := inc4.node.CommitEpoch(); got != 4 {
+		t.Fatalf("epoch after rollback detection = %d, want 4", got)
+	}
+	if cc := inc4.node.CommitCounters(); cc.AnchorRollbacks != 1 {
+		t.Fatalf("anchor rollbacks = %d, want 1", cc.AnchorRollbacks)
+	}
+
+	// The re-fenced vault keeps serving: a fresh commitment locks at
+	// the bumped epoch and unlocks on time.
+	fresh := inc4.lock(4, time.Second, 0)
+	if fresh.Epoch != 4 {
+		t.Fatalf("post-refence lock epoch = %d, want 4", fresh.Epoch)
+	}
+	time.Sleep(time.Until(time.Unix(0, fresh.UnlockNanos).Add(300 * time.Millisecond)))
+	if resp := inc4.unlock(fresh.Token); resp.Verdict != CommitOK {
+		t.Fatalf("post-refence unlock refused: verdict %d", resp.Verdict)
+	}
+
+	m, err := http.Get("http://" + inc4.status.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(m.Body)
+	m.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"triad_commit_epoch 4",
+		"triad_commit_anchor_rollbacks_total 1",
+		"triad_commit_unlocks_refused_fenced_total 1",
+		"triad_commit_unlocks_granted_total 1",
+		"triad_commit_locks_issued_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	inc4.shutdown()
 }
