@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint fuzz-smoke bench bench-json figures check audit examples clean
+.PHONY: all build test test-short test-race vet lint lint-audit fuzz-smoke bench bench-json figures check audit examples clean
 
 all: build vet lint test
 
@@ -13,10 +13,18 @@ vet:
 	$(GO) vet ./...
 
 # Custom analyzer suite (cmd/triad-vet): determinism, hot-path
-# allocation, wire-kind exhaustiveness, sealer/opener copy, and lock
-# discipline. See DESIGN.md, "Static analysis".
+# allocation, wire-kind exhaustiveness, sealer/opener copy, lock
+# discipline, nonce partitioning, durability ordering, atomic-field
+# consistency, and epoch fencing. See DESIGN.md, "Static analysis".
 lint:
 	$(GO) run ./cmd/triad-vet ./...
+
+# Suppression budget: every //triad:nolint must name its analyzers and
+# carry a reason, and the total count must not exceed
+# lint-baseline.txt. Fails the build on silent or unexplained
+# suppressions.
+lint-audit:
+	$(GO) run ./cmd/triad-vet -nolint-audit
 
 test:
 	$(GO) test ./...
@@ -67,14 +75,15 @@ fuzz-smoke:
 		done; \
 	done
 
-# Full pre-merge gate: vet, lint, build, tests, and the race detector.
-check: vet lint build test test-race
+# Full pre-merge gate: vet, lint, the suppression budget, build,
+# tests, and the race detector.
+check: vet lint lint-audit build test test-race
 
 # 37-assertion reproduction audit (non-zero exit on any mismatch),
 # preceded by the static-analysis gate. Covers the paper figures, the
 # quorum fault matrix, the commit attack suite, and the thousand-node
 # topology shrink.
-audit: lint
+audit: lint lint-audit
 	$(GO) run ./cmd/triad-sim -fig check -seed 1
 
 examples:

@@ -52,6 +52,11 @@ func (r figRunner) check(ctx context.Context) error {
 	}
 
 	// Figure 4 shape: F+ rate inflation ~1.1x.
+	// Every sub-run below deliberately reuses r.seed so the measured
+	// values match the calibrated ranges; each builds an independent
+	// simulated cluster whose sealed frames never leave that simulation,
+	// so the repeated sender identities share no observable nonce space.
+	//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 	fig4, err := experiment.RunFig4(r.seed, 4*time.Minute)
 	if err != nil {
 		return err
@@ -78,6 +83,7 @@ func (r figRunner) check(ctx context.Context) error {
 	add("fig6_honest_infected", infected, 1, 1)
 
 	// Section V: hardened safety under the same attack.
+	//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 	hardened, err := experiment.RunExtensionVariant(r.seed, experiment.VariantHardened, attack.ModeFMinus, 4*time.Minute)
 	if err != nil {
 		return err
@@ -90,6 +96,7 @@ func (r figRunner) check(ctx context.Context) error {
 	add("ext_hardened_infected", infectedHardened, 0, 0)
 
 	// DVFS masking: dual monitor restores the clock, INC-only does not.
+	//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 	dvfs, err := experiment.RunDualMonitorAblation(r.seed)
 	if err != nil {
 		return err
@@ -102,6 +109,7 @@ func (r figRunner) check(ctx context.Context) error {
 	// strictly positive, a lying authority must zero the baseline's
 	// correctness without denting the quorum's, and split-brain must be
 	// ridden out in holdover.
+	//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 	quorum, err := experiment.RunQuorumFaults(ctx, r.seed, 5*time.Minute)
 	if err != nil {
 		return err

@@ -617,6 +617,7 @@ func (r figRunner) quorum(ctx context.Context) error {
 	}); err != nil {
 		return err
 	}
+	//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 	fig, err := experiment.RunQuorumAttackFigure(r.seed, r.duration(5*time.Minute))
 	if err != nil {
 		return err

@@ -23,6 +23,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -40,7 +41,40 @@ type Analyzer struct {
 	// A returned error aborts the whole run (it means the analyzer
 	// itself failed, not that the code has findings).
 	Run func(*Pass) error
+	// Finish, if non-nil, runs once after every package's Run pass.
+	// Whole-run analyses whose verdict needs all packages at once
+	// (atomicfield's everywhere-or-nowhere rule) accumulate facts in
+	// Run and report from Finish. Finish diagnostics pass through the
+	// same //triad:nolint filtering as pass diagnostics.
+	Finish func(*FinishPass) error
 }
+
+// Fact is a piece of knowledge an analyzer attaches to a package-level
+// or member object (a function, a struct field) for later passes of
+// the same analyzer over dependent packages. Facts are how the suite
+// crosses package boundaries without whole-program analysis: each
+// package is still analyzed alone, but against its dependencies'
+// accumulated facts.
+//
+// Implementations must be pointer types (so ImportObjectFact can fill
+// a caller-allocated value) and carry an AFact marker method.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one fact slot: facts are private to their
+// analyzer (mirroring x/tools), and one object holds at most one fact
+// of each concrete type per analyzer.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	t        reflect.Type
+}
+
+// factStore is the run-wide fact accumulator. Packages are analyzed in
+// dependency order, so facts flow along import edges: a pass sees
+// every fact its package's dependencies exported, never the reverse.
+type factStore map[factKey]Fact
 
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
@@ -51,7 +85,83 @@ type Pass struct {
 	PkgPath   string
 	TypesInfo *types.Info
 
+	facts factStore
 	diags *[]Diagnostic
+}
+
+// ExportObjectFact attaches fact to obj for this analyzer's passes
+// over dependent packages (and for the remainder of this pass). A
+// second export of the same fact type to the same object overwrites
+// the first.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		return
+	}
+	p.facts[factKey{p.Analyzer.Name, obj, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of fact's concrete type previously
+// exported on obj into fact, reporting whether one existed. The
+// loader's source-package reuse guarantees obj identity is stable
+// between the exporting pass and this one.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	stored, ok := p.facts[factKey{p.Analyzer.Name, obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// HasObjectFact reports whether obj carries a fact of the given
+// concrete type without copying it.
+func (p *Pass) HasObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	_, ok := p.facts[factKey{p.Analyzer.Name, obj, reflect.TypeOf(fact)}]
+	return ok
+}
+
+// ObjectFact pairs an object with one fact attached to it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// FinishPass is the whole-run view handed to Analyzer.Finish after the
+// last package's Run pass.
+type FinishPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+
+	facts factStore
+	diags *[]Diagnostic
+}
+
+// AllObjectFacts returns every fact this analyzer exported during the
+// run, across all packages, in no particular order.
+func (p *FinishPass) AllObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, f := range p.facts {
+		if k.analyzer == p.Analyzer.Name {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	return out
+}
+
+// Reportf records one finding at pos (which must come from a file
+// registered in the run's shared FileSet).
+func (p *FinishPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Diagnostic is one finding.
@@ -125,11 +235,25 @@ func (s suppressions) suppressed(d Diagnostic) bool {
 }
 
 // Run applies every analyzer to every package, filters suppressed
-// findings, and returns the rest sorted by position.
+// findings, and returns the rest sorted by position. Packages must be
+// in dependency order (as load.Packages returns them): facts exported
+// by a dependency's pass are visible to its dependents' passes.
 func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	facts := factStore{}
+	// merged accumulates every package's suppressions so Finish-phase
+	// diagnostics (reported after all packages) are filtered too.
+	merged := suppressions{}
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for file, lines := range sup {
+			if merged[file] == nil {
+				merged[file] = map[int][]string{}
+			}
+			for line, names := range lines {
+				merged[file][line] = append(merged[file][line], names...)
+			}
+		}
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -139,6 +263,7 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				PkgPath:   pkg.PkgPath,
 				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
 				diags:     &raw,
 			}
 			if err := a.Run(pass); err != nil {
@@ -147,6 +272,28 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		for _, d := range raw {
 			if !sup.suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.Finish == nil {
+				continue
+			}
+			fp := &FinishPass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset, // load shares one FileSet run-wide
+				facts:    facts,
+				diags:    &raw,
+			}
+			if err := a.Finish(fp); err != nil {
+				return nil, fmt.Errorf("analyzer %s finish: %w", a.Name, err)
+			}
+		}
+		for _, d := range raw {
+			if !merged.suppressed(d) {
 				diags = append(diags, d)
 			}
 		}

@@ -1,0 +1,174 @@
+// Package atomicfield enforces the everywhere-or-nowhere rule for
+// sync/atomic: a struct field accessed through the atomic functions
+// anywhere in the tree must be accessed through them everywhere. A
+// single plain load or store beside atomic ones is a data race the
+// race detector only catches under the right interleaving — and on
+// the holdover/epoch state this suite guards, the lucky interleaving
+// is a forged timestamp.
+//
+// The analyzer is a whole-run check: every package's pass records
+// atomic and plain accesses as facts on the field object, and a
+// Finish pass reports each plain access to any field that also has
+// atomic accesses — in either direction across package boundaries.
+// Fields of the typed atomic wrappers (atomic.Uint64 and friends) are
+// inherently safe and out of scope; composite-literal initialization
+// before the value is shared is sanctioned, as is the &s.field
+// operand position itself.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"triadtime/internal/analysis"
+)
+
+// Analyzer is the atomicfield analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flags struct fields accessed both through sync/atomic and " +
+		"plainly; an atomically-accessed field must be atomic at every " +
+		"access site in the tree",
+	Run:    run,
+	Finish: finish,
+}
+
+// accessFact accumulates, per struct field, every atomic and plain
+// access position seen across the run.
+type accessFact struct {
+	Atomic []token.Pos
+	Plain  []token.Pos
+}
+
+func (*accessFact) AFact() {}
+
+// atomicFuncs are the sync/atomic function-style entry points whose
+// first argument addresses the guarded location.
+func isAtomicFunc(f *types.Func) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(f.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// atomicOperands collects the &s.f selector nodes that appear as
+		// an atomic call's address argument, so the plain-access walk
+		// below can skip them. ast.Inspect visits a call before its
+		// arguments, so the set is always populated in time.
+		atomicOperands := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				f, ok := calleeObj(pass.TypesInfo, n).(*types.Func)
+				if !ok || !isAtomicFunc(f) || len(n.Args) == 0 {
+					return true
+				}
+				sel := addrFieldSel(n.Args[0])
+				if sel == nil {
+					return true
+				}
+				field := fieldObj(pass.TypesInfo, sel)
+				if field == nil {
+					return true
+				}
+				atomicOperands[sel] = true
+				record(pass, field, n.Args[0].Pos(), true)
+			case *ast.SelectorExpr:
+				if atomicOperands[n] {
+					return true
+				}
+				field := fieldObj(pass.TypesInfo, n)
+				if field == nil || !atomicKind(field.Type()) {
+					return true
+				}
+				record(pass, field, n.Pos(), false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// record appends one access position to the field's fact.
+func record(pass *analysis.Pass, field *types.Var, pos token.Pos, atomic bool) {
+	var f accessFact
+	pass.ImportObjectFact(field, &f)
+	if atomic {
+		f.Atomic = append(f.Atomic, pos)
+	} else {
+		f.Plain = append(f.Plain, pos)
+	}
+	pass.ExportObjectFact(field, &f)
+}
+
+func finish(pass *analysis.FinishPass) error {
+	for _, of := range pass.AllObjectFacts() {
+		f, ok := of.Fact.(*accessFact)
+		if !ok || len(f.Atomic) == 0 || len(f.Plain) == 0 {
+			continue
+		}
+		first := pass.Fset.Position(f.Atomic[0])
+		for _, pos := range f.Plain {
+			pass.Reportf(pos,
+				"plain access to %s.%s, which is accessed atomically at %s; every access must go through sync/atomic",
+				of.Object.Pkg().Name(), of.Object.Name(), first)
+		}
+	}
+	return nil
+}
+
+// addrFieldSel unwraps &expr.field to the selector, or nil.
+func addrFieldSel(e ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldObj returns the struct field a selector denotes, or nil for
+// methods, package selectors, and qualified identifiers.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// atomicKind reports whether a plain access to a field of type t is
+// even a candidate for the rule: only the integer/pointer kinds the
+// sync/atomic functions operate on.
+func atomicKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return t.Underlying().String() == "unsafe.Pointer"
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// calleeObj resolves the object a call's callee names.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

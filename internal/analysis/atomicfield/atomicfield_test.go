@@ -1,0 +1,15 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", atomicfield.Analyzer)
+}

@@ -1,0 +1,3 @@
+module atomicdata
+
+go 1.24

@@ -1,0 +1,43 @@
+// Package reader exercises the cross-package direction of the rule.
+package reader
+
+import (
+	"sync/atomic"
+
+	"atomicdata/state"
+)
+
+// Snapshot reads Served plainly while state.Bump adds to it
+// atomically: the classic torn read.
+func Snapshot(c *state.Counters) uint64 {
+	return c.Served // want `plain access to state\.Served, which is accessed atomically`
+}
+
+// HoldCount accesses Held atomically; state.LeakHeld's plain read is
+// what gets flagged.
+func HoldCount(c *state.Counters) uint64 {
+	return atomic.LoadUint64(&c.Held)
+}
+
+// DroppedCount keeps Dropped plain-only: no diagnostic on either side.
+func DroppedCount(c *state.Counters) uint64 {
+	return c.Dropped
+}
+
+// mixedLocal exercises the in-package case plus suppression.
+type mixedLocal struct {
+	n int64
+}
+
+func bumpLocal(m *mixedLocal) {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func readLocal(m *mixedLocal) int64 {
+	return m.n // want `plain access to reader\.n, which is accessed atomically`
+}
+
+func readLocalSuppressed(m *mixedLocal) int64 {
+	//triad:nolint:atomicfield read-only after all writers joined; no concurrent access
+	return m.n
+}

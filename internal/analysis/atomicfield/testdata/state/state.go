@@ -1,0 +1,30 @@
+// Package state declares shared counters; the analyzer's
+// everywhere-or-nowhere rule is exercised across this package and its
+// importer in both directions.
+package state
+
+import "sync/atomic"
+
+// Counters is shared mutable state.
+type Counters struct {
+	Served  uint64 // atomic here, plain in the reader package: flagged there
+	Dropped uint64 // plain everywhere: fine
+	Held    uint64 // plain here, atomic in the reader package: flagged here
+}
+
+// Bump is the sanctioned accessor for Served.
+func Bump(c *Counters) {
+	atomic.AddUint64(&c.Served, 1)
+}
+
+// Drop touches Dropped plainly; nothing accesses it atomically, so no
+// diagnostic.
+func Drop(c *Counters) {
+	c.Dropped++
+}
+
+// LeakHeld reads Held plainly; the reader package's atomic access
+// makes this a race even though the atomic site is downstream.
+func LeakHeld(c *Counters) uint64 {
+	return c.Held // want `plain access to state\.Held, which is accessed atomically`
+}

@@ -1,0 +1,223 @@
+// Package durable enforces the crash-consistency ordering persisted
+// state must follow before anything serves from it (the torn-anchor
+// bug class; see DESIGN.md §5 and the T-Lease fencing argument):
+//
+//	write temp file → file fsync → rename over final → directory fsync
+//
+// The analyzer fires on the rename-of-a-file-written-here pattern: any
+// function that writes a file (os.Create / os.OpenFile / os.WriteFile)
+// and later os.Rename's that same path is persistence code and owes
+// both barriers. Two diagnostics cover the two torn states a crash can
+// leave behind:
+//
+//   - rename without a prior Sync on the written file: the rename can
+//     land while the data blocks are still dirty, publishing a name
+//     that points at garbage;
+//   - rename with no directory sync after it: the data is durable but
+//     the name is not, so a crash resurrects the previous anchor.
+//
+// Written files are matched to rename sources by canonical path
+// expression (value-flow substitution), so the usual `tmp := path +
+// ".tmp"` indirection resolves. Renames of paths not written in the
+// same function are ignored — the analyzer proves ordering within a
+// function, not cross-function protocols.
+package durable
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/flow"
+)
+
+// Analyzer is the durable analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "durable",
+	Doc: "enforces write→fsync→rename→dir-sync ordering on persisted " +
+		"files (flags renames of unsynced writes and renames with no " +
+		"directory sync after them)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// writeState tracks one path written in the function.
+type writeState struct {
+	synced   bool
+	syncable bool // false for os.WriteFile: no handle, nothing to Sync
+}
+
+// pendingRename is a rename awaiting a directory sync.
+type pendingRename struct {
+	pos  token.Pos
+	from string
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	fl := flow.New(pass.TypesInfo, fn)
+	// handles maps an open file variable to the canonical path it was
+	// opened with; writes tracks sync status per canonical path.
+	handles := map[*types.Var]string{}
+	dirHandle := map[*types.Var]bool{}
+	writes := map[string]*writeState{}
+	var renames []*pendingRename
+
+	// ast.Inspect visits in source order, which stands in for execution
+	// order here — good enough for the straight-line open/sync/rename
+	// sequences persistence code is written as.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			recordOpens(pass, fl, n, handles, dirHandle, writes)
+		case *ast.CallExpr:
+			obj := calleeObj(pass.TypesInfo, n)
+			f, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case isOSFunc(f, "WriteFile") && len(n.Args) >= 1:
+				writes[fl.Canon(n.Args[0])] = &writeState{syncable: false}
+			case isOSFunc(f, "Rename") && len(n.Args) >= 2:
+				from := fl.Canon(n.Args[0])
+				w, wrote := writes[from]
+				if !wrote {
+					return true // not written here; out of scope
+				}
+				if !w.synced {
+					if w.syncable {
+						pass.Reportf(n.Pos(),
+							"rename of %s before its file handle is Synced; a crash can publish the name over unsynced data (write→fsync→rename→dir-sync)",
+							from)
+					} else {
+						pass.Reportf(n.Pos(),
+							"rename of %s written with os.WriteFile, which cannot fsync; open+Write+Sync the temp file before renaming (write→fsync→rename→dir-sync)",
+							from)
+					}
+				}
+				renames = append(renames, &pendingRename{pos: n.Pos(), from: from})
+			case f.Name() == "Sync":
+				v := recvVar(pass.TypesInfo, n)
+				if v == nil {
+					return true
+				}
+				if path, ok := handles[v]; ok {
+					if w := writes[path]; w != nil {
+						w.synced = true
+					}
+				}
+				if dirHandle[v] {
+					// A directory sync covers every rename before it.
+					for _, r := range renames {
+						if r.pos < n.Pos() {
+							r.pos = token.NoPos
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, r := range renames {
+		if r.pos.IsValid() {
+			pass.Reportf(r.pos,
+				"rename of %s is not followed by a directory sync; a crash can resurrect the previous file (write→fsync→rename→dir-sync)",
+				r.from)
+		}
+	}
+}
+
+// recordOpens handles `f, err := os.Create(path)` / os.OpenFile /
+// os.Open assignments. Create/OpenFile handles are writable files;
+// os.Open handles whose path is a Dir(...) expression are directory
+// handles for the dir-sync barrier.
+func recordOpens(pass *analysis.Pass, fl *flow.Func, s *ast.AssignStmt, handles map[*types.Var]string, dirHandle map[*types.Var]bool, writes map[string]*writeState) {
+	if len(s.Rhs) != 1 || len(s.Lhs) == 0 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	f, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return
+	}
+	v := lhsVar(pass.TypesInfo, s.Lhs[0])
+	if v == nil {
+		return
+	}
+	path := fl.Canon(call.Args[0])
+	switch {
+	case isOSFunc(f, "Create"), isOSFunc(f, "OpenFile"):
+		handles[v] = path
+		writes[path] = &writeState{syncable: true}
+	case isOSFunc(f, "Open"):
+		// Only a handle on the *directory* satisfies the dir-sync
+		// barrier; recognize the filepath.Dir(...) / path.Dir(...)
+		// shape the idiom is written with.
+		if strings.Contains(path, "Dir(") {
+			dirHandle[v] = true
+		}
+	}
+}
+
+func isOSFunc(f *types.Func, name string) bool {
+	return f.Pkg() != nil && f.Pkg().Path() == "os" && f.Name() == name
+}
+
+// recvVar returns the variable a method call's receiver names (f in
+// f.Sync()), or nil for anything more elaborate.
+func recvVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func lhsVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok {
+		obj = d
+	} else {
+		obj = info.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// calleeObj resolves the object a call's callee names.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

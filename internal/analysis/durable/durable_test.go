@@ -1,0 +1,15 @@
+package durable_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/durable"
+)
+
+func TestDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", durable.Analyzer)
+}

@@ -1,0 +1,3 @@
+module durabledata
+
+go 1.24

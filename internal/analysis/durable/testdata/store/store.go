@@ -1,0 +1,137 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// saveGood is the sanctioned sequence: write temp, fsync the file,
+// rename over the final name, fsync the directory.
+func saveGood(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}
+
+// saveNoFsync renames a file whose handle was never synced: a crash
+// can publish the name over dirty data blocks.
+func saveNoFsync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil { // want `rename of .* before its file handle is Synced` `not followed by a directory sync`
+		return err
+	}
+	return nil
+}
+
+// saveWriteFile uses os.WriteFile, which has no handle to fsync at
+// all, then renames; both barriers are missing.
+func saveWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `written with os.WriteFile, which cannot fsync` `not followed by a directory sync`
+}
+
+// saveReordered syncs the file only after the rename: the barrier is
+// on the wrong side and the published name can still point at garbage.
+func saveReordered(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil { // want `rename of .* before its file handle is Synced`
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}
+
+// saveNoDirSync fsyncs the file but never the directory, so a crash
+// after the rename can resurrect the previous file.
+func saveNoDirSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `not followed by a directory sync`
+}
+
+// renameForeign renames a path this function never wrote: out of the
+// analyzer's scope, no diagnostic.
+func renameForeign(from, to string) error {
+	return os.Rename(from, to)
+}
+
+// suppressedCache pins the nolint path: a disposable cache entry may
+// skip durability on purpose, with the reason written down.
+func suppressedCache(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	//triad:nolint:durable cache entries are disposable; rename is for reader atomicity only
+	return os.Rename(tmp, path)
+}

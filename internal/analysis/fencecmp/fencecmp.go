@@ -1,0 +1,448 @@
+// Package fencecmp proves the monotonicity of epoch and high-water
+// mark updates: the T-Lease-style fencing in internal/commit and the
+// serving clamp in internal/engine are only safe while fields like
+// anchorState.Epoch and lastNanos never move backwards. A field is
+// opted in with a directive on (or above) its declaration:
+//
+//	LastNanos int64 //triad:monotonic reason...
+//
+// The directive exports a fact on the field object, so stores in
+// dependent packages are checked too. Every store to a monotonic
+// field must then be provably non-decreasing, which the analyzer
+// accepts in the shapes the tree actually uses:
+//
+//   - F++ / F += c and F = F + c for constant c >= 0;
+//   - F = R guarded by a dominating comparison R > F / R >= F (or the
+//     equivalent under else-branch negation, early-return inversion,
+//     or the subtraction form `if R - F > 0`), including R+c for
+//     constant c >= 0 on top of a guarded R;
+//   - the clamp idiom: `if R <= F { R = F + 1 }; F = R`;
+//   - F = G where G is itself a monotonic field, and F = max(..., F, ...).
+//
+// Everything else is flagged — that includes the `<` vs `<=`
+// inversions that accept an older value, plain unguarded stores, and
+// F-- outright. Separately, narrowing integer conversions of values
+// read from monotonic fields are flagged: truncating a high-water
+// mark re-introduces the wraparound the fencing comparison exists to
+// prevent.
+package fencecmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/flow"
+)
+
+// Analyzer is the fencecmp analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "fencecmp",
+	Doc: "proves stores to //triad:monotonic fields never move the value " +
+		"backwards (guarded comparisons, clamps, +const) and flags " +
+		"narrowing conversions of monotonic values",
+	Run: run,
+}
+
+// directive is the field annotation prefix.
+const directive = "//triad:monotonic"
+
+// monotonicFact marks an annotated field.
+type monotonicFact struct{}
+
+func (*monotonicFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	collectAnnotations(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations exports a fact for every struct field with a
+// //triad:monotonic directive on its own line or the line above.
+func collectAnnotations(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		lines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, directive) {
+					lines[pass.Fset.Position(c.Slash).Line] = true
+				}
+			}
+		}
+		if len(lines) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// A directive trailing field A must not also annotate the
+			// field on the next line, so the line-above rule only applies
+			// when no field sits on the directive's own line.
+			fieldLines := map[int]bool{}
+			for _, field := range st.Fields.List {
+				fieldLines[pass.Fset.Position(field.Pos()).Line] = true
+			}
+			for _, field := range st.Fields.List {
+				ln := pass.Fset.Position(field.Pos()).Line
+				if !lines[ln] && !(lines[ln-1] && !fieldLines[ln-1]) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						pass.ExportObjectFact(obj, &monotonicFact{})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	fl := flow.New(pass.TypesInfo, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, fl, n)
+		case *ast.IncDecStmt:
+			sel, field := monotonicLHS(pass, n.X)
+			if field != nil && n.Tok == token.DEC {
+				pass.Reportf(n.Pos(), "decrement of monotonic field %s", types.ExprString(sel))
+			}
+		case *ast.CallExpr:
+			checkConversion(pass, fl, n)
+		}
+		return true
+	})
+}
+
+// checkAssign verifies every store to a monotonic field in one
+// assignment statement.
+func checkAssign(pass *analysis.Pass, fl *flow.Func, s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		sel, field := monotonicLHS(pass, lhs)
+		if field == nil {
+			continue
+		}
+		fCanon := fl.Canon(sel)
+		// Diagnostics name the field as written in the source; fCanon
+		// (which resolves aliases) is only for internal matching.
+		label := types.ExprString(sel)
+		// Compound ops: += with a non-negative constant is monotone.
+		if s.Tok != token.ASSIGN {
+			if s.Tok == token.ADD_ASSIGN && len(s.Rhs) == len(s.Lhs) {
+				if c, ok := fl.ConstInt(s.Rhs[i]); ok && c >= 0 {
+					continue
+				}
+			}
+			pass.Reportf(s.Pos(), "store to monotonic field %s is not provably monotonic (compound %s)", label, s.Tok)
+			continue
+		}
+		if len(s.Rhs) != len(s.Lhs) {
+			pass.Reportf(s.Pos(), "store to monotonic field %s from a multi-value expression cannot be proven monotonic", label)
+			continue
+		}
+		if !monotoneStore(pass, fl, s, sel, s.Rhs[i], fCanon) {
+			pass.Reportf(s.Pos(),
+				"store to monotonic field %s is not provably monotonic; guard it with a greater-than comparison against the current value",
+				label)
+		}
+	}
+}
+
+// monotoneStore reports whether RHS provably does not move the field
+// backwards at this store.
+func monotoneStore(pass *analysis.Pass, fl *flow.Func, at ast.Node, sel *ast.SelectorExpr, rhs ast.Expr, fCanon string) bool {
+	base, off := splitOffset(fl, rhs)
+	if off < 0 {
+		return false
+	}
+	bCanon := fl.Canon(base)
+	// F = F + c.
+	if bCanon == fCanon {
+		return true
+	}
+	// F = G for another monotonic field.
+	if _, g := monotonicLHS(pass, base); g != nil {
+		return true
+	}
+	// F = max(..., F, ...).
+	if call, ok := fl.Resolve(base).(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "max" {
+			for _, a := range call.Args {
+				if fl.Canon(a) == fCanon {
+					return true
+				}
+			}
+		}
+	}
+	// Guarded store: a dominating condition implies base >= F.
+	for _, g := range guardsFor(fl, at) {
+		if ensures(fl, g.cond, g.negated, bCanon, fCanon) {
+			return true
+		}
+	}
+	// Early-exit and clamp statements preceding the store.
+	return precedingOK(pass, fl, at, base, bCanon, fCanon)
+}
+
+// splitOffset decomposes rhs into base + constant offset (offset 0
+// when rhs is not an addition with a constant side).
+func splitOffset(fl *flow.Func, rhs ast.Expr) (ast.Expr, int64) {
+	if be, ok := fl.Resolve(rhs).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		if c, ok := fl.ConstInt(be.Y); ok {
+			return be.X, c
+		}
+		if c, ok := fl.ConstInt(be.X); ok {
+			return be.Y, c
+		}
+	}
+	return rhs, 0
+}
+
+// guard is one condition known to hold at the store site.
+type guard struct {
+	cond    ast.Expr
+	negated bool
+}
+
+// guardsFor walks the parent chain and collects the if-conditions
+// dominating n, with else-branch polarity.
+func guardsFor(fl *flow.Func, n ast.Node) []guard {
+	var out []guard
+	child := n
+	for p := fl.Parent(child); p != nil; p = fl.Parent(p) {
+		if ifs, ok := p.(*ast.IfStmt); ok {
+			switch child {
+			case ast.Node(ifs.Body):
+				out = append(out, guard{ifs.Cond, false})
+			case ifs.Else:
+				out = append(out, guard{ifs.Cond, true})
+			}
+		}
+		child = p
+	}
+	return out
+}
+
+// precedingOK scans statements before the store (at every enclosing
+// block level) for the two sequential idioms: an early-exit if whose
+// negated condition implies base >= F, and the clamp
+// `if base <= F { base = F + c }` with c > 0.
+func precedingOK(pass *analysis.Pass, fl *flow.Func, at ast.Node, base ast.Expr, bCanon, fCanon string) bool {
+	child := at
+	for p := fl.Parent(child); p != nil; p = fl.Parent(p) {
+		block, ok := p.(*ast.BlockStmt)
+		if ok {
+			for _, stmt := range block.List {
+				if stmt == child {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok {
+					continue
+				}
+				if terminates(ifs.Body) && ensures(fl, ifs.Cond, true, bCanon, fCanon) {
+					return true
+				}
+				if clampOK(fl, ifs, bCanon, fCanon) {
+					return true
+				}
+			}
+		}
+		child = p
+	}
+	return false
+}
+
+// terminates reports whether a block always leaves the enclosing flow
+// (return, branch, or panic as its last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// clampOK matches `if base <= F { base = F + c }` (c > 0): after the
+// statement, base > F holds on every path.
+func clampOK(fl *flow.Func, ifs *ast.IfStmt, bCanon, fCanon string) bool {
+	// Condition must imply F >= base (roles swapped vs ensures' usual
+	// order).
+	if !ensures(fl, ifs.Cond, false, fCanon, bCanon) {
+		return false
+	}
+	for _, stmt := range ifs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		if fl.Canon(as.Lhs[0]) != bCanon {
+			continue
+		}
+		nb, c := splitOffset(fl, as.Rhs[0])
+		if c > 0 && fl.Canon(nb) == fCanon {
+			return true
+		}
+	}
+	return false
+}
+
+// ensures reports whether cond (negated if asked) implies a >= f,
+// where a and f are canonical expression keys. Handles direct
+// comparisons both ways around, &&/||/! composition, and the
+// subtraction form (a - f) > 0.
+func ensures(fl *flow.Func, cond ast.Expr, negated bool, aCanon, fCanon string) bool {
+	cond = ast.Unparen(cond)
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		return ensures(fl, u.X, !negated, aCanon, fCanon)
+	}
+	be, ok := fl.Resolve(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LAND:
+		// a && b holds: either conjunct may carry the proof. Negated
+		// (!(a && b)) proves nothing usable.
+		return !negated &&
+			(ensures(fl, be.X, false, aCanon, fCanon) || ensures(fl, be.Y, false, aCanon, fCanon))
+	case token.LOR:
+		// !(a || b) = !a && !b.
+		return negated &&
+			(ensures(fl, be.X, true, aCanon, fCanon) || ensures(fl, be.Y, true, aCanon, fCanon))
+	}
+	op := be.Op
+	if negated {
+		op = negateCmp(op)
+	}
+	switch op {
+	case token.GTR, token.GEQ:
+		if cmpMatch(fl, be.X, aCanon) && cmpMatch(fl, be.Y, fCanon) {
+			return true
+		}
+		// (a - f) > 0 and (a - f) >= 0.
+		if c, ok := fl.ConstInt(be.Y); ok && c == 0 {
+			if sub, ok := fl.Resolve(be.X).(*ast.BinaryExpr); ok && sub.Op == token.SUB {
+				return cmpMatch(fl, sub.X, aCanon) && cmpMatch(fl, sub.Y, fCanon)
+			}
+		}
+	case token.LSS, token.LEQ:
+		if cmpMatch(fl, be.X, fCanon) && cmpMatch(fl, be.Y, aCanon) {
+			return true
+		}
+		// 0 < (a - f).
+		if c, ok := fl.ConstInt(be.X); ok && c == 0 {
+			if sub, ok := fl.Resolve(be.Y).(*ast.BinaryExpr); ok && sub.Op == token.SUB {
+				return cmpMatch(fl, sub.X, aCanon) && cmpMatch(fl, sub.Y, fCanon)
+			}
+		}
+	}
+	return false
+}
+
+func cmpMatch(fl *flow.Func, e ast.Expr, canon string) bool {
+	return fl.Canon(e) == canon
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	}
+	return token.ILLEGAL
+}
+
+// checkConversion flags narrowing integer conversions of values read
+// from monotonic fields.
+func checkConversion(pass *analysis.Pass, fl *flow.Func, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := intBits(tv.Type)
+	src := intBits(pass.TypesInfo.TypeOf(call.Args[0]))
+	if dst == 0 || src == 0 || dst >= src {
+		return
+	}
+	for obj := range fl.Mentions(call.Args[0]) {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() || !pass.HasObjectFact(v, &monotonicFact{}) {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"narrowing conversion of monotonic field %s to %s can wrap and break fencing comparisons",
+			v.Name(), tv.Type)
+		return
+	}
+}
+
+// intBits returns the width of an integer type (Int/Uint/Uintptr count
+// as 64, matching the deployment targets), or 0 for non-integers.
+func intBits(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr:
+		return 64
+	}
+	return 0
+}
+
+// monotonicLHS returns the selector and field object when e stores to
+// a monotonic field; (nil, nil) otherwise.
+func monotonicLHS(pass *analysis.Pass, e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !pass.HasObjectFact(v, &monotonicFact{}) {
+		return nil, nil
+	}
+	return sel, v
+}

@@ -1,0 +1,15 @@
+package fencecmp_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/fencecmp"
+)
+
+func TestFencecmp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", fencecmp.Analyzer)
+}

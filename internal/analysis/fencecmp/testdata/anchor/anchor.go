@@ -1,0 +1,135 @@
+// Package anchor declares the fenced state; the //triad:monotonic
+// directives export facts checked here and in importing packages.
+package anchor
+
+// State is a miniature of the repo's anchorState.
+type State struct {
+	Epoch     uint64 //triad:monotonic fencing epoch; forged tokens from earlier epochs must stay invalid
+	LastNanos int64  //triad:monotonic high-water mark of served timestamps
+	Free      int64  // unannotated: stores are unchecked
+}
+
+// Mirror holds a second monotonic field fed from State.
+type Mirror struct {
+	//triad:monotonic persisted image of State.LastNanos
+	HighWater int64
+}
+
+// guarded is the canonical accepted update.
+func guarded(s *State, now int64) {
+	if now > s.LastNanos {
+		s.LastNanos = now
+	}
+}
+
+// guardedEq allows equality: non-decreasing is enough.
+func guardedEq(s *State, now int64) {
+	if now >= s.LastNanos {
+		s.LastNanos = now
+	}
+}
+
+// elseNegation stores under the negation of the inverted comparison.
+func elseNegation(s *State, now int64) {
+	if now <= s.LastNanos {
+		_ = now
+	} else {
+		s.LastNanos = now
+	}
+}
+
+// earlyReturn proves the guard by leaving first.
+func earlyReturn(s *State, now int64) {
+	if now <= s.LastNanos {
+		return
+	}
+	s.LastNanos = now
+}
+
+// subtractionGuard is the serve-path idiom with an if-init local.
+func subtractionGuard(s *State, now int64) {
+	if d := now - s.LastNanos; d > 0 {
+		s.LastNanos = now
+	}
+}
+
+// clamp is the engine idiom: force strictly-greater, then store.
+func clamp(s *State, now int64) int64 {
+	ts := now
+	if ts <= s.LastNanos {
+		ts = s.LastNanos + 1
+	}
+	s.LastNanos = ts
+	return ts
+}
+
+// increments of all accepted shapes.
+func increments(s *State, t uint64) {
+	s.Epoch++
+	s.Epoch += 2
+	if t > s.Epoch {
+		s.Epoch = t + 1
+	}
+	s.LastNanos = max(s.LastNanos, 7)
+}
+
+// mirror feeds one monotonic field from another.
+func mirror(s *State, m *Mirror) {
+	m.HighWater = s.LastNanos
+}
+
+// freeStore is unannotated and unchecked.
+func freeStore(s *State, now int64) {
+	s.Free = now
+}
+
+// plainStore is the basic violation: nothing relates now to the
+// current value.
+func plainStore(s *State, now int64) {
+	s.LastNanos = now // want `store to monotonic field s\.LastNanos is not provably monotonic`
+}
+
+// inverted takes the *older* value: the < vs > inversion.
+func inverted(s *State, now int64) {
+	if now < s.LastNanos {
+		s.LastNanos = now // want `not provably monotonic`
+	}
+}
+
+// elseOfCorrectGuard stores on the branch where now <= LastNanos.
+func elseOfCorrectGuard(s *State, now int64) {
+	if now > s.LastNanos {
+		_ = now
+	} else {
+		s.LastNanos = now // want `not provably monotonic`
+	}
+}
+
+// decrement and regressing arithmetic.
+func decrement(s *State) {
+	s.Epoch--                     // want `decrement of monotonic field s\.Epoch`
+	s.LastNanos -= 1              // want `not provably monotonic \(compound -=\)`
+	s.LastNanos = s.LastNanos - 1 // want `not provably monotonic`
+}
+
+// narrow truncates the epoch: wraps every 2^32 fences.
+func narrow(s *State) uint32 {
+	return uint32(s.Epoch) // want `narrowing conversion of monotonic field Epoch to uint32`
+}
+
+// narrowViaLocal resolves the alias before flagging.
+func narrowViaLocal(s *State) int32 {
+	hw := s.LastNanos
+	return int32(hw) // want `narrowing conversion of monotonic field LastNanos to int32`
+}
+
+// widen (same width or larger) is fine.
+func widen(s *State) uint64 {
+	return uint64(s.LastNanos)
+}
+
+// suppressed pins the nolint path.
+func suppressed(s *State, now int64) {
+	//triad:nolint:fencecmp recovery path rewinds deliberately after operator attestation
+	s.LastNanos = now
+}

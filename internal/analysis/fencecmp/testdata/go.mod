@@ -1,0 +1,3 @@
+module fencedata
+
+go 1.24

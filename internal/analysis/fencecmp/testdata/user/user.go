@@ -1,0 +1,17 @@
+// Package user stores to anchor's fenced fields from a dependent
+// package: the monotonic facts must cross the import edge.
+package user
+
+import "fencedata/anchor"
+
+// Advance is the sanctioned cross-package update.
+func Advance(s *anchor.State, now int64) {
+	if now > s.LastNanos {
+		s.LastNanos = now
+	}
+}
+
+// Stomp is the cross-package violation.
+func Stomp(s *anchor.State, now int64) {
+	s.LastNanos = now // want `store to monotonic field s\.LastNanos is not provably monotonic`
+}

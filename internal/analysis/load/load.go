@@ -44,12 +44,21 @@ type listPackage struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	DepOnly    bool
 }
 
 // Packages loads and type-checks the non-test sources of every package
 // matched by patterns, resolved relative to dir (the module root, or a
 // testdata module root in analyzer tests).
+//
+// Packages are returned in dependency order (imports before
+// importers), and a target package's imports of other targets resolve
+// to the source-checked *types.Package rather than to export data.
+// Both properties together are what make the analysis facts layer
+// work: when a dependent package is analyzed, the objects of its
+// already-analyzed dependencies are the very same *types.Object values
+// the dependencies' passes exported facts on.
 func Packages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -58,15 +67,23 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	targets = topoSort(targets)
 
 	fset := token.NewFileSet()
-	imp := exportImporter{importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
-	})}
+	// checked accumulates source-checked target packages; the importer
+	// prefers them over export data so object identities are shared
+	// between a package's own pass and its dependents' passes.
+	checked := map[string]*types.Package{}
+	imp := exportImporter{
+		checked: checked,
+		imp: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
 
 	var pkgs []*Package
 	for _, t := range targets {
@@ -97,6 +114,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load: type-check %s: %w", t.ImportPath, err)
 		}
+		checked[t.ImportPath] = tpkg
 		pkgs = append(pkgs, &Package{
 			PkgPath:   t.ImportPath,
 			Name:      t.Name,
@@ -148,16 +166,54 @@ func goList(dir string, patterns []string) ([]listPackage, map[string]string, er
 	return targets, exports, nil
 }
 
-// exportImporter wraps the gc export-data importer with the "unsafe"
-// special case (unsafe has no export data; the type checker's own
-// package object stands in).
+// topoSort orders targets so every package follows all targets it
+// imports (direct or transitive). go list -deps already emits this
+// order, but the facts layer's correctness rides on it, so it is
+// enforced here rather than assumed. Ties keep the original (sorted)
+// go list order for stable output.
+func topoSort(targets []listPackage) []listPackage {
+	index := make(map[string]int, len(targets))
+	for i, t := range targets {
+		index[t.ImportPath] = i
+	}
+	out := make([]listPackage, 0, len(targets))
+	// visiting doubles as the done set: 1 = on stack, 2 = emitted.
+	state := make(map[string]int, len(targets))
+	var visit func(i int)
+	visit = func(i int) {
+		t := targets[i]
+		if state[t.ImportPath] != 0 {
+			return // emitted, or a cycle (impossible in valid Go)
+		}
+		state[t.ImportPath] = 1
+		for _, dep := range t.Imports {
+			if j, ok := index[dep]; ok {
+				visit(j)
+			}
+		}
+		state[t.ImportPath] = 2
+		out = append(out, t)
+	}
+	for i := range targets {
+		visit(i)
+	}
+	return out
+}
+
+// exportImporter layers the source-checked target packages over the gc
+// export-data importer, with the "unsafe" special case (unsafe has no
+// export data; the type checker's own package object stands in).
 type exportImporter struct {
-	imp types.Importer
+	checked map[string]*types.Package
+	imp     types.Importer
 }
 
 func (e exportImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if p, ok := e.checked[path]; ok {
+		return p, nil
 	}
 	return e.imp.Import(path)
 }

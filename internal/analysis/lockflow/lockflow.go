@@ -22,8 +22,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/flow"
 )
 
 // guardedPkgs names the package directories the invariant applies to:
@@ -46,7 +48,8 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				scanBlock(pass, fn.Body.List, map[string]bool{})
+				fl := flow.New(pass.TypesInfo, fn)
+				scanBlock(pass, fl, fn.Body.List, map[string]bool{})
 			}
 		}
 	}
@@ -57,12 +60,12 @@ func run(pass *analysis.Pass) error {
 // held. Nested blocks inherit a copy of the current set, so locks
 // taken inside a branch do not leak out, and the state before the
 // branch is what flows past it.
-func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+func scanBlock(pass *analysis.Pass, fl *flow.Func, stmts []ast.Stmt, held map[string]bool) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
 			if call, ok := s.X.(*ast.CallExpr); ok {
-				if key, op := lockOp(pass, call); op != "" {
+				if key, op := lockOp(pass, fl, call); op != "" {
 					switch op {
 					case "lock":
 						held[key] = true
@@ -74,7 +77,7 @@ func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
 			}
 			inspectExpr(pass, s.X, held)
 		case *ast.DeferStmt:
-			if key, op := lockOp(pass, s.Call); op == "unlock" {
+			if key, op := lockOp(pass, fl, s.Call); op == "unlock" {
 				// Deferred unlock: the lock is held for the remainder of
 				// the function, which is exactly the window we must scan.
 				_ = key
@@ -85,34 +88,34 @@ func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
 			reportHeld(pass, s.Arrow, "channel send", held)
 			inspectExpr(pass, s.Value, held)
 		case *ast.BlockStmt:
-			scanBlock(pass, s.List, copyHeld(held))
+			scanBlock(pass, fl, s.List, copyHeld(held))
 		case *ast.IfStmt:
 			if s.Init != nil {
 				scanStmtExprs(pass, s.Init, held)
 			}
 			inspectExpr(pass, s.Cond, held)
-			scanBlock(pass, s.Body.List, copyHeld(held))
+			scanBlock(pass, fl, s.Body.List, copyHeld(held))
 			if s.Else != nil {
-				scanBlock(pass, []ast.Stmt{s.Else}, copyHeld(held))
+				scanBlock(pass, fl, []ast.Stmt{s.Else}, copyHeld(held))
 			}
 		case *ast.ForStmt:
-			scanBlock(pass, s.Body.List, copyHeld(held))
+			scanBlock(pass, fl, s.Body.List, copyHeld(held))
 		case *ast.RangeStmt:
 			inspectExpr(pass, s.X, held)
-			scanBlock(pass, s.Body.List, copyHeld(held))
+			scanBlock(pass, fl, s.Body.List, copyHeld(held))
 		case *ast.SwitchStmt:
 			if s.Tag != nil {
 				inspectExpr(pass, s.Tag, held)
 			}
 			for _, clause := range s.Body.List {
 				if cc, ok := clause.(*ast.CaseClause); ok {
-					scanBlock(pass, cc.Body, copyHeld(held))
+					scanBlock(pass, fl, cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.TypeSwitchStmt:
 			for _, clause := range s.Body.List {
 				if cc, ok := clause.(*ast.CaseClause); ok {
-					scanBlock(pass, cc.Body, copyHeld(held))
+					scanBlock(pass, fl, cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.SelectStmt:
@@ -121,7 +124,7 @@ func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
 					if send, ok := cc.Comm.(*ast.SendStmt); ok {
 						reportHeld(pass, send.Arrow, "channel send", held)
 					}
-					scanBlock(pass, cc.Body, copyHeld(held))
+					scanBlock(pass, fl, cc.Body, copyHeld(held))
 				}
 			}
 		case *ast.GoStmt:
@@ -211,8 +214,12 @@ func reportHeld(pass *analysis.Pass, pos token.Pos, what string, held map[string
 
 // lockOp classifies a call as a mutex lock/unlock on a receiver whose
 // type is sync.Mutex or sync.RWMutex (possibly via pointer), returning
-// a stable key for the receiver expression.
-func lockOp(pass *analysis.Pass, call *ast.CallExpr) (key, op string) {
+// a stable key for the receiver expression. Keys are value-flow
+// canonical forms, so a lock taken through a pointer alias
+// (mu := &s.mu; mu.Lock()) pairs with its direct unlock (s.mu.Unlock())
+// — the leading & is stripped because &s.mu and s.mu name the same
+// mutex.
+func lockOp(pass *analysis.Pass, fl *flow.Func, call *ast.CallExpr) (key, op string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", ""
@@ -228,7 +235,7 @@ func lockOp(pass *analysis.Pass, call *ast.CallExpr) (key, op string) {
 	if !isSyncMutex(pass.TypesInfo.TypeOf(sel.X)) {
 		return "", ""
 	}
-	return types.ExprString(sel.X), op
+	return strings.TrimPrefix(fl.Canon(sel.X), "&"), op
 }
 
 func isSyncMutex(t types.Type) bool {

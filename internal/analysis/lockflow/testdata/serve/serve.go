@@ -106,3 +106,24 @@ func GoodDefer(s *shard) int {
 	defer s.mu.Unlock()
 	return len(s.q)
 }
+
+// AliasGood locks through a pointer alias and unlocks through the
+// field directly: value-flow canonicalization pairs the two, so the
+// blocking call after the unlock is clean.
+func AliasGood(s *shard, c clock) {
+	mu := &s.mu
+	mu.Lock()
+	s.q = append(s.q, 1)
+	s.mu.Unlock()
+	n, _ := c.TrustedNow()
+	s.out <- n
+}
+
+// AliasBad blocks while holding a lock taken through an alias.
+func AliasBad(s *shard, c clock) {
+	mu := &s.mu
+	mu.Lock()
+	n, _ := c.TrustedNow() // want `TrustedNow call while holding s\.mu`
+	_ = n
+	mu.Unlock()
+}

@@ -1,0 +1,252 @@
+// Package noncepart mechanizes DESIGN.md §6.1's nonce-uniqueness
+// argument: AES-GCM confidentiality holds only while every sealer in
+// the deployment seals under a distinct sender identity, because the
+// identity is the nonce prefix that partitions the nonce space. The
+// analyzer proves (within its reach) that no two wire.NewSealer /
+// wire.NewSealerShard constructions claim the same identity:
+//
+//   - two construction sites whose identity expressions canonicalize
+//     equal (after value-flow substitution and constant folding) are
+//     flagged — two sealers, one nonce space;
+//   - a construction inside a loop whose identity does not depend on
+//     any enclosing loop variable is flagged — every iteration claims
+//     the same identity;
+//   - a function that constructs a sealer whose identity depends on
+//     its own parameters exports a fact, so calls to that wrapper are
+//     themselves treated as constructions with the corresponding
+//     arguments as the identity — the check crosses function and
+//     package boundaries without whole-program analysis.
+//
+// The check is per-function and conservative: identities it cannot
+// resolve to comparable expressions are left to human review, exactly
+// as before — it only ever flags provable collisions.
+package noncepart
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"triadtime/internal/analysis"
+	"triadtime/internal/analysis/flow"
+)
+
+// Analyzer is the noncepart analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "noncepart",
+	Doc: "flags wire sealer constructions that provably reuse a sender " +
+		"identity (duplicate or loop-invariant identity expressions); " +
+		"each sealer must own a disjoint AEAD nonce partition",
+	Run: run,
+}
+
+// identityFact marks a function that constructs (directly or through
+// another fact-carrying wrapper) a wire sealer whose identity depends
+// on the function's own parameters. Params holds the 0-based indices
+// of those parameters; a call to the function is then treated as a
+// sealer construction whose identity is the corresponding arguments.
+type identityFact struct {
+	Params []int
+}
+
+func (*identityFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// site is one sealer construction (direct or via wrapper fact).
+type site struct {
+	call  *ast.CallExpr
+	canon string
+	deps  map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	fl := flow.New(pass.TypesInfo, fn)
+	var sites []site
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ids := identityExprs(pass, call)
+		if len(ids) == 0 {
+			return true
+		}
+		deps := map[types.Object]bool{}
+		for _, e := range ids {
+			for obj := range fl.Mentions(e) {
+				deps[obj] = true
+			}
+		}
+		s := site{call: call, canon: identityCanon(fl, ids), deps: deps}
+
+		if loops := fl.LoopsEnclosing(call); len(loops) > 0 && !variesAcross(loops, deps) {
+			pass.Reportf(call.Pos(),
+				"sealer constructed in a loop with loop-invariant identity %s; every iteration claims the same AEAD nonce space",
+				s.canon)
+		}
+		sites = append(sites, s)
+		return true
+	})
+
+	// Duplicate keys pair the canonical expression with the identities
+	// of the objects it reads: two sites whose identical-looking canon
+	// binds *different* locals (an if/else each declaring its own
+	// variable) are not provably the same value.
+	seen := map[string]*site{}
+	for i := range sites {
+		s := &sites[i]
+		key := s.canon + "|" + depsKey(s.deps)
+		if prev, ok := seen[key]; ok {
+			pass.Reportf(s.call.Pos(),
+				"sealer identity %s duplicates the construction at %s; two sealers would share one AEAD nonce space",
+				s.canon, pass.Fset.Position(prev.call.Pos()))
+			continue
+		}
+		seen[key] = s
+	}
+
+	exportWrapperFact(pass, fn, sites)
+}
+
+// variesAcross reports whether the identity provably varies per loop
+// iteration: it reads at least one object declared within an
+// enclosing loop's span (the iteration variable or a per-iteration
+// local rebuilt each pass).
+func variesAcross(loops []ast.Node, deps map[types.Object]bool) bool {
+	for obj := range deps {
+		for _, loop := range loops {
+			if loop.Pos() <= obj.Pos() && obj.Pos() < loop.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// depsKey renders the identity's object set stably (by declaration
+// position) for duplicate-site comparison.
+func depsKey(deps map[types.Object]bool) string {
+	positions := make([]int, 0, len(deps))
+	for obj := range deps {
+		positions = append(positions, int(obj.Pos()))
+	}
+	sort.Ints(positions)
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// identityExprs returns the expressions that determine the sender
+// identity of the sealer a call constructs, or nil when the call does
+// not construct one. Direct constructions are wire.NewSealer (identity
+// = arg 1) and wire.NewSealerShard (identity = base + shard, args 1
+// and 2); wrapper constructions are calls to any function carrying an
+// identityFact.
+func identityExprs(pass *analysis.Pass, call *ast.CallExpr) []ast.Expr {
+	obj := calleeObj(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg().Name() == "wire" {
+		switch fn.Name() {
+		case "NewSealer":
+			if len(call.Args) >= 2 {
+				return call.Args[1:2]
+			}
+		case "NewSealerShard":
+			if len(call.Args) >= 4 {
+				return call.Args[1:3]
+			}
+		}
+	}
+	var f identityFact
+	if pass.ImportObjectFact(obj, &f) {
+		var out []ast.Expr
+		for _, p := range f.Params {
+			if p >= 0 && p < len(call.Args) {
+				out = append(out, call.Args[p])
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// identityCanon renders an identity expression list as one comparable
+// key. The NewSealerShard pair folds to base+shard so that, when both
+// resolve to constants, it collides correctly with a NewSealer literal
+// claiming the same value.
+func identityCanon(fl *flow.Func, ids []ast.Expr) string {
+	if len(ids) == 2 {
+		a, aok := fl.ConstInt(ids[0])
+		b, bok := fl.ConstInt(ids[1])
+		if aok && bok {
+			return strconv.FormatInt(a+b, 10)
+		}
+		return "(" + fl.Canon(ids[0]) + "+" + fl.Canon(ids[1]) + ")"
+	}
+	parts := make([]string, len(ids))
+	for i, e := range ids {
+		parts[i] = fl.Canon(e)
+	}
+	return strings.Join(parts, ",")
+}
+
+// exportWrapperFact publishes fn as an identity wrapper when any of
+// its construction sites' identities depend on fn's own parameters.
+func exportWrapperFact(pass *analysis.Pass, fn *ast.FuncDecl, sites []site) {
+	if len(sites) == 0 || fn.Type.Params == nil {
+		return
+	}
+	var params []types.Object
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, pass.TypesInfo.Defs[name])
+		}
+	}
+	var indices []int
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		for _, s := range sites {
+			if s.deps[p] {
+				indices = append(indices, i)
+				break
+			}
+		}
+	}
+	if len(indices) == 0 {
+		return
+	}
+	pass.ExportObjectFact(pass.TypesInfo.Defs[fn.Name], &identityFact{Params: indices})
+}
+
+// calleeObj resolves the object a call's callee names, looking through
+// parens; nil for indirect calls and conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

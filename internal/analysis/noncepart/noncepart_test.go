@@ -1,0 +1,15 @@
+package noncepart_test
+
+import (
+	"testing"
+
+	"triadtime/internal/analysis/analysistest"
+	"triadtime/internal/analysis/noncepart"
+)
+
+func TestNoncepart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a testdata module; skipped in -short")
+	}
+	analysistest.Run(t, "testdata", noncepart.Analyzer)
+}

@@ -1,0 +1,3 @@
+module noncepartdata
+
+go 1.24

@@ -1,0 +1,89 @@
+package use
+
+import (
+	"noncepartdata/wire"
+	"noncepartdata/wrap"
+)
+
+// duplicateLiteral: two sealers on the same literal identity.
+func duplicateLiteral(key []byte) (*wire.Sealer, *wire.Sealer) {
+	a := wire.NewSealer(key, 7)
+	b := wire.NewSealer(key, 7) // want `sealer identity 7 duplicates the construction at .*use\.go:10`
+	return a, b
+}
+
+// duplicateThroughAlias: the value-flow helper resolves the alias, so
+// the two identity expressions canonicalize equal.
+func duplicateThroughAlias(key []byte, base, k uint32) (*wire.Sealer, *wire.Sealer) {
+	id := base + k
+	a := wire.NewSealer(key, id)
+	b := wire.NewSealer(key, base+k) // want `sealer identity \(base\+k\) duplicates`
+	return a, b
+}
+
+// shardOverlapsLiteral: base 8 + shard 2 collides with literal 10 once
+// both constant-fold.
+func shardOverlapsLiteral(key []byte) (*wire.Sealer, *wire.Sealer) {
+	a := wire.NewSealerShard(key, 8, 2, 4)
+	b := wire.NewSealer(key, 10) // want `sealer identity 10 duplicates`
+	return a, b
+}
+
+// loopInvariantIdentity: every iteration claims the same identity.
+func loopInvariantIdentity(key []byte, base uint32) []*wire.Sealer {
+	var out []*wire.Sealer
+	for i := 0; i < 4; i++ {
+		out = append(out, wire.NewSealer(key, base)) // want `loop-invariant identity base`
+	}
+	return out
+}
+
+// wrapperDuplicate: the identity fact on wrap.NewWorker makes its call
+// sites constructions too.
+func wrapperDuplicate(key []byte) (*wire.Sealer, *wire.Sealer) {
+	a := wrap.NewWorker(key, 5)
+	b := wrap.NewWorker(key, 5) // want `sealer identity 5 duplicates`
+	return a, b
+}
+
+// wrapperLoopInvariant: same rule through the wrapper fact.
+func wrapperLoopInvariant(key []byte) []*wire.Sealer {
+	var out []*wire.Sealer
+	for i := 0; i < 3; i++ {
+		out = append(out, wrap.NewWorker(key, 9)) // want `loop-invariant identity 9`
+	}
+	return out
+}
+
+// shardedLoop is the sanctioned pattern: the shard argument varies
+// with the loop variable, so each iteration owns a fresh identity.
+func shardedLoop(key []byte, base uint32, shards int) []*wire.Sealer {
+	var out []*wire.Sealer
+	for i := 0; i < shards; i++ {
+		out = append(out, wire.NewSealerShard(key, base, i, shards))
+	}
+	return out
+}
+
+// distinctLiterals is fine: disjoint identities.
+func distinctLiterals(key []byte) (*wire.Sealer, *wire.Sealer) {
+	return wire.NewSealer(key, 1), wire.NewSealer(key, 2)
+}
+
+// wrapperLoopVarying is fine: the wrapper's identity argument depends
+// on the loop variable.
+func wrapperLoopVarying(key []byte, n int) []*wire.Sealer {
+	var out []*wire.Sealer
+	for i := 0; i < n; i++ {
+		out = append(out, wrap.NewWorker(key, uint32(i)))
+	}
+	return out
+}
+
+// suppressed pins the nolint path for this analyzer.
+func suppressed(key []byte) (*wire.Sealer, *wire.Sealer) {
+	a := wire.NewSealer(key, 3)
+	//triad:nolint:noncepart identities proven disjoint by out-of-band config validation
+	b := wire.NewSealer(key, 3)
+	return a, b
+}

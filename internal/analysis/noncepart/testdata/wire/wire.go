@@ -1,0 +1,22 @@
+// Package wire is a miniature stand-in for the repo's wire package:
+// noncepart recognizes sealer constructors by package name and
+// function name, so the testdata module carries its own.
+package wire
+
+// Sealer seals under one sender identity (= nonce partition).
+type Sealer struct {
+	id uint32
+}
+
+// NewSealer returns a sealer owning identity senderID.
+func NewSealer(key []byte, senderID uint32) *Sealer {
+	_ = key
+	return &Sealer{id: senderID}
+}
+
+// NewSealerShard returns the shard'th of shards sealers based at base,
+// owning identity base+shard.
+func NewSealerShard(key []byte, base uint32, shard, shards int) *Sealer {
+	_ = shards
+	return NewSealer(key, base+uint32(shard))
+}

@@ -1,0 +1,11 @@
+// Package wrap holds an identity wrapper: NewWorker's sealer identity
+// is its id parameter, so noncepart exports a fact and treats every
+// NewWorker call site as a construction with that argument's identity.
+package wrap
+
+import "noncepartdata/wire"
+
+// NewWorker builds a worker sealer owning identity id.
+func NewWorker(key []byte, id uint32) *wire.Sealer {
+	return wire.NewSealer(key, id)
+}

@@ -18,9 +18,9 @@ import (
 // only thing that must survive a crash for the T-Lease fencing
 // guarantees to hold.
 type anchorState struct {
-	Epoch     uint64
-	LastNanos int64
-	Restarts  uint64
+	Epoch     uint64 //triad:monotonic fencing epoch; a rollback revalidates forged old-epoch tokens
+	LastNanos int64  //triad:monotonic high-water mark of vouched trusted time
+	Restarts  uint64 //triad:monotonic reopen counter feeding the restart audit trail
 }
 
 // Anchor file format: magic(4) + version(1) + epoch(8) + lastNanos(8)

@@ -139,7 +139,8 @@ type Vault struct {
 	// st is the live anchor state; st.LastNanos is the in-memory
 	// high-water mark, persisted at least every flushEvery of trusted
 	// time (epoch changes persist immediately).
-	st             anchorState
+	st anchorState
+	//triad:monotonic durable image of st.LastNanos; only ever advanced to it
 	persistedNanos int64
 	// anchorChecked flips once the loaded anchor has been validated
 	// against a live trusted read (deferred when the clock was not yet

@@ -55,9 +55,10 @@ type Engine struct {
 	fCalib     float64 // estimated guest-TSC ticks per reference second
 	refNanos   int64
 	refTSC     uint64
-	lastServed int64
+	lastServed int64 //triad:monotonic strictly-increasing serving clamp (uniqueness of served timestamps)
 
-	aexEpoch uint64 // bumped on every AEX; stamps in-flight measurements
+	//triad:monotonic bumped on every AEX; stamps in-flight measurements
+	aexEpoch uint64
 	seq      uint64 // request sequence numbers
 
 	gather  *gather

@@ -157,6 +157,10 @@ func RunExtensionComparison(ctx context.Context, seed uint64, duration time.Dura
 		tasks[i] = runner.Task[*ExtensionResult]{
 			Name: fmt.Sprintf("variant %s", v),
 			Run: func(context.Context) (*ExtensionResult, error) {
+				// Variants share the seed on purpose (like-for-like
+				// comparison); each variant is its own simulation, so the
+				// repeated sender identities share no nonce space.
+				//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 				r, err := RunExtensionVariant(seed, v, attack.ModeFMinus, duration)
 				if err != nil {
 					return nil, fmt.Errorf("variant %s: %w", v, err)

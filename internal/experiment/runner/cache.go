@@ -72,6 +72,11 @@ func (c *Cache) Store(k Key, v any) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("runner: cache write: %w", err)
 	}
+	// The rename is for concurrent-reader atomicity, not durability:
+	// entries are disposable, and Load already treats a torn or corrupt
+	// file as a miss, so a crash at worst costs one recompute. fsync
+	// barriers here would only slow the harness down.
+	//triad:nolint:durable cache entries are disposable; Load self-heals torn files as misses
 	if err := os.Rename(tmp, final); err != nil {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("runner: cache commit: %w", err)

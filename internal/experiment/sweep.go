@@ -115,6 +115,9 @@ func RunAttackLatency(ctx context.Context, seed uint64, duration time.Duration) 
 		tasks[i] = runner.Task[AttackLatencyRow]{
 			Name: fmt.Sprintf("attack latency %s", v),
 			Run: func(context.Context) (AttackLatencyRow, error) {
+				// Both variants reuse the seed for a like-for-like
+				// comparison; the clusters are separate simulations.
+				//triad:nolint:noncepart independent simulated clusters; sealed frames never cross simulations
 				c, err := buildVariantCluster(seed, v, attack.ModeFMinus)
 				if err != nil {
 					return AttackLatencyRow{}, err

@@ -203,7 +203,8 @@ type pending[T any] struct {
 
 // bucket is one client's token bucket.
 type bucket struct {
-	tokens    float64
+	tokens float64
+	//triad:monotonic refill reference; a rollback would mint free tokens
 	lastNanos int64
 }
 
